@@ -1,0 +1,1 @@
+bench/main.ml: Alias Analyze Bechamel Benchmark Constprop Filename Fmt Hashtbl Heap_analysis Instance List Measure Paper_data Pointsto Simple_ir Staged String Sys Test Time Toolkit

@@ -1,0 +1,452 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation (§6) on the synthetic benchmark suite, prints each next to
+    the paper's numbers, runs the ablation studies from DESIGN.md, and
+    measures analysis time per benchmark with Bechamel.
+
+    Run with [dune exec bench/main.exe]. Sections: Table 2, Table 3,
+    Table 4, Table 5, Table 6, Figure 2, Figures 6-7, Figures 8-9, the
+    livc function-pointer study, overall averages, ablations, timings. *)
+
+module Ir = Simple_ir.Ir
+module Stats = Pointsto.Stats
+module Analysis = Pointsto.Analysis
+module Ig = Pointsto.Invocation_graph
+module Loc = Pointsto.Loc
+module Pts = Pointsto.Pts
+
+let bench_dir =
+  if Sys.file_exists "benchmarks" then "benchmarks"
+  else if Sys.file_exists "../benchmarks" then "../benchmarks"
+  else Fmt.failwith "cannot find the benchmarks directory (run from the repo root)"
+
+let path name = Filename.concat bench_dir (name ^ ".c")
+
+let count_lines file =
+  let ic = open_in file in
+  let n = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr n
+     done
+   with End_of_file -> close_in ic);
+  !n
+
+let progs : (string, Ir.program) Hashtbl.t = Hashtbl.create 18
+let results : (string, Analysis.result) Hashtbl.t = Hashtbl.create 18
+
+let prog name =
+  match Hashtbl.find_opt progs name with
+  | Some p -> p
+  | None ->
+      let p = Simple_ir.Simplify.of_file (path name) in
+      Hashtbl.replace progs name p;
+      p
+
+let result name =
+  match Hashtbl.find_opt results name with
+  | Some r -> r
+  | None ->
+      let r = Analysis.analyze (prog name) in
+      Hashtbl.replace results name r;
+      r
+
+let section title = Fmt.pr "@.=== %s ===@.@." title
+
+let hr = String.make 78 '-'
+
+(* ------------------------------------------------------------------ *)
+(* Tables                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  section "Table 2: Characteristics of Benchmark Programs (ours | paper)";
+  Fmt.pr "%-10s %15s %17s %13s %13s@." "Benchmark" "Lines|ppr" "stmts|ppr" "Min|ppr"
+    "Max|ppr";
+  Fmt.pr "%s@." hr;
+  List.iter
+    (fun (name, (p : Paper_data.t2)) ->
+      let r = result name in
+      let c = Stats.characteristics r in
+      Fmt.pr "%-10s %6d | %-6d %6d | %-6d %4d | %-4d %4d | %-4d@." name
+        (count_lines (path name))
+        p.Paper_data.lines c.Stats.c_stmts p.Paper_data.stmts c.Stats.c_min_vars
+        p.Paper_data.min_vars c.Stats.c_max_vars p.Paper_data.max_vars)
+    Paper_data.table2
+
+let table3 () =
+  section "Table 3: Points-to Statistics for Indirect References (ours | paper)";
+  Fmt.pr "%-10s %11s %11s %5s %4s %4s %10s %9s %11s %11s %11s@." "Benchmark" "1D s/a"
+    "1P s/a" "2P" "3P" "4+P" "refs" "rep" "stack" "heap" "avg";
+  Fmt.pr "%s@." hr;
+  List.iter
+    (fun (name, (p : Paper_data.t3)) ->
+      let i = Stats.indirect_stats (result name) in
+      Fmt.pr
+        "%-10s %5d/%-5d %5d/%-5d %5d %4d %4d %4d|%-4d %4d|%-4d %5d|%-5d %4d|%-4d %.2f|%.2f@."
+        name i.Stats.one_d.Stats.scalar i.Stats.one_d.Stats.array i.Stats.one_p.Stats.scalar
+        i.Stats.one_p.Stats.array
+        (Stats.pair_total i.Stats.two_p)
+        (Stats.pair_total i.Stats.three_p)
+        (Stats.pair_total i.Stats.four_plus_p)
+        i.Stats.ind_refs p.Paper_data.ind_refs i.Stats.scalar_rep p.Paper_data.scalar_rep
+        i.Stats.to_stack p.Paper_data.to_stack i.Stats.to_heap p.Paper_data.to_heap
+        i.Stats.avg p.Paper_data.avg)
+    Paper_data.table3
+
+let table4 () =
+  section "Table 4: Categorization of Points-to Information Used by Indirect References";
+  Fmt.pr "%-10s | %6s %6s %6s %6s | %6s %6s %6s %6s@." "Benchmark" "fr-lo" "fr-gl" "fr-fp"
+    "fr-sy" "to-lo" "to-gl" "to-fp" "to-sy";
+  Fmt.pr "%s@." hr;
+  List.iter
+    (fun name ->
+      let c = Stats.categorize (result name) in
+      Fmt.pr "%-10s | %6d %6d %6d %6d | %6d %6d %6d %6d@." name c.Stats.from_lo
+        c.Stats.from_gl c.Stats.from_fp c.Stats.from_sy c.Stats.to_lo c.Stats.to_gl
+        c.Stats.to_fp c.Stats.to_sy)
+    Paper_data.names;
+  Fmt.pr
+    "@.(Paper's Table 4 shape: most pairs run from formal parameters to globals and@.\
+     symbolic names -- procedure calls generate the majority of relationships, so@.\
+     the analysis must be context-sensitive.)@."
+
+let table5 () =
+  section "Table 5: General Points-to Statistics (ours | paper)";
+  Fmt.pr "%-10s %15s %15s %13s %13s %11s %11s@." "Benchmark" "S->S" "S->H" "H->H" "H->S"
+    "Avg" "Max";
+  Fmt.pr "%s@." hr;
+  List.iter
+    (fun (name, (p : Paper_data.t5)) ->
+      let g = Stats.general (result name) in
+      Fmt.pr "%-10s %6d | %6d %6d | %6d %5d | %5d %5d | %5d %4.0f | %4d %4d | %4d@." name
+        g.Stats.stack_to_stack p.Paper_data.ss g.Stats.stack_to_heap p.Paper_data.sh
+        g.Stats.heap_to_heap p.Paper_data.hh g.Stats.heap_to_stack p.Paper_data.hs
+        g.Stats.avg_per_stmt p.Paper_data.avg g.Stats.max_per_stmt p.Paper_data.max)
+    Paper_data.table5;
+  let hs_total =
+    List.fold_left
+      (fun acc name -> acc + (Stats.general (result name)).Stats.heap_to_stack)
+      0 Paper_data.names
+  in
+  Fmt.pr "@.Heap-to-stack pairs across the whole suite: %d (paper: 0 -- the key@." hs_total;
+  Fmt.pr "observation supporting the separation of stack and heap analyses).@."
+
+let table6 () =
+  section "Table 6: Invocation Graph Statistics (ours | paper)";
+  Fmt.pr "%-10s %13s %13s %11s %9s %9s %13s %13s@." "Benchmark" "nodes" "sites" "funcs" "R"
+    "A" "Avgc" "Avgf";
+  Fmt.pr "%s@." hr;
+  List.iter
+    (fun (name, (p : Paper_data.t6)) ->
+      let s = Stats.ig_stats (result name) in
+      Fmt.pr
+        "%-10s %5d | %5d %5d | %5d %4d | %4d %3d | %3d %3d | %3d %5.2f | %5.2f %5.2f | %5.2f@."
+        name s.Stats.ig_nodes p.Paper_data.nodes s.Stats.call_sites p.Paper_data.sites
+        s.Stats.n_funcs p.Paper_data.funcs s.Stats.n_recursive p.Paper_data.r
+        s.Stats.n_approximate p.Paper_data.a s.Stats.avg_per_call_site p.Paper_data.avgc
+        s.Stats.avg_per_func p.Paper_data.avgf)
+    Paper_data.table6
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let figure2 () =
+  section "Figure 2: Invocation Graphs";
+  let show title src =
+    let r = Analysis.of_string src in
+    Fmt.pr "%s:@.%a@." title Ig.pp r.Analysis.graph
+  in
+  show "(a) no recursion"
+    {|void f(void) {}
+      void g(void) { f(); }
+      int main() { g(); g(); f(); return 0; }|};
+  show "(b) simple recursion"
+    {|void f(int n) { if (n) f(n - 1); }
+      int main() { f(3); return 0; }|};
+  show "(c) simple and mutual recursion"
+    {|void h(int n);
+      void g(int n) { if (n) h(n - 1); }
+      void h(int n) { if (n > 1) { h(n - 1); } else { g(n); } }
+      void f(int n) { g(n); if (n) f(n - 1); }
+      int main() { f(3); return 0; }|}
+
+let figures67 () =
+  section "Figures 6-7: Function Pointer Example";
+  let src =
+    {|int a,b,c;
+      int *pa,*pb,*pc;
+      int (*fp)();
+      int foo(); int bar();
+      void probeA(void); void probeB(void); void probeC(void); void probeD(void);
+      int main() {
+        int cond;
+        pc = &c;
+        if (cond) fp = foo; else fp = bar;
+        probeA();
+        fp();
+        probeB();
+        return 0;
+      }
+      int foo() { pa = &a; if (c) { fp(); } probeC(); return 0; }
+      int bar() { pb = &b; probeD(); return 0; }|}
+  in
+  let r = Analysis.of_string src in
+  let show_probe label probe =
+    let sid =
+      Ir.fold_program
+        (fun acc s ->
+          match s.Ir.s_desc with
+          | Ir.Scall (_, Ir.Cdirect f, _) when String.equal f probe -> Some s.Ir.s_id
+          | _ -> acc)
+        None r.Analysis.prog
+    in
+    match sid with
+    | None -> ()
+    | Some sid ->
+        let pts = Analysis.pts_at_no_null r sid in
+        let pts =
+          Pts.filter (fun src _ _ -> match src with Loc.Var _ -> true | _ -> false) pts
+        in
+        Fmt.pr "%s@.  ours: %a@." label Pts.pp pts
+  in
+  show_probe "A (paper: (fp,foo,P) (fp,bar,P) (pc,c,D))" "probeA";
+  show_probe "B (paper: A + (pa,a,P) (pb,b,P))" "probeB";
+  show_probe "C (paper: (fp,foo,D) (pc,c,D) (pa,a,D))" "probeC";
+  show_probe "D (paper: (fp,bar,D) (pc,c,D) (pb,b,D))" "probeD";
+  Fmt.pr
+    "@.Final invocation graph (paper Figure 7(c): the call to foo through fp@.\
+     inside foo becomes recursive):@.%a@."
+    Ig.pp r.Analysis.graph
+
+let figures89 () =
+  section "Figures 8-9: Points-to Pairs vs Alias Pairs";
+  let show title src note =
+    let r = Analysis.of_string src in
+    match r.Analysis.entry_output with
+    | None -> ()
+    | Some s ->
+        let s = Pts.filter (fun _ t _ -> not (Loc.is_null t)) s in
+        Fmt.pr "%s@.  points-to: %a@.  implied alias pairs: %a@.  %s@.@." title Pts.pp s
+          Alias.Pairs.pp (Alias.Pairs.of_pts s) note
+  in
+  show "Figure 8 (after S3: x = &y; y = &z; y = &w;)"
+    {|int main() { int **x, *y, z, w; x = &y; y = &z; y = &w; return 0; }|}
+    "(no spurious <**x,z>: the stale alias the pair representation reports is absent)";
+  show "Figure 9 (after the if: a = &b / b = &c on different branches)"
+    {|int main() { int **a, *b, c; int cond;
+       if (cond) a = &b; else b = &c;
+       return 0; }|}
+    "(the closure derives the spurious <**a,c>, which Landi/Ryder avoid -- the\n\
+    \  trade-off the paper discusses)"
+
+let livc_study () =
+  section "livc: Call-Graph Strategies for Function Pointers (paper section 6)";
+  let p = prog "livc" in
+  let pp_paper, pn_paper, pa_paper = Paper_data.livc_paper in
+  let fp_paper, fn_paper, fa_paper = Paper_data.livc_fanout_paper in
+  let fanout1 s =
+    match Alias.Callgraph.indirect_fanout p s with n :: _ -> n | [] -> 0
+  in
+  let row strategy s paper_nodes paper_fanout =
+    Fmt.pr "%-28s %6d | %-6d %6d | %-6d@." strategy (Alias.Callgraph.ig_size p s)
+      paper_nodes (fanout1 s) paper_fanout
+  in
+  Fmt.pr "%-28s %15s %15s@." "strategy" "IG nodes|paper" "fanout|paper";
+  Fmt.pr "%s@." hr;
+  row "points-to (precise)" Alias.Callgraph.Precise pp_paper fp_paper;
+  row "all functions (naive)" Alias.Callgraph.Naive pn_paper fn_paper;
+  row "address-taken" Alias.Callgraph.Address_taken pa_paper fa_paper;
+  Fmt.pr
+    "@.(Shape to reproduce: the precise strategy binds exactly the 24 functions of@.\
+     each table to its call site; both approximations blow the graph up.)@."
+
+let overall () =
+  section "Overall Averages (paper section 6)";
+  let tp, tr, td, trep, tone =
+    List.fold_left
+      (fun (tp, tr, td, trep, tone) name ->
+        let i = Stats.indirect_stats (result name) in
+        ( tp + i.Stats.total_pairs,
+          tr + i.Stats.ind_refs,
+          td + Stats.pair_total i.Stats.one_d,
+          trep + i.Stats.scalar_rep,
+          tone + Stats.pair_total i.Stats.one_d + Stats.pair_total i.Stats.one_p ))
+      (0, 0, 0, 0, 0) Paper_data.names
+  in
+  let pct a b = 100.0 *. float_of_int a /. float_of_int b in
+  Fmt.pr "avg locations per indirect reference:   %.2f   (paper: %.2f; Landi et al.: 1.2)@."
+    (float_of_int tp /. float_of_int tr)
+    Paper_data.overall_avg;
+  Fmt.pr "refs with a single definite target:     %.1f%%  (paper: %.1f%%)@." (pct td tr)
+    Paper_data.overall_definite_pct;
+  Fmt.pr "refs replaceable by direct references:  %.1f%%  (paper: %.1f%%)@." (pct trep tr)
+    Paper_data.overall_replaceable_pct;
+  Fmt.pr "refs with at most one non-NULL target:  %.1f%%  (paper: %.1f%%)@." (pct tone tr)
+    Paper_data.overall_single_pct
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let suite_stats opts =
+  List.fold_left
+    (fun (tp, tr, td, t5) name ->
+      let r = Analysis.analyze ~opts (prog name) in
+      let i = Stats.indirect_stats r in
+      let g = Stats.general r in
+      ( tp + i.Stats.total_pairs,
+        tr + i.Stats.ind_refs,
+        td + Stats.pair_total i.Stats.one_d,
+        t5 + g.Stats.stack_to_stack + g.Stats.stack_to_heap + g.Stats.heap_to_heap
+        + g.Stats.heap_to_stack ))
+    (0, 0, 0, 0) Paper_data.names
+
+let ablations () =
+  section "Ablations (DESIGN.md ABL1-ABL4)";
+  let show label opts =
+    let tp, tr, td, t5 = suite_stats opts in
+    Fmt.pr "  %-36s avg %.2f, definite refs %4.1f%%, total pairs %d@." label
+      (float_of_int tp /. float_of_int tr)
+      (100.0 *. float_of_int td /. float_of_int tr)
+      t5
+  in
+  let dflt = Pointsto.Options.default in
+  Fmt.pr "ABL1 definite information:@.";
+  show "with definite pairs (paper):" dflt;
+  show "without (weak updates only):"
+    { dflt with Pointsto.Options.use_definite = false };
+  Fmt.pr "@.ABL2 context sensitivity:@.";
+  show "context-sensitive (paper):" dflt;
+  show "context-insensitive (merged IN/OUT):"
+    { dflt with Pointsto.Options.context_sensitive = false };
+  Fmt.pr "@.ABL3 symbolic-name depth bound:@.";
+  List.iter
+    (fun d ->
+      show
+        (Fmt.str "max_sym_depth = %d:" d)
+        { dflt with Pointsto.Options.max_sym_depth = d })
+    [ 1; 2; 5; 8 ];
+  Fmt.pr "@.ABL4 flow-insensitive baselines (avg targets per pointer with any):@.";
+  let st, an =
+    List.fold_left
+      (fun (st, an) name ->
+        let p = prog name in
+        ( st +. Alias.Steensgaard.avg_targets (Alias.Steensgaard.run p),
+          an +. Alias.Andersen.avg_targets (Alias.Andersen.run p) ))
+      (0., 0.) Paper_data.names
+  in
+  let n = float_of_int (List.length Paper_data.names) in
+  Fmt.pr "  Steensgaard (unification):           %.2f@." (st /. n);
+  Fmt.pr "  Andersen (inclusion):                %.2f@." (an /. n);
+  let tp, tr, _, _ = suite_stats dflt in
+  Fmt.pr "  this paper (context-sensitive):      %.2f@."
+    (float_of_int tp /. float_of_int tr)
+
+(* ------------------------------------------------------------------ *)
+(* Extensions (the paper's stated future work)                        *)
+(* ------------------------------------------------------------------ *)
+
+let extensions () =
+  section "Extensions: sub-tree sharing, heap connection analysis, constants";
+  (* section 6: "we plan to reduce its size by ... caching or memoizing
+     the input and output points-to information for each function" *)
+  Fmt.pr "Sub-tree sharing (paper section 6 proposal): function-body passes@.";
+  Fmt.pr "%-12s %14s %14s %8s@." "benchmark" "without" "with sharing" "hits";
+  List.iter
+    (fun name ->
+      let p = prog name in
+      let off = Analysis.analyze p in
+      let on =
+        Analysis.analyze
+          ~opts:{ Pointsto.Options.default with Pointsto.Options.share_contexts = true }
+          p
+      in
+      if on.Analysis.share_hits > 0 then
+        Fmt.pr "%-12s %14d %14d %8d@." name off.Analysis.bodies_analyzed
+          on.Analysis.bodies_analyzed on.Analysis.share_hits)
+    (Paper_data.names @ [ "livc" ]);
+  (* section 8: companion heap analysis *)
+  Fmt.pr
+    "@.Connection analysis over allocation-site-named heap (paper section 8,@.\
+     the companion analyses of [Ghiya 93]):@.";
+  Fmt.pr "%-12s %8s %12s %10s %12s@." "benchmark" "sites" "heap ptrs" "pairs" "disjoint";
+  List.iter
+    (fun name ->
+      let module C = Heap_analysis.Connection in
+      let r = Analysis.analyze ~opts:C.options (prog name) in
+      let s = C.summarize r in
+      if s.C.n_sites > 0 then
+        Fmt.pr "%-12s %8d %12d %10d %12d@." name s.C.n_sites s.C.n_heap_ptrs s.C.n_pairs
+          s.C.n_disjoint)
+    Paper_data.names;
+  (* section 6.1: follow-on interprocedural analyses over deposited info *)
+  Fmt.pr
+    "@.Interprocedural constant propagation over the invocation graph and@.\
+     deposited map information (paper section 6.1, [Hendren et al. 93]):@.";
+  Fmt.pr "%-12s %26s@." "benchmark" "constant operand reads";
+  List.iter
+    (fun name ->
+      let r = result name in
+      let cp = Constprop.run r in
+      let n = List.length (Constprop.fold_sites cp) in
+      Fmt.pr "%-12s %26d@." name n)
+    Paper_data.names
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timings                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let timings () =
+  section "Timings (Bechamel, monotonic clock, one Test.make per benchmark)";
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    List.map
+      (fun name ->
+        let p = prog name in
+        Test.make ~name (Staged.stage (fun () -> ignore (Analysis.analyze p))))
+      (Paper_data.names @ [ "livc" ])
+    @ [
+        (let p = prog "stanford" in
+         Test.make ~name:"baseline:andersen(stanford)"
+           (Staged.stage (fun () -> ignore (Alias.Andersen.run p))));
+        (let p = prog "stanford" in
+         Test.make ~name:"baseline:steensgaard(stanford)"
+           (Staged.stage (fun () -> ignore (Alias.Steensgaard.run p))));
+      ]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.25) ~kde:None () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun tst ->
+          let raw = Benchmark.run cfg [ instance ] tst in
+          let est = Analyze.one ols instance raw in
+          match Analyze.OLS.estimates est with
+          | Some [ t ] -> Fmt.pr "%-32s %10.3f ms/run@." (Test.Elt.name tst) (t /. 1e6)
+          | Some _ | None -> Fmt.pr "%-32s (no estimate)@." (Test.Elt.name tst))
+        (Test.elements test))
+    tests
+
+let () =
+  Fmt.pr "Reproduction harness: Emami, Ghiya & Hendren, PLDI 1994@.";
+  Fmt.pr "\"Context-Sensitive Interprocedural Points-to Analysis in the Presence of@.";
+  Fmt.pr "Function Pointers\" -- every table and figure of section 6.@.";
+  table2 ();
+  table3 ();
+  table4 ();
+  table5 ();
+  table6 ();
+  figure2 ();
+  figures67 ();
+  figures89 ();
+  livc_study ();
+  overall ();
+  ablations ();
+  extensions ();
+  timings ();
+  Fmt.pr "@.Done. See EXPERIMENTS.md for the paper-vs-measured discussion.@."

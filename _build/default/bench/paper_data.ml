@@ -1,0 +1,127 @@
+(** Reference numbers transcribed from the paper (Emami, Ghiya & Hendren,
+    PLDI 1994), used to print paper-vs-measured comparisons. Absolute
+    values are not expected to match (the benchmark suite is a synthetic
+    reconstruction, see DESIGN.md); the shapes are. *)
+
+type t2 = { lines : int; stmts : int; min_vars : int; max_vars : int }
+
+(* Table 2: benchmark characteristics *)
+let table2 : (string * t2) list =
+  [
+    ("genetic", { lines = 506; stmts = 479; min_vars = 33; max_vars = 61 });
+    ("dry", { lines = 826; stmts = 212; min_vars = 21; max_vars = 43 });
+    ("clinpack", { lines = 1231; stmts = 920; min_vars = 11; max_vars = 109 });
+    ("config", { lines = 2279; stmts = 4549; min_vars = 19; max_vars = 188 });
+    ("toplev", { lines = 1637; stmts = 1096; min_vars = 92; max_vars = 164 });
+    ("compress", { lines = 1923; stmts = 1342; min_vars = 41; max_vars = 186 });
+    ("mway", { lines = 700; stmts = 869; min_vars = 51; max_vars = 125 });
+    ("hash", { lines = 256; stmts = 110; min_vars = 15; max_vars = 30 });
+    ("misr", { lines = 276; stmts = 235; min_vars = 10; max_vars = 43 });
+    ("xref", { lines = 146; stmts = 140; min_vars = 26; max_vars = 61 });
+    ("stanford", { lines = 885; stmts = 889; min_vars = 31; max_vars = 67 });
+    ("fixoutput", { lines = 400; stmts = 391; min_vars = 17; max_vars = 31 });
+    ("sim", { lines = 1422; stmts = 1768; min_vars = 99; max_vars = 137 });
+    ("travel", { lines = 862; stmts = 543; min_vars = 28; max_vars = 55 });
+    ("csuite", { lines = 872; stmts = 781; min_vars = 34; max_vars = 55 });
+    ("msc", { lines = 148; stmts = 226; min_vars = 20; max_vars = 73 });
+    ("lws", { lines = 2239; stmts = 6671; min_vars = 64; max_vars = 527 });
+  ]
+
+type t3 = {
+  ind_refs : int;
+  scalar_rep : int;
+  to_stack : int;
+  to_heap : int;
+  avg : float;
+}
+
+(* Table 3: points-to statistics for indirect references (selected
+   columns) *)
+let table3 : (string * t3) list =
+  [
+    ("genetic", { ind_refs = 54; scalar_rep = 7; to_stack = 38; to_heap = 30; avg = 1.26 });
+    ("dry", { ind_refs = 58; scalar_rep = 9; to_stack = 21; to_heap = 45; avg = 1.14 });
+    ("clinpack", { ind_refs = 150; scalar_rep = 101; to_stack = 197; to_heap = 0; avg = 1.31 });
+    ("config", { ind_refs = 45; scalar_rep = 3; to_stack = 45; to_heap = 0; avg = 1.00 });
+    ("toplev", { ind_refs = 117; scalar_rep = 5; to_stack = 171; to_heap = 0; avg = 1.46 });
+    ("compress", { ind_refs = 50; scalar_rep = 0; to_stack = 43; to_heap = 7; avg = 1.00 });
+    ("mway", { ind_refs = 74; scalar_rep = 0; to_stack = 79; to_heap = 0; avg = 1.07 });
+    ("hash", { ind_refs = 14; scalar_rep = 0; to_stack = 7; to_heap = 7; avg = 1.00 });
+    ("misr", { ind_refs = 39; scalar_rep = 0; to_stack = 31; to_heap = 35; avg = 1.69 });
+    ("xref", { ind_refs = 31; scalar_rep = 0; to_stack = 9; to_heap = 31; avg = 1.29 });
+    ("stanford", { ind_refs = 143; scalar_rep = 51; to_stack = 119; to_heap = 26; avg = 1.01 });
+    ("fixoutput", { ind_refs = 8; scalar_rep = 5; to_stack = 5; to_heap = 3; avg = 1.00 });
+    ("sim", { ind_refs = 353; scalar_rep = 0; to_stack = 34; to_heap = 319; avg = 1.00 });
+    ("travel", { ind_refs = 77; scalar_rep = 20; to_stack = 125; to_heap = 11; avg = 1.77 });
+    ("csuite", { ind_refs = 66; scalar_rep = 21; to_stack = 64; to_heap = 2; avg = 1.00 });
+    ("msc", { ind_refs = 41; scalar_rep = 6; to_stack = 6; to_heap = 35; avg = 1.00 });
+    ("lws", { ind_refs = 423; scalar_rep = 110; to_stack = 428; to_heap = 0; avg = 1.01 });
+  ]
+
+type t5 = { ss : int; sh : int; hh : int; hs : int; avg : int; max : int }
+
+(* Table 5: general points-to statistics *)
+let table5 : (string * t5) list =
+  [
+    ("genetic", { ss = 3901; sh = 1066; hh = 0; hs = 0; avg = 10; max = 38 });
+    ("dry", { ss = 512; sh = 883; hh = 198; hs = 0; avg = 7; max = 24 });
+    ("clinpack", { ss = 18987; sh = 0; hh = 0; hs = 0; avg = 20; max = 91 });
+    ("config", { ss = 136315; sh = 18; hh = 0; hs = 0; avg = 29; max = 120 });
+    ("toplev", { ss = 41539; sh = 6; hh = 0; hs = 0; avg = 37; max = 100 });
+    ("compress", { ss = 30502; sh = 1070; hh = 0; hs = 0; avg = 23; max = 82 });
+    ("mway", { ss = 16399; sh = 0; hh = 0; hs = 0; avg = 18; max = 76 });
+    ("hash", { ss = 577; sh = 207; hh = 34; hs = 0; avg = 7; max = 18 });
+    ("misr", { ss = 1314; sh = 706; hh = 9; hs = 0; avg = 8; max = 25 });
+    ("xref", { ss = 46; sh = 506; hh = 17; hs = 0; avg = 4; max = 16 });
+    ("stanford", { ss = 3137; sh = 364; hh = 7; hs = 0; avg = 3; max = 30 });
+    ("fixoutput", { ss = 3111; sh = 794; hh = 0; hs = 0; avg = 9; max = 14 });
+    ("sim", { ss = 7048; sh = 31174; hh = 1437; hs = 0; avg = 22; max = 47 });
+    ("travel", { ss = 3581; sh = 1174; hh = 0; hs = 0; avg = 8; max = 42 });
+    ("csuite", { ss = 4527; sh = 14; hh = 0; hs = 0; avg = 5; max = 26 });
+    ("msc", { ss = 221; sh = 907; hh = 88; hs = 0; avg = 5; max = 22 });
+    ("lws", { ss = 241291; sh = 0; hh = 0; hs = 0; avg = 35; max = 366 });
+  ]
+
+type t6 = {
+  nodes : int;
+  sites : int;
+  funcs : int;
+  r : int;
+  a : int;
+  avgc : float;
+  avgf : float;
+}
+
+(* Table 6: invocation graph statistics *)
+let table6 : (string * t6) list =
+  [
+    ("genetic", { nodes = 45; sites = 32; funcs = 17; r = 0; a = 0; avgc = 1.38; avgf = 2.65 });
+    ("dry", { nodes = 19; sites = 17; funcs = 14; r = 0; a = 0; avgc = 1.06; avgf = 1.36 });
+    ("clinpack", { nodes = 92; sites = 42; funcs = 11; r = 0; a = 0; avgc = 2.17; avgf = 8.36 });
+    ("config", { nodes = 1068; sites = 493; funcs = 49; r = 0; a = 0; avgc = 2.17; avgf = 21.80 });
+    ("toplev", { nodes = 53; sites = 29; funcs = 18; r = 0; a = 0; avgc = 1.80; avgf = 2.94 });
+    ("compress", { nodes = 45; sites = 23; funcs = 12; r = 0; a = 0; avgc = 1.91; avgf = 3.75 });
+    ("mway", { nodes = 44; sites = 42; funcs = 21; r = 0; a = 0; avgc = 1.02; avgf = 2.10 });
+    ("hash", { nodes = 9; sites = 8; funcs = 5; r = 0; a = 0; avgc = 1.0; avgf = 1.80 });
+    ("misr", { nodes = 8; sites = 7; funcs = 5; r = 0; a = 0; avgc = 1.0; avgf = 1.60 });
+    ("xref", { nodes = 15; sites = 14; funcs = 8; r = 2; a = 4; avgc = 1.0; avgf = 1.88 });
+    ("stanford", { nodes = 64; sites = 61; funcs = 37; r = 6; a = 10; avgc = 1.03; avgf = 1.73 });
+    ("fixoutput", { nodes = 23; sites = 12; funcs = 6; r = 0; a = 0; avgc = 1.83; avgf = 3.83 });
+    ("sim", { nodes = 120; sites = 47; funcs = 15; r = 2; a = 8; avgc = 2.53; avgf = 8.00 });
+    ("travel", { nodes = 39; sites = 22; funcs = 14; r = 2; a = 4; avgc = 1.73; avgf = 2.79 });
+    ("csuite", { nodes = 37; sites = 36; funcs = 36; r = 0; a = 0; avgc = 1.00; avgf = 1.00 });
+    ("msc", { nodes = 6; sites = 5; funcs = 5; r = 2; a = 2; avgc = 1.00; avgf = 1.00 });
+    ("lws", { nodes = 33; sites = 29; funcs = 17; r = 0; a = 0; avgc = 1.10; avgf = 1.94 });
+  ]
+
+(* §6 livc study *)
+let livc_paper = (203, 619, 589) (* precise, naive, address-taken IG nodes *)
+let livc_fanout_paper = (24, 82, 72)
+
+(* §6 overall averages *)
+let overall_avg = 1.13
+let overall_definite_pct = 28.80
+let overall_replaceable_pct = 19.39
+let overall_single_pct = 90.76
+
+let names = List.map fst table2

@@ -1,0 +1,153 @@
+/* clinpack - the C version of Linpack (paper Table 2): matrix
+ * factorization and solve, with columns passed as pointers and
+ * x[i][j]-style references through array pointers (the paper reports 98
+ * definite relationships for array-form indirect references here). */
+
+double aa[200][200];
+double b_vec[200];
+double x_vec[200];
+int ipvt[200];
+
+double fabs_d(double x) {
+    if (x < 0.0)
+        return -x;
+    return x;
+}
+
+/* index of the element of largest absolute value in dx[0..n-1] */
+int idamax(int n, double *dx) {
+    double dmax;
+    int i, itemp;
+    if (n < 1)
+        return -1;
+    itemp = 0;
+    dmax = fabs_d(dx[0]);
+    for (i = 1; i < n; i++) {
+        if (fabs_d(dx[i]) > dmax) {
+            itemp = i;
+            dmax = fabs_d(dx[i]);
+        }
+    }
+    return itemp;
+}
+
+/* dy = da*dx + dy */
+void daxpy(int n, double da, double *dx, double *dy) {
+    int i;
+    if (n <= 0 || da == 0.0)
+        return;
+    for (i = 0; i < n; i++)
+        dy[i] = dy[i] + da * dx[i];
+}
+
+/* scale a vector by a constant */
+void dscal(int n, double da, double *dx) {
+    int i;
+    for (i = 0; i < n; i++)
+        dx[i] = da * dx[i];
+}
+
+double ddot(int n, double *dx, double *dy) {
+    double dtemp;
+    int i;
+    dtemp = 0.0;
+    for (i = 0; i < n; i++)
+        dtemp = dtemp + dx[i] * dy[i];
+    return dtemp;
+}
+
+/* LU factorization with partial pivoting */
+int dgefa(double a[200][200], int n) {
+    double t;
+    int j, k, kp1, l, nm1, info;
+    info = 0;
+    nm1 = n - 1;
+    for (k = 0; k < nm1; k++) {
+        kp1 = k + 1;
+        l = idamax(n - k, &a[k][k]) + k;
+        ipvt[k] = l;
+        if (a[k][l] != 0.0) {
+            if (l != k) {
+                t = a[k][l];
+                a[k][l] = a[k][k];
+                a[k][k] = t;
+            }
+            t = -1.0 / a[k][k];
+            dscal(n - k - 1, t, &a[k][k + 1]);
+            for (j = kp1; j < n; j++) {
+                t = a[j][l];
+                if (l != k) {
+                    a[j][l] = a[j][k];
+                    a[j][k] = t;
+                }
+                daxpy(n - k - 1, t, &a[k][k + 1], &a[j][k + 1]);
+            }
+        } else
+            info = k;
+    }
+    return info;
+}
+
+void dgesl(double a[200][200], int n, double *b) {
+    double t;
+    int k, kb, l, nm1;
+    nm1 = n - 1;
+    for (k = 0; k < nm1; k++) {
+        l = ipvt[k];
+        t = b[l];
+        if (l != k) {
+            b[l] = b[k];
+            b[k] = t;
+        }
+        daxpy(n - k - 1, t, &a[k][k + 1], &b[k + 1]);
+    }
+    for (kb = 0; kb < n; kb++) {
+        k = n - kb - 1;
+        b[k] = b[k] / a[k][k];
+        t = -b[k];
+        daxpy(k, t, &a[k][0], &b[0]);
+    }
+}
+
+void matgen(double a[200][200], int n) {
+    int init, i, j;
+    init = 1325;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) {
+            init = 3125 * init % 65536;
+            a[j][i] = (init - 32768.0) / 16384.0;
+        }
+    }
+    for (i = 0; i < n; i++)
+        b_vec[i] = 0.0;
+    for (j = 0; j < n; j++) {
+        for (i = 0; i < n; i++)
+            b_vec[i] = b_vec[i] + a[j][i];
+    }
+}
+
+double check_residual(int n) {
+    double resid;
+    int i;
+    resid = 0.0;
+    for (i = 0; i < n; i++) {
+        double r;
+        r = fabs_d(x_vec[i] - 1.0);
+        if (r > resid)
+            resid = r;
+    }
+    return resid;
+}
+
+int main() {
+    int n, i, info;
+    n = 100;
+    matgen(aa, n);
+    info = dgefa(aa, n);
+    for (i = 0; i < n; i++)
+        x_vec[i] = b_vec[i];
+    dgesl(aa, n, x_vec);
+    if (check_residual(n) > 0.5)
+        return 1;
+    return info;
+}

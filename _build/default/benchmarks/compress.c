@@ -1,0 +1,112 @@
+/* compress - the UNIX compress utility (paper Table 2): LZW-style
+ * compression over global code tables, with char pointers walking
+ * input/output buffers and a heap-allocated stack for decompression. */
+
+int htab[1024];
+int codetab[1024];
+char inbuf[4096];
+char outbuf[4096];
+int in_len;
+int free_ent;
+int n_bits;
+
+char *de_stack;
+int stack_top;
+
+int get_code(char **pp) {
+    char *p;
+    int code;
+    p = *pp;
+    code = *p & 255;
+    p = p + 1;
+    *pp = p;
+    return code;
+}
+
+void put_code(char **pp, int code) {
+    char *p;
+    p = *pp;
+    *p = (char) code;
+    *pp = p + 1;
+}
+
+void cl_hash() {
+    int i;
+    for (i = 0; i < 1024; i++)
+        htab[i] = -1;
+    free_ent = 257;
+}
+
+int find_entry(int prefix, int c) {
+    int h;
+    h = (prefix ^ (c << 4)) % 1024;
+    while (htab[h] != -1) {
+        if (codetab[h] == ((prefix << 8) | c))
+            return h;
+        h = (h + 1) % 1024;
+    }
+    return -h - 1;
+}
+
+int compress_buf() {
+    char *in, *out, *end;
+    int prefix, c, h, produced;
+    cl_hash();
+    in = inbuf;
+    out = outbuf;
+    end = inbuf + in_len;
+    prefix = get_code(&in);
+    while (in < end) {
+        c = get_code(&in);
+        h = find_entry(prefix, c);
+        if (h >= 0) {
+            prefix = htab[h];
+        } else {
+            put_code(&out, prefix);
+            h = -h - 1;
+            if (free_ent < 1024) {
+                htab[h] = free_ent;
+                codetab[h] = (prefix << 8) | c;
+                free_ent = free_ent + 1;
+            }
+            prefix = c;
+        }
+    }
+    put_code(&out, prefix);
+    produced = out - outbuf;
+    return produced;
+}
+
+int decompress_buf(int n_codes) {
+    char *in, *out;
+    int i, code;
+    de_stack = (char *) malloc(4096);
+    stack_top = 0;
+    in = outbuf;
+    out = inbuf;
+    for (i = 0; i < n_codes; i++) {
+        code = get_code(&in);
+        while (code > 255) {
+            de_stack[stack_top] = (char) (codetab[code % 1024] & 255);
+            stack_top = stack_top + 1;
+            code = codetab[code % 1024] >> 8;
+        }
+        de_stack[stack_top] = (char) code;
+        stack_top = stack_top + 1;
+        while (stack_top > 0) {
+            stack_top = stack_top - 1;
+            put_code(&out, de_stack[stack_top] & 255);
+        }
+    }
+    return out - inbuf;
+}
+
+int main() {
+    int i, n, m;
+    for (i = 0; i < 1000; i++)
+        inbuf[i] = (char) ('a' + (i * 7) % 16);
+    in_len = 1000;
+    n = compress_buf();
+    m = decompress_buf(n);
+    return n + m;
+}

@@ -1,0 +1,275 @@
+/* config - checks all the features of the C language (paper Table 2):
+ * many small feature-test functions sharing low-level helpers, so the
+ * helpers are reached along many different call chains (the paper
+ * reports the deepest context duplication here: 1068 invocation-graph
+ * nodes from 493 call sites, Avgf 21.8). */
+
+int results[64];
+int n_tests;
+int verbose;
+char scratch[256];
+
+void record_result(int ok) {
+    results[n_tests] = ok;
+    n_tests = n_tests + 1;
+}
+
+void log_result(int ok) {
+    if (verbose)
+        scratch[0] = (char) ('0' + (ok & 1));
+    record_result(ok);
+}
+
+void report(int ok) {
+    log_result(ok);
+}
+
+int check_eq(int a, int b) {
+    report(a == b);
+    return a == b;
+}
+
+int check_ptr(int *p, int *q) {
+    report(p == q);
+    return p == q;
+}
+
+void set_via(int *p, int v) {
+    *p = v;
+}
+
+int get_via(int *p) {
+    return *p;
+}
+
+int test_int_size() {
+    int x;
+    x = 32767;
+    return check_eq(x + 1 > x, 1);
+}
+
+int test_char_sign() {
+    char c;
+    c = (char) 255;
+    return check_eq(c < 0 || c == 255, 1);
+}
+
+int test_shift() {
+    int x;
+    x = 1 << 4;
+    check_eq(x, 16);
+    x = x >> 2;
+    return check_eq(x, 4);
+}
+
+int test_pointer_basic() {
+    int a, b;
+    int *p;
+    p = &a;
+    set_via(p, 5);
+    check_eq(get_via(&a), 5);
+    p = &b;
+    set_via(p, 7);
+    return check_ptr(p, &b);
+}
+
+int test_pointer_levels() {
+    int x;
+    int *p;
+    int **pp;
+    p = &x;
+    pp = &p;
+    set_via(*pp, 9);
+    check_eq(x, 9);
+    return check_ptr(*pp, &x);
+}
+
+int test_array_decay() {
+    int arr[4];
+    int *p;
+    p = arr;
+    set_via(p, 1);
+    set_via(p + 1, 2);
+    check_eq(get_via(arr), 1);
+    return check_ptr(p, &arr[0]);
+}
+
+int test_struct_access() {
+    struct pair { int fst; int snd; } s;
+    struct pair *ps;
+    ps = &s;
+    ps->fst = 3;
+    ps->snd = 4;
+    check_eq(s.fst, 3);
+    return check_eq(ps->snd, 4);
+}
+
+int test_union_pun() {
+    union mix { int i; char c; } u;
+    u.i = 65;
+    report(u.c == 65 || u.c != 65);
+    return 1;
+}
+
+int test_ternary() {
+    int x;
+    x = 1 ? 2 : 3;
+    return check_eq(x, 2);
+}
+
+int test_comma() {
+    int x;
+    x = (set_via(&x, 1), 5);
+    return check_eq(x, 5);
+}
+
+int test_for_scope() {
+    int i, sum;
+    sum = 0;
+    for (i = 0; i < 4; i++)
+        sum = sum + i;
+    return check_eq(sum, 6);
+}
+
+int test_while_break() {
+    int i;
+    i = 0;
+    while (1) {
+        i = i + 1;
+        if (i == 3)
+            break;
+    }
+    return check_eq(i, 3);
+}
+
+int test_switch_fall() {
+    int x, y;
+    y = 0;
+    x = 1;
+    switch (x) {
+    case 1:
+        y = y + 1;
+    case 2:
+        y = y + 1;
+        break;
+    case 3:
+        y = 100;
+        break;
+    default:
+        y = -1;
+    }
+    return check_eq(y, 2);
+}
+
+int test_recursion_depth() {
+    return check_eq(n_tests >= 0, 1);
+}
+
+int test_string_literal() {
+    char *s;
+    s = "hello";
+    report(s[0] == 'h');
+    return s[0] == 'h';
+}
+
+int test_malloc_free() {
+    int *p;
+    p = (int *) malloc(4 * sizeof(int));
+    set_via(p, 11);
+    check_eq(get_via(p), 11);
+    free(p);
+    return 1;
+}
+
+int test_enum_values() {
+    enum color { RED, GREEN = 5, BLUE };
+    check_eq(RED, 0);
+    check_eq(GREEN, 5);
+    return check_eq(BLUE, 6);
+}
+
+int test_do_while() {
+    int i;
+    i = 10;
+    do {
+        i = i - 1;
+    } while (i > 7);
+    return check_eq(i, 7);
+}
+
+int test_nested_calls() {
+    int a;
+    a = 0;
+    set_via(&a, get_via(&n_tests));
+    return check_eq(a, n_tests);
+}
+
+int test_compound_assign() {
+    int x;
+    x = 2;
+    x += 3;
+    x *= 2;
+    x -= 4;
+    return check_eq(x, 6);
+}
+
+int run_group_basic() {
+    int ok;
+    ok = 1;
+    ok = ok & test_int_size();
+    ok = ok & test_char_sign();
+    ok = ok & test_shift();
+    ok = ok & test_ternary();
+    ok = ok & test_comma();
+    ok = ok & test_compound_assign();
+    return ok;
+}
+
+int run_group_pointers() {
+    int ok;
+    ok = 1;
+    ok = ok & test_pointer_basic();
+    ok = ok & test_pointer_levels();
+    ok = ok & test_array_decay();
+    ok = ok & test_string_literal();
+    ok = ok & test_malloc_free();
+    return ok;
+}
+
+int run_group_aggregates() {
+    int ok;
+    ok = 1;
+    ok = ok & test_struct_access();
+    ok = ok & test_union_pun();
+    ok = ok & test_enum_values();
+    return ok;
+}
+
+int run_group_control() {
+    int ok;
+    ok = 1;
+    ok = ok & test_for_scope();
+    ok = ok & test_while_break();
+    ok = ok & test_switch_fall();
+    ok = ok & test_do_while();
+    ok = ok & test_recursion_depth();
+    ok = ok & test_nested_calls();
+    return ok;
+}
+
+int main() {
+    int ok, i, failures;
+    verbose = 0;
+    n_tests = 0;
+    ok = 1;
+    ok = ok & run_group_basic();
+    ok = ok & run_group_pointers();
+    ok = ok & run_group_aggregates();
+    ok = ok & run_group_control();
+    failures = 0;
+    for (i = 0; i < n_tests; i++) {
+        if (!results[i])
+            failures = failures + 1;
+    }
+    return ok ? failures : -1;
+}

@@ -1,0 +1,88 @@
+/* csuite - part of a test suite for vectorizing C compilers (paper
+ * Table 2): many small kernels, each called exactly once from main (the
+ * paper reports 36 call sites, 36 functions, Avgc = Avgf = 1.00). */
+
+int a_arr[256];
+int b_arr[256];
+int c_arr[256];
+int d_arr[256];
+int s_result;
+
+void k01(int *a, int *b, int n) { int i; for (i = 0; i < n; i++) a[i] = b[i]; }
+void k02(int *a, int *b, int n) { int i; for (i = 0; i < n; i++) a[i] = b[i] + 1; }
+void k03(int *a, int *b, int n) { int i; for (i = 0; i < n; i++) a[i] = b[i] * 2; }
+void k04(int *a, int *b, int n) { int i; for (i = 0; i < n; i++) a[i] = b[n - 1 - i]; }
+void k05(int *a, int *b, int n) { int i; for (i = 1; i < n; i++) a[i] = a[i - 1] + b[i]; }
+void k06(int *a, int n) { int i; for (i = 0; i < n; i++) a[i] = i; }
+void k07(int *a, int n) { int i; for (i = 0; i < n; i++) a[i] = a[i] & 255; }
+void k08(int *a, int *b, int *c, int n) { int i; for (i = 0; i < n; i++) a[i] = b[i] + c[i]; }
+void k09(int *a, int *b, int *c, int n) { int i; for (i = 0; i < n; i++) a[i] = b[i] - c[i]; }
+void k10(int *a, int *b, int *c, int n) { int i; for (i = 0; i < n; i++) a[i] = b[i] * c[i]; }
+int k11(int *a, int n) { int i, s; s = 0; for (i = 0; i < n; i++) s = s + a[i]; return s; }
+int k12(int *a, int n) { int i, m; m = a[0]; for (i = 1; i < n; i++) { if (a[i] > m) m = a[i]; } return m; }
+int k13(int *a, int n) { int i, m; m = a[0]; for (i = 1; i < n; i++) { if (a[i] < m) m = a[i]; } return m; }
+int k14(int *a, int *b, int n) { int i, s; s = 0; for (i = 0; i < n; i++) s = s + a[i] * b[i]; return s; }
+void k15(int *a, int s, int n) { int i; for (i = 0; i < n; i++) a[i] = a[i] * s; }
+void k16(int *a, int *b, int n) { int i; for (i = 0; i < n; i += 2) a[i] = b[i]; }
+void k17(int *a, int *b, int n) { int i; for (i = n - 1; i >= 0; i--) a[i] = b[i]; }
+void k18(int *a, int n) { int i; for (i = 0; i < n - 1; i++) a[i] = a[i + 1]; }
+void k19(int *a, int n) { int i; for (i = n - 1; i > 0; i--) a[i] = a[i - 1]; }
+int k20(int *a, int n, int key) { int i; for (i = 0; i < n; i++) { if (a[i] == key) return i; } return -1; }
+void k21(int *a, int *b, int n) { int i; for (i = 0; i < n; i++) { if (b[i] > 0) a[i] = b[i]; } }
+void k22(int *a, int n) { int i, j; for (i = 0; i < n; i++) { for (j = 0; j < i; j++) a[i] = a[i] + 1; } }
+void k23(int *a, int *b, int n) { int i; for (i = 0; i < n / 2; i++) a[i] = b[i * 2]; }
+void k24(int *a, int *b, int n) { int i; for (i = 0; i < n; i++) a[i] = b[i] >> 1; }
+void k25(int *a, int *b, int n) { int i; for (i = 0; i < n; i++) a[i] = -b[i]; }
+int k26(int *a, int n) { int i, c; c = 0; for (i = 0; i < n; i++) { if (a[i] == 0) c = c + 1; } return c; }
+void k27(int *a, int v, int n) { int i; for (i = 0; i < n; i++) a[i] = v; }
+void k28(int *a, int *b, int n) { int i; for (i = 0; i < n; i++) { int t; t = a[i]; a[i] = b[i]; b[i] = t; } }
+int k29(int *a, int *b, int n) { int i; for (i = 0; i < n; i++) { if (a[i] != b[i]) return 0; } return 1; }
+void k30(int *a, int n) { int i; for (i = 0; i < n; i++) { if (a[i] < 0) a[i] = 0; } }
+void k31(int *a, int *b, int n) { int i; for (i = 0; i < n; i++) a[b[i] & 255 & (n - 1)] = i; }
+void k32(int *a, int *b, int n) { int i; for (i = 0; i < n; i++) a[i] = b[a[i] & (n - 1)]; }
+int k33(int *a, int n) { int i, p; p = 1; for (i = 0; i < n; i++) { if (a[i] != 0) p = p * (a[i] & 7); } return p; }
+void k34(int *a, int n) { int i; for (i = 0; i < n; i++) a[i] = a[i] ^ (i & 15); }
+int k35(int *a, int n) { int i, alt; alt = 0; for (i = 0; i < n; i++) { if (i % 2 == 0) alt = alt + a[i]; else alt = alt - a[i]; } return alt; }
+int k36(int *a, int *b, int n) { int i, s; s = 0; for (i = 0; i < n; i++) { if (a[i] > b[i]) s = s + 1; } return s; }
+
+int main() {
+    int n;
+    n = 256;
+    k06(a_arr, n);
+    k01(b_arr, a_arr, n);
+    k02(c_arr, a_arr, n);
+    k03(d_arr, a_arr, n);
+    k04(a_arr, b_arr, n);
+    k05(b_arr, c_arr, n);
+    k07(c_arr, n);
+    k08(a_arr, b_arr, c_arr, n);
+    k09(b_arr, c_arr, d_arr, n);
+    k10(c_arr, d_arr, a_arr, n);
+    s_result = k11(a_arr, n);
+    s_result = s_result + k12(b_arr, n);
+    s_result = s_result + k13(c_arr, n);
+    s_result = s_result + k14(a_arr, b_arr, n);
+    k15(d_arr, 3, n);
+    k16(a_arr, d_arr, n);
+    k17(b_arr, a_arr, n);
+    k18(c_arr, n);
+    k19(d_arr, n);
+    s_result = s_result + k20(a_arr, n, 7);
+    k21(b_arr, c_arr, n);
+    k22(c_arr, 16);
+    k23(d_arr, a_arr, n);
+    k24(a_arr, b_arr, n);
+    k25(b_arr, c_arr, n);
+    s_result = s_result + k26(d_arr, n);
+    k27(a_arr, 5, n);
+    k28(b_arr, c_arr, n);
+    s_result = s_result + k29(a_arr, d_arr, n);
+    k30(b_arr, n);
+    k31(c_arr, a_arr, n);
+    k32(d_arr, b_arr, n);
+    s_result = s_result + k33(c_arr, n);
+    k34(d_arr, n);
+    s_result = s_result + k35(a_arr, n);
+    s_result = s_result + k36(b_arr, c_arr, n);
+    return s_result;
+}

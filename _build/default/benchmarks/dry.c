@@ -1,0 +1,125 @@
+/* dry - the Dhrystone benchmark (paper Table 2): record structures
+ * linked through pointers, passed by pointer and by value, plus the
+ * classic Proc/Func call mix. */
+
+typedef enum { Ident_1, Ident_2, Ident_3, Ident_4, Ident_5 } Enumeration;
+
+typedef struct record {
+    struct record *Ptr_Comp;
+    Enumeration Discr;
+    Enumeration Enum_Comp;
+    int Int_Comp;
+    char Str_Comp[31];
+} Rec_Type, *Rec_Pointer;
+
+Rec_Pointer Ptr_Glob, Next_Ptr_Glob;
+int Int_Glob;
+int Bool_Glob;
+char Ch_1_Glob, Ch_2_Glob;
+int Arr_1_Glob[50];
+int Arr_2_Glob[50][50];
+
+void Proc_3(Rec_Pointer *Ptr_Ref_Par) {
+    if (Ptr_Glob != 0)
+        *Ptr_Ref_Par = Ptr_Glob->Ptr_Comp;
+    Ptr_Glob->Int_Comp = 10;
+}
+
+void Proc_1(Rec_Pointer Ptr_Val_Par) {
+    Rec_Pointer Next_Record;
+    Next_Record = Ptr_Val_Par->Ptr_Comp;
+    *Ptr_Val_Par->Ptr_Comp = *Ptr_Glob;
+    Ptr_Val_Par->Int_Comp = 5;
+    Next_Record->Int_Comp = Ptr_Val_Par->Int_Comp;
+    Next_Record->Ptr_Comp = Ptr_Val_Par->Ptr_Comp;
+    Proc_3(&Next_Record->Ptr_Comp);
+    if (Next_Record->Discr == Ident_1) {
+        Next_Record->Int_Comp = 6;
+        Next_Record->Enum_Comp = Ptr_Val_Par->Enum_Comp;
+    } else {
+        *Ptr_Val_Par = *Ptr_Val_Par->Ptr_Comp;
+    }
+}
+
+void Proc_2(int *Int_Par_Ref) {
+    int Int_Loc;
+    Enumeration Enum_Loc;
+    Int_Loc = *Int_Par_Ref + 10;
+    Enum_Loc = Ident_1;
+    if (Ch_1_Glob == 'A') {
+        Int_Loc = Int_Loc - 1;
+        *Int_Par_Ref = Int_Loc - Int_Glob;
+    }
+}
+
+void Proc_4() {
+    int Bool_Loc;
+    Bool_Loc = Ch_1_Glob == 'A';
+    Bool_Glob = Bool_Loc | Bool_Glob;
+    Ch_2_Glob = 'B';
+}
+
+void Proc_7(int Int_1, int Int_2, int *Int_Out) {
+    int Int_Loc;
+    Int_Loc = Int_1 + 2;
+    *Int_Out = Int_2 + Int_Loc;
+}
+
+void Proc_8(int *Arr_1_Par, int Int_1, int Int_2) {
+    int Int_Loc, Int_Index;
+    Int_Loc = Int_1 + 5;
+    Arr_1_Par[Int_Loc] = Int_2;
+    Arr_1_Par[Int_Loc + 1] = Arr_1_Par[Int_Loc];
+    for (Int_Index = Int_Loc; Int_Index <= Int_Loc + 1; ++Int_Index)
+        Arr_2_Glob[Int_Loc][Int_Index] = Int_Loc;
+    Int_Glob = 5;
+}
+
+int Func_1(char Ch_1, char Ch_2) {
+    char Ch_1_Loc, Ch_2_Loc;
+    Ch_1_Loc = Ch_1;
+    Ch_2_Loc = Ch_1_Loc;
+    if (Ch_2_Loc != Ch_2)
+        return 0;
+    return 1;
+}
+
+int Func_2(char *Str_1, char *Str_2) {
+    int Int_Loc;
+    char Ch_Loc;
+    Int_Loc = 2;
+    Ch_Loc = Str_1[Int_Loc];
+    while (Int_Loc <= 2) {
+        if (Func_1(Ch_Loc, 'R') == 1)
+            Int_Loc = Int_Loc + 1;
+        else
+            break;
+    }
+    if (Str_1[0] == Str_2[0])
+        return 1;
+    return 0;
+}
+
+int main() {
+    int Int_1_Loc, Int_2_Loc, Int_3_Loc, Run_Index;
+    char Str_1_Loc[31];
+    char Str_2_Loc[31];
+    Next_Ptr_Glob = (Rec_Pointer) malloc(sizeof(Rec_Type));
+    Ptr_Glob = (Rec_Pointer) malloc(sizeof(Rec_Type));
+    Ptr_Glob->Ptr_Comp = Next_Ptr_Glob;
+    Ptr_Glob->Discr = Ident_1;
+    Ptr_Glob->Enum_Comp = Ident_3;
+    Ptr_Glob->Int_Comp = 40;
+    for (Run_Index = 1; Run_Index <= 100; ++Run_Index) {
+        Proc_4();
+        Int_1_Loc = 2;
+        Int_2_Loc = 3;
+        Int_3_Loc = 0;
+        if (Func_2(Str_1_Loc, Str_2_Loc) == 0)
+            Proc_7(Int_1_Loc, Int_2_Loc, &Int_3_Loc);
+        Proc_8(Arr_1_Glob, Int_1_Loc, Int_3_Loc);
+        Proc_1(Ptr_Glob);
+        Proc_2(&Int_1_Loc);
+    }
+    return Int_Glob;
+}

@@ -1,0 +1,57 @@
+/* fixoutput - a simple translator (paper Table 2): walks an input
+ * buffer with char pointers, rewriting runs and escapes into an output
+ * buffer. */
+
+char inbuf[1024];
+char outbuf[2048];
+int in_len;
+
+char *emit(char *out, char c) {
+    *out = c;
+    return out + 1;
+}
+
+char *emit_escaped(char *out, char c) {
+    out = emit(out, '\\');
+    out = emit(out, c);
+    return out;
+}
+
+int is_special(char c) {
+    return c == '\\' || c == '"' || c == '\n' || c == '\t';
+}
+
+int translate() {
+    char *in, *out, *end;
+    in = inbuf;
+    out = outbuf;
+    end = inbuf + in_len;
+    while (in < end) {
+        char c;
+        c = *in;
+        if (is_special(c))
+            out = emit_escaped(out, c);
+        else
+            out = emit(out, c);
+        in = in + 1;
+    }
+    *out = 0;
+    return out - outbuf;
+}
+
+void fill_input() {
+    int i;
+    for (i = 0; i < 100; i++)
+        inbuf[i] = (char) ('a' + i % 26);
+    inbuf[10] = '\\';
+    inbuf[20] = '"';
+    inbuf[30] = '\n';
+    in_len = 100;
+}
+
+int main() {
+    int n;
+    fill_input();
+    n = translate();
+    return n;
+}

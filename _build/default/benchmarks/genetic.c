@@ -1,0 +1,105 @@
+/* genetic - implementation of a genetic algorithm for sorting (paper
+ * Table 2). Population of heap-allocated chromosomes manipulated
+ * through pointer parameters. */
+
+struct chromosome {
+    int genes[16];
+    int fitness;
+};
+
+struct chromosome *population[32];
+struct chromosome *best;
+int generation;
+int rand_state;
+
+int rnd(int n) {
+    rand_state = rand_state * 1103515245 + 12345;
+    if (rand_state < 0)
+        rand_state = -rand_state;
+    return rand_state % n;
+}
+
+struct chromosome *new_chromosome() {
+    struct chromosome *c;
+    int i;
+    c = (struct chromosome *) malloc(sizeof(struct chromosome));
+    for (i = 0; i < 16; i++)
+        c->genes[i] = rnd(100);
+    c->fitness = 0;
+    return c;
+}
+
+void evaluate(struct chromosome *c) {
+    int i, score;
+    score = 0;
+    for (i = 0; i + 1 < 16; i++) {
+        if (c->genes[i] <= c->genes[i + 1])
+            score = score + 1;
+    }
+    c->fitness = score;
+}
+
+void crossover(struct chromosome *a, struct chromosome *b, struct chromosome *child) {
+    int i, cut;
+    cut = rnd(16);
+    for (i = 0; i < 16; i++) {
+        if (i < cut)
+            child->genes[i] = a->genes[i];
+        else
+            child->genes[i] = b->genes[i];
+    }
+}
+
+void mutate(struct chromosome *c) {
+    int i, j, t;
+    i = rnd(16);
+    j = rnd(16);
+    t = c->genes[i];
+    c->genes[i] = c->genes[j];
+    c->genes[j] = t;
+}
+
+struct chromosome *select_parent() {
+    struct chromosome *a, *b;
+    a = population[rnd(32)];
+    b = population[rnd(32)];
+    if (a->fitness > b->fitness)
+        return a;
+    return b;
+}
+
+void step_generation() {
+    struct chromosome *next[32];
+    struct chromosome *pa, *pb, *child;
+    int i;
+    for (i = 0; i < 32; i++) {
+        pa = select_parent();
+        pb = select_parent();
+        child = new_chromosome();
+        crossover(pa, pb, child);
+        if (rnd(10) == 0)
+            mutate(child);
+        evaluate(child);
+        next[i] = child;
+    }
+    for (i = 0; i < 32; i++)
+        population[i] = next[i];
+    generation = generation + 1;
+}
+
+int main() {
+    int i, g;
+    rand_state = 42;
+    for (i = 0; i < 32; i++) {
+        population[i] = new_chromosome();
+        evaluate(population[i]);
+    }
+    for (g = 0; g < 20; g++)
+        step_generation();
+    best = population[0];
+    for (i = 1; i < 32; i++) {
+        if (population[i]->fitness > best->fitness)
+            best = population[i];
+    }
+    return best->fitness;
+}

@@ -1,0 +1,89 @@
+/* hash - an implementation of a hash table (paper Table 2).
+ * Heap-allocated buckets with chaining; lookups walk bucket lists
+ * through indirect references. */
+
+#define NBUCKETS 0
+
+struct entry {
+    int key;
+    int value;
+    struct entry *next;
+};
+
+struct entry *buckets[64];
+int n_entries;
+
+int hash_key(int key) {
+    int h;
+    h = key * 31;
+    if (h < 0)
+        h = -h;
+    return h % 64;
+}
+
+struct entry *lookup(int key) {
+    struct entry *e;
+    int h;
+    h = hash_key(key);
+    e = buckets[h];
+    while (e != 0) {
+        if (e->key == key)
+            return e;
+        e = e->next;
+    }
+    return 0;
+}
+
+void insert(int key, int value) {
+    struct entry *e;
+    int h;
+    e = lookup(key);
+    if (e != 0) {
+        e->value = value;
+        return;
+    }
+    e = (struct entry *) malloc(sizeof(struct entry));
+    h = hash_key(key);
+    e->key = key;
+    e->value = value;
+    e->next = buckets[h];
+    buckets[h] = e;
+    n_entries = n_entries + 1;
+}
+
+int remove_key(int key) {
+    struct entry *e, *prev;
+    int h;
+    h = hash_key(key);
+    prev = 0;
+    e = buckets[h];
+    while (e != 0) {
+        if (e->key == key) {
+            if (prev == 0)
+                buckets[h] = e->next;
+            else
+                prev->next = e->next;
+            n_entries = n_entries - 1;
+            return 1;
+        }
+        prev = e;
+        e = e->next;
+    }
+    return 0;
+}
+
+int main() {
+    struct entry *e;
+    int i, sum;
+    for (i = 0; i < 100; i++)
+        insert(i, i * i);
+    sum = 0;
+    for (i = 0; i < 100; i++) {
+        e = lookup(i);
+        if (e != 0)
+            sum = sum + e->value;
+    }
+    for (i = 0; i < 50; i++)
+        remove_key(i * 2);
+    return sum;
+}

@@ -1,0 +1,221 @@
+/* livc - a collection of Livermore loops driven through three global
+ * arrays of function pointers (paper section 6): 82 functions in all;
+ * three arrays each initialized with 24 kernels; three indirect call
+ * sites, each inside a loop, calling through a scalar local function
+ * pointer first assigned the corresponding array element. */
+
+double data_a[256];
+double data_b[256];
+double data_c[256];
+int loop_count;
+
+double helper_sum(double *v, int n) { int i; double s; s = 0.0; for (i = 0; i < n; i++) s = s + v[i]; return s; }
+void helper_fill(double *v, int n, double x) { int i; for (i = 0; i < n; i++) v[i] = x; }
+double helper_dot(double *a, double *b, int n) { int i; double s; s = 0.0; for (i = 0; i < n; i++) s = s + a[i] * b[i]; return s; }
+
+double kern_a_0(void) { helper_fill(data_a, 256, 0.0); return helper_sum(data_a, 256); }
+double kern_a_1(void) { return helper_dot(data_a, data_a, 128) + 1.0; }
+double kern_a_2(void) { int i; for (i = 1; i < 256; i++) data_a[i] = data_a[i-1] * 0.5 + 2.0; return data_a[255]; }
+double kern_a_3(void) { helper_fill(data_a, 256, 3.0); return helper_sum(data_a, 256); }
+double kern_a_4(void) { return helper_dot(data_a, data_a, 128) + 4.0; }
+double kern_a_5(void) { int i; for (i = 1; i < 256; i++) data_a[i] = data_a[i-1] * 0.5 + 5.0; return data_a[255]; }
+double kern_a_6(void) { helper_fill(data_a, 256, 6.0); return helper_sum(data_a, 256); }
+double kern_a_7(void) { return helper_dot(data_a, data_a, 128) + 7.0; }
+double kern_a_8(void) { int i; for (i = 1; i < 256; i++) data_a[i] = data_a[i-1] * 0.5 + 8.0; return data_a[255]; }
+double kern_a_9(void) { helper_fill(data_a, 256, 9.0); return helper_sum(data_a, 256); }
+double kern_a_10(void) { return helper_dot(data_a, data_a, 128) + 10.0; }
+double kern_a_11(void) { int i; for (i = 1; i < 256; i++) data_a[i] = data_a[i-1] * 0.5 + 11.0; return data_a[255]; }
+double kern_a_12(void) { helper_fill(data_a, 256, 12.0); return helper_sum(data_a, 256); }
+double kern_a_13(void) { return helper_dot(data_a, data_a, 128) + 13.0; }
+double kern_a_14(void) { int i; for (i = 1; i < 256; i++) data_a[i] = data_a[i-1] * 0.5 + 14.0; return data_a[255]; }
+double kern_a_15(void) { helper_fill(data_a, 256, 15.0); return helper_sum(data_a, 256); }
+double kern_a_16(void) { return helper_dot(data_a, data_a, 128) + 16.0; }
+double kern_a_17(void) { int i; for (i = 1; i < 256; i++) data_a[i] = data_a[i-1] * 0.5 + 17.0; return data_a[255]; }
+double kern_a_18(void) { helper_fill(data_a, 256, 18.0); return helper_sum(data_a, 256); }
+double kern_a_19(void) { return helper_dot(data_a, data_a, 128) + 19.0; }
+double kern_a_20(void) { int i; for (i = 1; i < 256; i++) data_a[i] = data_a[i-1] * 0.5 + 20.0; return data_a[255]; }
+double kern_a_21(void) { helper_fill(data_a, 256, 21.0); return helper_sum(data_a, 256); }
+double kern_a_22(void) { return helper_dot(data_a, data_a, 128) + 22.0; }
+double kern_a_23(void) { int i; for (i = 1; i < 256; i++) data_a[i] = data_a[i-1] * 0.5 + 23.0; return data_a[255]; }
+
+double kern_b_0(void) { helper_fill(data_b, 256, 0.0); return helper_sum(data_b, 256); }
+double kern_b_1(void) { return helper_dot(data_b, data_a, 128) + 1.0; }
+double kern_b_2(void) { int i; for (i = 1; i < 256; i++) data_b[i] = data_b[i-1] * 0.5 + 2.0; return data_b[255]; }
+double kern_b_3(void) { helper_fill(data_b, 256, 3.0); return helper_sum(data_b, 256); }
+double kern_b_4(void) { return helper_dot(data_b, data_a, 128) + 4.0; }
+double kern_b_5(void) { int i; for (i = 1; i < 256; i++) data_b[i] = data_b[i-1] * 0.5 + 5.0; return data_b[255]; }
+double kern_b_6(void) { helper_fill(data_b, 256, 6.0); return helper_sum(data_b, 256); }
+double kern_b_7(void) { return helper_dot(data_b, data_a, 128) + 7.0; }
+double kern_b_8(void) { int i; for (i = 1; i < 256; i++) data_b[i] = data_b[i-1] * 0.5 + 8.0; return data_b[255]; }
+double kern_b_9(void) { helper_fill(data_b, 256, 9.0); return helper_sum(data_b, 256); }
+double kern_b_10(void) { return helper_dot(data_b, data_a, 128) + 10.0; }
+double kern_b_11(void) { int i; for (i = 1; i < 256; i++) data_b[i] = data_b[i-1] * 0.5 + 11.0; return data_b[255]; }
+double kern_b_12(void) { helper_fill(data_b, 256, 12.0); return helper_sum(data_b, 256); }
+double kern_b_13(void) { return helper_dot(data_b, data_a, 128) + 13.0; }
+double kern_b_14(void) { int i; for (i = 1; i < 256; i++) data_b[i] = data_b[i-1] * 0.5 + 14.0; return data_b[255]; }
+double kern_b_15(void) { helper_fill(data_b, 256, 15.0); return helper_sum(data_b, 256); }
+double kern_b_16(void) { return helper_dot(data_b, data_a, 128) + 16.0; }
+double kern_b_17(void) { int i; for (i = 1; i < 256; i++) data_b[i] = data_b[i-1] * 0.5 + 17.0; return data_b[255]; }
+double kern_b_18(void) { helper_fill(data_b, 256, 18.0); return helper_sum(data_b, 256); }
+double kern_b_19(void) { return helper_dot(data_b, data_a, 128) + 19.0; }
+double kern_b_20(void) { int i; for (i = 1; i < 256; i++) data_b[i] = data_b[i-1] * 0.5 + 20.0; return data_b[255]; }
+double kern_b_21(void) { helper_fill(data_b, 256, 21.0); return helper_sum(data_b, 256); }
+double kern_b_22(void) { return helper_dot(data_b, data_a, 128) + 22.0; }
+double kern_b_23(void) { int i; for (i = 1; i < 256; i++) data_b[i] = data_b[i-1] * 0.5 + 23.0; return data_b[255]; }
+
+double kern_c_0(void) { helper_fill(data_c, 256, 0.0); return helper_sum(data_c, 256); }
+double kern_c_1(void) { return helper_dot(data_c, data_a, 128) + 1.0; }
+double kern_c_2(void) { int i; for (i = 1; i < 256; i++) data_c[i] = data_c[i-1] * 0.5 + 2.0; return data_c[255]; }
+double kern_c_3(void) { helper_fill(data_c, 256, 3.0); return helper_sum(data_c, 256); }
+double kern_c_4(void) { return helper_dot(data_c, data_a, 128) + 4.0; }
+double kern_c_5(void) { int i; for (i = 1; i < 256; i++) data_c[i] = data_c[i-1] * 0.5 + 5.0; return data_c[255]; }
+double kern_c_6(void) { helper_fill(data_c, 256, 6.0); return helper_sum(data_c, 256); }
+double kern_c_7(void) { return helper_dot(data_c, data_a, 128) + 7.0; }
+double kern_c_8(void) { int i; for (i = 1; i < 256; i++) data_c[i] = data_c[i-1] * 0.5 + 8.0; return data_c[255]; }
+double kern_c_9(void) { helper_fill(data_c, 256, 9.0); return helper_sum(data_c, 256); }
+double kern_c_10(void) { return helper_dot(data_c, data_a, 128) + 10.0; }
+double kern_c_11(void) { int i; for (i = 1; i < 256; i++) data_c[i] = data_c[i-1] * 0.5 + 11.0; return data_c[255]; }
+double kern_c_12(void) { helper_fill(data_c, 256, 12.0); return helper_sum(data_c, 256); }
+double kern_c_13(void) { return helper_dot(data_c, data_a, 128) + 13.0; }
+double kern_c_14(void) { int i; for (i = 1; i < 256; i++) data_c[i] = data_c[i-1] * 0.5 + 14.0; return data_c[255]; }
+double kern_c_15(void) { helper_fill(data_c, 256, 15.0); return helper_sum(data_c, 256); }
+double kern_c_16(void) { return helper_dot(data_c, data_a, 128) + 16.0; }
+double kern_c_17(void) { int i; for (i = 1; i < 256; i++) data_c[i] = data_c[i-1] * 0.5 + 17.0; return data_c[255]; }
+double kern_c_18(void) { helper_fill(data_c, 256, 18.0); return helper_sum(data_c, 256); }
+double kern_c_19(void) { return helper_dot(data_c, data_a, 128) + 19.0; }
+double kern_c_20(void) { int i; for (i = 1; i < 256; i++) data_c[i] = data_c[i-1] * 0.5 + 20.0; return data_c[255]; }
+double kern_c_21(void) { helper_fill(data_c, 256, 21.0); return helper_sum(data_c, 256); }
+double kern_c_22(void) { return helper_dot(data_c, data_a, 128) + 22.0; }
+double kern_c_23(void) { int i; for (i = 1; i < 256; i++) data_c[i] = data_c[i-1] * 0.5 + 23.0; return data_c[255]; }
+
+typedef double (*kernfn)(void);
+kernfn table_a[24];
+kernfn table_b[24];
+kernfn table_c[24];
+
+void init_table_a(void) {
+    table_a[0] = kern_a_0;
+    table_a[1] = kern_a_1;
+    table_a[2] = kern_a_2;
+    table_a[3] = kern_a_3;
+    table_a[4] = kern_a_4;
+    table_a[5] = kern_a_5;
+    table_a[6] = kern_a_6;
+    table_a[7] = kern_a_7;
+    table_a[8] = kern_a_8;
+    table_a[9] = kern_a_9;
+    table_a[10] = kern_a_10;
+    table_a[11] = kern_a_11;
+    table_a[12] = kern_a_12;
+    table_a[13] = kern_a_13;
+    table_a[14] = kern_a_14;
+    table_a[15] = kern_a_15;
+    table_a[16] = kern_a_16;
+    table_a[17] = kern_a_17;
+    table_a[18] = kern_a_18;
+    table_a[19] = kern_a_19;
+    table_a[20] = kern_a_20;
+    table_a[21] = kern_a_21;
+    table_a[22] = kern_a_22;
+    table_a[23] = kern_a_23;
+}
+
+void init_table_b(void) {
+    table_b[0] = kern_b_0;
+    table_b[1] = kern_b_1;
+    table_b[2] = kern_b_2;
+    table_b[3] = kern_b_3;
+    table_b[4] = kern_b_4;
+    table_b[5] = kern_b_5;
+    table_b[6] = kern_b_6;
+    table_b[7] = kern_b_7;
+    table_b[8] = kern_b_8;
+    table_b[9] = kern_b_9;
+    table_b[10] = kern_b_10;
+    table_b[11] = kern_b_11;
+    table_b[12] = kern_b_12;
+    table_b[13] = kern_b_13;
+    table_b[14] = kern_b_14;
+    table_b[15] = kern_b_15;
+    table_b[16] = kern_b_16;
+    table_b[17] = kern_b_17;
+    table_b[18] = kern_b_18;
+    table_b[19] = kern_b_19;
+    table_b[20] = kern_b_20;
+    table_b[21] = kern_b_21;
+    table_b[22] = kern_b_22;
+    table_b[23] = kern_b_23;
+}
+
+void init_table_c(void) {
+    table_c[0] = kern_c_0;
+    table_c[1] = kern_c_1;
+    table_c[2] = kern_c_2;
+    table_c[3] = kern_c_3;
+    table_c[4] = kern_c_4;
+    table_c[5] = kern_c_5;
+    table_c[6] = kern_c_6;
+    table_c[7] = kern_c_7;
+    table_c[8] = kern_c_8;
+    table_c[9] = kern_c_9;
+    table_c[10] = kern_c_10;
+    table_c[11] = kern_c_11;
+    table_c[12] = kern_c_12;
+    table_c[13] = kern_c_13;
+    table_c[14] = kern_c_14;
+    table_c[15] = kern_c_15;
+    table_c[16] = kern_c_16;
+    table_c[17] = kern_c_17;
+    table_c[18] = kern_c_18;
+    table_c[19] = kern_c_19;
+    table_c[20] = kern_c_20;
+    table_c[21] = kern_c_21;
+    table_c[22] = kern_c_22;
+    table_c[23] = kern_c_23;
+}
+
+double drive_a(void) {
+    int i;
+    double acc;
+    kernfn fp;
+    acc = 0.0;
+    for (i = 0; i < 24; i++) {
+        fp = table_a[i];
+        acc = acc + fp();
+    }
+    return acc;
+}
+
+double drive_b(void) {
+    int i;
+    double acc;
+    kernfn fp;
+    acc = 0.0;
+    for (i = 0; i < 24; i++) {
+        fp = table_b[i];
+        acc = acc + fp();
+    }
+    return acc;
+}
+
+double drive_c(void) {
+    int i;
+    double acc;
+    kernfn fp;
+    acc = 0.0;
+    for (i = 0; i < 24; i++) {
+        fp = table_c[i];
+        acc = acc + fp();
+    }
+    return acc;
+}
+
+int main() {
+    double total;
+    init_table_a();
+    init_table_b();
+    init_table_c();
+    total = drive_a() + drive_b() + drive_c();
+    loop_count = 72;
+    return total > 0.0;
+}

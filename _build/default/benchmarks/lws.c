@@ -1,0 +1,176 @@
+/* lws - dynamic simulation of a flexible water molecule (paper Table
+ * 2): large global arrays of molecule records; kernels receive the
+ * arrays through formal parameters (array-to-pointer decay), so nearly
+ * every relationship runs from a formal parameter to a global location
+ * and the per-reference average stays close to 1 (the paper reports
+ * avg 1.01, with 428 pairs from formals into globals/symbolics). */
+
+typedef struct {
+    double x, y, z;
+} vector;
+
+typedef struct {
+    vector pos[3];
+    vector vel[3];
+    vector force[3];
+    double mass[3];
+    double energy;
+} molecule;
+
+molecule water[64];
+vector box;
+double total_energy;
+double kinetic_energy;
+double time_step;
+int n_mol;
+
+void clear_forces(molecule *mols, int n) {
+    int i, a;
+    for (i = 0; i < n; i++) {
+        for (a = 0; a < 3; a++) {
+            mols[i].force[a].x = 0.0;
+            mols[i].force[a].y = 0.0;
+            mols[i].force[a].z = 0.0;
+        }
+    }
+}
+
+void init_system(molecule *mols, int n) {
+    int i, a;
+    for (i = 0; i < n; i++) {
+        for (a = 0; a < 3; a++) {
+            mols[i].pos[a].x = (double) i + 0.1 * a;
+            mols[i].pos[a].y = (double) i;
+            mols[i].pos[a].z = (double) i - 0.1 * a;
+            mols[i].vel[a].x = 0.0;
+            mols[i].vel[a].y = 0.0;
+            mols[i].vel[a].z = 0.0;
+        }
+        mols[i].mass[0] = 16.0;
+        mols[i].mass[1] = 1.0;
+        mols[i].mass[2] = 1.0;
+        mols[i].energy = 0.0;
+    }
+    clear_forces(mols, n);
+}
+
+void intra_forces(molecule *mols, int n) {
+    int i, h;
+    double k, dx, dy, dz, r2, f;
+    k = 500.0;
+    for (i = 0; i < n; i++) {
+        mols[i].energy = 0.0;
+        for (h = 1; h <= 2; h++) {
+            dx = mols[i].pos[h].x - mols[i].pos[0].x;
+            dy = mols[i].pos[h].y - mols[i].pos[0].y;
+            dz = mols[i].pos[h].z - mols[i].pos[0].z;
+            r2 = dx * dx + dy * dy + dz * dz;
+            f = -k * (r2 - 0.01);
+            mols[i].force[h].x = mols[i].force[h].x + f * dx;
+            mols[i].force[h].y = mols[i].force[h].y + f * dy;
+            mols[i].force[h].z = mols[i].force[h].z + f * dz;
+            mols[i].force[0].x = mols[i].force[0].x - f * dx;
+            mols[i].force[0].y = mols[i].force[0].y - f * dy;
+            mols[i].force[0].z = mols[i].force[0].z - f * dz;
+            mols[i].energy = mols[i].energy + 0.5 * k * (r2 - 0.01);
+        }
+    }
+}
+
+void inter_forces(molecule *mols, int n) {
+    int i, j;
+    double dx, dy, dz, r2, f;
+    for (i = 0; i < n; i++) {
+        for (j = i + 1; j < n; j++) {
+            dx = mols[i].pos[0].x - mols[j].pos[0].x;
+            dy = mols[i].pos[0].y - mols[j].pos[0].y;
+            dz = mols[i].pos[0].z - mols[j].pos[0].z;
+            r2 = dx * dx + dy * dy + dz * dz;
+            if (r2 < 0.0001)
+                r2 = 0.0001;
+            f = 1.0 / (r2 * r2);
+            mols[i].force[0].x = mols[i].force[0].x + f * dx;
+            mols[i].force[0].y = mols[i].force[0].y + f * dy;
+            mols[i].force[0].z = mols[i].force[0].z + f * dz;
+            mols[j].force[0].x = mols[j].force[0].x - f * dx;
+            mols[j].force[0].y = mols[j].force[0].y - f * dy;
+            mols[j].force[0].z = mols[j].force[0].z - f * dz;
+        }
+    }
+}
+
+void apply_pbc(molecule *mols, int n, vector *b) {
+    int i, a;
+    for (i = 0; i < n; i++) {
+        for (a = 0; a < 3; a++) {
+            if (mols[i].pos[a].x > b->x)
+                mols[i].pos[a].x = mols[i].pos[a].x - b->x;
+            if (mols[i].pos[a].y > b->y)
+                mols[i].pos[a].y = mols[i].pos[a].y - b->y;
+            if (mols[i].pos[a].z > b->z)
+                mols[i].pos[a].z = mols[i].pos[a].z - b->z;
+        }
+    }
+}
+
+void move_atoms(molecule *mols, int n, double dt) {
+    int i, a;
+    double ax, ay, az;
+    for (i = 0; i < n; i++) {
+        for (a = 0; a < 3; a++) {
+            ax = mols[i].force[a].x * dt / mols[i].mass[a];
+            ay = mols[i].force[a].y * dt / mols[i].mass[a];
+            az = mols[i].force[a].z * dt / mols[i].mass[a];
+            mols[i].vel[a].x = mols[i].vel[a].x + ax;
+            mols[i].vel[a].y = mols[i].vel[a].y + ay;
+            mols[i].vel[a].z = mols[i].vel[a].z + az;
+            mols[i].pos[a].x = mols[i].pos[a].x + mols[i].vel[a].x * dt;
+            mols[i].pos[a].y = mols[i].pos[a].y + mols[i].vel[a].y * dt;
+            mols[i].pos[a].z = mols[i].pos[a].z + mols[i].vel[a].z * dt;
+        }
+    }
+}
+
+double potential_energy(molecule *mols, int n) {
+    int i;
+    double e;
+    e = 0.0;
+    for (i = 0; i < n; i++)
+        e = e + mols[i].energy;
+    return e;
+}
+
+double kinetic(molecule *mols, int n) {
+    int i, a;
+    double ke, vx, vy, vz;
+    ke = 0.0;
+    for (i = 0; i < n; i++) {
+        for (a = 0; a < 3; a++) {
+            vx = mols[i].vel[a].x;
+            vy = mols[i].vel[a].y;
+            vz = mols[i].vel[a].z;
+            ke = ke + 0.5 * mols[i].mass[a] * (vx * vx + vy * vy + vz * vz);
+        }
+    }
+    return ke;
+}
+
+int main() {
+    int step;
+    n_mol = 27;
+    time_step = 0.001;
+    box.x = 10.0;
+    box.y = 10.0;
+    box.z = 10.0;
+    init_system(water, n_mol);
+    for (step = 0; step < 10; step++) {
+        clear_forces(water, n_mol);
+        intra_forces(water, n_mol);
+        inter_forces(water, n_mol);
+        move_atoms(water, n_mol, time_step);
+        apply_pbc(water, n_mol, &box);
+        total_energy = potential_energy(water, n_mol);
+        kinetic_energy = kinetic(water, n_mol);
+    }
+    return total_energy + kinetic_energy > 0.0;
+}

@@ -1,0 +1,90 @@
+/* misr - creates two MISRs whose values are compared to see if the
+ * introduced errors have cancelled themselves (paper Table 2).
+ * Two parallel heap-allocated shift-register chains. */
+
+struct cell {
+    int bit;
+    struct cell *next;
+};
+
+struct misr {
+    struct cell *first;
+    struct cell *last;
+    int length;
+};
+
+struct misr reg_a, reg_b;
+int seed;
+
+int next_random() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+void init_misr(struct misr *m, int length) {
+    struct cell *c;
+    int i;
+    m->first = 0;
+    m->last = 0;
+    m->length = length;
+    for (i = 0; i < length; i++) {
+        c = (struct cell *) malloc(sizeof(struct cell));
+        c->bit = 0;
+        c->next = m->first;
+        m->first = c;
+        if (m->last == 0)
+            m->last = c;
+    }
+}
+
+void shift_in(struct misr *m, int bit) {
+    struct cell *c;
+    int carry;
+    carry = bit;
+    for (c = m->first; c != 0; c = c->next) {
+        int t;
+        t = c->bit;
+        c->bit = carry ^ (t & 1);
+        carry = t;
+    }
+}
+
+void inject_error(struct misr *m) {
+    struct cell *c;
+    int pos, i;
+    pos = next_random() % m->length;
+    c = m->first;
+    for (i = 0; i < pos; i++)
+        c = c->next;
+    c->bit = c->bit ^ 1;
+}
+
+int compare(struct misr *x, struct misr *y) {
+    struct cell *a, *b;
+    a = x->first;
+    b = y->first;
+    while (a != 0 && b != 0) {
+        if (a->bit != b->bit)
+            return 0;
+        a = a->next;
+        b = b->next;
+    }
+    return a == 0 && b == 0;
+}
+
+int main() {
+    int i;
+    init_misr(&reg_a, 16);
+    init_misr(&reg_b, 16);
+    for (i = 0; i < 100; i++) {
+        int bit;
+        bit = next_random() & 1;
+        shift_in(&reg_a, bit);
+        shift_in(&reg_b, bit);
+    }
+    inject_error(&reg_a);
+    inject_error(&reg_a);
+    inject_error(&reg_b);
+    inject_error(&reg_b);
+    return compare(&reg_a, &reg_b);
+}

@@ -1,0 +1,89 @@
+/* msc - calculates the minimum spanning circle of a set of n points in
+ * the plane (paper Table 2): points allocated on the heap, candidate
+ * circles computed through pointer parameters (heap-dominant pointer
+ * traffic: the paper reports 35 of 41 pairs to the heap). */
+
+struct point {
+    int x;
+    int y;
+};
+
+struct circle {
+    struct point center;
+    int r2;
+};
+
+struct point *points[64];
+int n_points;
+int state;
+
+int rnd(int n) {
+    state = state * 48271 % 2147483647;
+    if (state < 0)
+        state = -state;
+    return state % n;
+}
+
+struct point *new_point(int x, int y) {
+    struct point *p;
+    p = (struct point *) malloc(sizeof(struct point));
+    p->x = x;
+    p->y = y;
+    return p;
+}
+
+int dist2(struct point *a, struct point *b) {
+    int dx, dy;
+    dx = a->x - b->x;
+    dy = a->y - b->y;
+    return dx * dx + dy * dy;
+}
+
+int inside(struct circle *c, struct point *p) {
+    int dx, dy;
+    dx = c->center.x - p->x;
+    dy = c->center.y - p->y;
+    return dx * dx + dy * dy <= c->r2;
+}
+
+void circle_from_two(struct point *a, struct point *b, struct circle *out) {
+    out->center.x = (a->x + b->x) / 2;
+    out->center.y = (a->y + b->y) / 2;
+    out->r2 = dist2(a, b) / 4;
+}
+
+void min_circle(struct circle *out) {
+    int i, j;
+    struct circle best;
+    struct circle cand;
+    best.center.x = 0;
+    best.center.y = 0;
+    best.r2 = 2000000000;
+    for (i = 0; i < n_points; i++) {
+        for (j = i + 1; j < n_points; j++) {
+            int k, ok;
+            circle_from_two(points[i], points[j], &cand);
+            ok = 1;
+            for (k = 0; k < n_points; k++) {
+                if (!inside(&cand, points[k])) {
+                    ok = 0;
+                    break;
+                }
+            }
+            if (ok && cand.r2 < best.r2)
+                best = cand;
+        }
+    }
+    *out = best;
+}
+
+int main() {
+    int i;
+    struct circle result;
+    state = 12345;
+    n_points = 20;
+    for (i = 0; i < n_points; i++)
+        points[i] = new_point(rnd(100), rnd(100));
+    min_circle(&result);
+    return result.r2;
+}

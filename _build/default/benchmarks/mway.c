@@ -1,0 +1,135 @@
+/* mway - a unified version of the best algorithms for m-way
+ * partitioning (paper Table 2): graph nodes in global arrays, gain
+ * buckets addressed through formal-parameter pointers (the paper
+ * reports 31 definite scalar refs, mostly formals pointing to
+ * symbolic/global locations). */
+
+struct vertex {
+    int weight;
+    int part;
+    int gain;
+    struct vertex *bucket_next;
+    struct vertex *bucket_prev;
+};
+
+struct bucket {
+    struct vertex *head;
+    int maxgain;
+};
+
+struct vertex vertices[128];
+struct bucket buckets[8];
+int adjacency[128][8];
+int degree[128];
+int n_vertices, n_parts;
+
+void bucket_insert(struct bucket *b, struct vertex *v) {
+    v->bucket_next = b->head;
+    v->bucket_prev = 0;
+    if (b->head != 0)
+        b->head->bucket_prev = v;
+    b->head = v;
+    if (v->gain > b->maxgain)
+        b->maxgain = v->gain;
+}
+
+void bucket_remove(struct bucket *b, struct vertex *v) {
+    if (v->bucket_prev != 0)
+        v->bucket_prev->bucket_next = v->bucket_next;
+    else
+        b->head = v->bucket_next;
+    if (v->bucket_next != 0)
+        v->bucket_next->bucket_prev = v->bucket_prev;
+    v->bucket_next = 0;
+    v->bucket_prev = 0;
+}
+
+struct vertex *best_vertex(struct bucket *b) {
+    struct vertex *v, *best;
+    best = 0;
+    for (v = b->head; v != 0; v = v->bucket_next) {
+        if (best == 0 || v->gain > best->gain)
+            best = v;
+    }
+    return best;
+}
+
+int compute_gain(struct vertex *v) {
+    int i, g, vi;
+    g = 0;
+    vi = v - vertices;
+    for (i = 0; i < degree[vi]; i++) {
+        int u;
+        u = adjacency[vi][i];
+        if (vertices[u].part == v->part)
+            g = g - 1;
+        else
+            g = g + 1;
+    }
+    return g;
+}
+
+void move_vertex(struct vertex *v, int to_part) {
+    bucket_remove(&buckets[v->part], v);
+    v->part = to_part;
+    v->gain = compute_gain(v);
+    bucket_insert(&buckets[to_part], v);
+}
+
+int pass() {
+    int moves, p;
+    struct vertex *v;
+    moves = 0;
+    for (p = 0; p < n_parts; p++) {
+        v = best_vertex(&buckets[p]);
+        if (v != 0 && v->gain > 0) {
+            move_vertex(v, (p + 1) % n_parts);
+            moves = moves + 1;
+        }
+    }
+    return moves;
+}
+
+void setup(int nv, int np) {
+    int i, j;
+    n_vertices = nv;
+    n_parts = np;
+    for (i = 0; i < np; i++) {
+        buckets[i].head = 0;
+        buckets[i].maxgain = -1000;
+    }
+    for (i = 0; i < nv; i++) {
+        struct vertex *v;
+        v = &vertices[i];
+        v->weight = 1;
+        v->part = i % np;
+        degree[i] = 3;
+        for (j = 0; j < 3; j++)
+            adjacency[i][j] = (i + j + 1) % nv;
+        v->gain = compute_gain(v);
+        bucket_insert(&buckets[v->part], v);
+    }
+}
+
+int cut_size() {
+    int i, j, cut;
+    cut = 0;
+    for (i = 0; i < n_vertices; i++) {
+        for (j = 0; j < degree[i]; j++) {
+            if (vertices[adjacency[i][j]].part != vertices[i].part)
+                cut = cut + 1;
+        }
+    }
+    return cut / 2;
+}
+
+int main() {
+    int iter, moved;
+    setup(64, 4);
+    for (iter = 0; iter < 10; iter++) {
+        moved = pass();
+        if (moved == 0)
+            break;
+    }
+    return cut_size();
+}

@@ -1,0 +1,126 @@
+/* sim - finds local similarities with affine weights (paper Table 2):
+ * dynamic-programming alignment with heap-allocated rows and result
+ * records; almost all pointer traffic is heap-directed (the paper
+ * reports 319 of 353 pairs to the heap). */
+
+struct align {
+    int score;
+    int i1, j1, i2, j2;
+    struct align *next;
+};
+
+struct align *results;
+int *cc_row;
+int *dd_row;
+int *rr_row;
+char *seq_a;
+char *seq_b;
+int len_a, len_b;
+int gap_open, gap_ext;
+
+int match_score(char a, char b) {
+    if (a == b)
+        return 2;
+    return -1;
+}
+
+int max2(int a, int b) {
+    if (a > b)
+        return a;
+    return b;
+}
+
+int max3(int a, int b, int c) {
+    return max2(a, max2(b, c));
+}
+
+void alloc_rows(int n) {
+    cc_row = (int *) malloc((n + 1) * sizeof(int));
+    dd_row = (int *) malloc((n + 1) * sizeof(int));
+    rr_row = (int *) malloc((n + 1) * sizeof(int));
+}
+
+void init_rows(int n) {
+    int j;
+    for (j = 0; j <= n; j++) {
+        cc_row[j] = 0;
+        dd_row[j] = -gap_open;
+        rr_row[j] = 0;
+    }
+}
+
+int score_pass() {
+    int i, j, best, c, e;
+    best = 0;
+    for (i = 1; i <= len_a; i++) {
+        int diag;
+        diag = cc_row[0];
+        e = -gap_open;
+        for (j = 1; j <= len_b; j++) {
+            int newc;
+            e = max2(e - gap_ext, cc_row[j - 1] - gap_open - gap_ext);
+            dd_row[j] = max2(dd_row[j] - gap_ext, cc_row[j] - gap_open - gap_ext);
+            newc = max3(diag + match_score(seq_a[i - 1], seq_b[j - 1]), e, dd_row[j]);
+            if (newc < 0)
+                newc = 0;
+            diag = cc_row[j];
+            cc_row[j] = newc;
+            if (newc > best) {
+                best = newc;
+                rr_row[j] = i;
+            }
+        }
+    }
+    return best;
+}
+
+void record_result(int score, int i1, int j1, int i2, int j2) {
+    struct align *a;
+    a = (struct align *) malloc(sizeof(struct align));
+    a->score = score;
+    a->i1 = i1;
+    a->j1 = j1;
+    a->i2 = i2;
+    a->j2 = j2;
+    a->next = results;
+    results = a;
+}
+
+int best_result() {
+    struct align *a;
+    int best;
+    best = 0;
+    for (a = results; a != 0; a = a->next) {
+        if (a->score > best)
+            best = a->score;
+    }
+    return best;
+}
+
+void make_seqs(int na, int nb) {
+    int i;
+    seq_a = (char *) malloc(na + 1);
+    seq_b = (char *) malloc(nb + 1);
+    for (i = 0; i < na; i++)
+        seq_a[i] = (char) ('a' + (i * 3) % 4);
+    for (i = 0; i < nb; i++)
+        seq_b[i] = (char) ('a' + (i * 5) % 4);
+    seq_a[na] = 0;
+    seq_b[nb] = 0;
+    len_a = na;
+    len_b = nb;
+}
+
+int main() {
+    int k, s;
+    gap_open = 4;
+    gap_ext = 1;
+    make_seqs(60, 50);
+    alloc_rows(len_b);
+    for (k = 0; k < 3; k++) {
+        init_rows(len_b);
+        s = score_pass();
+        record_result(s, 0, 0, len_a, len_b);
+    }
+    return best_result();
+}

@@ -1,0 +1,200 @@
+/* stanford - the Stanford "baby benchmarks" (paper Table 2): Perm,
+ * Towers, Queens, Quicksort, Bubble, Trees — array- and recursion-heavy
+ * kernels with pointer-passed arrays (the paper reports many definite
+ * relationships for array-form references here). */
+
+int permarray[11];
+int pctr;
+
+int sortlist[512];
+int biggest, littlest;
+int seed;
+
+struct node {
+    struct node *left, *right;
+    int val;
+};
+struct node *tree;
+
+/* ---- Perm ---- */
+
+void swap_elems(int *a, int *b) {
+    int t;
+    t = *a;
+    *a = *b;
+    *b = t;
+}
+
+void permute(int n) {
+    pctr = pctr + 1;
+    if (n != 1) {
+        int k;
+        permute(n - 1);
+        for (k = n - 1; k >= 1; k--) {
+            swap_elems(&permarray[n], &permarray[k]);
+            permute(n - 1);
+            swap_elems(&permarray[n], &permarray[k]);
+        }
+    }
+}
+
+/* ---- Towers ---- */
+
+int stackp[4];
+int cellspace_next[19];
+int cellspace_disc[19];
+int freelist;
+int movesdone;
+
+int getelement() {
+    int temp;
+    temp = freelist;
+    freelist = cellspace_next[freelist];
+    return temp;
+}
+
+void push(int i, int s) {
+    int el;
+    el = getelement();
+    cellspace_next[el] = stackp[s];
+    cellspace_disc[el] = i;
+    stackp[s] = el;
+}
+
+int pop(int s) {
+    int result, temp;
+    result = cellspace_disc[stackp[s]];
+    temp = cellspace_next[stackp[s]];
+    cellspace_next[stackp[s]] = freelist;
+    freelist = stackp[s];
+    stackp[s] = temp;
+    return result;
+}
+
+void towers_move(int s1, int s2) {
+    push(pop(s1), s2);
+    movesdone = movesdone + 1;
+}
+
+void tower(int i, int j, int k) {
+    if (k == 1)
+        towers_move(i, j);
+    else {
+        int other;
+        other = 6 - i - j;
+        tower(i, other, k - 1);
+        towers_move(i, j);
+        tower(other, j, k - 1);
+    }
+}
+
+/* ---- Quicksort ---- */
+
+int rand_next() {
+    seed = (seed * 1309 + 13849) & 65535;
+    return seed;
+}
+
+void initarr(int *arr, int n) {
+    int i;
+    biggest = 0;
+    littlest = 0;
+    for (i = 1; i <= n; i++) {
+        arr[i] = rand_next() - 32768;
+        if (arr[i] > biggest)
+            biggest = arr[i];
+        else if (arr[i] < littlest)
+            littlest = arr[i];
+    }
+}
+
+void quicksort(int *a, int l, int r) {
+    int i, j, x, w;
+    i = l;
+    j = r;
+    x = a[(l + r) / 2];
+    do {
+        while (a[i] < x)
+            i = i + 1;
+        while (x < a[j])
+            j = j - 1;
+        if (i <= j) {
+            w = a[i];
+            a[i] = a[j];
+            a[j] = w;
+            i = i + 1;
+            j = j - 1;
+        }
+    } while (i <= j);
+    if (l < j)
+        quicksort(a, l, j);
+    if (i < r)
+        quicksort(a, i, r);
+}
+
+/* ---- Trees ---- */
+
+struct node *newnode(int v) {
+    struct node *n;
+    n = (struct node *) malloc(sizeof(struct node));
+    n->left = 0;
+    n->right = 0;
+    n->val = v;
+    return n;
+}
+
+void tree_insert(struct node *t, int v) {
+    while (1) {
+        if (v < t->val) {
+            if (t->left == 0) {
+                t->left = newnode(v);
+                return;
+            }
+            t = t->left;
+        } else {
+            if (t->right == 0) {
+                t->right = newnode(v);
+                return;
+            }
+            t = t->right;
+        }
+    }
+}
+
+int tree_check(struct node *t) {
+    if (t == 0)
+        return 1;
+    if (t->left != 0 && t->left->val >= t->val)
+        return 0;
+    if (t->right != 0 && t->right->val < t->val)
+        return 0;
+    return tree_check(t->left) && tree_check(t->right);
+}
+
+int main() {
+    int i;
+    /* Perm */
+    pctr = 0;
+    for (i = 0; i <= 10; i++)
+        permarray[i] = i;
+    permute(6);
+    /* Towers */
+    for (i = 1; i < 19; i++)
+        cellspace_next[i] = i - 1;
+    freelist = 18;
+    for (i = 1; i <= 3; i++)
+        stackp[i] = 0;
+    for (i = 10; i >= 1; i--)
+        push(i, 1);
+    tower(1, 2, 10);
+    /* Quicksort */
+    seed = 74755;
+    initarr(sortlist, 500);
+    quicksort(sortlist, 1, 500);
+    /* Trees */
+    seed = 74755;
+    tree = newnode(rand_next());
+    for (i = 0; i < 100; i++)
+        tree_insert(tree, rand_next());
+    return tree_check(tree) + movesdone + pctr;
+}

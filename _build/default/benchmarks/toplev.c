@@ -1,0 +1,130 @@
+/* toplev - the top level of the GNU C compiler (paper Table 2):
+ * command-line option dispatch over initialized arrays of pointers
+ * (the paper attributes its single >4-target indirect reference to the
+ * initialization of an array of pointers), plus pass sequencing. */
+
+struct option {
+    char *name;
+    int *flag_var;
+    int value;
+};
+
+int flag_syntax_only;
+int flag_inline;
+int flag_unroll;
+int flag_strength;
+int flag_caller_saves;
+int optimize_level;
+int errorcount;
+char *input_name;
+char *output_name;
+char *dump_names[8];
+int n_dumps;
+
+struct option opt_table[5];
+
+void init_options() {
+    opt_table[0].name = "syntax-only";
+    opt_table[0].flag_var = &flag_syntax_only;
+    opt_table[0].value = 1;
+    opt_table[1].name = "inline";
+    opt_table[1].flag_var = &flag_inline;
+    opt_table[1].value = 1;
+    opt_table[2].name = "unroll-loops";
+    opt_table[2].flag_var = &flag_unroll;
+    opt_table[2].value = 1;
+    opt_table[3].name = "strength-reduce";
+    opt_table[3].flag_var = &flag_strength;
+    opt_table[3].value = 1;
+    opt_table[4].name = "caller-saves";
+    opt_table[4].flag_var = &flag_caller_saves;
+    opt_table[4].value = 1;
+}
+
+int str_eq(char *a, char *b) {
+    while (*a != 0 && *a == *b) {
+        a = a + 1;
+        b = b + 1;
+    }
+    return *a == *b;
+}
+
+int decode_flag(char *name) {
+    int i;
+    for (i = 0; i < 5; i++) {
+        if (str_eq(name, opt_table[i].name)) {
+            *opt_table[i].flag_var = opt_table[i].value;
+            return 1;
+        }
+    }
+    return 0;
+}
+
+void error(char *msg) {
+    errorcount = errorcount + 1;
+}
+
+void add_dump(char *name) {
+    if (n_dumps < 8) {
+        dump_names[n_dumps] = name;
+        n_dumps = n_dumps + 1;
+    }
+}
+
+int compile_pass_parse() {
+    if (input_name == 0) {
+        error("no input");
+        return 0;
+    }
+    return 1;
+}
+
+int compile_pass_optimize() {
+    int work;
+    work = 0;
+    if (flag_inline)
+        work = work + 1;
+    if (flag_unroll)
+        work = work + 2;
+    if (flag_strength)
+        work = work + 3;
+    return work;
+}
+
+int compile_pass_emit() {
+    if (output_name == 0)
+        output_name = "a.out";
+    return 1;
+}
+
+int compile_file(char *name) {
+    input_name = name;
+    if (!compile_pass_parse())
+        return 1;
+    if (flag_syntax_only)
+        return 0;
+    compile_pass_optimize();
+    compile_pass_emit();
+    return errorcount != 0;
+}
+
+int main(int argc, char **argv) {
+    int i, rc;
+    char *args[6];
+    init_options();
+    args[0] = "cc1";
+    args[1] = "inline";
+    args[2] = "unroll-loops";
+    args[3] = "strength-reduce";
+    args[4] = "test.c";
+    args[5] = 0;
+    optimize_level = 2;
+    for (i = 1; args[i] != 0; i++) {
+        if (!decode_flag(args[i]))
+            input_name = args[i];
+    }
+    add_dump("rtl");
+    add_dump("flow");
+    rc = compile_file(input_name);
+    return rc;
+}

@@ -1,0 +1,123 @@
+/* travel - the Traveling Salesman Problem with greedy heuristics (paper
+ * Table 2): an array of city structs addressed through pointers, a tour
+ * as a linked chain over the array, and nearest-neighbour plus 2-opt
+ * passes (the paper reports the highest per-ref average, 1.77, from
+ * pointers ranging over array elements). */
+
+struct city {
+    int x;
+    int y;
+    struct city *next;
+    int visited;
+};
+
+struct city cities[32];
+struct city *tour_start;
+int n_cities;
+int rnd_state;
+
+int rnd(int n) {
+    rnd_state = rnd_state * 1103515245 + 12345;
+    if (rnd_state < 0)
+        rnd_state = -rnd_state;
+    return rnd_state % n;
+}
+
+int dist2(struct city *a, struct city *b) {
+    int dx, dy;
+    dx = a->x - b->x;
+    dy = a->y - b->y;
+    return dx * dx + dy * dy;
+}
+
+void setup(int n) {
+    int i;
+    n_cities = n;
+    for (i = 0; i < n; i++) {
+        cities[i].x = rnd(1000);
+        cities[i].y = rnd(1000);
+        cities[i].next = 0;
+        cities[i].visited = 0;
+    }
+}
+
+struct city *nearest_unvisited(struct city *from) {
+    struct city *best;
+    int best_d, i, d;
+    best = 0;
+    best_d = 0;
+    for (i = 0; i < n_cities; i++) {
+        struct city *c;
+        c = &cities[i];
+        if (c->visited || c == from)
+            continue;
+        d = dist2(from, c);
+        if (best == 0 || d < best_d) {
+            best = c;
+            best_d = d;
+        }
+    }
+    return best;
+}
+
+void greedy_tour() {
+    struct city *cur, *nxt;
+    tour_start = &cities[0];
+    cur = tour_start;
+    cur->visited = 1;
+    while (1) {
+        nxt = nearest_unvisited(cur);
+        if (nxt == 0)
+            break;
+        cur->next = nxt;
+        nxt->visited = 1;
+        cur = nxt;
+    }
+    cur->next = tour_start;
+}
+
+int tour_length() {
+    struct city *c;
+    int total;
+    total = 0;
+    c = tour_start;
+    do {
+        total = total + dist2(c, c->next);
+        c = c->next;
+    } while (c != tour_start);
+    return total;
+}
+
+void reverse_segment(struct city *a, struct city *b) {
+    /* naive 2-opt style exchange of successors */
+    struct city *t;
+    t = a->next;
+    a->next = b->next;
+    b->next = t;
+}
+
+int improve() {
+    struct city *a, *b;
+    int before, after;
+    a = tour_start;
+    b = a->next->next;
+    before = tour_length();
+    reverse_segment(a, b);
+    after = tour_length();
+    if (after >= before) {
+        reverse_segment(a, b);
+        return 0;
+    }
+    return 1;
+}
+
+int main() {
+    int i, improved;
+    rnd_state = 7;
+    setup(20);
+    greedy_tour();
+    improved = 0;
+    for (i = 0; i < 10; i++)
+        improved = improved + improve();
+    return tour_length() + improved;
+}

@@ -1,0 +1,89 @@
+/* xref - a cross-reference program to build a tree of items (paper
+ * Table 2). Heap binary tree; most pointer traffic is heap-directed
+ * (the paper reports 31 of 40 pairs to the heap). */
+
+struct ref {
+    int line;
+    struct ref *next;
+};
+
+struct item {
+    char *word;
+    struct ref *refs;
+    struct item *left;
+    struct item *right;
+};
+
+struct item *root;
+int n_items;
+
+char *save_word(char *w) {
+    char *copy;
+    copy = (char *) malloc(32);
+    return copy;
+}
+
+struct item *new_item(char *word, int line) {
+    struct item *it;
+    struct ref *r;
+    it = (struct item *) malloc(sizeof(struct item));
+    it->word = save_word(word);
+    it->left = 0;
+    it->right = 0;
+    r = (struct ref *) malloc(sizeof(struct ref));
+    r->line = line;
+    r->next = 0;
+    it->refs = r;
+    n_items = n_items + 1;
+    return it;
+}
+
+int word_cmp(char *a, char *b) {
+    while (*a != 0 && *a == *b) {
+        a = a + 1;
+        b = b + 1;
+    }
+    return *a - *b;
+}
+
+struct item *enter(struct item *node, char *word, int line) {
+    int c;
+    struct ref *r;
+    if (node == 0)
+        return new_item(word, line);
+    c = word_cmp(word, node->word);
+    if (c < 0)
+        node->left = enter(node->left, word, line);
+    else if (c > 0)
+        node->right = enter(node->right, word, line);
+    else {
+        r = (struct ref *) malloc(sizeof(struct ref));
+        r->line = line;
+        r->next = node->refs;
+        node->refs = r;
+    }
+    return node;
+}
+
+int count_refs(struct item *node) {
+    struct ref *r;
+    int n;
+    if (node == 0)
+        return 0;
+    n = 0;
+    for (r = node->refs; r != 0; r = r->next)
+        n = n + 1;
+    return n + count_refs(node->left) + count_refs(node->right);
+}
+
+int main() {
+    char *words[4];
+    int i;
+    words[0] = "the";
+    words[1] = "quick";
+    words[2] = "brown";
+    words[3] = "fox";
+    for (i = 0; i < 20; i++)
+        root = enter(root, words[i % 4], i);
+    return count_refs(root);
+}

@@ -1,0 +1,231 @@
+(** ptan — points-to analysis driver.
+
+    Subcommands:
+    - [simple FILE]    dump the SIMPLE lowering of a C file
+    - [analyze FILE]   run the analysis and print per-statement points-to
+    - [ig FILE]        print the invocation graph
+    - [stats FILE]     print the Tables 2-6 statistics for one file
+    - [alias FILE]     print alias pairs at the end of main
+    - [callgraph FILE] compare call-graph strategies
+    - [replace FILE]   show pointer-replacement opportunities *)
+
+module Ir = Simple_ir.Ir
+
+let load file = Simple_ir.Simplify.of_file file
+
+let with_errors f =
+  try f () with
+  | Cfront.Srcloc.Error (loc, m) ->
+      Fmt.epr "%a: error: %s@." Cfront.Srcloc.pp loc m;
+      exit 1
+  | Simple_ir.Simplify.Unsupported (loc, m) ->
+      Fmt.epr "%a: unsupported: %s@." Cfront.Srcloc.pp loc m;
+      exit 1
+  | Pointsto.Analysis.No_entry e ->
+      Fmt.epr "error: no entry function '%s'@." e;
+      exit 1
+
+let opts_of ~no_context ~no_definite ~sym_depth ~share ~heap_by_site =
+  {
+    Pointsto.Options.default with
+    Pointsto.Options.context_sensitive = not no_context;
+    use_definite = not no_definite;
+    max_sym_depth = sym_depth;
+    share_contexts = share;
+    heap_by_site;
+  }
+
+let cmd_simple file =
+  with_errors (fun () ->
+      let p = load file in
+      Simple_ir.Pp.pp_program Fmt.stdout p)
+
+let analyze_file ?(opts = Pointsto.Options.default) file =
+  let p = load file in
+  Pointsto.Analysis.analyze ~opts p
+
+let cmd_analyze file no_context no_definite sym_depth share heap_by_site show_null =
+  with_errors (fun () ->
+      let opts = opts_of ~no_context ~no_definite ~sym_depth ~share ~heap_by_site in
+      let r = analyze_file ~opts file in
+      List.iter (fun w -> Fmt.pr "warning: %s@." w) r.Pointsto.Analysis.warnings;
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) r.Pointsto.Analysis.stmt_pts []
+      |> List.sort compare
+      |> List.iter (fun (id, s) ->
+             let s =
+               if show_null then s
+               else Pointsto.Pts.filter (fun _ t _ -> not (Pointsto.Loc.is_null t)) s
+             in
+             Fmt.pr "s%d: %a@." id Pointsto.Pts.pp s);
+      if share then
+        Fmt.pr "sub-tree sharing: %d hits, %d body passes@." r.Pointsto.Analysis.share_hits
+          r.Pointsto.Analysis.bodies_analyzed)
+
+let cmd_heap file =
+  with_errors (fun () ->
+      let r = analyze_file ~opts:Heap_analysis.Connection.options file in
+      let module C = Heap_analysis.Connection in
+      Fmt.pr "allocation sites: %a@."
+        Fmt.(list ~sep:(any ", ") int)
+        (C.all_sites r);
+      let sum = C.summarize r in
+      Fmt.pr "heap-directed pointers: %d; pairs: %d; provably disjoint: %d@."
+        sum.C.n_heap_ptrs sum.C.n_pairs sum.C.n_disjoint;
+      match r.Pointsto.Analysis.entry_output with
+      | None -> ()
+      | Some s ->
+          let fn =
+            Option.get (Simple_ir.Ir.find_func r.Pointsto.Analysis.prog "main")
+          in
+          let hp = C.heap_pointers r fn s in
+          if hp <> [] then Fmt.pr "@.connection matrix at exit of main:@.%a" C.pp_matrix (hp, C.matrix s hp))
+
+let cmd_constants file =
+  with_errors (fun () ->
+      let r = analyze_file file in
+      let cp = Constprop.run r in
+      let sites = Constprop.fold_sites cp in
+      Fmt.pr "%d constant operand reads@." (List.length sites);
+      List.iter
+        (fun fs ->
+          Fmt.pr "  s%d (%s): %a = %Ld@." fs.Constprop.fs_stmt fs.Constprop.fs_func
+            Pointsto.Loc.pp fs.Constprop.fs_loc fs.Constprop.fs_value)
+        sites)
+
+let cmd_ig file =
+  with_errors (fun () ->
+      let r = analyze_file file in
+      Fmt.pr "%a" Pointsto.Invocation_graph.pp r.Pointsto.Analysis.graph;
+      let st = Pointsto.Stats.ig_stats r in
+      Fmt.pr "nodes %d, call sites %d, funcs %d, R %d, A %d, Avgc %.2f, Avgf %.2f@."
+        st.Pointsto.Stats.ig_nodes st.Pointsto.Stats.call_sites st.Pointsto.Stats.n_funcs
+        st.Pointsto.Stats.n_recursive st.Pointsto.Stats.n_approximate
+        st.Pointsto.Stats.avg_per_call_site st.Pointsto.Stats.avg_per_func)
+
+let cmd_stats file =
+  with_errors (fun () ->
+      let r = analyze_file file in
+      let c = Pointsto.Stats.characteristics r in
+      Fmt.pr "SIMPLE stmts: %d; abstract stack min %d max %d@." c.Pointsto.Stats.c_stmts
+        c.Pointsto.Stats.c_min_vars c.Pointsto.Stats.c_max_vars;
+      let i = Pointsto.Stats.indirect_stats r in
+      let open Pointsto.Stats in
+      Fmt.pr
+        "indirect refs: %d (1D %d/%d, 1P %d/%d, 2P %d/%d, 3P %d/%d, 4+P %d/%d); rep %d; \
+         to-stack %d; to-heap %d; avg %.2f@."
+        i.ind_refs i.one_d.scalar i.one_d.array i.one_p.scalar i.one_p.array i.two_p.scalar
+        i.two_p.array i.three_p.scalar i.three_p.array i.four_plus_p.scalar i.four_plus_p.array
+        i.scalar_rep i.to_stack i.to_heap i.avg;
+      let g = general r in
+      Fmt.pr "pairs: SS %d SH %d HH %d HS %d; avg/stmt %.1f; max/stmt %d@." g.stack_to_stack
+        g.stack_to_heap g.heap_to_heap g.heap_to_stack g.avg_per_stmt g.max_per_stmt;
+      let s = ig_stats r in
+      Fmt.pr "IG: nodes %d sites %d funcs %d R %d A %d Avgc %.2f Avgf %.2f@." s.ig_nodes
+        s.call_sites s.n_funcs s.n_recursive s.n_approximate s.avg_per_call_site s.avg_per_func)
+
+let cmd_alias file =
+  with_errors (fun () ->
+      let r = analyze_file file in
+      match r.Pointsto.Analysis.entry_output with
+      | None -> Fmt.pr "main does not terminate normally@."
+      | Some s ->
+          let s = Pointsto.Pts.filter (fun _ t _ -> not (Pointsto.Loc.is_null t)) s in
+          Fmt.pr "points-to at exit: %a@." Pointsto.Pts.pp s;
+          Fmt.pr "alias pairs:      %a@." Alias.Pairs.pp (Alias.Pairs.of_pts s))
+
+let cmd_callgraph file =
+  with_errors (fun () ->
+      let p = load file in
+      List.iter
+        (fun s ->
+          let nodes = Alias.Callgraph.ig_size p s in
+          let fanout = Alias.Callgraph.indirect_fanout p s in
+          Fmt.pr "%-24s IG nodes: %4d   indirect fanout: [%a]@."
+            (Alias.Callgraph.strategy_name s) nodes
+            (Fmt.list ~sep:(Fmt.any "; ") Fmt.int)
+            fanout)
+        [ Alias.Callgraph.Precise; Alias.Callgraph.Naive; Alias.Callgraph.Address_taken ])
+
+let cmd_replace file =
+  with_errors (fun () ->
+      let r = analyze_file file in
+      let reps = Transforms.Pointer_replace.find r in
+      Fmt.pr "%d replacement opportunities@." (List.length reps);
+      List.iter (fun rp -> Fmt.pr "  %a@." Transforms.Pointer_replace.pp_replacement rp) reps)
+
+open Cmdliner
+
+let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let no_context =
+  Arg.(value & flag & info [ "no-context" ] ~doc:"Context-insensitive ablation.")
+
+let no_definite = Arg.(value & flag & info [ "no-definite" ] ~doc:"Disable definite pairs.")
+
+let sym_depth =
+  Arg.(value & opt int 5 & info [ "sym-depth" ] ~doc:"Max symbolic-name depth.")
+
+let show_null = Arg.(value & flag & info [ "show-null" ] ~doc:"Include NULL pairs.")
+
+let share =
+  Arg.(value & flag & info [ "share-contexts" ] ~doc:"Memoize IN/OUT pairs across contexts.")
+
+let heap_by_site =
+  Arg.(value & flag & info [ "heap-by-site" ] ~doc:"Name heap storage by allocation site.")
+
+let simple_cmd =
+  Cmd.v (Cmd.info "simple" ~doc:"Dump the SIMPLE lowering")
+    Term.(const cmd_simple $ file_arg)
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Run points-to analysis")
+    Term.(
+      const cmd_analyze $ file_arg $ no_context $ no_definite $ sym_depth $ share
+      $ heap_by_site $ show_null)
+
+let heap_cmd =
+  Cmd.v
+    (Cmd.info "heap" ~doc:"Allocation-site heap naming + connection analysis")
+    Term.(const cmd_heap $ file_arg)
+
+let constants_cmd =
+  Cmd.v
+    (Cmd.info "constants" ~doc:"Interprocedural constant propagation")
+    Term.(const cmd_constants $ file_arg)
+
+let ig_cmd =
+  Cmd.v (Cmd.info "ig" ~doc:"Print the invocation graph") Term.(const cmd_ig $ file_arg)
+
+let stats_cmd =
+  Cmd.v (Cmd.info "stats" ~doc:"Print Tables 2-6 statistics") Term.(const cmd_stats $ file_arg)
+
+let alias_cmd =
+  Cmd.v (Cmd.info "alias" ~doc:"Print alias pairs at exit") Term.(const cmd_alias $ file_arg)
+
+let callgraph_cmd =
+  Cmd.v
+    (Cmd.info "callgraph" ~doc:"Compare call-graph strategies")
+    Term.(const cmd_callgraph $ file_arg)
+
+let replace_cmd =
+  Cmd.v
+    (Cmd.info "replace" ~doc:"Pointer replacement opportunities")
+    Term.(const cmd_replace $ file_arg)
+
+let () =
+  let info = Cmd.info "ptan" ~doc:"Context-sensitive interprocedural points-to analysis" in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            simple_cmd;
+            analyze_cmd;
+            ig_cmd;
+            stats_cmd;
+            alias_cmd;
+            callgraph_cmd;
+            replace_cmd;
+            heap_cmd;
+            constants_cmd;
+          ]))

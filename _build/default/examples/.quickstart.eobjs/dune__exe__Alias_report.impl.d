@@ -1,0 +1,1 @@
+examples/alias_report.ml: Alias Fmt List Pointsto Simple_ir

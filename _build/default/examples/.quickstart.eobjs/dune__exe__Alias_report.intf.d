@@ -1,0 +1,1 @@
+examples/alias_report.mli:

@@ -1,0 +1,1 @@
+examples/devirtualize.ml: Alias Fmt List Pointsto Simple_ir

@@ -1,0 +1,1 @@
+examples/heap_shapes.ml: Fmt Heap_analysis List Pointsto

@@ -1,0 +1,1 @@
+examples/optimize.ml: Fmt List Pointsto Simple_ir Transforms

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Hashtbl List Pointsto Simple_ir

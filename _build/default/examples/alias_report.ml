@@ -1,0 +1,59 @@
+(** Alias-analysis comparison scenario (paper §7.1): the same program
+    analyzed by the paper's context-sensitive points-to analysis and by
+    the two classic flow-insensitive baselines, with traditional alias
+    pairs derived from the points-to result.
+
+    Run with [dune exec examples/alias_report.exe]. *)
+
+module Pts = Pointsto.Pts
+module Loc = Pointsto.Loc
+module Cells = Alias.Cells
+
+let program =
+  {|
+int data1, data2;
+
+int *select_slot(int *a, int *b, int which) {
+  if (which)
+    return a;
+  return b;
+}
+
+int main() {
+  int *first, *second, *picked;
+  first = &data1;
+  second = &data2;
+  picked = select_slot(first, second, 1);
+  *picked = 42;
+  return 0;
+}
+|}
+
+let () =
+  let prog = Simple_ir.Simplify.of_string program in
+  let result = Pointsto.Analysis.analyze prog in
+
+  Fmt.pr "--- Context-sensitive points-to at exit of main ---@.";
+  (match result.Pointsto.Analysis.entry_output with
+  | Some s ->
+      let s = Pts.filter (fun _ t _ -> not (Loc.is_null t)) s in
+      Fmt.pr "  %a@." Pts.pp s;
+      Fmt.pr "@.--- Traditional alias pairs implied by transitive closure ---@.";
+      Fmt.pr "  %a@." Alias.Pairs.pp (Alias.Pairs.of_pts s)
+  | None -> ());
+
+  Fmt.pr "@.--- Flow-insensitive baselines on the same program ---@.";
+  let show_targets name targets =
+    Fmt.pr "  %-22s picked -> {%a}@." name
+      Fmt.(list ~sep:(any ", ") string)
+      (List.sort compare (List.map Cells.node_name targets))
+  in
+  let a = Alias.Andersen.run prog in
+  show_targets "Andersen (inclusion):" (Alias.Andersen.targets a (Cells.Nvar "main::picked"));
+  let st = Alias.Steensgaard.run prog in
+  show_targets "Steensgaard (unify):"
+    (Alias.Steensgaard.targets st (Cells.Nvar "main::picked"));
+  Fmt.pr
+    "@.(Both baselines report picked pointing to both globals; so does the@.\
+     context-sensitive analysis here -- the merge happens inside select_slot --@.\
+     but it additionally knows first and second individually stayed definite.)@."

@@ -1,0 +1,53 @@
+(** Optimization scenario (paper §1 and §6.1): definite points-to
+    information drives pointer replacement ("given x = *q and q
+    definitely points to y, replace with x = y") and read/write sets for
+    dependence testing.
+
+    Run with [dune exec examples/optimize.exe]. *)
+
+module PR = Transforms.Pointer_replace
+module RW = Transforms.Rw_sets
+module Ir = Simple_ir.Ir
+
+let program =
+  {|
+double cell[8];
+double acc;
+
+void accumulate(double *col, int n) {
+  int i;
+  double *cursor;
+  cursor = col;            /* cursor definitely points to col's target */
+  for (i = 0; i < n; i++) {
+    acc = acc + cursor[i];
+  }
+}
+
+int main() {
+  double *base;
+  double *alias;
+  base = cell;             /* base definitely points to cell[0] */
+  alias = base;            /* so does alias */
+  *alias = 1.0;            /* ... replaceable by cell[0] = 1.0 */
+  accumulate(base, 8);
+  return 0;
+}
+|}
+
+let () =
+  let result = Pointsto.Analysis.of_string program in
+
+  Fmt.pr "--- Pointer replacement opportunities (paper: 19.39%% of indirect refs) ---@.";
+  let reps = PR.find result in
+  List.iter (fun rp -> Fmt.pr "  %a@." PR.pp_replacement rp) reps;
+
+  let rewritten, n = PR.apply result in
+  Fmt.pr "@.--- Program after applying %d replacement(s) ---@." n;
+  Simple_ir.Pp.pp_program Fmt.stdout rewritten;
+
+  Fmt.pr "--- Per-function read/write summaries (for dependence testing) ---@.";
+  List.iter
+    (fun fn ->
+      let a = RW.func_summary result fn in
+      Fmt.pr "  %-12s %a@." fn.Ir.fn_name RW.pp_access a)
+    result.Pointsto.Analysis.prog.Ir.funcs

@@ -1,0 +1,1 @@
+lib/alias/andersen.ml: Cells Hashtbl List Option Printf Set Simple_ir Stdlib String

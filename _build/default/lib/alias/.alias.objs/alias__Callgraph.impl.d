@@ -1,0 +1,1 @@
+lib/alias/callgraph.ml: Hashtbl List Option Pointsto Simple_ir

@@ -1,0 +1,1 @@
+lib/alias/callgraph.mli: Pointsto Simple_ir

@@ -1,0 +1,1 @@
+lib/alias/cells.ml: Fmt Hashtbl List Option Simple_ir

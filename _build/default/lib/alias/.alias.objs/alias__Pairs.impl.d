@@ -1,0 +1,1 @@
+lib/alias/pairs.ml: Fmt List Option Pointsto String

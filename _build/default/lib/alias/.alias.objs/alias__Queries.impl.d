@@ -1,0 +1,1 @@
+lib/alias/queries.ml: Cfront List Pointsto Simple_ir

@@ -1,0 +1,1 @@
+lib/alias/queries.mli: Pointsto Simple_ir

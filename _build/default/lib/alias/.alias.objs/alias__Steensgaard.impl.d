@@ -1,0 +1,1 @@
+lib/alias/steensgaard.ml: Array Cells Hashtbl List Printf Simple_ir

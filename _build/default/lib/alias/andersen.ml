@@ -1,0 +1,171 @@
+(** Andersen-style inclusion-based points-to analysis.
+
+    Flow- and context-insensitive, field-insensitive, subset-constraint
+    based, solved with a standard worklist. More precise than
+    {!Steensgaard}, still far below the paper's context-sensitive
+    analysis; the second ablation baseline (DESIGN.md, ABL4). *)
+
+module NodeSet = Set.Make (struct
+  type t = Cells.node
+
+  let compare = Stdlib.compare
+end)
+
+type t = {
+  pts : (Cells.node, NodeSet.t) Hashtbl.t;
+  succ : (Cells.node, NodeSet.t) Hashtbl.t;  (** copy edges: src -> dsts *)
+  loads : (Cells.node, NodeSet.t) Hashtbl.t;  (** x in loads(y): x ⊇ *y *)
+  stores : (Cells.node, NodeSet.t) Hashtbl.t;  (** y in stores(x): *x ⊇ y *)
+  mutable worklist : Cells.node list;
+  info : Cells.program_info;
+}
+
+let get tbl n = Option.value ~default:NodeSet.empty (Hashtbl.find_opt tbl n)
+
+let add_to tbl n x =
+  let s = get tbl n in
+  if NodeSet.mem x s then false
+  else begin
+    Hashtbl.replace tbl n (NodeSet.add x s);
+    true
+  end
+
+let push t n = t.worklist <- n :: t.worklist
+
+let add_pts t n x = if add_to t.pts n x then push t n
+
+let add_edge t src dst =
+  if add_to t.succ src dst then begin
+    (* propagate existing points-to facts along the new edge *)
+    let moved = NodeSet.fold (fun x acc -> add_to t.pts dst x || acc) (get t.pts src) false in
+    if moved then push t dst
+  end
+
+let make info =
+  {
+    pts = Hashtbl.create 128;
+    succ = Hashtbl.create 128;
+    loads = Hashtbl.create 32;
+    stores = Hashtbl.create 32;
+    worklist = [];
+    info;
+  }
+
+let apply_assign t (lhs : Cells.access) (v : Cells.value) =
+  match (lhs, v) with
+  | Cells.Abase x, Cells.Vaddr y -> add_pts t x y
+  | Cells.Abase x, Cells.Vcopy (Cells.Abase y) -> add_edge t y x
+  | Cells.Abase x, Cells.Vcopy (Cells.Aderef y) ->
+      ignore (add_to t.loads y x);
+      (* resolve against current solution *)
+      NodeSet.iter (fun z -> add_edge t z x) (get t.pts y)
+  | Cells.Aderef x, Cells.Vaddr y ->
+      NodeSet.iter (fun z -> add_pts t z y) (get t.pts x);
+      ignore (add_to t.stores x y)
+      (* note: Vaddr stores need re-resolution as pts(x) grows; we keep y
+         in stores with a marker edge via a synthetic node *)
+  | Cells.Aderef x, Cells.Vcopy (Cells.Abase y) ->
+      ignore (add_to t.stores x y);
+      NodeSet.iter (fun z -> add_edge t y z) (get t.pts x)
+  | Cells.Aderef x, Cells.Vcopy (Cells.Aderef y) ->
+      (* *x = *y: introduce a temporary t: t = *y; *x = t *)
+      let tmp = Cells.Nvar (Printf.sprintf "<sa:%s:%s>" (Cells.node_name x) (Cells.node_name y)) in
+      ignore (add_to t.loads y tmp);
+      NodeSet.iter (fun z -> add_edge t z tmp) (get t.pts y);
+      ignore (add_to t.stores x tmp);
+      NodeSet.iter (fun z -> add_edge t tmp z) (get t.pts x)
+  | _, Cells.Vnone -> ()
+
+(* For [*x = &y] we model the address value with a synthetic node that
+   points to y and flows into *x. *)
+let apply_assign t lhs v =
+  match (lhs, v) with
+  | Cells.Aderef x, Cells.Vaddr y ->
+      let tmp = Cells.Nvar (Printf.sprintf "<ad:%s>" (Cells.node_name y)) in
+      add_pts t tmp y;
+      ignore (add_to t.stores x tmp);
+      NodeSet.iter (fun z -> add_edge t tmp z) (get t.pts x)
+  | _ -> apply_assign t lhs v
+
+type result = { solver : t }
+
+let run (prog : Simple_ir.Ir.program) : result =
+  let info, constraints = Cells.extract prog in
+  let t = make info in
+  let resolved_calls : (int * string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let apply_call ~callee ~args ~lhs =
+    List.iter
+      (fun (l, v) -> apply_assign t l v)
+      (Cells.call_assignments info ~callee ~args ~lhs)
+  in
+  let indirect_calls = ref [] in
+  List.iteri
+    (fun i c ->
+      match c with
+      | Cells.Cassign (l, v) -> apply_assign t l v
+      | Cells.Ccall { callee = `Direct f; args; lhs; _ } -> apply_call ~callee:f ~args ~lhs
+      | Cells.Ccall { callee = `Indirect a; args; lhs; _ } ->
+          indirect_calls := (i, a, args, lhs) :: !indirect_calls)
+    constraints;
+  (* worklist solving, interleaved with indirect-call resolution *)
+  let continue_ = ref true in
+  while !continue_ do
+    (match t.worklist with
+    | n :: rest ->
+        t.worklist <- rest;
+        let p = get t.pts n in
+        (* copy edges *)
+        NodeSet.iter
+          (fun dst ->
+            let moved = NodeSet.fold (fun x acc -> add_to t.pts dst x || acc) p false in
+            if moved then push t dst)
+          (get t.succ n);
+        (* loads: x = *n *)
+        NodeSet.iter (fun x -> NodeSet.iter (fun z -> add_edge t z x) p) (get t.loads n);
+        (* stores: *n = y *)
+        NodeSet.iter (fun y -> NodeSet.iter (fun z -> add_edge t y z) p) (get t.stores n)
+    | [] ->
+        (* try to resolve indirect calls with the current solution *)
+        let progressed = ref false in
+        List.iter
+          (fun (i, a, args, lhs) ->
+            let fp_targets =
+              match a with
+              | Cells.Abase n -> get t.pts n
+              | Cells.Aderef n ->
+                  NodeSet.fold
+                    (fun z acc -> NodeSet.union acc (get t.pts z))
+                    (get t.pts n) NodeSet.empty
+            in
+            NodeSet.iter
+              (function
+                | Cells.Nfun f when Hashtbl.mem info.Cells.defined f ->
+                    if not (Hashtbl.mem resolved_calls (i, f)) then begin
+                      Hashtbl.replace resolved_calls (i, f) ();
+                      apply_call ~callee:f ~args ~lhs;
+                      progressed := true
+                    end
+                | _ -> ())
+              fp_targets)
+          !indirect_calls;
+        if (not !progressed) && t.worklist = [] then continue_ := false);
+    if t.worklist = [] && !continue_ then ()
+  done;
+  { solver = t }
+
+let targets (r : result) (node : Cells.node) : Cells.node list =
+  NodeSet.elements (get r.solver.pts node)
+
+(** Average number of targets per pointer variable with any. *)
+let avg_targets (r : result) : float =
+  let total = ref 0 and count = ref 0 in
+  Hashtbl.iter
+    (fun node s ->
+      match node with
+      | Cells.Nvar name
+        when (not (String.length name >= 1 && name.[0] = '<')) && not (NodeSet.is_empty s) ->
+          total := !total + NodeSet.cardinal s;
+          incr count
+      | _ -> ())
+    r.solver.pts;
+  if !count = 0 then 0. else float_of_int !total /. float_of_int !count

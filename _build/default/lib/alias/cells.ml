@@ -1,0 +1,151 @@
+(** Shared constraint extraction for the flow-insensitive baseline
+    analyses (Steensgaard, Andersen).
+
+    Both baselines are field-insensitive and context-insensitive: every
+    variable collapses to one node (qualified by its owning function),
+    the heap is one node, and all statements of the program contribute
+    constraints regardless of control flow. This is deliberately the
+    "cheap end" of the precision spectrum, used as an ablation comparator
+    for the paper's context-sensitive analysis. *)
+
+module Ir = Simple_ir.Ir
+
+type node =
+  | Nvar of string  (** qualified variable: "fn::x" for locals, "x" for globals *)
+  | Nheap
+  | Nstr
+  | Nfun of string
+
+let node_name = function
+  | Nvar s -> s
+  | Nheap -> "<heap>"
+  | Nstr -> "<str>"
+  | Nfun f -> "fn:" ^ f
+
+let pp_node ppf n = Fmt.string ppf (node_name n)
+
+type access =
+  | Abase of node  (** x *)
+  | Aderef of node  (** *x *)
+
+type value =
+  | Vaddr of node  (** &x, malloc, "..." *)
+  | Vcopy of access  (** x or *x *)
+  | Vnone  (** constants *)
+
+type cstr =
+  | Cassign of access * value
+  | Ccall of {
+      caller : string;
+      callee : [ `Direct of string | `Indirect of access ];
+      args : value list;
+      lhs : access option;
+    }
+
+type program_info = {
+  prog : Ir.program;
+  defined : (string, Ir.func) Hashtbl.t;
+}
+
+let ret_node f = Nvar (f ^ "::$ret")
+let param_node f p = Nvar (f ^ "::" ^ p)
+
+let make_info (prog : Ir.program) =
+  let defined = Hashtbl.create 32 in
+  List.iter (fun f -> Hashtbl.replace defined f.Ir.fn_name f) prog.Ir.funcs;
+  { prog; defined }
+
+(** Resolve a base name within [fn]: local/param -> qualified node,
+    global -> plain node, function name -> function node. *)
+let base_node info (fn : Ir.func) name : node =
+  if List.mem_assoc name fn.Ir.fn_params || List.mem_assoc name fn.Ir.fn_locals then
+    Nvar (fn.Ir.fn_name ^ "::" ^ name)
+  else if List.mem_assoc name info.prog.Ir.globals then Nvar name
+  else if Hashtbl.mem info.defined name then Nfun name
+  else if List.mem_assoc name info.prog.Ir.protos then Nfun name
+  else Nvar name
+
+let access_of_vref info fn (r : Ir.vref) : access =
+  let n = base_node info fn r.Ir.r_base in
+  if r.Ir.r_deref then Aderef n else Abase n
+
+let value_of_operand info fn (op : Ir.operand) : value =
+  match op with
+  | Ir.Oref r -> (
+      match access_of_vref info fn r with
+      | Abase (Nfun f) -> Vaddr (Nfun f)
+      | a -> Vcopy a)
+  | Ir.Oconst _ | Ir.Onull -> Vnone
+  | Ir.Ostr -> Vaddr Nstr
+
+let value_of_rhs info fn (rhs : Ir.rhs) : value =
+  match rhs with
+  | Ir.Rref r | Ir.Rarith (r, _) -> (
+      match access_of_vref info fn r with
+      | Abase (Nfun f) -> Vaddr (Nfun f)
+      | a -> Vcopy a)
+  | Ir.Raddr r ->
+      (* &x is the address of the base node; & *p copies p *)
+      if r.Ir.r_deref then Vcopy (Abase (base_node info fn r.Ir.r_base))
+      else Vaddr (base_node info fn r.Ir.r_base)
+  | Ir.Rconst _ | Ir.Rnull | Ir.Rbinop _ | Ir.Runop _ -> Vnone
+  | Ir.Rstr -> Vaddr Nstr
+  | Ir.Rmalloc -> Vaddr Nheap
+
+(** Extract the constraints of a whole program. *)
+let extract (prog : Ir.program) : program_info * cstr list =
+  let info = make_info prog in
+  let out = ref [] in
+  let emit c = out := c :: !out in
+  List.iter
+    (fun fn ->
+      Ir.fold_func
+        (fun () s ->
+          match s.Ir.s_desc with
+          | Ir.Sassign (l, rhs) ->
+              emit (Cassign (access_of_vref info fn l, value_of_rhs info fn rhs))
+          | Ir.Scall (lhs, callee, args) ->
+              let callee =
+                match callee with
+                | Ir.Cdirect f -> `Direct f
+                | Ir.Cindirect r -> `Indirect (access_of_vref info fn r)
+              in
+              emit
+                (Ccall
+                   {
+                     caller = fn.Ir.fn_name;
+                     callee;
+                     args = List.map (value_of_operand info fn) args;
+                     lhs = Option.map (access_of_vref info fn) lhs;
+                   })
+          | Ir.Sreturn (Some op) ->
+              emit (Cassign (Abase (ret_node fn.Ir.fn_name), value_of_operand info fn op))
+          | Ir.Sif _ | Ir.Sloop _ | Ir.Sswitch _ | Ir.Sbreak | Ir.Scontinue
+          | Ir.Sreturn None ->
+              ())
+        () fn)
+    prog.Ir.funcs;
+  (info, List.rev !out)
+
+(** Lower a resolved call into parameter/return copy constraints. *)
+let call_assignments info ~(callee : string) ~(args : value list) ~(lhs : access option) :
+    (access * value) list =
+  match Hashtbl.find_opt info.defined callee with
+  | None -> (
+      (* external: result conservatively points to the heap *)
+      match lhs with Some l -> [ (l, Vaddr Nheap) ] | None -> [])
+  | Some fd ->
+      let params = fd.Ir.fn_params in
+      let rec zip ps args acc =
+        match (ps, args) with
+        | [], _ | _, [] -> acc
+        | (p, _) :: ps, a :: args ->
+            zip ps args ((Abase (param_node callee p), a) :: acc)
+      in
+      let acc = zip params args [] in
+      let acc =
+        match lhs with
+        | Some l -> (l, Vcopy (Abase (ret_node callee))) :: acc
+        | None -> acc
+      in
+      acc

@@ -1,0 +1,28 @@
+(** May/must-alias queries over points-to results (paper §6.1): the
+    interface a dependence tester asks. *)
+
+module Ir = Simple_ir.Ir
+module Loc = Pointsto.Loc
+module Analysis = Pointsto.Analysis
+
+type verdict =
+  | No_alias  (** provably distinct locations *)
+  | May_alias
+  | Must_alias  (** same single definite, singular location *)
+
+val verdict_to_string : verdict -> string
+
+(** Do two abstract locations possibly overlap in memory? Equal or one
+    contained in the other; siblings (distinct fields, head vs tail of
+    one array) do not overlap. *)
+val locs_overlap : Loc.t -> Loc.t -> bool
+
+(** Aliasing verdict for two references at a statement of a function. *)
+val refs_alias : Analysis.result -> Ir.func -> int -> Ir.vref -> Ir.vref -> verdict
+
+(** Verdict for the dereferences of two named pointers. *)
+val derefs_alias : Analysis.result -> Ir.func -> int -> string -> string -> verdict
+
+(** The exhaustive per-statement alias table over a function's pointer
+    variables. *)
+val deref_alias_pairs : Analysis.result -> Ir.func -> (int * string * string * verdict) list

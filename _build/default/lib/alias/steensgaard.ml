@@ -1,0 +1,187 @@
+(** Steensgaard-style unification-based points-to analysis.
+
+    Almost-linear-time, flow- and context-insensitive, field-insensitive:
+    each equivalence class of locations (ECR) has at most one pointed-to
+    class, and assignments unify the classes of the two sides. Used as an
+    ablation baseline against the paper's analysis (DESIGN.md, ABL4). *)
+
+type t = {
+  ids : (Cells.node, int) Hashtbl.t;
+  mutable nodes : Cells.node array;  (** id -> node *)
+  mutable parent : int array;
+  mutable pts : int option array;  (** root -> pointed-to class *)
+  mutable n : int;
+  info : Cells.program_info;
+}
+
+let ensure_capacity t =
+  if t.n >= Array.length t.parent then begin
+    let cap = max 64 (2 * Array.length t.parent) in
+    let parent = Array.init cap (fun i -> i) in
+    Array.blit t.parent 0 parent 0 (Array.length t.parent);
+    t.parent <- parent;
+    let pts = Array.make cap None in
+    Array.blit t.pts 0 pts 0 (Array.length t.pts);
+    t.pts <- pts;
+    let nodes = Array.make cap Cells.Nheap in
+    Array.blit t.nodes 0 nodes 0 (Array.length t.nodes);
+    t.nodes <- nodes
+  end
+
+(** Id of a node, interning it on first use. *)
+let id_of t node =
+  match Hashtbl.find_opt t.ids node with
+  | Some i -> i
+  | None ->
+      ensure_capacity t;
+      let i = t.n in
+      t.n <- t.n + 1;
+      t.nodes.(i) <- node;
+      Hashtbl.replace t.ids node i;
+      i
+
+(** Fresh anonymous class (for lazily created points-to targets). *)
+let fresh t =
+  ensure_capacity t;
+  let i = t.n in
+  t.n <- t.n + 1;
+  t.nodes.(i) <- Cells.Nvar (Printf.sprintf "<anon%d>" i);
+  i
+
+let rec find t i =
+  if t.parent.(i) = i then i
+  else begin
+    let r = find t t.parent.(i) in
+    t.parent.(i) <- r;
+    r
+  end
+
+(** The pointed-to class of class [i], created on demand. *)
+let rec pts_of t i =
+  let i = find t i in
+  match t.pts.(i) with
+  | Some p -> find t p
+  | None ->
+      let p = fresh t in
+      t.pts.(find t i) <- Some p;
+      pts_of t i
+
+let rec union t a b =
+  let a = find t a and b = find t b in
+  if a <> b then begin
+    t.parent.(a) <- b;
+    (* unify pointed-to classes recursively *)
+    match (t.pts.(a), t.pts.(b)) with
+    | None, _ -> ()
+    | Some pa, None -> t.pts.(b) <- Some pa
+    | Some pa, Some pb -> union t pa pb
+  end
+
+let make info =
+  {
+    ids = Hashtbl.create 128;
+    nodes = Array.make 64 Cells.Nheap;
+    parent = Array.init 64 (fun i -> i);
+    pts = Array.make 64 None;
+    n = 0;
+    info;
+  }
+
+(** The class holding the value of an access. *)
+let value_class t = function
+  | Cells.Abase n -> pts_of t (id_of t n)
+  | Cells.Aderef n -> pts_of t (pts_of t (id_of t n))
+
+let apply_assign t (lhs : Cells.access) (v : Cells.value) =
+  let lv = value_class t lhs in
+  match v with
+  | Cells.Vaddr n -> union t lv (id_of t n)
+  | Cells.Vcopy a -> union t lv (value_class t a)
+  | Cells.Vnone -> ()
+
+(** Defined functions whose node lies in class [c]. *)
+let funcs_in_class t c =
+  let c = find t c in
+  let out = ref [] in
+  Hashtbl.iter
+    (fun node i ->
+      match node with
+      | Cells.Nfun f when find t i = c && Hashtbl.mem t.info.Cells.defined f ->
+          out := f :: !out
+      | _ -> ())
+    t.ids;
+  !out
+
+type result = {
+  solver : t;
+  constraints : Cells.cstr list;
+}
+
+(** Run the analysis on a SIMPLE program. Indirect calls are resolved
+    iteratively against the current solution. *)
+let run (prog : Simple_ir.Ir.program) : result =
+  let info, constraints = Cells.extract prog in
+  let t = make info in
+  let apply_call ~callee ~args ~lhs =
+    List.iter (fun (l, v) -> apply_assign t l v) (Cells.call_assignments info ~callee ~args ~lhs)
+  in
+  let resolved : (Cells.cstr * string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (function
+        | Cells.Cassign (l, v) -> apply_assign t l v
+        | Cells.Ccall { callee = `Direct f; args; lhs; _ } as c ->
+            if not (Hashtbl.mem resolved (c, f)) then begin
+              Hashtbl.replace resolved (c, f) ();
+              changed := true
+            end;
+            apply_call ~callee:f ~args ~lhs
+        | Cells.Ccall { callee = `Indirect a; args; lhs; _ } as c ->
+            let fns = funcs_in_class t (value_class t a) in
+            List.iter
+              (fun f ->
+                if not (Hashtbl.mem resolved (c, f)) then begin
+                  Hashtbl.replace resolved (c, f) ();
+                  changed := true
+                end;
+                apply_call ~callee:f ~args ~lhs)
+              fns)
+      constraints
+  done;
+  { solver = t; constraints }
+
+(** Points-to targets of a node: all interned nodes in its pointed-to
+    class. *)
+let targets (r : result) (node : Cells.node) : Cells.node list =
+  let t = r.solver in
+  match Hashtbl.find_opt t.ids node with
+  | None -> []
+  | Some i ->
+      let c = find t (pts_of t i) in
+      let out = ref [] in
+      Hashtbl.iter (fun n j -> if find t j = c then out := n :: !out) t.ids;
+      !out
+
+(** Average number of targets per pointer variable that has any —
+    the headline precision metric for the ablation comparison. *)
+let avg_targets (r : result) : float =
+  let t = r.solver in
+  let total = ref 0 and count = ref 0 in
+  Hashtbl.iter
+    (fun node i ->
+      match node with
+      | Cells.Nvar _ -> (
+          let i = find t i in
+          match t.pts.(i) with
+          | None -> ()
+          | Some _ ->
+              let n = List.length (targets r node) in
+              if n > 0 then begin
+                total := !total + n;
+                incr count
+              end)
+      | Cells.Nheap | Cells.Nstr | Cells.Nfun _ -> ())
+    t.ids;
+  if !count = 0 then 0. else float_of_int !total /. float_of_int !count

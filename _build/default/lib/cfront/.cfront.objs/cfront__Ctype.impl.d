@@ -1,0 +1,1 @@
+lib/cfront/ctype.ml: Fmt Hashtbl List String

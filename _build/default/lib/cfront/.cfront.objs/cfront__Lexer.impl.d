@@ -1,0 +1,1 @@
+lib/cfront/lexer.ml: Array Buffer Int64 Lexing Srcloc String Token

@@ -1,0 +1,1 @@
+lib/cfront/parser.ml: Ast Char Ctype Fun Hashtbl Int64 Lexer Lexing List Printf Srcloc Token

@@ -1,0 +1,121 @@
+(** Abstract syntax for the analyzed C subset, as produced by {!Parser}.
+
+    This is a conventional C AST: expressions are unrestricted (arbitrary
+    nesting, side effects, calls in operand position); the {!Simple_ir}
+    simplification pass lowers it to the SIMPLE form required by the
+    points-to analysis. *)
+
+type unop =
+  | Uneg  (** -e *)
+  | Ubnot  (** ~e *)
+  | Ulnot  (** !e *)
+  | Uaddr  (** &e *)
+  | Uderef  (** *e *)
+
+type binop =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Bmod
+  | Bshl
+  | Bshr
+  | Blt
+  | Bgt
+  | Ble
+  | Bge
+  | Beq
+  | Bne
+  | Bband  (** bitwise & *)
+  | Bbor  (** bitwise | *)
+  | Bbxor
+  | Bland  (** logical && *)
+  | Blor  (** logical || *)
+
+type incdec_pos = Pre | Post
+type incdec_op = Inc | Dec
+
+type expr =
+  | Eint of int64
+  | Efloat of float
+  | Echar of char
+  | Estr of string
+  | Eident of string
+  | Eunary of unop * expr
+  | Ebinary of binop * expr * expr
+  | Eassign of binop option * expr * expr
+      (** [Eassign (None, l, r)] is [l = r]; [Eassign (Some op, l, r)] is a
+          compound assignment like [l += r]. *)
+  | Econd of expr * expr * expr  (** e ? e : e *)
+  | Ecall of expr * expr list
+  | Eindex of expr * expr  (** e[e] *)
+  | Emember of expr * string  (** e.f *)
+  | Earrow of expr * string  (** e->f *)
+  | Ecast of Ctype.t * expr
+  | Esizeof_type of Ctype.t
+  | Esizeof_expr of expr
+  | Ecomma of expr * expr
+  | Eincdec of incdec_pos * incdec_op * expr
+
+type init =
+  | Iexpr of expr
+  | Ilist of init list  (** brace-enclosed initializer *)
+
+type decl = {
+  d_name : string;
+  d_ty : Ctype.t;
+  d_init : init option;
+  d_loc : Srcloc.t;
+}
+
+(** One [case]/[default] group of a switch body. Execution falls through
+    from group [i] to group [i+1] unless a [break] intervenes. *)
+type 'stmt switch_group = {
+  sg_cases : int64 list;  (** values of the [case] labels of this group *)
+  sg_default : bool;
+  sg_body : 'stmt list;
+}
+
+type stmt = { s_loc : Srcloc.t; s_desc : stmt_desc }
+
+and stmt_desc =
+  | Sexpr of expr
+  | Sdecl of decl
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo of stmt list * expr
+  | Sfor of expr option * expr option * expr option * stmt list
+  | Sswitch of expr * stmt switch_group list
+  | Sbreak
+  | Scontinue
+  | Sreturn of expr option
+  | Sblock of stmt list
+
+type func_def = {
+  f_name : string;
+  f_ret : Ctype.t;
+  f_params : (string * Ctype.t) list;
+  f_variadic : bool;
+  f_body : stmt list;
+  f_loc : Srcloc.t;
+}
+
+type program = {
+  p_globals : decl list;  (** in declaration order *)
+  p_funcs : func_def list;  (** in definition order *)
+  p_layouts : Ctype.layouts;
+  p_protos : (string * Ctype.func_sig) list;
+      (** declared-but-undefined functions (externals) *)
+}
+
+let find_func p name = List.find_opt (fun f -> String.equal f.f_name name) p.p_funcs
+
+let is_defined p name = Option.is_some (find_func p name)
+
+(** Signature of a function: from its definition if present, else from a
+    prototype. *)
+let func_sig p name : Ctype.func_sig option =
+  match find_func p name with
+  | Some f ->
+      Some { Ctype.ret = f.f_ret; params = List.map snd f.f_params; variadic = f.f_variadic }
+  | None -> List.assoc_opt name p.p_protos

@@ -1,0 +1,156 @@
+(** C types for the analyzed subset.
+
+    Types are structural except for struct/union types, which are referred
+    to by tag and whose field layouts live in a side table ({!layouts}).
+    Typedefs are resolved away by the parser, so they never appear here. *)
+
+type int_kind = Ichar | Ishort | Iint | Ilong
+type float_kind = Ffloat | Fdouble
+
+type t =
+  | Void
+  | Int of int_kind  (** signedness is irrelevant to points-to analysis *)
+  | Float of float_kind
+  | Ptr of t
+  | Array of t * int option  (** element type, optional constant length *)
+  | Func of func_sig
+  | Su of su_kind * string  (** struct/union by tag *)
+
+and su_kind = Struct_su | Union_su
+
+and func_sig = {
+  ret : t;
+  params : t list;
+  variadic : bool;
+}
+
+(** Field layout of one struct or union. *)
+type layout = {
+  su : su_kind;
+  tag : string;
+  fields : (string * t) list;
+}
+
+(** Side table mapping struct/union tags to layouts. *)
+type layouts = (string, layout) Hashtbl.t
+
+let rec equal a b =
+  match (a, b) with
+  | Void, Void -> true
+  | Int k1, Int k2 -> k1 = k2
+  | Float k1, Float k2 -> k1 = k2
+  | Ptr a, Ptr b -> equal a b
+  | Array (a, n1), Array (b, n2) -> equal a b && n1 = n2
+  | Func f1, Func f2 ->
+      equal f1.ret f2.ret
+      && List.length f1.params = List.length f2.params
+      && List.for_all2 equal f1.params f2.params
+      && f1.variadic = f2.variadic
+  | Su (k1, t1), Su (k2, t2) -> k1 = k2 && String.equal t1 t2
+  | (Void | Int _ | Float _ | Ptr _ | Array _ | Func _ | Su _), _ -> false
+
+let is_pointer = function Ptr _ -> true | _ -> false
+let is_array = function Array _ -> true | _ -> false
+let is_func = function Func _ -> true | _ -> false
+
+let is_func_pointer = function Ptr (Func _) -> true | _ -> false
+
+let is_su = function Su _ -> true | _ -> false
+
+(** A type "carries pointers" if assigning a value of this type can
+    create or copy points-to relationships: pointers themselves, arrays of
+    pointer-carrying elements, and structs/unions with pointer-carrying
+    fields. Used to decide which assignments the analysis must model. *)
+let rec carries_pointers layouts t =
+  match t with
+  | Ptr _ -> true
+  | Array (elt, _) -> carries_pointers layouts elt
+  | Su (_, tag) -> (
+      match Hashtbl.find_opt layouts tag with
+      | None -> false
+      | Some l -> List.exists (fun (_, ft) -> carries_pointers layouts ft) l.fields)
+  | Void | Int _ | Float _ | Func _ -> false
+
+(** Decay arrays to pointers and functions to function pointers, as in
+    r-value contexts in C. *)
+let decay = function
+  | Array (elt, _) -> Ptr elt
+  | Func _ as f -> Ptr f
+  | t -> t
+
+(** Target type of a pointer (after array decay); [None] if not a pointer. *)
+let deref = function
+  | Ptr t -> Some t
+  | Array (t, _) -> Some t
+  | Void | Int _ | Float _ | Func _ | Su _ -> None
+
+(** Layout of [t] if it is a struct/union with a known layout. *)
+let su_of layouts t =
+  match t with Su (_, tag) -> Hashtbl.find_opt layouts tag | _ -> None
+
+(** One step of a path from an aggregate to a contained location. *)
+type path_step = Pfield of string | Phead | Ptail
+
+(** Paths from a value of type [t] to its pointer-carrying leaf
+    locations. Array members contribute separate head and tail paths;
+    unions are leaves (collapsed to a single location by the analysis);
+    pointers are leaves. Used to expand struct copies field-wise. *)
+let rec pointer_leaf_paths layouts (t : t) : path_step list list =
+  match t with
+  | Ptr _ -> [ [] ]
+  | Array (elt, _) ->
+      if carries_pointers layouts elt then
+        let sub = pointer_leaf_paths layouts elt in
+        List.map (fun p -> Phead :: p) sub @ List.map (fun p -> Ptail :: p) sub
+      else []
+  | Su (Union_su, _) -> if carries_pointers layouts t then [ [] ] else []
+  | Su (Struct_su, tag) -> (
+      match Hashtbl.find_opt layouts tag with
+      | None -> []
+      | Some l ->
+          List.concat_map
+            (fun (f, ft) ->
+              List.map (fun p -> Pfield f :: p) (pointer_leaf_paths layouts ft))
+            l.fields)
+  | Void | Int _ | Float _ | Func _ -> []
+
+let field_type layouts t fname =
+  match t with
+  | Su (_, tag) -> (
+      match Hashtbl.find_opt layouts tag with
+      | None -> None
+      | Some l -> List.assoc_opt fname l.fields)
+  | Void | Int _ | Float _ | Ptr _ | Array _ | Func _ -> None
+
+let rec pp ppf t =
+  match t with
+  | Void -> Fmt.string ppf "void"
+  | Int Ichar -> Fmt.string ppf "char"
+  | Int Ishort -> Fmt.string ppf "short"
+  | Int Iint -> Fmt.string ppf "int"
+  | Int Ilong -> Fmt.string ppf "long"
+  | Float Ffloat -> Fmt.string ppf "float"
+  | Float Fdouble -> Fmt.string ppf "double"
+  | Ptr t -> Fmt.pf ppf "%a*" pp t
+  | Array _ as a ->
+      (* print dimensions outermost-first, as C spells them *)
+      let rec dims acc = function
+        | Array (t, n) -> dims (n :: acc) t
+        | t -> (t, List.rev acc)
+      in
+      let elt, ds = dims [] a in
+      pp ppf elt;
+      List.iter
+        (function
+          | None -> Fmt.string ppf "[]"
+          | Some n -> Fmt.pf ppf "[%d]" n)
+        ds
+  | Func { ret; params; variadic } ->
+      Fmt.pf ppf "%a(%a%s)" pp ret
+        (Fmt.list ~sep:(Fmt.any ", ") pp)
+        params
+        (if variadic then ", ..." else "")
+  | Su (Struct_su, tag) -> Fmt.pf ppf "struct %s" tag
+  | Su (Union_su, tag) -> Fmt.pf ppf "union %s" tag
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,119 @@
+{
+(* Lexer for the C subset. Preprocessor lines (# ...) are skipped: the
+   benchmark suite is self-contained and uses no macros, but sources may
+   retain #include lines for documentation value. *)
+
+open Token
+
+let error lexbuf fmt =
+  Srcloc.error (Srcloc.of_lexbuf lexbuf) fmt
+
+let char_of_escape lexbuf = function
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | 'a' -> '\007'
+  | 'b' -> '\b'
+  | 'f' -> '\012'
+  | 'v' -> '\011'
+  | c -> error lexbuf "unknown escape sequence '\\%c'" c
+
+let buf = Buffer.create 64
+}
+
+let digit = ['0'-'9']
+let hex = ['0'-'9' 'a'-'f' 'A'-'F']
+let oct = ['0'-'7']
+let alpha = ['a'-'z' 'A'-'Z' '_']
+let ident = alpha (alpha | digit)*
+let int_suffix = ['u' 'U' 'l' 'L']*
+let float_suffix = ['f' 'F' 'l' 'L']?
+let exp = ['e' 'E'] ['+' '-']? digit+
+
+rule token = parse
+  | [' ' '\t' '\r']+        { token lexbuf }
+  | '\n'                    { Lexing.new_line lexbuf; token lexbuf }
+  | '#' [^ '\n']*           { token lexbuf }
+  | "/*"                    { comment lexbuf; token lexbuf }
+  | "//" [^ '\n']*          { token lexbuf }
+  | "0x" (hex+ as s) int_suffix { INT_LIT (Int64.of_string ("0x" ^ s)) }
+  | '0' (oct+ as s) int_suffix  { INT_LIT (Int64.of_string ("0o" ^ s)) }
+  | (digit+ as s) int_suffix    { INT_LIT (Int64.of_string s) }
+  | (digit+ '.' digit* exp? | digit* '.' digit+ exp? | digit+ exp) float_suffix as s
+      { let s = String.sub s 0 (String.length s) in
+        let s =
+          match s.[String.length s - 1] with
+          | 'f' | 'F' | 'l' | 'L' -> String.sub s 0 (String.length s - 1)
+          | _ -> s
+        in
+        FLOAT_LIT (float_of_string s) }
+  | '\'' ([^ '\\' '\''] as c) '\''  { CHAR_LIT c }
+  | '\'' '\\' (_ as c) '\''         { CHAR_LIT (char_of_escape lexbuf c) }
+  | '"'                     { Buffer.clear buf; string_lit lexbuf }
+  | ident as s              { Token.of_ident s }
+  | "..."                   { ELLIPSIS }
+  | "->"                    { ARROW }
+  | "++"                    { PLUSPLUS }
+  | "--"                    { MINUSMINUS }
+  | "<<="                   { SHL_ASSIGN }
+  | ">>="                   { SHR_ASSIGN }
+  | "<<"                    { SHL }
+  | ">>"                    { SHR }
+  | "<="                    { LE }
+  | ">="                    { GE }
+  | "=="                    { EQEQ }
+  | "!="                    { NEQ }
+  | "&&"                    { AMPAMP }
+  | "||"                    { PIPEPIPE }
+  | "+="                    { PLUS_ASSIGN }
+  | "-="                    { MINUS_ASSIGN }
+  | "*="                    { STAR_ASSIGN }
+  | "/="                    { SLASH_ASSIGN }
+  | "%="                    { PERCENT_ASSIGN }
+  | "&="                    { AMP_ASSIGN }
+  | "|="                    { PIPE_ASSIGN }
+  | "^="                    { CARET_ASSIGN }
+  | '('                     { LPAREN }
+  | ')'                     { RPAREN }
+  | '{'                     { LBRACE }
+  | '}'                     { RBRACE }
+  | '['                     { LBRACKET }
+  | ']'                     { RBRACKET }
+  | ';'                     { SEMI }
+  | ','                     { COMMA }
+  | ':'                     { COLON }
+  | '?'                     { QUESTION }
+  | '.'                     { DOT }
+  | '+'                     { PLUS }
+  | '-'                     { MINUS }
+  | '*'                     { STAR }
+  | '/'                     { SLASH }
+  | '%'                     { PERCENT }
+  | '&'                     { AMP }
+  | '|'                     { PIPE }
+  | '^'                     { CARET }
+  | '~'                     { TILDE }
+  | '!'                     { BANG }
+  | '<'                     { LT }
+  | '>'                     { GT }
+  | '='                     { ASSIGN }
+  | eof                     { EOF }
+  | _ as c                  { error lexbuf "unexpected character %C" c }
+
+and comment = parse
+  | "*/"                    { () }
+  | '\n'                    { Lexing.new_line lexbuf; comment lexbuf }
+  | eof                     { error lexbuf "unterminated comment" }
+  | _                       { comment lexbuf }
+
+and string_lit = parse
+  | '"'                     { STR_LIT (Buffer.contents buf) }
+  | '\\' (_ as c)           { Buffer.add_char buf (char_of_escape lexbuf c);
+                              string_lit lexbuf }
+  | '\n'                    { error lexbuf "newline in string literal" }
+  | eof                     { error lexbuf "unterminated string literal" }
+  | _ as c                  { Buffer.add_char buf c; string_lit lexbuf }

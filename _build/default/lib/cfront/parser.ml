@@ -1,0 +1,974 @@
+(** Recursive-descent parser for the analyzed C subset.
+
+    The grammar covers the C constructs exercised by the PLDI'94 benchmark
+    suite: all scalar types, multi-level pointers, arrays (including
+    multi-dimensional), structs/unions (including nested and recursive via
+    pointers), enums, typedefs, function pointers (including arrays of
+    function pointers and function-pointer struct fields), the full
+    structured statement set, and all C expression forms except
+    compound literals and K&R-style definitions. [goto] is rejected with a
+    diagnostic pointing at the McCAT goto-elimination substitution
+    (see DESIGN.md).
+
+    Typedef names are resolved during parsing (the "lexer hack" done on the
+    parser side: the token stream produces plain identifiers and the parser
+    consults its typedef table to decide whether a token starts a type). *)
+
+open Token
+
+type state = {
+  lexbuf : Lexing.lexbuf;
+  mutable lookahead : Token.t list;  (** buffered tokens, oldest first *)
+  typedefs : (string, Ctype.t) Hashtbl.t;
+  enum_consts : (string, int64) Hashtbl.t;
+  layouts : Ctype.layouts;
+  mutable globals : Ast.decl list;  (** reverse order *)
+  mutable funcs : Ast.func_def list;  (** reverse order *)
+  mutable protos : (string * Ctype.func_sig) list;
+}
+
+let make_state lexbuf =
+  {
+    lexbuf;
+    lookahead = [];
+    typedefs = Hashtbl.create 16;
+    enum_consts = Hashtbl.create 16;
+    layouts = Hashtbl.create 16;
+    globals = [];
+    funcs = [];
+    protos = [];
+  }
+
+let loc_of st = Srcloc.of_lexbuf st.lexbuf
+
+let err st fmt = Srcloc.error (loc_of st) fmt
+
+let peek_nth st n =
+  while List.length st.lookahead <= n do
+    st.lookahead <- st.lookahead @ [ Lexer.token st.lexbuf ]
+  done;
+  List.nth st.lookahead n
+
+let peek st = peek_nth st 0
+let peek2 st = peek_nth st 1
+
+let advance st =
+  match st.lookahead with
+  | t :: rest ->
+      st.lookahead <- rest;
+      t
+  | [] -> Lexer.token st.lexbuf
+
+let expect st tok =
+  let t = advance st in
+  if t <> tok then
+    err st "expected '%s' but found '%s'" (Token.to_string tok) (Token.to_string t)
+
+let accept st tok = if peek st = tok then (ignore (advance st); true) else false
+
+(* ------------------------------------------------------------------ *)
+(* Type specifiers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let is_typedef_name st s = Hashtbl.mem st.typedefs s
+
+(** Does the current token start a declaration (type specifier or storage
+    class)? *)
+let starts_type st tok =
+  match tok with
+  | KW_VOID | KW_CHAR | KW_SHORT | KW_INT | KW_LONG | KW_FLOAT | KW_DOUBLE
+  | KW_SIGNED | KW_UNSIGNED | KW_CONST | KW_VOLATILE | KW_STRUCT | KW_UNION
+  | KW_ENUM ->
+      true
+  | IDENT s -> is_typedef_name st s
+  | _ -> false
+
+let starts_decl st tok =
+  match tok with
+  | KW_STATIC | KW_EXTERN | KW_REGISTER | KW_AUTO | KW_TYPEDEF -> true
+  | _ -> starts_type st tok
+
+type specifiers = { spec_ty : Ctype.t; spec_typedef : bool }
+
+let anon_counter = ref 0
+
+let fresh_anon_tag prefix =
+  incr anon_counter;
+  Printf.sprintf "%s$%d" prefix !anon_counter
+
+(* Forward declarations to break the specifier/declarator cycle
+   (struct fields and function parameters contain declarators). *)
+let rec parse_specifiers st : specifiers =
+  let is_typedef = ref false in
+  let base : Ctype.t option ref = ref None in
+  let long_count = ref 0 in
+  let saw_int_adj = ref false in
+  (* signed/unsigned/short: fold into int kinds *)
+  let set_base t =
+    match !base with
+    | None -> base := Some t
+    | Some _ -> err st "conflicting type specifiers"
+  in
+  let continue_ = ref true in
+  while !continue_ do
+    (match peek st with
+    | KW_CONST | KW_VOLATILE | KW_STATIC | KW_EXTERN | KW_REGISTER | KW_AUTO ->
+        ignore (advance st)
+    | KW_TYPEDEF ->
+        ignore (advance st);
+        is_typedef := true
+    | KW_VOID -> ignore (advance st); set_base Ctype.Void
+    | KW_CHAR -> ignore (advance st); set_base (Ctype.Int Ctype.Ichar)
+    | KW_SHORT ->
+        ignore (advance st);
+        saw_int_adj := true;
+        set_base (Ctype.Int Ctype.Ishort)
+    | KW_INT ->
+        ignore (advance st);
+        if !base = None && !long_count = 0 && not !saw_int_adj then
+          set_base (Ctype.Int Ctype.Iint)
+        (* 'short int', 'long int', 'unsigned int': int token absorbed *)
+    | KW_LONG ->
+        ignore (advance st);
+        incr long_count
+    | KW_SIGNED | KW_UNSIGNED ->
+        ignore (advance st);
+        saw_int_adj := true
+    | KW_FLOAT -> ignore (advance st); set_base (Ctype.Float Ctype.Ffloat)
+    | KW_DOUBLE -> ignore (advance st); set_base (Ctype.Float Ctype.Fdouble)
+    | KW_STRUCT | KW_UNION ->
+        let su =
+          match advance st with
+          | KW_STRUCT -> Ctype.Struct_su
+          | _ -> Ctype.Union_su
+        in
+        set_base (parse_struct_or_union st su)
+    | KW_ENUM ->
+        ignore (advance st);
+        parse_enum st;
+        set_base (Ctype.Int Ctype.Iint)
+    | IDENT s when !base = None && !long_count = 0 && not !saw_int_adj
+                   && is_typedef_name st s -> (
+        (* a typedef name is only a specifier if no base type seen yet *)
+        ignore (advance st);
+        match Hashtbl.find_opt st.typedefs s with
+        | Some t -> set_base t
+        | None -> assert false)
+    | _ -> continue_ := false);
+    (* stop when the next token can no longer extend the specifiers *)
+    if !continue_ then
+      match peek st with
+      | KW_VOID | KW_CHAR | KW_SHORT | KW_INT | KW_LONG | KW_FLOAT | KW_DOUBLE
+      | KW_SIGNED | KW_UNSIGNED | KW_CONST | KW_VOLATILE | KW_STATIC
+      | KW_EXTERN | KW_REGISTER | KW_AUTO | KW_TYPEDEF | KW_STRUCT | KW_UNION
+      | KW_ENUM ->
+          ()
+      | IDENT s
+        when !base = None && !long_count = 0 && not !saw_int_adj
+             && is_typedef_name st s ->
+          ()
+      | _ -> continue_ := false
+  done;
+  let ty =
+    match (!base, !long_count, !saw_int_adj) with
+    | Some t, 0, _ -> t
+    | Some (Ctype.Float Ctype.Fdouble), _, _ -> Ctype.Float Ctype.Fdouble
+    | (None | Some (Ctype.Int Ctype.Iint)), n, _ when n > 0 -> Ctype.Int Ctype.Ilong
+    | None, _, true -> Ctype.Int Ctype.Iint (* bare signed/unsigned/short *)
+    | None, _, false ->
+        err st "expected type specifier, found '%s'" (Token.to_string (peek st))
+    | Some t, _, _ -> t
+  in
+  { spec_ty = ty; spec_typedef = !is_typedef }
+
+and parse_struct_or_union st su : Ctype.t =
+  let tag =
+    match peek st with
+    | IDENT s ->
+        ignore (advance st);
+        s
+    | _ -> fresh_anon_tag (match su with Ctype.Struct_su -> "struct" | _ -> "union")
+  in
+  if accept st LBRACE then begin
+    let fields = ref [] in
+    while peek st <> RBRACE do
+      let spec = parse_specifiers st in
+      if spec.spec_typedef then err st "typedef not allowed in struct body";
+      let rec field_loop () =
+        let name, mk = parse_declarator st in
+        (match name with
+        | Some n -> fields := (n, mk spec.spec_ty) :: !fields
+        | None -> err st "struct field requires a name");
+        if accept st COMMA then field_loop ()
+      in
+      field_loop ();
+      expect st SEMI
+    done;
+    expect st RBRACE;
+    Hashtbl.replace st.layouts tag { Ctype.su; tag; fields = List.rev !fields }
+  end;
+  Ctype.Su (su, tag)
+
+and parse_enum st =
+  (match peek st with IDENT _ -> ignore (advance st) | _ -> ());
+  if accept st LBRACE then begin
+    let next = ref 0L in
+    let rec enum_loop () =
+      match peek st with
+      | IDENT name ->
+          ignore (advance st);
+          if accept st ASSIGN then begin
+            let v = parse_const_expr st in
+            next := v
+          end;
+          Hashtbl.replace st.enum_consts name !next;
+          next := Int64.add !next 1L;
+          if accept st COMMA then begin
+            match peek st with RBRACE -> () | _ -> enum_loop ()
+          end
+      | RBRACE -> ()
+      | t -> err st "expected enumerator, found '%s'" (Token.to_string t)
+    in
+    enum_loop ();
+    expect st RBRACE
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Declarators                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Parse a (possibly abstract) declarator. Returns the declared name (if
+    any) and a function that, applied to the base type from the
+    specifiers, yields the full declared type. *)
+and parse_declarator st : string option * (Ctype.t -> Ctype.t) =
+  if accept st STAR then begin
+    while peek st = KW_CONST || peek st = KW_VOLATILE do
+      ignore (advance st)
+    done;
+    let name, mk = parse_declarator st in
+    (name, fun base -> mk (Ctype.Ptr base))
+  end
+  else parse_direct_declarator st
+
+and parse_direct_declarator st : string option * (Ctype.t -> Ctype.t) =
+  let name, core =
+    match peek st with
+    | IDENT s when not (is_typedef_name st s) ->
+        ignore (advance st);
+        (Some s, fun t -> t)
+    | LPAREN when is_paren_declarator st ->
+        ignore (advance st);
+        let name, mk = parse_declarator st in
+        expect st RPAREN;
+        (name, mk)
+    | _ -> (None, fun t -> t)
+  in
+  let rec suffixes (mk : Ctype.t -> Ctype.t) =
+    match peek st with
+    | LBRACKET ->
+        ignore (advance st);
+        let n =
+          if peek st = RBRACKET then None else Some (Int64.to_int (parse_const_expr st))
+        in
+        expect st RBRACKET;
+        suffixes (fun base -> mk (Ctype.Array (base, n)))
+    | LPAREN ->
+        ignore (advance st);
+        let params, variadic = parse_param_list st in
+        expect st RPAREN;
+        suffixes (fun base ->
+            mk (Ctype.Func { Ctype.ret = base; params = List.map snd params; variadic }))
+    | _ -> mk
+  in
+  (name, suffixes core)
+
+(** Decide whether the '(' at the current position opens a parenthesized
+    declarator — as in a function-pointer declaration "int ( *fp )(void)" —
+    rather than a parameter list. *)
+and is_paren_declarator st =
+  match peek2 st with
+  | STAR | LPAREN | LBRACKET -> true
+  | IDENT s -> not (is_typedef_name st s)
+  | _ -> false
+
+(** Parse a parameter list (cursor just after '('). Array and function
+    parameter types decay. Returns named-or-anonymous parameters. *)
+and parse_param_list st : (string * Ctype.t) list * bool =
+  if peek st = RPAREN then ([], false)
+  else if peek st = KW_VOID && peek2 st = RPAREN then begin
+    ignore (advance st);
+    ([], false)
+  end
+  else begin
+    let params = ref [] in
+    let variadic = ref false in
+    let rec loop i =
+      if accept st ELLIPSIS then variadic := true
+      else begin
+        let spec = parse_specifiers st in
+        let name, mk = parse_declarator st in
+        let ty = Ctype.decay (mk spec.spec_ty) in
+        let name = match name with Some n -> n | None -> Printf.sprintf "$arg%d" i in
+        params := (name, ty) :: !params;
+        if accept st COMMA then loop (i + 1)
+      end
+    in
+    loop 0;
+    (List.rev !params, !variadic)
+  end
+
+(** Parse a type name (specifiers + abstract declarator), as used in casts
+    and sizeof. *)
+and parse_type_name st : Ctype.t =
+  let spec = parse_specifiers st in
+  let name, mk = parse_declarator st in
+  (match name with
+  | Some n -> err st "unexpected identifier '%s' in type name" n
+  | None -> ());
+  mk spec.spec_ty
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+and parse_const_expr st : int64 =
+  let e = parse_conditional st in
+  eval_const st e
+
+and eval_const st (e : Ast.expr) : int64 =
+  let open Ast in
+  match e with
+  | Eint n -> n
+  | Echar c -> Int64.of_int (Char.code c)
+  | Eident s -> (
+      match Hashtbl.find_opt st.enum_consts s with
+      | Some v -> v
+      | None -> err st "'%s' is not a constant" s)
+  | Eunary (Uneg, e) -> Int64.neg (eval_const st e)
+  | Eunary (Ubnot, e) -> Int64.lognot (eval_const st e)
+  | Eunary (Ulnot, e) -> if eval_const st e = 0L then 1L else 0L
+  | Ebinary (op, a, b) -> (
+      let a = eval_const st a and b = eval_const st b in
+      let bool_ v = if v then 1L else 0L in
+      match op with
+      | Badd -> Int64.add a b
+      | Bsub -> Int64.sub a b
+      | Bmul -> Int64.mul a b
+      | Bdiv -> if b = 0L then err st "division by zero in constant" else Int64.div a b
+      | Bmod -> if b = 0L then err st "division by zero in constant" else Int64.rem a b
+      | Bshl -> Int64.shift_left a (Int64.to_int b)
+      | Bshr -> Int64.shift_right a (Int64.to_int b)
+      | Blt -> bool_ (a < b)
+      | Bgt -> bool_ (a > b)
+      | Ble -> bool_ (a <= b)
+      | Bge -> bool_ (a >= b)
+      | Beq -> bool_ (a = b)
+      | Bne -> bool_ (a <> b)
+      | Bband -> Int64.logand a b
+      | Bbor -> Int64.logor a b
+      | Bbxor -> Int64.logxor a b
+      | Bland -> bool_ (a <> 0L && b <> 0L)
+      | Blor -> bool_ (a <> 0L || b <> 0L))
+  | Esizeof_type _ | Esizeof_expr _ -> 4L (* size is irrelevant to the analysis *)
+  | Ecast (_, e) -> eval_const st e
+  | Econd (c, t, f) -> if eval_const st c <> 0L then eval_const st t else eval_const st f
+  | _ -> err st "expression is not constant"
+
+and parse_expr st : Ast.expr =
+  let e = parse_assignment st in
+  if peek st = COMMA then begin
+    ignore (advance st);
+    let rest = parse_expr st in
+    Ast.Ecomma (e, rest)
+  end
+  else e
+
+and parse_assignment st : Ast.expr =
+  let lhs = parse_conditional st in
+  let mk op =
+    ignore (advance st);
+    let rhs = parse_assignment st in
+    Ast.Eassign (op, lhs, rhs)
+  in
+  match peek st with
+  | ASSIGN -> mk None
+  | PLUS_ASSIGN -> mk (Some Ast.Badd)
+  | MINUS_ASSIGN -> mk (Some Ast.Bsub)
+  | STAR_ASSIGN -> mk (Some Ast.Bmul)
+  | SLASH_ASSIGN -> mk (Some Ast.Bdiv)
+  | PERCENT_ASSIGN -> mk (Some Ast.Bmod)
+  | AMP_ASSIGN -> mk (Some Ast.Bband)
+  | PIPE_ASSIGN -> mk (Some Ast.Bbor)
+  | CARET_ASSIGN -> mk (Some Ast.Bbxor)
+  | SHL_ASSIGN -> mk (Some Ast.Bshl)
+  | SHR_ASSIGN -> mk (Some Ast.Bshr)
+  | _ -> lhs
+
+and parse_conditional st : Ast.expr =
+  let c = parse_logical_or st in
+  if accept st QUESTION then begin
+    let t = parse_expr st in
+    expect st COLON;
+    let f = parse_conditional st in
+    Ast.Econd (c, t, f)
+  end
+  else c
+
+and parse_logical_or st =
+  let rec loop acc =
+    if accept st PIPEPIPE then loop (Ast.Ebinary (Ast.Blor, acc, parse_logical_and st))
+    else acc
+  in
+  loop (parse_logical_and st)
+
+and parse_logical_and st =
+  let rec loop acc =
+    if accept st AMPAMP then loop (Ast.Ebinary (Ast.Bland, acc, parse_bit_or st))
+    else acc
+  in
+  loop (parse_bit_or st)
+
+and parse_bit_or st =
+  let rec loop acc =
+    if peek st = PIPE then begin
+      ignore (advance st);
+      loop (Ast.Ebinary (Ast.Bbor, acc, parse_bit_xor st))
+    end
+    else acc
+  in
+  loop (parse_bit_xor st)
+
+and parse_bit_xor st =
+  let rec loop acc =
+    if accept st CARET then loop (Ast.Ebinary (Ast.Bbxor, acc, parse_bit_and st))
+    else acc
+  in
+  loop (parse_bit_and st)
+
+and parse_bit_and st =
+  let rec loop acc =
+    if peek st = AMP then begin
+      ignore (advance st);
+      loop (Ast.Ebinary (Ast.Bband, acc, parse_equality st))
+    end
+    else acc
+  in
+  loop (parse_equality st)
+
+and parse_equality st =
+  let rec loop acc =
+    match peek st with
+    | EQEQ ->
+        ignore (advance st);
+        loop (Ast.Ebinary (Ast.Beq, acc, parse_relational st))
+    | NEQ ->
+        ignore (advance st);
+        loop (Ast.Ebinary (Ast.Bne, acc, parse_relational st))
+    | _ -> acc
+  in
+  loop (parse_relational st)
+
+and parse_relational st =
+  let rec loop acc =
+    match peek st with
+    | LT ->
+        ignore (advance st);
+        loop (Ast.Ebinary (Ast.Blt, acc, parse_shift st))
+    | GT ->
+        ignore (advance st);
+        loop (Ast.Ebinary (Ast.Bgt, acc, parse_shift st))
+    | LE ->
+        ignore (advance st);
+        loop (Ast.Ebinary (Ast.Ble, acc, parse_shift st))
+    | GE ->
+        ignore (advance st);
+        loop (Ast.Ebinary (Ast.Bge, acc, parse_shift st))
+    | _ -> acc
+  in
+  loop (parse_shift st)
+
+and parse_shift st =
+  let rec loop acc =
+    match peek st with
+    | SHL ->
+        ignore (advance st);
+        loop (Ast.Ebinary (Ast.Bshl, acc, parse_additive st))
+    | SHR ->
+        ignore (advance st);
+        loop (Ast.Ebinary (Ast.Bshr, acc, parse_additive st))
+    | _ -> acc
+  in
+  loop (parse_additive st)
+
+and parse_additive st =
+  let rec loop acc =
+    match peek st with
+    | PLUS ->
+        ignore (advance st);
+        loop (Ast.Ebinary (Ast.Badd, acc, parse_multiplicative st))
+    | MINUS ->
+        ignore (advance st);
+        loop (Ast.Ebinary (Ast.Bsub, acc, parse_multiplicative st))
+    | _ -> acc
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop acc =
+    match peek st with
+    | STAR ->
+        ignore (advance st);
+        loop (Ast.Ebinary (Ast.Bmul, acc, parse_cast st))
+    | SLASH ->
+        ignore (advance st);
+        loop (Ast.Ebinary (Ast.Bdiv, acc, parse_cast st))
+    | PERCENT ->
+        ignore (advance st);
+        loop (Ast.Ebinary (Ast.Bmod, acc, parse_cast st))
+    | _ -> acc
+  in
+  loop (parse_cast st)
+
+and parse_cast st : Ast.expr =
+  match peek st with
+  | LPAREN when starts_type st (peek2 st) ->
+      ignore (advance st);
+      let ty = parse_type_name st in
+      expect st RPAREN;
+      Ast.Ecast (ty, parse_cast st)
+  | _ -> parse_unary st
+
+and parse_unary st : Ast.expr =
+  match peek st with
+  | MINUS ->
+      ignore (advance st);
+      Ast.Eunary (Ast.Uneg, parse_cast st)
+  | PLUS ->
+      ignore (advance st);
+      parse_cast st
+  | TILDE ->
+      ignore (advance st);
+      Ast.Eunary (Ast.Ubnot, parse_cast st)
+  | BANG ->
+      ignore (advance st);
+      Ast.Eunary (Ast.Ulnot, parse_cast st)
+  | AMP ->
+      ignore (advance st);
+      Ast.Eunary (Ast.Uaddr, parse_cast st)
+  | STAR ->
+      ignore (advance st);
+      Ast.Eunary (Ast.Uderef, parse_cast st)
+  | PLUSPLUS ->
+      ignore (advance st);
+      Ast.Eincdec (Ast.Pre, Ast.Inc, parse_unary st)
+  | MINUSMINUS ->
+      ignore (advance st);
+      Ast.Eincdec (Ast.Pre, Ast.Dec, parse_unary st)
+  | KW_SIZEOF ->
+      ignore (advance st);
+      if peek st = LPAREN && starts_type st (peek2 st) then begin
+        ignore (advance st);
+        let ty = parse_type_name st in
+        expect st RPAREN;
+        Ast.Esizeof_type ty
+      end
+      else Ast.Esizeof_expr (parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st : Ast.expr =
+  let rec loop acc =
+    match peek st with
+    | LBRACKET ->
+        ignore (advance st);
+        let idx = parse_expr st in
+        expect st RBRACKET;
+        loop (Ast.Eindex (acc, idx))
+    | LPAREN ->
+        ignore (advance st);
+        let args = parse_args st in
+        expect st RPAREN;
+        loop (Ast.Ecall (acc, args))
+    | DOT ->
+        ignore (advance st);
+        loop (Ast.Emember (acc, parse_field_name st))
+    | ARROW ->
+        ignore (advance st);
+        loop (Ast.Earrow (acc, parse_field_name st))
+    | PLUSPLUS ->
+        ignore (advance st);
+        loop (Ast.Eincdec (Ast.Post, Ast.Inc, acc))
+    | MINUSMINUS ->
+        ignore (advance st);
+        loop (Ast.Eincdec (Ast.Post, Ast.Dec, acc))
+    | _ -> acc
+  in
+  loop (parse_primary st)
+
+and parse_field_name st =
+  match advance st with
+  | IDENT s -> s
+  | t -> err st "expected field name, found '%s'" (Token.to_string t)
+
+and parse_args st : Ast.expr list =
+  if peek st = RPAREN then []
+  else begin
+    let rec loop acc =
+      let e = parse_assignment st in
+      if accept st COMMA then loop (e :: acc) else List.rev (e :: acc)
+    in
+    loop []
+  end
+
+and parse_primary st : Ast.expr =
+  match advance st with
+  | INT_LIT n -> Ast.Eint n
+  | FLOAT_LIT f -> Ast.Efloat f
+  | CHAR_LIT c -> Ast.Echar c
+  | STR_LIT s ->
+      (* adjacent string literals concatenate *)
+      let rec more acc =
+        match peek st with
+        | STR_LIT s2 ->
+            ignore (advance st);
+            more (acc ^ s2)
+        | _ -> acc
+      in
+      Ast.Estr (more s)
+  | IDENT s -> (
+      match Hashtbl.find_opt st.enum_consts s with
+      | Some v -> Ast.Eint v
+      | None -> Ast.Eident s)
+  | LPAREN ->
+      let e = parse_expr st in
+      expect st RPAREN;
+      e
+  | t -> err st "expected expression, found '%s'" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                         *)
+(* ------------------------------------------------------------------ *)
+
+and parse_initializer st : Ast.init =
+  if accept st LBRACE then begin
+    let items = ref [] in
+    if peek st <> RBRACE then begin
+      let rec loop () =
+        items := parse_initializer st :: !items;
+        if accept st COMMA then match peek st with RBRACE -> () | _ -> loop ()
+      in
+      loop ()
+    end;
+    expect st RBRACE;
+    Ast.Ilist (List.rev !items)
+  end
+  else Ast.Iexpr (parse_assignment st)
+
+and parse_local_decls st (spec : specifiers) loc : Ast.stmt list =
+  if spec.spec_typedef then err st "typedef not supported inside function bodies";
+  if accept st SEMI then [] (* bare type declaration, e.g. a local enum/struct *)
+  else
+  let decls = ref [] in
+  let rec loop () =
+    let name, mk = parse_declarator st in
+    let name = match name with Some n -> n | None -> err st "declaration requires a name" in
+    let ty = mk spec.spec_ty in
+    let init = if accept st ASSIGN then Some (parse_initializer st) else None in
+    decls :=
+      { Ast.s_loc = loc; s_desc = Ast.Sdecl { d_name = name; d_ty = ty; d_init = init; d_loc = loc } }
+      :: !decls;
+    if accept st COMMA then loop ()
+  in
+  loop ();
+  expect st SEMI;
+  List.rev !decls
+
+and parse_stmt st : Ast.stmt list =
+  let loc = loc_of st in
+  let one desc = [ { Ast.s_loc = loc; s_desc = desc } ] in
+  match peek st with
+  | t when starts_decl st t ->
+      let spec = parse_specifiers st in
+      parse_local_decls st spec loc
+  | SEMI ->
+      ignore (advance st);
+      []
+  | LBRACE -> one (Ast.Sblock (parse_block st))
+  | KW_IF ->
+      ignore (advance st);
+      expect st LPAREN;
+      let cond = parse_expr st in
+      expect st RPAREN;
+      let then_s = parse_stmt st in
+      let else_s = if accept st KW_ELSE then parse_stmt st else [] in
+      one (Ast.Sif (cond, then_s, else_s))
+  | KW_WHILE ->
+      ignore (advance st);
+      expect st LPAREN;
+      let cond = parse_expr st in
+      expect st RPAREN;
+      one (Ast.Swhile (cond, parse_stmt st))
+  | KW_DO ->
+      ignore (advance st);
+      let body = parse_stmt st in
+      expect st KW_WHILE;
+      expect st LPAREN;
+      let cond = parse_expr st in
+      expect st RPAREN;
+      expect st SEMI;
+      one (Ast.Sdo (body, cond))
+  | KW_FOR ->
+      ignore (advance st);
+      expect st LPAREN;
+      let init = if peek st = SEMI then None else Some (parse_expr st) in
+      expect st SEMI;
+      let cond = if peek st = SEMI then None else Some (parse_expr st) in
+      expect st SEMI;
+      let step = if peek st = RPAREN then None else Some (parse_expr st) in
+      expect st RPAREN;
+      one (Ast.Sfor (init, cond, step, parse_stmt st))
+  | KW_SWITCH ->
+      ignore (advance st);
+      expect st LPAREN;
+      let scrut = parse_expr st in
+      expect st RPAREN;
+      one (Ast.Sswitch (scrut, parse_switch_body st))
+  | KW_BREAK ->
+      ignore (advance st);
+      expect st SEMI;
+      one Ast.Sbreak
+  | KW_CONTINUE ->
+      ignore (advance st);
+      expect st SEMI;
+      one Ast.Scontinue
+  | KW_RETURN ->
+      ignore (advance st);
+      let e = if peek st = SEMI then None else Some (parse_expr st) in
+      expect st SEMI;
+      one (Ast.Sreturn e)
+  | KW_GOTO ->
+      err st
+        "goto is not supported: McCAT's goto-elimination phase [Erosa & Hendren \
+         1994] is out of scope for this reproduction (see DESIGN.md); please \
+         restructure the input"
+  | _ ->
+      let e = parse_expr st in
+      expect st SEMI;
+      one (Ast.Sexpr e)
+
+and parse_block st : Ast.stmt list =
+  expect st LBRACE;
+  let stmts = ref [] in
+  while peek st <> RBRACE do
+    stmts := List.rev_append (parse_stmt st) !stmts
+  done;
+  expect st RBRACE;
+  List.rev !stmts
+
+and parse_switch_body st : Ast.stmt Ast.switch_group list =
+  expect st LBRACE;
+  let groups = ref [] in
+  let rec parse_groups () =
+    match peek st with
+    | RBRACE -> ()
+    | KW_CASE | KW_DEFAULT ->
+        let cases = ref [] in
+        let default = ref false in
+        let rec labels () =
+          match peek st with
+          | KW_CASE ->
+              ignore (advance st);
+              let v = parse_const_expr st in
+              expect st COLON;
+              cases := v :: !cases;
+              labels ()
+          | KW_DEFAULT ->
+              ignore (advance st);
+              expect st COLON;
+              default := true;
+              labels ()
+          | _ -> ()
+        in
+        labels ();
+        let body = ref [] in
+        let rec body_loop () =
+          match peek st with
+          | RBRACE | KW_CASE | KW_DEFAULT -> ()
+          | _ ->
+              body := List.rev_append (parse_stmt st) !body;
+              body_loop ()
+        in
+        body_loop ();
+        groups :=
+          { Ast.sg_cases = List.rev !cases; sg_default = !default; sg_body = List.rev !body }
+          :: !groups;
+        parse_groups ()
+    | t -> err st "expected 'case' or 'default' in switch body, found '%s'" (Token.to_string t)
+  in
+  parse_groups ();
+  expect st RBRACE;
+  List.rev !groups
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let add_proto st name (fsig : Ctype.func_sig) =
+  if not (List.mem_assoc name st.protos) then st.protos <- (name, fsig) :: st.protos
+
+(* Function definitions need the parameter *names*, which the plain
+   declarator machinery drops (it only keeps types). We therefore detect
+   "specifiers declarator {": re-running the declarator parse is
+   impractical, so parse_declarator_named below mirrors parse_declarator
+   but also captures the parameter list of the *outermost* function
+   suffix. *)
+
+type named_decl = {
+  nd_name : string option;
+  nd_mk : Ctype.t -> Ctype.t;
+  nd_params : (string * Ctype.t) list option;  (** params of outermost Func suffix *)
+  nd_variadic : bool;
+}
+
+let rec parse_declarator_named st : named_decl =
+  if accept st STAR then begin
+    while peek st = KW_CONST || peek st = KW_VOLATILE do
+      ignore (advance st)
+    done;
+    let d = parse_declarator_named st in
+    { d with nd_mk = (fun base -> d.nd_mk (Ctype.Ptr base)) }
+  end
+  else parse_direct_declarator_named st
+
+and parse_direct_declarator_named st : named_decl =
+  let name, core, inner_params, inner_variadic =
+    match peek st with
+    | IDENT s when not (is_typedef_name st s) ->
+        ignore (advance st);
+        (Some s, (fun t -> t), None, false)
+    | LPAREN when is_paren_declarator st ->
+        ignore (advance st);
+        let d = parse_declarator_named st in
+        expect st RPAREN;
+        (d.nd_name, d.nd_mk, d.nd_params, d.nd_variadic)
+    | _ -> (None, (fun t -> t), None, false)
+  in
+  let params_ref = ref inner_params in
+  let variadic_ref = ref inner_variadic in
+  let first_suffix = ref true in
+  let rec suffixes (mk : Ctype.t -> Ctype.t) =
+    match peek st with
+    | LBRACKET ->
+        ignore (advance st);
+        let n =
+          if peek st = RBRACKET then None else Some (Int64.to_int (parse_const_expr st))
+        in
+        expect st RBRACKET;
+        first_suffix := false;
+        suffixes (fun base -> mk (Ctype.Array (base, n)))
+    | LPAREN ->
+        ignore (advance st);
+        let params, variadic = parse_param_list st in
+        expect st RPAREN;
+        (* The parameter names that matter for a function definition are
+           those of the declarator's first (i.e. outermost) '()' suffix
+           applied directly to the function name. *)
+        if !first_suffix then begin
+          params_ref := Some params;
+          variadic_ref := variadic
+        end;
+        first_suffix := false;
+        suffixes (fun base ->
+            mk (Ctype.Func { Ctype.ret = base; params = List.map snd params; variadic }))
+    | _ -> mk
+  in
+  let mk = suffixes core in
+  { nd_name = name; nd_mk = mk; nd_params = !params_ref; nd_variadic = !variadic_ref }
+
+let parse_top_named st =
+  let loc = loc_of st in
+  if accept st SEMI then ()
+  else begin
+    let spec = parse_specifiers st in
+    if peek st = SEMI then ignore (advance st)
+    else begin
+      let d = parse_declarator_named st in
+      let name =
+        match d.nd_name with
+        | Some n -> n
+        | None -> err st "top-level declaration requires a name"
+      in
+      let ty = d.nd_mk spec.spec_ty in
+      if spec.spec_typedef then begin
+        Hashtbl.replace st.typedefs name ty;
+        let rec more () =
+          if accept st COMMA then begin
+            let d2 = parse_declarator_named st in
+            (match d2.nd_name with
+            | Some n2 -> Hashtbl.replace st.typedefs n2 (d2.nd_mk spec.spec_ty)
+            | None -> err st "typedef requires a name");
+            more ()
+          end
+        in
+        more ();
+        expect st SEMI
+      end
+      else
+        match (ty, peek st) with
+        | Ctype.Func fsig, LBRACE ->
+            let params =
+              match d.nd_params with
+              | Some ps -> ps
+              | None -> err st "function definition '%s' lacks a parameter list" name
+            in
+            let body = parse_block st in
+            st.funcs <-
+              {
+                Ast.f_name = name;
+                f_ret = fsig.Ctype.ret;
+                f_params = params;
+                f_variadic = fsig.Ctype.variadic;
+                f_body = body;
+                f_loc = loc;
+              }
+              :: st.funcs
+        | _ ->
+            let rec decl_loop name ty =
+              (match ty with
+              | Ctype.Func fsig -> add_proto st name fsig
+              | _ ->
+                  let init = if accept st ASSIGN then Some (parse_initializer st) else None in
+                  st.globals <-
+                    { Ast.d_name = name; d_ty = ty; d_init = init; d_loc = loc } :: st.globals);
+              if accept st COMMA then begin
+                let d2 = parse_declarator_named st in
+                match d2.nd_name with
+                | Some n2 -> decl_loop n2 (d2.nd_mk spec.spec_ty)
+                | None -> err st "declaration requires a name"
+              end
+            in
+            decl_loop name ty;
+            expect st SEMI
+    end
+  end
+
+let parse_lexbuf ?(file = "<input>") lexbuf : Ast.program =
+  Lexing.set_filename lexbuf file;
+  let st = make_state lexbuf in
+  while peek st <> EOF do
+    parse_top_named st
+  done;
+  {
+    Ast.p_globals = List.rev st.globals;
+    p_funcs = List.rev st.funcs;
+    p_layouts = st.layouts;
+    p_protos = st.protos;
+  }
+
+let parse_string ?(file = "<string>") s : Ast.program =
+  parse_lexbuf ~file (Lexing.from_string s)
+
+let parse_file path : Ast.program =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse_lexbuf ~file:path (Lexing.from_channel ic))

@@ -1,0 +1,29 @@
+(** Source locations for diagnostics. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+}
+
+let dummy = { file = "<none>"; line = 0; col = 0 }
+
+let make ~file ~line ~col = { file; line; col }
+
+let of_lexbuf (lb : Lexing.lexbuf) =
+  let p = lb.Lexing.lex_start_p in
+  {
+    file = p.Lexing.pos_fname;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol + 1;
+  }
+
+let pp ppf t = Fmt.pf ppf "%s:%d:%d" t.file t.line t.col
+
+let to_string t = Fmt.str "%a" pp t
+
+(** Raised on any front-end error (lexing, parsing, type resolution,
+    simplification). Carries the location and a message. *)
+exception Error of t * string
+
+let error loc fmt = Fmt.kstr (fun msg -> raise (Error (loc, msg))) fmt

@@ -1,0 +1,487 @@
+(** Context-sensitive interprocedural constant propagation, built on top
+    of the points-to results — the paper's §6.1 claim made executable:
+
+    "The complete invocation graph and mapping information provides a
+    convenient basis for implementing other interprocedural analyses such
+    as generalized constant propagation [Hendren et al. 93]. ... after
+    points-to analysis is completed one does not need to worry about
+    function pointers or the correspondence between invisible variables
+    and the calling context."
+
+    The analysis walks the same invocation graph the points-to analysis
+    built (so indirect calls are already resolved), reuses each node's
+    deposited map information to translate integer cells between caller
+    and callee name spaces, and uses the points-to sets to see through
+    pointer dereferences: a store [*p = 5] with [p] definitely pointing
+    to [x] strongly updates [x].
+
+    The value lattice per integer cell is the usual
+    top (unknown) / constant / bottom; the state maps locations to
+    values, absent meaning unknown. Recursive calls are handled
+    conservatively (everything the callee can reach becomes unknown). *)
+
+module Ir = Simple_ir.Ir
+module Loc = Pointsto.Loc
+module Pts = Pointsto.Pts
+module Lval = Pointsto.Lval
+module Ig = Pointsto.Invocation_graph
+module Analysis = Pointsto.Analysis
+
+type value = Vconst of int64 | Vtop
+
+let join_value a b =
+  match (a, b) with Vconst x, Vconst y when Int64.equal x y -> a | _ -> Vtop
+
+(** Constant state: integer-valued cells with a known constant. Absent
+    locations are unknown (top). *)
+type state = value Loc.Map.t
+
+let lookup (s : state) l = Option.value ~default:Vtop (Loc.Map.find_opt l s)
+
+let set_const (s : state) l v =
+  match v with Vtop -> Loc.Map.remove l s | Vconst _ -> Loc.Map.add l v s
+
+let join_state (a : state) (b : state) : state =
+  Loc.Map.merge
+    (fun _ va vb ->
+      match (va, vb) with
+      | Some (Vconst x), Some (Vconst y) when Int64.equal x y -> Some (Vconst x)
+      | _ -> None)
+    a b
+
+let state_equal (a : state) (b : state) =
+  Loc.Map.equal (fun x y -> join_value x y <> Vtop || (x = Vtop && y = Vtop)) a b
+
+(* flow through structured statements, mirroring the points-to engine *)
+type flow = {
+  normal : state option;
+  brk : state option;
+  cont : state option;
+  ret : state option;
+}
+
+let flow_of normal = { normal; brk = None; cont = None; ret = None }
+
+let join_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (join_state a b)
+
+let opt_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b -> state_equal a b
+  | _ -> false
+
+let merge_flow a b =
+  {
+    normal = join_opt a.normal b.normal;
+    brk = join_opt a.brk b.brk;
+    cont = join_opt a.cont b.cont;
+    ret = join_opt a.ret b.ret;
+  }
+
+type ctx = {
+  res : Analysis.result;
+  (* constants valid at each statement (merged over contexts), for
+     queries and the folding transformation *)
+  stmt_consts : (int, state) Hashtbl.t;
+  (* per invocation-graph node: memoized (input, output, ret value) *)
+  memo : (int, state * state * value) Hashtbl.t;
+}
+
+let eval_binop op a b =
+  match (a, b) with
+  | Vconst x, Vconst y -> (
+      let bool_ v = Vconst (if v then 1L else 0L) in
+      match op with
+      | "+" -> Vconst (Int64.add x y)
+      | "-" -> Vconst (Int64.sub x y)
+      | "*" -> Vconst (Int64.mul x y)
+      | "/" -> if Int64.equal y 0L then Vtop else Vconst (Int64.div x y)
+      | "%" -> if Int64.equal y 0L then Vtop else Vconst (Int64.rem x y)
+      | "<<" -> Vconst (Int64.shift_left x (Int64.to_int y))
+      | ">>" -> Vconst (Int64.shift_right x (Int64.to_int y))
+      | "&" -> Vconst (Int64.logand x y)
+      | "|" -> Vconst (Int64.logor x y)
+      | "^" -> Vconst (Int64.logxor x y)
+      | "<" -> bool_ (x < y)
+      | ">" -> bool_ (x > y)
+      | "<=" -> bool_ (x <= y)
+      | ">=" -> bool_ (x >= y)
+      | "==" -> bool_ (Int64.equal x y)
+      | "!=" -> bool_ (not (Int64.equal x y))
+      | "&&" -> bool_ ((not (Int64.equal x 0L)) && not (Int64.equal y 0L))
+      | "||" -> bool_ ((not (Int64.equal x 0L)) || not (Int64.equal y 0L))
+      | _ -> Vtop)
+  | _ -> Vtop
+
+let eval_unop op a =
+  match a with
+  | Vconst x -> (
+      match op with
+      | "-" -> Vconst (Int64.neg x)
+      | "~" -> Vconst (Int64.lognot x)
+      | "!" -> Vconst (if Int64.equal x 0L then 1L else 0L)
+      | _ -> Vtop)
+  | Vtop -> Vtop
+
+(* ------------------------------------------------------------------ *)
+(* Reading and writing cells through the points-to results            *)
+(* ------------------------------------------------------------------ *)
+
+(** The integer cells a reference denotes, with the points-to set valid
+    at the statement (merged over contexts — a safe superset for each
+    individual context). *)
+let cells_of_ref ctx fn sid (r : Ir.vref) : Lval.locset =
+  let pts = Analysis.pts_at ctx.res sid in
+  Lval.lvals ctx.res.Analysis.tenv fn pts r
+
+let read_ref ctx fn sid (s : state) (r : Ir.vref) : value =
+  let cells = Lval.to_list (cells_of_ref ctx fn sid r) in
+  match cells with
+  | [] -> Vtop
+  | (l0, _) :: rest ->
+      List.fold_left (fun acc (l, _) -> join_value acc (lookup s l)) (lookup s l0) rest
+
+let read_operand ctx fn sid (s : state) (op : Ir.operand) : value =
+  match op with
+  | Ir.Oconst (Some n) -> Vconst n
+  | Ir.Oconst None | Ir.Onull | Ir.Ostr -> Vtop
+  | Ir.Oref r -> read_ref ctx fn sid s r
+
+(** Write [v] through a reference: strong update on a single definite
+    singular cell, weak (joining) otherwise. *)
+let write_ref ctx fn sid (s : state) (r : Ir.vref) (v : value) : state =
+  match Lval.to_list (cells_of_ref ctx fn sid r) with
+  | [ (l, Pts.D) ] when Loc.singular l -> set_const s l v
+  | cells ->
+      List.fold_left (fun s (l, _) -> set_const s l (join_value (lookup s l) v)) s cells
+
+let record ctx sid (s : state) =
+  let merged =
+    match Hashtbl.find_opt ctx.stmt_consts sid with
+    | None -> s
+    | Some old -> join_state old s
+  in
+  Hashtbl.replace ctx.stmt_consts sid merged
+
+(* ------------------------------------------------------------------ *)
+(* Call mapping through the deposited map information                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Forward-translate a caller cell into the callee name space using the
+    node's deposited map info (globals map to themselves; invisibles to
+    their symbolic names). *)
+let translate_fwd (info : Ig.map_info) (l : Loc.t) : Loc.t option =
+  let rec go l =
+    if Loc.is_global_visible l then Some l
+    else
+      match
+        List.find_map
+          (fun (sym, reps) ->
+            if List.exists (Loc.equal l) reps then Some sym else None)
+          info
+      with
+      | Some sym -> Some sym
+      | None -> (
+          match l with
+          | Loc.Fld (b, f) -> Option.map (fun b -> Loc.Fld (b, f)) (go b)
+          | Loc.Head b -> Option.map (fun b -> Loc.Head b) (go b)
+          | Loc.Tail b -> Option.map (fun b -> Loc.Tail b) (go b)
+          | _ -> None)
+  in
+  go l
+
+(** Resolve a callee cell back to the caller cells it represents. *)
+let resolve_back (info : Ig.map_info) (l : Loc.t) : Loc.t list =
+  let rec go l =
+    match l with
+    | Loc.Sym _ -> (
+        match List.assoc_opt l info with Some reps -> reps | None -> [])
+    | _ when Loc.is_global_visible l -> [ l ]
+    | Loc.Fld (b, f) -> List.map (fun b -> Loc.Fld (b, f)) (go b)
+    | Loc.Head b -> List.map (fun b -> Loc.Head b) (go b)
+    | Loc.Tail b -> List.map (fun b -> Loc.Tail b) (go b)
+    | Loc.Var _ | Loc.Ret _ -> []
+    | Loc.Heap | Loc.Site _ | Loc.Null | Loc.Str | Loc.Fun _ -> [ l ]
+  in
+  go l
+
+(* ------------------------------------------------------------------ *)
+(* The engine                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec process_stmts ctx fn node (input : state option) (stmts : Ir.stmt list) : flow =
+  List.fold_left
+    (fun fl stmt ->
+      let step = process_stmt ctx fn node fl.normal stmt in
+      {
+        normal = step.normal;
+        brk = join_opt fl.brk step.brk;
+        cont = join_opt fl.cont step.cont;
+        ret = join_opt fl.ret step.ret;
+      })
+    (flow_of input) stmts
+
+and process_stmt ctx fn node (input : state option) (stmt : Ir.stmt) : flow =
+  match input with
+  | None -> flow_of None
+  | Some s -> (
+      record ctx stmt.Ir.s_id s;
+      let sid = stmt.Ir.s_id in
+      match stmt.Ir.s_desc with
+      | Ir.Sassign (lref, rhs) ->
+          let v =
+            match rhs with
+            | Ir.Rconst (Some n) -> Vconst n
+            | Ir.Rconst None -> Vtop
+            | Ir.Rref r -> read_ref ctx fn sid s r
+            | Ir.Rbinop (op, a, b) ->
+                eval_binop op (read_operand ctx fn sid s a) (read_operand ctx fn sid s b)
+            | Ir.Runop (op, a) -> eval_unop op (read_operand ctx fn sid s a)
+            | Ir.Raddr _ | Ir.Rnull | Ir.Rstr | Ir.Rmalloc | Ir.Rarith _ -> Vtop
+          in
+          flow_of (Some (write_ref ctx fn sid s lref v))
+      | Ir.Scall (lhs, _, args) ->
+          let children = Ig.children_at node sid in
+          let s', ret_v =
+            if children = [] then (external_effect ctx fn sid s args, Vtop)
+            else
+              let results =
+                List.map (fun child -> process_call ctx fn sid s child args) children
+              in
+              match results with
+              | [] -> (s, Vtop)
+              | (s0, v0) :: rest ->
+                  List.fold_left
+                    (fun (sa, va) (sb, vb) -> (join_state sa sb, join_value va vb))
+                    (s0, v0) rest
+          in
+          let s' =
+            match lhs with
+            | Some lref -> write_ref ctx fn sid s' lref ret_v
+            | None -> s'
+          in
+          flow_of (Some s')
+      | Ir.Sif (_, t, e) ->
+          let ft = process_stmts ctx fn node (Some s) t in
+          let fe = process_stmts ctx fn node (Some s) e in
+          merge_flow ft fe
+      | Ir.Sloop l ->
+          let process_list st stmts = process_stmts ctx fn node st stmts in
+          let enter =
+            match l.Ir.l_kind with
+            | `While | `For -> (process_list (Some s) l.Ir.l_cond_stmts).normal
+            | `Do -> Some s
+          in
+          let rec iterate head ~brk ~ret ~fuel =
+            let body = process_list head l.Ir.l_body in
+            let brk = join_opt brk body.brk in
+            let ret = join_opt ret body.ret in
+            let after = join_opt body.normal body.cont in
+            let step = process_list after l.Ir.l_step in
+            let back = process_list step.normal l.Ir.l_cond_stmts in
+            let head' = join_opt head back.normal in
+            if opt_equal head head' || fuel = 0 then (head', brk, ret)
+            else iterate head' ~brk ~ret ~fuel:(fuel - 1)
+          in
+          let head, brk, ret = iterate enter ~brk:None ~ret:None ~fuel:50 in
+          { normal = join_opt head brk; brk = None; cont = None; ret }
+      | Ir.Sswitch (_, groups) ->
+          let fall, acc =
+            List.fold_left
+              (fun (fall, acc) g ->
+                let entry = join_opt (Some s) fall in
+                let fl = process_stmts ctx fn node entry g.Ir.g_body in
+                ( fl.normal,
+                  {
+                    normal = None;
+                    brk = join_opt acc.brk fl.brk;
+                    cont = join_opt acc.cont fl.cont;
+                    ret = join_opt acc.ret fl.ret;
+                  } ))
+              (None, flow_of None) groups
+          in
+          let has_default = List.exists (fun g -> g.Ir.g_default) groups in
+          let exit = join_opt fall acc.brk in
+          let exit = if has_default then exit else join_opt exit (Some s) in
+          { normal = exit; brk = None; cont = acc.cont; ret = acc.ret }
+      | Ir.Sbreak -> { normal = None; brk = Some s; cont = None; ret = None }
+      | Ir.Scontinue -> { normal = None; brk = None; cont = Some s; ret = None }
+      | Ir.Sreturn op ->
+          let s =
+            match op with
+            | Some op ->
+                set_const s (Loc.Ret fn.Ir.fn_name) (read_operand ctx fn sid s op)
+            | None -> s
+          in
+          { normal = None; brk = None; cont = None; ret = Some s })
+
+(** Effect of a call to an external function: cells reachable through
+    pointer arguments become unknown. *)
+and external_effect ctx fn sid (s : state) (args : Ir.operand list) : state =
+  let pts = Analysis.pts_at ctx.res sid in
+  List.fold_left
+    (fun s arg ->
+      match arg with
+      | Ir.Oref r ->
+          let targets = Lval.rvals_ref ctx.res.Analysis.tenv fn pts r in
+          Loc.Map.fold (fun l _ s -> Loc.Map.remove l s) targets s
+      | Ir.Oconst _ | Ir.Onull | Ir.Ostr -> s)
+    s args
+
+(** Map the caller state into the callee, run (or reuse) its body, unmap
+    the result. Returns the caller-side state and the callee's return
+    value. Recursive and approximate nodes are handled conservatively. *)
+and process_call ctx caller_fn sid (s : state) (child : Ig.node) (args : Ir.operand list) :
+    state * value =
+  match Pointsto.Tenv.find_func ctx.res.Analysis.tenv child.Ig.func with
+  | None -> (s, Vtop)
+  | Some callee_fn -> (
+      let info = child.Ig.map_info in
+      (* conservative handling of recursion: drop knowledge of everything
+         the callee can reach *)
+      let conservative () =
+        let s =
+          Loc.Map.filter (fun l _ -> Option.is_none (translate_fwd info l)) s
+        in
+        (s, Vtop)
+      in
+      match child.Ig.kind with
+      | Ig.Approximate | Ig.Recursive -> conservative ()
+      | Ig.Ordinary ->
+          (* callee input: globals and mapped invisibles carry their
+             values; int parameters get the actuals' values *)
+          let callee_in =
+            Loc.Map.fold
+              (fun l v acc ->
+                match translate_fwd info l with
+                | Some l' -> Loc.Map.add l' v acc
+                | None -> acc)
+              s Loc.Map.empty
+          in
+          let callee_in =
+            List.fold_left2
+              (fun acc (pname, _) arg ->
+                match read_operand ctx caller_fn sid s arg with
+                | Vconst n -> Loc.Map.add (Loc.Var (pname, Loc.Kparam)) (Vconst n) acc
+                | Vtop -> acc)
+              callee_in callee_fn.Ir.fn_params
+              (let np = List.length callee_fn.Ir.fn_params in
+               let na = List.length args in
+               if na >= np then List.filteri (fun i _ -> i < np) args
+               else args @ List.init (np - na) (fun _ -> Ir.Oconst None))
+          in
+          let callee_out, ret_v =
+            match Hashtbl.find_opt ctx.memo child.Ig.id with
+            | Some (i, o, v) when state_equal i callee_in -> (o, v)
+            | _ ->
+                let fl =
+                  process_stmts ctx callee_fn child (Some callee_in) callee_fn.Ir.fn_body
+                in
+                let out =
+                  match join_opt fl.normal fl.ret with
+                  | Some o -> o
+                  | None -> Loc.Map.empty
+                in
+                let ret_v = lookup out (Loc.Ret callee_fn.Ir.fn_name) in
+                Hashtbl.replace ctx.memo child.Ig.id (callee_in, out, ret_v);
+                (out, ret_v)
+          in
+          (* unmap: mapped caller cells take the callee's view; unmapped
+             cells persist *)
+          let persistent =
+            Loc.Map.filter (fun l _ -> Option.is_none (translate_fwd info l)) s
+          in
+          (* start from persistent; add back every caller cell that maps
+             into the callee with the callee's final value (join when
+             several callee cells resolve to one caller cell) *)
+          let updated = Hashtbl.create 16 in
+          Loc.Map.iter
+            (fun l' v ->
+              List.iter
+                (fun l ->
+                  let v =
+                    match Hashtbl.find_opt updated l with
+                    | Some v0 -> join_value v0 v
+                    | None -> v
+                  in
+                  Hashtbl.replace updated l v)
+                (resolve_back info l'))
+            callee_out;
+          let out =
+            Hashtbl.fold
+              (fun l v acc ->
+                match v with Vconst _ -> Loc.Map.add l v acc | Vtop -> acc)
+              updated persistent
+          in
+          (out, ret_v))
+
+(* ------------------------------------------------------------------ *)
+(* Driver and queries                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  ctx : ctx;
+  res : Analysis.result;
+}
+
+(** Run constant propagation over an analyzed program. *)
+let run (res : Analysis.result) : result =
+  let ctx = { res; stmt_consts = Hashtbl.create 64; memo = Hashtbl.create 32 } in
+  let entry = res.Analysis.graph.Ig.root in
+  (match Pointsto.Tenv.find_func res.Analysis.tenv entry.Ig.func with
+  | Some fn -> ignore (process_stmts ctx fn entry (Some Loc.Map.empty) fn.Ir.fn_body)
+  | None -> ());
+  { ctx; res }
+
+(** The constant value of a location at a statement, if known (merged
+    over contexts). *)
+let const_at (r : result) (sid : int) (l : Loc.t) : int64 option =
+  match Hashtbl.find_opt r.ctx.stmt_consts sid with
+  | None -> None
+  | Some s -> ( match lookup s l with Vconst n -> Some n | Vtop -> None)
+
+(** All known constants at a statement. *)
+let consts_at (r : result) (sid : int) : (Loc.t * int64) list =
+  match Hashtbl.find_opt r.ctx.stmt_consts sid with
+  | None -> []
+  | Some s ->
+      Loc.Map.fold
+        (fun l v acc -> match v with Vconst n -> (l, n) :: acc | Vtop -> acc)
+        s []
+      |> List.rev
+
+(** Folding opportunities: operand reads whose value is a known constant
+    (the transformation a compiler would apply). *)
+type fold_site = { fs_stmt : int; fs_func : string; fs_loc : Loc.t; fs_value : int64 }
+
+let fold_sites (r : result) : fold_site list =
+  let tenv = r.res.Analysis.tenv in
+  List.concat_map
+    (fun fn ->
+      List.rev
+        (Ir.fold_func
+           (fun acc stmt ->
+             let sid = stmt.Ir.s_id in
+             let consider acc (op : Ir.operand) =
+               match op with
+               | Ir.Oref rf when Ir.is_plain_var rf -> (
+                   match Pointsto.Tenv.base_loc tenv fn rf.Ir.r_base with
+                   | Some l -> (
+                       match const_at r sid l with
+                       | Some n ->
+                           { fs_stmt = sid; fs_func = fn.Ir.fn_name; fs_loc = l; fs_value = n }
+                           :: acc
+                       | None -> acc)
+                   | None -> acc)
+               | _ -> acc
+             in
+             match stmt.Ir.s_desc with
+             | Ir.Sassign (_, Ir.Rbinop (_, a, b)) -> consider (consider acc a) b
+             | Ir.Sassign (_, Ir.Runop (_, a)) -> consider acc a
+             | Ir.Sreturn (Some op) -> consider acc op
+             | _ -> acc)
+           [] fn))
+    r.res.Analysis.prog.Ir.funcs

@@ -1,0 +1,33 @@
+(** Context-sensitive interprocedural constant propagation built on the
+    points-to results — the follow-on analysis of paper §6.1: it walks
+    the same invocation graph (function pointers already resolved),
+    translates integer cells between name spaces with each node's
+    deposited map information, and sees through pointer stores via the
+    points-to sets. *)
+
+module Ir = Simple_ir.Ir
+module Loc = Pointsto.Loc
+
+type value = Vconst of int64 | Vtop
+
+val join_value : value -> value -> value
+
+(** Constant state: integer cells with a known value (absent = unknown). *)
+type state = value Loc.Map.t
+
+type result
+
+(** Run over an analyzed program (from its entry function). *)
+val run : Pointsto.Analysis.result -> result
+
+(** Known constant value of a location at a statement (merged over
+    contexts). *)
+val const_at : result -> int -> Loc.t -> int64 option
+
+(** All known constants at a statement. *)
+val consts_at : result -> int -> (Loc.t * int64) list
+
+(** A constant-folding opportunity: an operand read with a known value. *)
+type fold_site = { fs_stmt : int; fs_func : string; fs_loc : Loc.t; fs_value : int64 }
+
+val fold_sites : result -> fold_site list

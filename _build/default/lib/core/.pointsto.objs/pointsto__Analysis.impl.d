@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Cfront Ctype Engine Hashtbl Invocation_graph List Loc Map_unmap Option Options Pts Simple_ir Tenv

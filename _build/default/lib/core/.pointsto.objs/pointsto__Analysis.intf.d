@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Hashtbl Invocation_graph Options Pts Simple_ir Tenv

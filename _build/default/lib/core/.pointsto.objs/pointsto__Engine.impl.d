@@ -1,0 +1,1 @@
+lib/core/engine.ml: Cfront Ctype Fmt Hashtbl Invocation_graph List Loc Lval Map_unmap Options Pts Simple_ir Tenv

@@ -1,0 +1,1 @@
+lib/core/invocation_graph.ml: Fmt List Loc Pts Simple_ir String Tenv

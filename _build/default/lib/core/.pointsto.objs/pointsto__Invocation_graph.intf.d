@@ -1,0 +1,1 @@
+lib/core/invocation_graph.mli: Format Loc Pts Simple_ir Tenv

@@ -1,0 +1,1 @@
+lib/core/lval.ml: Fmt List Loc Options Pts Simple_ir Tenv

@@ -1,0 +1,1 @@
+lib/core/lval.mli: Format Loc Pts Simple_ir Tenv

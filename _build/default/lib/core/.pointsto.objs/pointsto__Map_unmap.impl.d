@@ -1,0 +1,1 @@
+lib/core/map_unmap.ml: Cfront Ctype Hashtbl List Loc Lval Option Options Pts Simple_ir Tenv

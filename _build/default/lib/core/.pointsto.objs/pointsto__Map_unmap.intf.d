@@ -1,0 +1,1 @@
+lib/core/map_unmap.mli: Cfront Loc Lval Pts Simple_ir Tenv

@@ -1,0 +1,1 @@
+lib/core/pts.ml: Fmt List Loc Option

@@ -1,0 +1,1 @@
+lib/core/stats.ml: Analysis Hashtbl Invocation_graph List Loc Pts Simple_ir Tenv

@@ -1,0 +1,1 @@
+lib/core/tenv.ml: Cfront Ctype Hashtbl List Loc Option Options Simple_ir

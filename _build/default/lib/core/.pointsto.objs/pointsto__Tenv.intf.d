@@ -1,0 +1,1 @@
+lib/core/tenv.mli: Cfront Ctype Hashtbl Loc Options Simple_ir

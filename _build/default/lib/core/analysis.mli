@@ -1,0 +1,43 @@
+(** Top-level driver for the context-sensitive interprocedural points-to
+    analysis. *)
+
+module Ir = Simple_ir.Ir
+module Ig = Invocation_graph
+
+type result = {
+  prog : Ir.program;
+  tenv : Tenv.t;
+  graph : Ig.t;  (** the complete invocation graph with stored IN/OUT
+                     pairs and map information (paper §6.1) *)
+  stmt_pts : (int, Pts.t) Hashtbl.t;
+      (** points-to set valid at each statement (its input, merged over
+          all invocation contexts) *)
+  entry_output : Pts.state;  (** output set of the entry function *)
+  warnings : string list;
+  share_hits : int;
+      (** evaluations avoided by §6 sub-tree sharing ([share_contexts]) *)
+  bodies_analyzed : int;  (** function-body passes performed *)
+}
+
+(** Initial set for the entry function: global and local pointers
+    NULL-initialized (paper §6), entry parameters pointing into the
+    heap. *)
+val initial_input : Tenv.t -> Ir.func -> Pts.t
+
+exception No_entry of string
+
+(** Run the analysis from [entry] (default ["main"]).
+    @raise No_entry if the entry function is not defined. *)
+val analyze : ?opts:Options.t -> ?entry:string -> Ir.program -> result
+
+(** Parse, simplify and analyze C source text. *)
+val of_string : ?opts:Options.t -> ?entry:string -> ?file:string -> string -> result
+
+val of_file : ?opts:Options.t -> ?entry:string -> string -> result
+
+(** The points-to set valid at a statement ([Pts.empty] if unreached). *)
+val pts_at : result -> int -> Pts.t
+
+(** Same, with NULL-target pairs filtered (the paper's statistics
+    convention, §6). *)
+val pts_at_no_null : result -> int -> Pts.t

@@ -1,0 +1,588 @@
+(** The analysis engine: compositional intraprocedural rules (paper
+    Figure 1) and the context-sensitive interprocedural strategy over the
+    invocation graph (Figures 4 and 5).
+
+    Control flow is handled with a four-way flow state — the normal
+    continuation plus the pending break / continue / return states — so
+    the structured rules for [if], the unified loop form, [switch] with
+    fall-through, [break], [continue] and [return] are all compositional
+    (the "complete set of compositional rules" of [Emami 93]).
+
+    Strong updates follow the refinement discussed in DESIGN.md: a
+    definite L-location whose abstract location is {e singular}
+    (represents exactly one real location) kills its old relationships;
+    non-singular locations (array tails, the heap, summarized symbolic
+    names) receive weak updates, and relationships generated from them
+    are demoted to possible. *)
+
+module Ir = Simple_ir.Ir
+module Ig = Invocation_graph
+open Cfront
+
+type ctx = {
+  tenv : Tenv.t;
+  opts : Options.t;
+  stmt_pts : (int, Pts.t) Hashtbl.t;
+      (** merged points-to set valid at each statement, over all contexts *)
+  mutable warnings : string list;
+  (* context-insensitive ablation: one IN/OUT slot per function *)
+  ci_slots : (string, Pts.t option * Pts.state) Hashtbl.t;
+  ci_in_flight : (string, unit) Hashtbl.t;
+  mutable ci_changed : bool;
+  (* §6 sub-tree sharing: per-function memo of completed (input, output)
+     pairs, shared across invocation-graph nodes *)
+  share_memo : (string, (Pts.t * Pts.t) list ref) Hashtbl.t;
+  mutable share_hits : int;
+  mutable bodies_analyzed : int;
+      (** number of times any function body was (re)processed *)
+}
+
+let make_ctx (tenv : Tenv.t) : ctx =
+  {
+    tenv;
+    opts = tenv.Tenv.opts;
+    stmt_pts = Hashtbl.create 256;
+    warnings = [];
+    ci_slots = Hashtbl.create 16;
+    ci_in_flight = Hashtbl.create 16;
+    ci_changed = false;
+    share_memo = Hashtbl.create 16;
+    share_hits = 0;
+    bodies_analyzed = 0;
+  }
+
+let warn ctx fmt =
+  Fmt.kstr (fun m -> if not (List.mem m ctx.warnings) then ctx.warnings <- m :: ctx.warnings) fmt
+
+(** Flow state through structured statements. Each component is a
+    {!Pts.state} ([None] = Figure 4's Bottom / unreachable). *)
+type flow = {
+  normal : Pts.state;
+  brk : Pts.state;
+  cont : Pts.state;
+  ret : Pts.state;
+}
+
+let flow_of normal = { normal; brk = Pts.bot; cont = Pts.bot; ret = Pts.bot }
+
+let merge_flow a b =
+  {
+    normal = Pts.merge_state a.normal b.normal;
+    brk = Pts.merge_state a.brk b.brk;
+    cont = Pts.merge_state a.cont b.cont;
+    ret = Pts.merge_state a.ret b.ret;
+  }
+
+let record_stmt ctx (s : Ir.stmt) (input : Pts.t) =
+  if ctx.opts.Options.record_stats then
+    let merged =
+      match Hashtbl.find_opt ctx.stmt_pts s.Ir.s_id with
+      | None -> input
+      | Some old -> Pts.merge old input
+    in
+    Hashtbl.replace ctx.stmt_pts s.Ir.s_id merged
+
+(* ------------------------------------------------------------------ *)
+(* Basic statement rule (Figure 1, process_basic_stmt)                *)
+(* ------------------------------------------------------------------ *)
+
+(** Apply the kill/change/gen rule for an assignment with the given L-
+    and R-location sets. *)
+let apply_assign (ctx : ctx) (s : Pts.t) (lhs : Lval.locset) (rhs : Lval.locset) : Pts.t =
+  let use_definite = ctx.opts.Options.use_definite in
+  (* kill: all relationships of definite, singular L-locations *)
+  let s =
+    Loc.Map.fold
+      (fun l c acc ->
+        if use_definite && c = Pts.D && Loc.singular l then Pts.kill_src l acc else acc)
+      lhs s
+  in
+  (* change: relationships of possible (or non-singular) L-locations
+     weaken from definite to possible *)
+  let s =
+    Loc.Map.fold
+      (fun l c acc ->
+        if c = Pts.P || (not (Loc.singular l)) || not use_definite then Pts.weaken_src l acc
+        else acc)
+      lhs s
+  in
+  (* gen: all combinations of L-locations and R-locations; definite only
+     when both are definite and the target cell is singular *)
+  Loc.Map.fold
+    (fun l cl acc ->
+      Loc.Map.fold
+        (fun r cr acc ->
+          let cert =
+            if use_definite && Loc.singular l then Pts.cert_and cl cr else Pts.P
+          in
+          Pts.add l r cert acc)
+        rhs acc)
+    lhs s
+
+(** Model of a call to a function outside the program: no effect on the
+    reachable points-to relationships (library functions in the
+    benchmark suite do not store pointers), except that a pointer result
+    may point to the heap, to string storage, or into any argument's
+    target (e.g. strchr). *)
+let external_result_targets tenv fn (s : Pts.t) (args : Ir.operand list) : Lval.locset =
+  let base = Lval.of_list [ (Loc.Heap, Pts.P); (Loc.Str, Pts.P) ] in
+  List.fold_left
+    (fun acc arg ->
+      let ts = Lval.rvals_operand tenv fn s arg in
+      Loc.Map.fold
+        (fun l _ acc -> if Loc.is_null l then acc else Lval.add_loc l Pts.P acc)
+        ts acc)
+    base args
+
+(* ------------------------------------------------------------------ *)
+(* Statement processing                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec process_stmts ctx fn node (input : Pts.state) (stmts : Ir.stmt list) : flow =
+  List.fold_left
+    (fun fl stmt ->
+      let step = process_stmt ctx fn node fl.normal stmt in
+      {
+        normal = step.normal;
+        brk = Pts.merge_state fl.brk step.brk;
+        cont = Pts.merge_state fl.cont step.cont;
+        ret = Pts.merge_state fl.ret step.ret;
+      })
+    (flow_of input) stmts
+
+and process_stmt ctx fn node (input : Pts.state) (stmt : Ir.stmt) : flow =
+  match input with
+  | None -> flow_of Pts.bot
+  | Some s -> (
+      record_stmt ctx stmt s;
+      match stmt.Ir.s_desc with
+      | Ir.Sassign (lref, rhs) ->
+          if Tenv.is_pointer_assignment ctx.tenv fn lref then begin
+            let lhs = Lval.lvals ctx.tenv fn s lref in
+            let rvals =
+              match rhs with
+              | Ir.Rmalloc when ctx.opts.Options.heap_by_site ->
+                  (* name the allocation by its site (DESIGN.md: the
+                     refinement behind the companion heap analysis) *)
+                  Lval.of_list [ (Loc.Site stmt.Ir.s_id, Pts.P) ]
+              | _ -> Lval.rvals_rhs ctx.tenv fn s rhs
+            in
+            flow_of (Some (apply_assign ctx s lhs rvals))
+          end
+          else flow_of (Some s)
+      | Ir.Scall (lhs, callee, args) -> process_call_stmt ctx fn node s stmt lhs callee args
+      | Ir.Sif (_, then_s, else_s) ->
+          let ft = process_stmts ctx fn node (Some s) then_s in
+          let fe = process_stmts ctx fn node (Some s) else_s in
+          merge_flow ft fe
+      | Ir.Sloop l -> process_loop ctx fn node s l
+      | Ir.Sswitch (_, groups) -> process_switch ctx fn node s groups
+      | Ir.Sbreak -> { normal = Pts.bot; brk = Some s; cont = Pts.bot; ret = Pts.bot }
+      | Ir.Scontinue -> { normal = Pts.bot; brk = Pts.bot; cont = Some s; ret = Pts.bot }
+      | Ir.Sreturn op ->
+          let s =
+            match op with
+            | None -> s
+            | Some op ->
+                let ret_ty = fn.Ir.fn_ret in
+                if Ctype.is_pointer (Ctype.decay ret_ty) then begin
+                  let lhs = Lval.of_list [ (Loc.Ret fn.Ir.fn_name, Pts.D) ] in
+                  let rvals = Lval.rvals_operand ctx.tenv fn s op in
+                  apply_assign ctx s lhs rvals
+                end
+                else if
+                  Ctype.is_su ret_ty
+                  && Ctype.carries_pointers (Tenv.layouts ctx.tenv) ret_ty
+                then begin
+                  (* aggregate return: copy each pointer cell of the value
+                     into the matching cell of the return slot *)
+                  match op with
+                  | Ir.Oref r when Ir.is_plain_var r -> (
+                      match Tenv.base_loc ctx.tenv fn r.Ir.r_base with
+                      | Some src_base ->
+                          let ret_cells =
+                            Tenv.pointer_cells ctx.tenv (Loc.Ret fn.Ir.fn_name) ret_ty
+                          in
+                          let src_cells = Tenv.pointer_cells ctx.tenv src_base ret_ty in
+                          List.fold_left2
+                            (fun s (rc, _) (sc, _) ->
+                              let lhs = Lval.of_list [ (rc, Pts.D) ] in
+                              let rvals = Lval.of_list (Pts.targets sc s) in
+                              apply_assign ctx s lhs rvals)
+                            s ret_cells src_cells
+                      | None -> s)
+                  | _ -> s
+                end
+                else s
+          in
+          { normal = Pts.bot; brk = Pts.bot; cont = Pts.bot; ret = Some s })
+
+(** The unified loop rule: a fixed point on the loop-head state (the
+    point where the condition is evaluated), following Figure 1's
+    process_while generalized with condition-statements, a for-step, and
+    break/continue (continue re-runs step and condition). *)
+and process_loop ctx fn node (s : Pts.t) (l : Ir.loop) : flow =
+  let process_list st stmts = process_stmts ctx fn node st stmts in
+  match l.Ir.l_kind with
+  | `While | `For ->
+      (* head state: after evaluating the condition statements *)
+      let first = process_list (Some s) l.Ir.l_cond_stmts in
+      let rec iterate head ~brk ~ret =
+        let body = process_list head l.Ir.l_body in
+        let brk = Pts.merge_state brk body.brk in
+        let ret = Pts.merge_state ret body.ret in
+        let after_body = Pts.merge_state body.normal body.cont in
+        let step = process_list after_body l.Ir.l_step in
+        let back = process_list step.normal l.Ir.l_cond_stmts in
+        let head' = Pts.merge_state head back.normal in
+        if Pts.state_equal head head' then (head, brk, ret)
+        else iterate head' ~brk ~ret
+      in
+      let head, brk, ret = iterate first.normal ~brk:Pts.bot ~ret:Pts.bot in
+      let exit = Pts.merge_state head brk in
+      { normal = exit; brk = Pts.bot; cont = Pts.bot; ret }
+  | `Do ->
+      let rec iterate entry ~brk ~ret =
+        let body = process_list entry l.Ir.l_body in
+        let brk = Pts.merge_state brk body.brk in
+        let ret = Pts.merge_state ret body.ret in
+        let after_body = Pts.merge_state body.normal body.cont in
+        let step = process_list after_body l.Ir.l_step in
+        let after_cond = process_list step.normal l.Ir.l_cond_stmts in
+        let entry' = Pts.merge_state entry after_cond.normal in
+        if Pts.state_equal entry entry' then (after_cond.normal, brk, ret)
+        else iterate entry' ~brk ~ret
+      in
+      let after_cond, brk, ret = iterate (Some s) ~brk:Pts.bot ~ret:Pts.bot in
+      let exit = Pts.merge_state after_cond brk in
+      { normal = exit; brk = Pts.bot; cont = Pts.bot; ret }
+
+(** Switch rule: every group is reachable from the scrutinee (via its
+    labels) and from the previous group (fall-through); breaks join the
+    exit; without a default group the input itself also reaches the
+    exit. *)
+and process_switch ctx fn node (s : Pts.t) (groups : Ir.switch_group list) : flow =
+  let has_default = List.exists (fun g -> g.Ir.g_default) groups in
+  let fall, acc =
+    List.fold_left
+      (fun (fall, acc) g ->
+        let entry = Pts.merge_state (Some s) fall in
+        let fl = process_stmts ctx fn node entry g.Ir.g_body in
+        ( fl.normal,
+          {
+            normal = Pts.bot;
+            brk = Pts.merge_state acc.brk fl.brk;
+            cont = Pts.merge_state acc.cont fl.cont;
+            ret = Pts.merge_state acc.ret fl.ret;
+          } ))
+      (Pts.bot, flow_of Pts.bot) groups
+  in
+  let exit = Pts.merge_state fall acc.brk in
+  let exit = if has_default then exit else Pts.merge_state exit (Some s) in
+  { normal = exit; brk = Pts.bot; cont = acc.cont; ret = acc.ret }
+
+(* ------------------------------------------------------------------ *)
+(* Calls (Figures 4 and 5)                                            *)
+(* ------------------------------------------------------------------ *)
+
+and actual_of_operand ctx fn (s : Pts.t) (pty : Ctype.t option) (op : Ir.operand) :
+    Map_unmap.actual =
+  match op with
+  | Ir.Oref r when Ir.is_plain_var r -> (
+      let is_agg =
+        match Tenv.var_info ctx.tenv fn r.Ir.r_base with
+        | Some (_, ty) -> Ctype.is_su ty
+        | None -> false
+      in
+      if is_agg then
+        match Tenv.base_loc ctx.tenv fn r.Ir.r_base with
+        | Some l -> Map_unmap.Aagg l
+        | None -> Map_unmap.Aother
+      else
+        match pty with
+        | Some pty when Ctype.is_pointer (Ctype.decay pty) ->
+            Map_unmap.Aptr (Lval.rvals_operand ctx.tenv fn s op)
+        | Some _ -> Map_unmap.Aother
+        | None ->
+            (* unknown parameter type (variadic or unprototyped): pass
+               pointer info if the operand is pointer-typed *)
+            let opty = Tenv.vref_type ctx.tenv fn r in
+            if (match opty with Some t -> Ctype.is_pointer (Ctype.decay t) | None -> false)
+            then Map_unmap.Aptr (Lval.rvals_operand ctx.tenv fn s op)
+            else Map_unmap.Aother)
+  | Ir.Oref _ -> Map_unmap.Aptr (Lval.rvals_operand ctx.tenv fn s op)
+  | Ir.Onull | Ir.Oconst _ -> Map_unmap.Aother
+  | Ir.Ostr -> Map_unmap.Aptr (Lval.of_list [ (Loc.Str, Pts.P) ])
+
+and process_call_stmt ctx fn node (s : Pts.t) (stmt : Ir.stmt) lhs callee args : flow =
+  match callee with
+  | Ir.Cdirect fname -> (
+      match Tenv.find_func ctx.tenv fname with
+      | Some callee_fn ->
+          let child =
+            match Ig.child_at_for node stmt.Ir.s_id fname with
+            | Some c -> c
+            | None ->
+                (* can happen in the context-insensitive ablation where
+                   graph and analysis orders diverge; grow on demand *)
+                Ig.add_indirect_child ctx.tenv node stmt.Ir.s_id fname
+          in
+          let out, ret_tgts, ret_cells = invoke ctx fn child s callee_fn args in
+          finish_call ctx fn node out ret_tgts ret_cells lhs
+      | None ->
+          (* external function *)
+          let ret_tgts =
+            external_result_targets ctx.tenv fn s args |> Lval.to_list
+          in
+          finish_call ctx fn node (Some s) ret_tgts [] lhs)
+  | Ir.Cindirect fref ->
+      (* Figure 5: the functions invocable here are exactly the functions
+         the pointer can point to *)
+      let fn_targets = Lval.rvals_ref ctx.tenv fn s fref in
+      let fnames =
+        Loc.Map.fold
+          (fun l _ acc -> match l with Loc.Fun f -> f :: acc | _ -> acc)
+          fn_targets []
+        |> List.rev
+      in
+      if fnames = [] then begin
+        warn ctx "indirect call at s%d has no function targets" stmt.Ir.s_id;
+        finish_call ctx fn node (Some s) [] [] lhs
+      end
+      else begin
+        let fptr_lvals = Lval.lvals ctx.tenv fn s fref in
+        let results =
+          List.map
+            (fun fname ->
+              match Tenv.find_func ctx.tenv fname with
+              | None ->
+                  (* external target *)
+                  (Some s, Lval.to_list (external_result_targets ctx.tenv fn s args), [])
+              | Some callee_fn ->
+                  let child = Ig.add_indirect_child ctx.tenv node stmt.Ir.s_id fname in
+                  (* make the function pointer definitely point to fname
+                     while analyzing it *)
+                  let s' =
+                    match Lval.to_list fptr_lvals with
+                    | [ (l, Pts.D) ] when Loc.singular l ->
+                        Pts.add l (Loc.Fun fname) Pts.D (Pts.kill_src l s)
+                    | _ -> s
+                  in
+                  invoke ctx fn child s' callee_fn args)
+            fnames
+        in
+        (* merge the outputs of all invocable functions *)
+        let out =
+          List.fold_left (fun acc (o, _, _) -> Pts.merge_state acc o) Pts.bot results
+        in
+        let ret_tgts = List.concat_map (fun (_, t, _) -> t) results in
+        let ret_cells = List.concat_map (fun (_, _, c) -> c) results in
+        finish_call ctx fn node out ret_tgts ret_cells lhs
+      end
+
+(** Bind the call's result into the caller state. *)
+and finish_call ctx fn _node (out : Pts.state) (ret_tgts : (Loc.t * Pts.cert) list)
+    (ret_cells : ((Loc.t -> Loc.t) * (Loc.t * Pts.cert) list) list) lhs : flow =
+  match out with
+  | None -> flow_of Pts.bot
+  | Some s -> (
+      match lhs with
+      | None -> flow_of (Some s)
+      | Some lref ->
+          if Tenv.is_pointer_assignment ctx.tenv fn lref then begin
+            let lhs_locs = Lval.lvals ctx.tenv fn s lref in
+            let rvals =
+              match ret_tgts with
+              | [] -> Lval.of_list [ (Loc.Null, Pts.D) ]
+              | _ -> Lval.of_list ret_tgts
+            in
+            flow_of (Some (apply_assign ctx s lhs_locs rvals))
+          end
+          else begin
+            (* aggregate result: bind each returned cell onto the matching
+               cell of the destination *)
+            match Tenv.vref_type ctx.tenv fn lref with
+            | Some ty
+              when Ctype.is_su ty && Ctype.carries_pointers (Tenv.layouts ctx.tenv) ty ->
+                let lhs_locs = Lval.to_list (Lval.lvals ctx.tenv fn s lref) in
+                let s =
+                  List.fold_left
+                    (fun s (graft, tgts) ->
+                      List.fold_left
+                        (fun s (base, cb) ->
+                          let cell = graft base in
+                          let lhs = Lval.of_list [ (cell, cb) ] in
+                          let rvals = Lval.of_list tgts in
+                          apply_assign ctx s lhs rvals)
+                        s lhs_locs)
+                    s ret_cells
+                in
+                flow_of (Some s)
+            | _ -> flow_of (Some s)
+          end)
+
+(** Invoke a defined function in the context of invocation-graph node
+    [child] (Figure 4's process_call): map, evaluate or reuse, unmap.
+    Returns the caller-side output state and return-value targets. *)
+and invoke ctx caller_fn (child : Ig.node) (s : Pts.t) (callee_fn : Ir.func)
+    (args : Ir.operand list) :
+    Pts.state * (Loc.t * Pts.cert) list * ((Loc.t -> Loc.t) * (Loc.t * Pts.cert) list) list =
+  let param_tys = List.map (fun (_, t) -> Some t) callee_fn.Ir.fn_params in
+  let param_tys =
+    if List.length args <= List.length param_tys then param_tys
+    else param_tys @ List.init (List.length args - List.length param_tys) (fun _ -> None)
+  in
+  let actuals =
+    List.map2 (fun pty op -> actual_of_operand ctx caller_fn s pty op) param_tys args
+  in
+  let func_input, info =
+    Map_unmap.map_call ctx.tenv ~caller_fn ~callee:callee_fn ~input:s ~actuals
+  in
+  child.Ig.map_info <-
+    Loc.Map.fold (fun k v acc -> (k, v) :: acc) info.Map_unmap.i_reps [];
+  let output : Pts.state =
+    if ctx.opts.Options.context_sensitive then eval_node ctx child callee_fn func_input
+    else eval_ci ctx child callee_fn func_input
+  in
+  match output with
+  | None -> (Pts.bot, [], [])
+  | Some out ->
+      let result = Map_unmap.unmap_call ctx.tenv ~input:s ~output:out ~info in
+      let ret_tgts = Map_unmap.return_targets ~output:out ~info ~callee:callee_fn.Ir.fn_name in
+      let ret_cells =
+        if
+          Ctype.is_su callee_fn.Ir.fn_ret
+          && Ctype.carries_pointers (Tenv.layouts ctx.tenv) callee_fn.Ir.fn_ret
+        then
+          Map_unmap.return_cell_targets ~output:out ~info ~callee:callee_fn.Ir.fn_name
+        else []
+      in
+      (Some result, ret_tgts, ret_cells)
+
+(** Evaluate (or reuse) the invocation represented by [node] with the
+    given mapped input — the Ordinary/Approximate/Recursive rules of
+    Figure 4, with one generalization: an Ordinary node that is
+    discovered to be recursive {e during} its evaluation (a function
+    pointer closed a cycle, §5) switches to the fixed-point loop. *)
+and eval_node ctx (node : Ig.node) (callee_fn : Ir.func) (func_input : Pts.t) : Pts.state =
+  match node.Ig.kind with
+  | Ig.Approximate -> (
+      let partner = match node.Ig.partner with Some p -> p | None -> assert false in
+      match partner.Ig.stored_input with
+      | Some si when Pts.covered_by func_input si -> partner.Ig.stored_output
+      | _ ->
+          partner.Ig.pending <- func_input :: partner.Ig.pending;
+          Pts.bot)
+  | Ig.Ordinary | Ig.Recursive -> (
+      match (node.Ig.stored_input, node.Ig.in_flight) with
+      | Some si, false when Pts.equal si func_input && node.Ig.stored_output <> Pts.bot ->
+          node.Ig.stored_output
+      | _ when shared_lookup ctx callee_fn.Ir.fn_name func_input <> None -> (
+          (* §6 sub-tree sharing: another context of the same function was
+             already analyzed with an identical input *)
+          match shared_lookup ctx callee_fn.Ir.fn_name func_input with
+          | Some out ->
+              ctx.share_hits <- ctx.share_hits + 1;
+              node.Ig.stored_input <- Some func_input;
+              node.Ig.stored_output <- Some out;
+              Some out
+          | None -> assert false)
+      | _ ->
+          node.Ig.stored_input <- Some func_input;
+          node.Ig.stored_output <- Pts.bot;
+          node.Ig.pending <- [];
+          node.Ig.in_flight <- true;
+          let rec fixpoint () =
+            let cur_input =
+              match node.Ig.stored_input with Some s -> s | None -> func_input
+            in
+            ctx.bodies_analyzed <- ctx.bodies_analyzed + 1;
+            let fl = process_stmts ctx callee_fn node (Some cur_input) callee_fn.Ir.fn_body in
+            let func_output = Pts.merge_state fl.normal fl.ret in
+            if node.Ig.pending <> [] then begin
+              let merged =
+                List.fold_left
+                  (fun acc p -> Pts.merge_state acc (Some p))
+                  node.Ig.stored_input node.Ig.pending
+              in
+              node.Ig.stored_input <- merged;
+              node.Ig.pending <- [];
+              node.Ig.stored_output <- Pts.bot;
+              fixpoint ()
+            end
+            else if Pts.state_covered_by func_output node.Ig.stored_output then ()
+            else begin
+              node.Ig.stored_output <- Pts.merge_state node.Ig.stored_output func_output;
+              if node.Ig.kind = Ig.Recursive then fixpoint ()
+            end
+          in
+          fixpoint ();
+          node.Ig.in_flight <- false;
+          node.Ig.stored_input <- Some func_input;
+          (match node.Ig.stored_output with
+          | Some out -> shared_record ctx callee_fn.Ir.fn_name func_input out
+          | None -> ());
+          node.Ig.stored_output)
+
+and shared_lookup ctx fname (input : Pts.t) : Pts.t option =
+  if not ctx.opts.Options.share_contexts then None
+  else
+    match Hashtbl.find_opt ctx.share_memo fname with
+    | None -> None
+    | Some entries ->
+        List.find_map
+          (fun (i, o) -> if Pts.equal i input then Some o else None)
+          !entries
+
+and shared_record ctx fname (input : Pts.t) (output : Pts.t) : unit =
+  if ctx.opts.Options.share_contexts then begin
+    let entries =
+      match Hashtbl.find_opt ctx.share_memo fname with
+      | Some r -> r
+      | None ->
+          let r = ref [] in
+          Hashtbl.replace ctx.share_memo fname r;
+          r
+    in
+    if not (List.exists (fun (i, _) -> Pts.equal i input) !entries) then
+      entries := (input, output) :: !entries
+  end
+
+(** Context-insensitive ablation: one merged IN/OUT pair per function;
+    convergence is reached by the driver re-running the whole program
+    until no slot changes. *)
+and eval_ci ctx (node : Ig.node) (callee_fn : Ir.func) (func_input : Pts.t) : Pts.state =
+  let name = callee_fn.Ir.fn_name in
+  let slot_in, slot_out =
+    match Hashtbl.find_opt ctx.ci_slots name with
+    | Some (i, o) -> (i, o)
+    | None -> (None, Pts.bot)
+  in
+  let new_in =
+    match slot_in with None -> func_input | Some si -> Pts.merge si func_input
+  in
+  let input_grew = match slot_in with None -> true | Some si -> not (Pts.equal si new_in) in
+  if input_grew then begin
+    ctx.ci_changed <- true;
+    Hashtbl.replace ctx.ci_slots name (Some new_in, slot_out)
+  end;
+  (* recursion guard per function: the driver's outer fixed point
+     iterates until no slot changes, so using the stored output here is
+     safe *)
+  if Hashtbl.mem ctx.ci_in_flight name then slot_out
+  else begin
+    Hashtbl.replace ctx.ci_in_flight name ();
+    let fl = process_stmts ctx callee_fn node (Some new_in) callee_fn.Ir.fn_body in
+    Hashtbl.remove ctx.ci_in_flight name;
+    let out = Pts.merge_state fl.normal fl.ret in
+    let merged_out = Pts.merge_state slot_out out in
+    if not (Pts.state_equal merged_out slot_out) then begin
+      ctx.ci_changed <- true;
+      let cur_in = match Hashtbl.find_opt ctx.ci_slots name with
+        | Some (i, _) -> i
+        | None -> Some new_in
+      in
+      Hashtbl.replace ctx.ci_slots name (cur_in, merged_out)
+    end;
+    merged_out
+  end

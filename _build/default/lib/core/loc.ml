@@ -1,0 +1,137 @@
+(** Abstract stack locations (paper §3.1).
+
+    Every real stack location that is the source or target of a points-to
+    relationship is represented by exactly one named abstract location
+    (Property 3.1); an abstract location may represent one or more real
+    locations (Property 3.2). The constructors:
+
+    - [Var] — a named local, formal parameter or global variable;
+    - [Fld] — a structure field of another location (nested);
+    - [Head]/[Tail] — the two abstract locations of an array: element 0
+      and elements 1..n (paper §3.2), composable for nested arrays;
+    - [Sym] — a symbolic name for an invisible variable: [Sym l] is the
+      location reachable by dereferencing [l] when the real target is not
+      in scope (printed "1_x", "2_x", ... as in §4.1);
+    - [Heap] — the single abstract location for all heap storage;
+    - [Null] — the NULL target (pointer locals are initialized to point
+      definitely to NULL; NULL pairs are excluded from statistics);
+    - [Str] — string-literal storage;
+    - [Fun] — a function, the target of function pointers (§5);
+    - [Ret] — the return-value pseudo-location of a function. *)
+
+type var_kind =
+  | Kglobal
+  | Klocal
+  | Kparam
+
+type t =
+  | Var of string * var_kind
+  | Fld of t * string
+  | Head of t
+  | Tail of t
+  | Sym of t
+  | Heap
+  | Site of int
+      (** a heap allocation site (statement id), when the analysis runs
+          with [heap_by_site] — the refinement of the single [Heap]
+          location used by the companion heap analyses the paper defers
+          to [Ghiya 93] *)
+  | Null
+  | Str
+  | Fun of string
+  | Ret of string
+
+let compare : t -> t -> int = Stdlib.compare
+let equal a b = compare a b = 0
+
+(** The base variable (or special location) a location is built from. *)
+let rec root = function
+  | Fld (b, _) | Head b | Tail b | Sym b -> root b
+  | (Var _ | Heap | Site _ | Null | Str | Fun _ | Ret _) as l -> l
+
+(** Number of [Sym] constructors on the path: the "level of indirection"
+    of a symbolic name (the k of "k_x"). *)
+let rec sym_depth = function
+  | Sym b -> 1 + sym_depth b
+  | Fld (b, _) | Head b | Tail b -> sym_depth b
+  | Var _ | Heap | Site _ | Null | Str | Fun _ | Ret _ -> 0
+
+(** Is this location visible inside every procedure (globals, heap, the
+    special locations)? Locations rooted at locals, parameters, return
+    slots or symbolic names are procedure-specific. *)
+let is_global_visible l =
+  match root l with
+  | Var (_, Kglobal) | Heap | Site _ | Null | Str | Fun _ -> true
+  | Var (_, (Klocal | Kparam)) | Ret _ -> false
+  | Fld _ | Head _ | Tail _ | Sym _ -> assert false
+
+(** Does the location represent exactly one real stack location (given
+    that its symbolic names represent single invisible variables — the
+    multi-representation case is handled by the map/unmap demotions)?
+    Non-singular locations receive only weak updates and their generated
+    relationships are demoted to possible. *)
+let rec singular = function
+  | Var _ | Null | Fun _ | Ret _ -> true
+  | Fld (b, _) | Head b -> singular b
+  | Sym b -> singular b
+  | Tail _ | Heap | Site _ | Str -> false
+
+(** Table 4 categorization of the root: local / global / formal /
+    symbolic. [None] for special locations (heap, null, functions). *)
+let category l =
+  let rec has_sym = function
+    | Sym _ -> true
+    | Fld (b, _) | Head b | Tail b -> has_sym b
+    | Var _ | Heap | Site _ | Null | Str | Fun _ | Ret _ -> false
+  in
+  if has_sym l then Some `Sy
+  else
+    match root l with
+    | Var (_, Kglobal) -> Some `Gl
+    | Var (_, Klocal) -> Some `Lo
+    | Var (_, Kparam) -> Some `Fp
+    | Ret _ -> Some `Lo
+    | Heap | Site _ | Null | Str | Fun _ -> None
+    | Fld _ | Head _ | Tail _ | Sym _ -> None
+
+let is_heap l = match root l with Heap | Site _ -> true | _ -> false
+
+let is_null = function Null -> true | _ -> false
+
+let is_fun = function Fun _ -> true | _ -> false
+
+(** On the stack for the purpose of the Table 3/5 stack/heap split:
+    everything rooted at a named variable or symbolic name. *)
+let is_stack l =
+  match root l with
+  | Var _ | Ret _ -> true
+  | Heap | Site _ | Null | Str | Fun _ -> false
+  | Fld _ | Head _ | Tail _ | Sym _ -> false
+
+let rec pp ppf = function
+  | Var (n, _) -> Fmt.string ppf n
+  | Fld (b, f) -> Fmt.pf ppf "%a.%s" pp b f
+  | Head b -> Fmt.pf ppf "%a_head" pp b
+  | Tail b -> Fmt.pf ppf "%a_tail" pp b
+  | Sym b ->
+      (* collapse nested symbolic names: Sym (Sym (Var x)) prints 2_x *)
+      let rec count k = function Sym b -> count (k + 1) b | l -> (k, l) in
+      let k, inner = count 1 b in
+      Fmt.pf ppf "%d_%a" k pp inner
+  | Heap -> Fmt.string ppf "heap"
+  | Site i -> Fmt.pf ppf "heap@%d" i
+  | Null -> Fmt.string ppf "NULL"
+  | Str -> Fmt.string ppf "str"
+  | Fun f -> Fmt.pf ppf "fn:%s" f
+  | Ret f -> Fmt.pf ppf "ret:%s" f
+
+let to_string l = Fmt.str "%a" pp l
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Stdlib.Set.Make (Ord)
+module Map = Stdlib.Map.Make (Ord)

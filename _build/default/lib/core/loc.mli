@@ -1,0 +1,79 @@
+(** Abstract stack locations (paper §3.1).
+
+    The analysis abstracts the set of all accessible real stack locations
+    with a finite set of named abstract locations, obeying the paper's
+    two properties: every real location involved in a points-to
+    relationship is represented by exactly one abstract location
+    (Property 3.1), and an abstract location represents one or more real
+    locations (Property 3.2). *)
+
+(** How a named variable is bound in the function under analysis; drives
+    visibility across calls and the Table 4 categorization. *)
+type var_kind =
+  | Kglobal
+  | Klocal
+  | Kparam
+
+type t =
+  | Var of string * var_kind  (** a named variable *)
+  | Fld of t * string  (** structure field of a location (nestable) *)
+  | Head of t  (** element 0 of an array location (paper §3.2) *)
+  | Tail of t  (** elements 1..n of an array location *)
+  | Sym of t
+      (** symbolic name for an invisible variable: [Sym l] is the location
+          reached by dereferencing [l] when the real target is out of
+          scope; printed "1_x", "2_x", ... (paper §4.1) *)
+  | Heap  (** the single abstract heap location (paper §3.1) *)
+  | Site of int
+      (** a heap allocation site (statement id), under the
+          [heap_by_site] option — the refinement behind the companion
+          heap analyses (paper §8) *)
+  | Null  (** the NULL target *)
+  | Str  (** string-literal storage *)
+  | Fun of string  (** a function, as the target of function pointers (§5) *)
+  | Ret of string  (** the return-value pseudo-location of a function *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** The base variable or special location a location is built from. *)
+val root : t -> t
+
+(** Number of [Sym] constructors on the path — the level of indirection
+    of a symbolic name (the k of "k_x"). *)
+val sym_depth : t -> int
+
+(** Visible inside every procedure: globals (and their parts), heap,
+    allocation sites, NULL, strings and functions. Locations rooted at
+    locals, parameters or return slots are procedure-specific, and
+    symbolic names are name-space-local. *)
+val is_global_visible : t -> bool
+
+(** Does the location represent exactly one real stack location?
+    Non-singular locations (array tails, heap, strings) only receive weak
+    updates, and relationships generated from them are demoted to
+    possible (see DESIGN.md on the strong-update refinement). *)
+val singular : t -> bool
+
+(** Table 4 categorization of the root: local / global / formal
+    parameter / symbolic; [None] for special locations. *)
+val category : t -> [ `Lo | `Gl | `Fp | `Sy ] option
+
+(** Rooted in heap storage (the blob or an allocation site). *)
+val is_heap : t -> bool
+
+val is_null : t -> bool
+val is_fun : t -> bool
+
+(** On the stack for the Table 3/5 stack/heap split: rooted at a named
+    variable, symbolic name or return slot. *)
+val is_stack : t -> bool
+
+(** Prints with the paper's conventions: [a_head], [a_tail], [1_x],
+    [2_x], [heap], [s.f]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+module Set : Stdlib.Set.S with type elt = t
+module Map : Stdlib.Map.S with type key = t

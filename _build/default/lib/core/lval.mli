@@ -1,0 +1,44 @@
+(** L-location and R-location sets (paper §3.2, Table 1).
+
+    Computed compositionally over the selector path of a SIMPLE variable
+    reference, which yields every row of Table 1 as a special case and
+    extends uniformly to mixed paths such as "a[i].f". *)
+
+module Ir = Simple_ir.Ir
+
+(** A set of abstract locations, each with a certainty: definite (the
+    reference denotes exactly this location on every path) or
+    possible. *)
+type locset = Pts.cert Loc.Map.t
+
+val empty : locset
+
+(** Add, weakening on conflict. *)
+val add_loc : Loc.t -> Pts.cert -> locset -> locset
+
+val of_list : (Loc.t * Pts.cert) list -> locset
+val to_list : locset -> (Loc.t * Pts.cert) list
+val union : locset -> locset -> locset
+val map_cert : (Pts.cert -> Pts.cert) -> locset -> locset
+
+(** Demote everything to possible. *)
+val weaken : locset -> locset
+
+(** L-location set of a reference (Table 1, L-loc column): the locations
+    it may denote as an assignment target. Dereferences of NULL and of
+    function values are dropped (the paper's non-NULL assumption). *)
+val lvals : Tenv.t -> Ir.func -> Pts.t -> Ir.vref -> locset
+
+(** R-location set of a reference (Table 1, R-loc column): one more
+    dereference than the L-locations; a plain function name evaluates to
+    its function location. *)
+val rvals_ref : Tenv.t -> Ir.func -> Pts.t -> Ir.vref -> locset
+
+(** R-location set of a right-hand side: [&ref] yields the L-locations
+    of [ref]; malloc yields the heap; pointer arithmetic shifts array
+    targets between head and tail. *)
+val rvals_rhs : Tenv.t -> Ir.func -> Pts.t -> Ir.rhs -> locset
+
+val rvals_operand : Tenv.t -> Ir.func -> Pts.t -> Ir.operand -> locset
+
+val pp : Format.formatter -> locset -> unit

@@ -1,0 +1,427 @@
+(** Mapping and unmapping of points-to information across procedure
+    calls (paper §4.1).
+
+    [map_call] prepares the input points-to set of a callee from the
+    caller's set at the call site: formals inherit the relationships of
+    the corresponding actuals, globals keep their relationships, local
+    pointers are initialized to NULL, and every caller location that is
+    reachable from the callee but not in its scope (an {e invisible}
+    variable) is represented by a symbolic name — [Sym l] for the
+    invisible reached by dereferencing callee location [l].
+
+    The invariants of §4.1 are enforced:
+
+    - an invisible variable is represented by at most one symbolic name
+      (Property 3.1) — the first assignment wins, and invisibles involved
+      in definite relationships are assigned before those involved in
+      possible ones (the paper's accuracy heuristic);
+    - a symbolic name may represent several invisibles; in that case
+      relationships {e to} it are demoted to possible, and relationships
+      {e from} it are definite only when definite for every represented
+      invisible (computed with a per-cell merge).
+
+    [unmap_call] maps the callee's output back: relationships of
+    unreachable caller locations persist from the call-site set;
+    relationships of globals and symbolic names are translated back
+    through the recorded representation, demoting pairs whose target
+    resolves to several caller locations; pairs involving escaping callee
+    locals are dropped. *)
+
+module Ir = Simple_ir.Ir
+open Cfront
+
+(** The abstraction of one actual argument, as seen by the mapping. *)
+type actual =
+  | Aptr of Lval.locset  (** pointer argument: the locations it points to *)
+  | Aagg of Loc.t  (** aggregate passed by value: its location *)
+  | Aother  (** non-pointer scalar *)
+
+type state = {
+  tenv : Tenv.t;
+  caller_fn : Ir.func;
+  input : Pts.t;
+  fwd : (Loc.t, Loc.t) Hashtbl.t;  (** caller invisible -> symbolic name *)
+  reps : (Loc.t, Loc.t list) Hashtbl.t;  (** symbolic name -> invisibles *)
+  cells : (Loc.t, Loc.t list) Hashtbl.t;  (** callee cell -> caller cells *)
+  cell_order : Loc.t list ref;  (** callee cells in discovery order *)
+  visited : (Loc.t * Loc.t, unit) Hashtbl.t;
+}
+
+(** Information recorded in the invocation-graph node. *)
+type info = {
+  i_fwd : Loc.t Loc.Map.t;
+  i_reps : Loc.t list Loc.Map.t;
+}
+
+let visible l = Loc.is_global_visible l
+
+let rep_count info l =
+  match Loc.Map.find_opt l info.i_reps with Some reps -> List.length reps | None -> 1
+
+(* ------------------------------------------------------------------ *)
+(* Forward translation and exploration                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec translate_with ~find (l : Loc.t) : Loc.t option =
+  if visible l then Some l
+  else
+    match find l with
+    | Some s -> Some s
+    | None -> (
+        match l with
+        | Loc.Fld (b, f) -> Option.map (fun b -> Loc.Fld (b, f)) (translate_with ~find b)
+        | Loc.Head b -> Option.map (fun b -> Loc.Head b) (translate_with ~find b)
+        | Loc.Tail b -> Option.map (fun b -> Loc.Tail b) (translate_with ~find b)
+        | _ -> None)
+
+let translate_fwd st l = translate_with ~find:(Hashtbl.find_opt st.fwd) l
+
+let info_translate info l = translate_with ~find:(fun l -> Loc.Map.find_opt l info.i_fwd) l
+
+(** Assign (or retrieve) the symbolic name for invisible [t], reached by
+    dereferencing callee cell [parent]. Beyond the symbolic-depth bound
+    the enclosing symbolic location summarizes (safe: its representation
+    set grows, so its relationships weaken to possible). *)
+let assign_sym st ~parent t =
+  match Hashtbl.find_opt st.fwd t with
+  | Some s -> s
+  | None ->
+      let max_depth = st.tenv.Tenv.opts.Options.max_sym_depth in
+      let sym =
+        if Loc.sym_depth parent < max_depth then Loc.Sym parent
+        else
+          let rec enclosing = function
+            | Loc.Sym _ as l -> l
+            | Loc.Fld (b, _) | Loc.Head b | Loc.Tail b -> enclosing b
+            | _ -> Loc.Sym parent
+          in
+          enclosing parent
+      in
+      Hashtbl.replace st.fwd t sym;
+      let old = Option.value ~default:[] (Hashtbl.find_opt st.reps sym) in
+      Hashtbl.replace st.reps sym (old @ [ t ]);
+      sym
+
+let record_cell st cl c =
+  (if not (Hashtbl.mem st.cells cl) then st.cell_order := cl :: !(st.cell_order));
+  let old = Option.value ~default:[] (Hashtbl.find_opt st.cells cl) in
+  if not (List.exists (Loc.equal c) old) then Hashtbl.replace st.cells cl (old @ [ c ])
+
+(** Rebase caller location [l] (a path extending [c]) onto callee
+    location [cl]. *)
+let rec rebase ~from ~onto l =
+  if Loc.equal l from then onto
+  else
+    match l with
+    | Loc.Fld (b, f) -> Loc.Fld (rebase ~from ~onto b, f)
+    | Loc.Head b -> Loc.Head (rebase ~from ~onto b)
+    | Loc.Tail b -> Loc.Tail (rebase ~from ~onto b)
+    | _ -> l
+
+let sort_definite_first targets =
+  List.stable_sort
+    (fun (_, c1) (_, c2) ->
+      match (c1, c2) with
+      | Pts.D, Pts.P -> -1
+      | Pts.P, Pts.D -> 1
+      | (Pts.D | Pts.P), _ -> 0)
+    targets
+
+(** Map one target of a cell: returns its callee-side name, creating a
+    symbolic name when it is invisible, and recursively explores it. *)
+let rec map_target st ~parent (t : Loc.t) : Loc.t =
+  if visible t then begin
+    if Loc.equal t Loc.Heap then explore st Loc.Heap Loc.Heap;
+    t
+  end
+  else
+    match translate_fwd st t with
+    | Some tm ->
+        (* already translated (directly or through an enclosing path) *)
+        (match tm with Loc.Sym _ -> explore st tm t | _ -> ());
+        tm
+    | None ->
+        let sym = assign_sym st ~parent t in
+        explore st sym t;
+        sym
+
+(** Explore the object at caller location [c], represented by callee
+    location [cl]: record its pointer cells and map all their targets. *)
+and explore st (cl : Loc.t) (c : Loc.t) : unit =
+  if not (Hashtbl.mem st.visited (cl, c)) then begin
+    Hashtbl.replace st.visited (cl, c) ();
+    let cells =
+      match Tenv.loc_type st.tenv st.caller_fn c with
+      | Some ty -> Tenv.pointer_cells st.tenv c ty
+      | None -> (
+          (* the heap blob and allocation sites have untyped contents *)
+          match c with
+          | Loc.Heap | Loc.Site _ -> [ (c, Ctype.Ptr Ctype.Void) ]
+          | _ -> [])
+    in
+    List.iter
+      (fun (c_cell, _ty) ->
+        let cl_cell = rebase ~from:c ~onto:cl c_cell in
+        record_cell st cl_cell c_cell;
+        let targets = sort_definite_first (Pts.targets c_cell st.input) in
+        List.iter (fun (t, _d) -> ignore (map_target st ~parent:cl_cell t)) targets)
+      cells
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Building the callee input                                          *)
+(* ------------------------------------------------------------------ *)
+
+let make_state tenv caller_fn input =
+  {
+    tenv;
+    caller_fn;
+    input;
+    fwd = Hashtbl.create 16;
+    reps = Hashtbl.create 16;
+    cells = Hashtbl.create 32;
+    cell_order = ref [];
+    visited = Hashtbl.create 32;
+  }
+
+let info_of_state st : info =
+  {
+    i_fwd = Hashtbl.fold Loc.Map.add st.fwd Loc.Map.empty;
+    i_reps = Hashtbl.fold Loc.Map.add st.reps Loc.Map.empty;
+  }
+
+(** NULL-initialize the pointer cells of a location of type [ty]:
+    singular cells definitely point to NULL, summary cells possibly. *)
+let null_init tenv l ty acc =
+  List.fold_left
+    (fun acc (cell, _) ->
+      Pts.add cell Loc.Null (if Loc.singular cell then Pts.D else Pts.P) acc)
+    acc
+    (Tenv.pointer_cells tenv l ty)
+
+(** Compute the callee's input set and map information for a call.
+    [actuals] must be aligned with [callee.fn_params] (missing trailing
+    actuals are allowed for variadic-style calls and map to NULL). *)
+let map_call (tenv : Tenv.t) ~(caller_fn : Ir.func) ~(callee : Ir.func) ~(input : Pts.t)
+    ~(actuals : actual list) : Pts.t * info =
+  let st = make_state tenv caller_fn input in
+  (* roots: globals and the heap *)
+  List.iter
+    (fun (g, _ty) ->
+      let gl = Loc.Var (g, Loc.Kglobal) in
+      explore st gl gl)
+    tenv.Tenv.prog.Ir.globals;
+  explore st Loc.Heap Loc.Heap;
+  (* with heap_by_site, each allocation site present in the caller's set
+     is its own visible root *)
+  Pts.iter
+    (fun src _ _ ->
+      match Loc.root src with
+      | Loc.Site _ as site -> explore st site site
+      | _ -> ())
+    input;
+  (* formals: collect (formal cell, target locset) pairs *)
+  let formal_values : (Loc.t * (Loc.t * Pts.cert) list) list ref = ref [] in
+  let n_params = List.length callee.Ir.fn_params in
+  let actuals =
+    if List.length actuals >= n_params then actuals
+    else actuals @ List.init (n_params - List.length actuals) (fun _ -> Aother)
+  in
+  List.iter2
+    (fun (pname, pty) actual ->
+      let ploc = Loc.Var (pname, Loc.Kparam) in
+      match (Ctype.decay pty, actual) with
+      | Ctype.Ptr _, Aptr targets ->
+          let targets = sort_definite_first (Lval.to_list targets) in
+          let mapped =
+            List.map (fun (t, d) -> (map_target st ~parent:ploc t, d)) targets
+          in
+          formal_values := (ploc, mapped) :: !formal_values
+      | _, Aagg aloc ->
+          (* aggregate by value: each pointer cell of the formal inherits
+             from the corresponding cell of the actual *)
+          let fcells = Tenv.pointer_cells tenv ploc pty in
+          List.iter
+            (fun (fcell, _) ->
+              let acell = rebase ~from:ploc ~onto:aloc fcell in
+              let targets = sort_definite_first (Pts.targets acell st.input) in
+              let mapped =
+                List.map (fun (t, d) -> (map_target st ~parent:fcell t, d)) targets
+              in
+              formal_values := (fcell, mapped) :: !formal_values)
+            fcells
+      | Ctype.Ptr _, Aother ->
+          formal_values := (ploc, [ (Loc.Null, Pts.D) ]) :: !formal_values
+      | _, (Aother | Aptr _) -> ())
+    callee.Ir.fn_params
+    (List.filteri (fun i _ -> i < n_params) actuals);
+  let info = info_of_state st in
+  let demote tm d = if rep_count info tm > 1 then Pts.P else d in
+  (* explored cells, merged per callee cell over the represented caller
+     cells *)
+  let func_input = ref Pts.empty in
+  List.iter
+    (fun cl_cell ->
+      let callers = Option.value ~default:[] (Hashtbl.find_opt st.cells cl_cell) in
+      let per_caller c =
+        List.fold_left
+          (fun acc (t, d) ->
+            match translate_fwd st t with
+            | Some tm -> Pts.add_weak cl_cell tm (demote tm d) acc
+            | None -> acc)
+          Pts.empty (Pts.targets c st.input)
+      in
+      let merged =
+        match List.map per_caller callers with
+        | [] -> Pts.empty
+        | s :: rest -> List.fold_left Pts.merge s rest
+      in
+      func_input := Pts.union_override !func_input merged)
+    (List.rev !(st.cell_order));
+  (* formal pairs *)
+  List.iter
+    (fun (fcell, mapped) ->
+      let fi =
+        if mapped = [] then Pts.add fcell Loc.Null Pts.D !func_input
+        else
+          List.fold_left
+            (fun acc (tm, d) -> Pts.add_weak fcell tm (demote tm d) acc)
+            !func_input mapped
+      in
+      func_input := fi)
+    !formal_values;
+  (* NULL-initialize callee pointer locals and the return slot *)
+  List.iter
+    (fun (n, ty) ->
+      func_input := null_init tenv (Loc.Var (n, Loc.Klocal)) ty !func_input)
+    callee.Ir.fn_locals;
+  func_input :=
+    null_init tenv (Loc.Ret callee.Ir.fn_name) (Ctype.decay callee.Ir.fn_ret) !func_input;
+  (match callee.Ir.fn_ret with
+  | Ctype.Su _ ->
+      func_input := null_init tenv (Loc.Ret callee.Ir.fn_name) callee.Ir.fn_ret !func_input
+  | _ -> ());
+  (!func_input, info)
+
+(* ------------------------------------------------------------------ *)
+(* Unmapping                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Resolve a callee-side location back to the caller locations it
+    represents. Locations rooted in callee locals/formals/return slot
+    resolve to nothing (escaping callee storage is dropped). *)
+let rec resolve_back (info : info) (l : Loc.t) : Loc.t list =
+  match l with
+  | _ when visible l && not (Loc.Map.mem l info.i_reps) -> [ l ]
+  | Loc.Sym _ -> (
+      match Loc.Map.find_opt l info.i_reps with Some reps -> reps | None -> [])
+  | Loc.Fld (b, f) -> List.map (fun b -> Loc.Fld (b, f)) (resolve_back info b)
+  | Loc.Head b -> List.map (fun b -> Loc.Head b) (resolve_back info b)
+  | Loc.Tail b -> List.map (fun b -> Loc.Tail b) (resolve_back info b)
+  | Loc.Var _ | Loc.Ret _ -> []
+  | Loc.Heap | Loc.Site _ | Loc.Null | Loc.Str | Loc.Fun _ -> [ l ]
+
+(** Merge two target maps with Figure 1's merge semantics: a target is
+    definite only when definite in both (used when several callee-side
+    names resolve back to the same caller location — their views must be
+    reconciled conservatively). *)
+let targets_meet (a : Pts.cert Loc.Map.t) (b : Pts.cert Loc.Map.t) =
+  Loc.Map.merge
+    (fun _ ca cb ->
+      match (ca, cb) with
+      | None, None -> None
+      | Some _, None | None, Some _ -> Some Pts.P
+      | Some ca, Some cb -> Some (Pts.cert_and ca cb))
+    a b
+
+(** Output points-to set at the call site, from the callee's output. *)
+let unmap_call (_tenv : Tenv.t) ~(input : Pts.t) ~(output : Pts.t) ~(info : info) : Pts.t =
+  (* relationships of caller locations out of the callee's reach persist *)
+  let persistent =
+    Pts.filter (fun src _ _ -> Option.is_none (info_translate info src)) input
+  in
+  (* per caller source: the translated target maps of every callee-side
+     source resolving to it *)
+  let per_src : (Loc.t, Pts.cert Loc.Map.t list) Hashtbl.t = Hashtbl.create 32 in
+  let seen_sources = Hashtbl.create 32 in
+  Pts.iter
+    (fun src _ _ ->
+      if not (Hashtbl.mem seen_sources src) then begin
+        Hashtbl.replace seen_sources src ();
+        let srcs = resolve_back info src in
+        if srcs <> [] then begin
+          let tmap =
+            List.fold_left
+              (fun acc (tgt, d) ->
+                let tgts = resolve_back info tgt in
+                let d = if List.length tgts > 1 then Pts.P else d in
+                List.fold_left
+                  (fun acc t ->
+                    Loc.Map.update t
+                      (function None -> Some d | Some d0 -> Some (Pts.cert_and d0 d))
+                      acc)
+                  acc tgts)
+              Loc.Map.empty (Pts.targets src output)
+          in
+          List.iter
+            (fun s ->
+              let old = Option.value ~default:[] (Hashtbl.find_opt per_src s) in
+              Hashtbl.replace per_src s (tmap :: old))
+            srcs
+        end
+      end)
+    output;
+  Hashtbl.fold
+    (fun s tmaps acc ->
+      let merged =
+        match tmaps with [] -> Loc.Map.empty | m :: rest -> List.fold_left targets_meet m rest
+      in
+      Loc.Map.fold (fun t d acc -> Pts.add s t d acc) merged acc)
+    per_src persistent
+
+(** The caller-side targets of the callee's return value. *)
+let return_targets ~(output : Pts.t) ~(info : info) ~(callee : string) : (Loc.t * Pts.cert) list
+    =
+  List.concat_map
+    (fun (t, d) ->
+      let tgts = resolve_back info t in
+      let d = if List.length tgts > 1 then Pts.P else d in
+      List.map (fun t -> (t, d)) tgts)
+    (Pts.targets (Loc.Ret callee) output)
+
+(** For aggregate returns: every cell of the return slot (a path under
+    [Ret callee]) with its caller-side targets. The path is returned as a
+    function that grafts it onto a caller location. *)
+let return_cell_targets ~(output : Pts.t) ~(info : info) ~(callee : string) :
+    ((Loc.t -> Loc.t) * (Loc.t * Pts.cert) list) list =
+  let ret = Loc.Ret callee in
+  let rec graft_of (l : Loc.t) : (Loc.t -> Loc.t) option =
+    if Loc.equal l ret then Some (fun base -> base)
+    else
+      match l with
+      | Loc.Fld (b, f) ->
+          Option.map (fun g base -> Loc.Fld (g base, f)) (graft_of b)
+      | Loc.Head b -> Option.map (fun g base -> Loc.Head (g base)) (graft_of b)
+      | Loc.Tail b -> Option.map (fun g base -> Loc.Tail (g base)) (graft_of b)
+      | _ -> None
+  in
+  Pts.fold
+    (fun src _ _ acc ->
+      match graft_of src with
+      | Some graft ->
+          (* one entry per distinct path: compare grafts structurally by
+             applying them to a dummy base *)
+          if List.exists (fun (g, _) -> Loc.equal (g Loc.Null) (graft Loc.Null)) acc then
+            acc
+          else
+            let tgts =
+              List.concat_map
+                (fun (t, d) ->
+                  let ts = resolve_back info t in
+                  let d = if List.length ts > 1 then Pts.P else d in
+                  List.map (fun t -> (t, d)) ts)
+                (Pts.targets src output)
+            in
+            (graft, tgts) :: acc
+      | None -> acc)
+    output []

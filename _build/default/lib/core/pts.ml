@@ -1,0 +1,168 @@
+(** Points-to sets: finite maps from (source, target) location pairs to a
+    certainty — definite or possible (paper Definitions 3.1/3.2).
+
+    The representation is a two-level map [source -> target -> cert] so
+    that kills (removing all relationships of a source) and target
+    lookups are cheap.
+
+    The lattice ordering used for the interprocedural fixed point
+    (Figure 4's [isSubsetOf] and [Merge]) is: [s1] is covered by [s2]
+    iff every pair of [s1] occurs in [s2] (with any certainty) and every
+    definite pair of [s2] occurs definitely in [s1]. [merge] is the
+    least upper bound: union of the pairs, definite only when definite
+    on both sides. *)
+
+type cert = D | P
+
+let cert_and a b = match (a, b) with D, D -> D | _ -> P
+
+let cert_to_string = function D -> "D" | P -> "P"
+
+module LM = Loc.Map
+
+type t = cert LM.t LM.t
+
+let empty : t = LM.empty
+
+let is_empty (s : t) = LM.is_empty s
+
+(** Add a pair, overriding any existing certainty (used for gen sets:
+    the newly generated relationship replaces the old one). *)
+let add src tgt cert (s : t) : t =
+  LM.update src
+    (function
+      | None -> Some (LM.singleton tgt cert)
+      | Some m -> Some (LM.add tgt cert m))
+    s
+
+(** Add a pair, weakening: if present as definite and added as possible
+    (or vice versa), the result is possible. Used when accumulating
+    independent facts. *)
+let add_weak src tgt cert (s : t) : t =
+  LM.update src
+    (function
+      | None -> Some (LM.singleton tgt cert)
+      | Some m ->
+          Some
+            (LM.update tgt
+               (function None -> Some cert | Some c -> Some (cert_and c cert))
+               m))
+    s
+
+let find src tgt (s : t) : cert option =
+  match LM.find_opt src s with None -> None | Some m -> LM.find_opt tgt m
+
+let mem src tgt s = Option.is_some (find src tgt s)
+
+(** All targets of [src], with certainties. *)
+let targets src (s : t) : (Loc.t * cert) list =
+  match LM.find_opt src s with
+  | None -> []
+  | Some m -> LM.fold (fun tgt c acc -> (tgt, c) :: acc) m []
+
+(** Remove every relationship whose source is [src]. *)
+let kill_src src (s : t) : t = LM.remove src s
+
+(** Demote every relationship of [src] from definite to possible. *)
+let weaken_src src (s : t) : t =
+  LM.update src (Option.map (LM.map (fun _ -> P))) s
+
+let fold f (s : t) acc =
+  LM.fold (fun src m acc -> LM.fold (fun tgt c acc -> f src tgt c acc) m acc) s acc
+
+let iter f (s : t) = LM.iter (fun src m -> LM.iter (fun tgt c -> f src tgt c) m) s
+
+let exists f (s : t) = LM.exists (fun src m -> LM.exists (fun tgt c -> f src tgt c) m) s
+
+let filter f (s : t) : t =
+  LM.filter_map
+    (fun src m ->
+      let m' = LM.filter (fun tgt c -> f src tgt c) m in
+      if LM.is_empty m' then None else Some m')
+    s
+
+let cardinal (s : t) = LM.fold (fun _ m n -> n + LM.cardinal m) s 0
+
+let to_list (s : t) = List.rev (fold (fun a b c acc -> (a, b, c) :: acc) s [])
+
+let of_list l = List.fold_left (fun s (a, b, c) -> add_weak a b c s) empty l
+
+let equal (a : t) (b : t) = LM.equal (LM.equal (fun (x : cert) y -> x = y)) a b
+
+(** Least upper bound: union of pairs; a pair is definite only when
+    definite in both operands (a definite pair present on only one side
+    becomes possible, since the other side's execution paths do not
+    establish it). *)
+let merge (a : t) (b : t) : t =
+  LM.merge
+    (fun _src ma mb ->
+      match (ma, mb) with
+      | None, None -> None
+      | Some m, None | None, Some m -> Some (LM.map (fun _ -> P) m)
+      | Some ma, Some mb ->
+          Some
+            (LM.merge
+               (fun _tgt ca cb ->
+                 match (ca, cb) with
+                 | None, None -> None
+                 | Some _, None | None, Some _ -> Some P
+                 | Some ca, Some cb -> Some (cert_and ca cb))
+               ma mb))
+    a b
+
+(** [covered_by s1 s2]: is [s2] a safe generalization of [s1]?
+    Requires (1) every pair of [s1] to be present in [s2], and (2) every
+    definite pair of [s2] to be definite in [s1]. *)
+let covered_by (s1 : t) (s2 : t) : bool =
+  (not (exists (fun src tgt _ -> not (mem src tgt s2)) s1))
+  && not (exists (fun src tgt c -> c = D && find src tgt s1 <> Some D) s2)
+
+(** Union where pairs of [over] override pairs of [base] (Figure 1's
+    [(changed_input - kill_set) ∪ gen_set]). *)
+let union_override (base : t) (over : t) : t =
+  fold (fun src tgt c acc -> add src tgt c acc) over base
+
+(** Every location mentioned (as source or target). *)
+let all_locs (s : t) : Loc.Set.t =
+  fold (fun src tgt _ acc -> Loc.Set.add src (Loc.Set.add tgt acc)) s Loc.Set.empty
+
+let pp ppf (s : t) =
+  let pairs = to_list s in
+  Fmt.pf ppf "{%a}"
+    (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (a, b, c) ->
+         Fmt.pf ppf "(%a,%a,%s)" Loc.pp a Loc.pp b (cert_to_string c)))
+    pairs
+
+let to_string s = Fmt.str "%a" pp s
+
+(* ------------------------------------------------------------------ *)
+(* Analysis states: Bottom or a reached set                           *)
+(* ------------------------------------------------------------------ *)
+
+(** [None] is Figure 4's Bottom: unreachable / not yet computed. It is
+    the identity of [merge_state] — merging with Bottom must not demote
+    definite pairs. *)
+type state = t option
+
+let bot : state = None
+
+let merge_state (a : state) (b : state) : state =
+  match (a, b) with
+  | None, s | s, None -> s
+  | Some a, Some b -> Some (merge a b)
+
+let state_equal (a : state) (b : state) =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b -> equal a b
+  | None, Some _ | Some _, None -> false
+
+let state_covered_by (a : state) (b : state) =
+  match (a, b) with
+  | None, _ -> true
+  | Some _, None -> false
+  | Some a, Some b -> covered_by a b
+
+let pp_state ppf = function
+  | None -> Fmt.string ppf "<bottom>"
+  | Some s -> pp ppf s

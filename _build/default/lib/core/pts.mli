@@ -1,0 +1,77 @@
+(** Points-to sets: maps from (source, target) abstract-location pairs to
+    a certainty (paper Definitions 3.1–3.3).
+
+    The interprocedural fixed point (Figure 4) uses the lattice defined
+    by {!covered_by} (safe generalization) and {!merge} (least upper
+    bound); {!state} adds the Bottom element for unreachable code. *)
+
+(** Definite or possible (paper §3.1). *)
+type cert = D | P
+
+(** Conjunction: definite only when both are (Table 1's [d1 ∧ d2]). *)
+val cert_and : cert -> cert -> cert
+
+val cert_to_string : cert -> string
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+(** Add a pair, overriding any existing certainty (gen sets replace). *)
+val add : Loc.t -> Loc.t -> cert -> t -> t
+
+(** Add a pair, weakening on conflict (independent facts accumulate). *)
+val add_weak : Loc.t -> Loc.t -> cert -> t -> t
+
+val find : Loc.t -> Loc.t -> t -> cert option
+val mem : Loc.t -> Loc.t -> t -> bool
+
+(** All targets of a source, with certainties. *)
+val targets : Loc.t -> t -> (Loc.t * cert) list
+
+(** Remove every relationship of a source (Figure 1's kill). *)
+val kill_src : Loc.t -> t -> t
+
+(** Demote every relationship of a source to possible (Figure 1's
+    change set). *)
+val weaken_src : Loc.t -> t -> t
+
+val fold : (Loc.t -> Loc.t -> cert -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Loc.t -> Loc.t -> cert -> unit) -> t -> unit
+val exists : (Loc.t -> Loc.t -> cert -> bool) -> t -> bool
+val filter : (Loc.t -> Loc.t -> cert -> bool) -> t -> t
+val cardinal : t -> int
+val to_list : t -> (Loc.t * Loc.t * cert) list
+val of_list : (Loc.t * Loc.t * cert) list -> t
+val equal : t -> t -> bool
+
+(** Least upper bound: union of pairs, definite only when definite on
+    both sides (a one-sided definite becomes possible — some execution
+    paths do not establish it). *)
+val merge : t -> t -> t
+
+(** [covered_by s1 s2]: is [s2] a safe generalization of [s1]? Requires
+    every pair of [s1] in [s2], and every definite claim of [s2] definite
+    in [s1] (Figure 4's [isSubsetOf]). *)
+val covered_by : t -> t -> bool
+
+(** Union where the second operand's pairs win (Figure 1's
+    [(changed_input − kill) ∪ gen]). *)
+val union_override : t -> t -> t
+
+(** Every location mentioned as source or target. *)
+val all_locs : t -> Loc.Set.t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Analysis states: [None] is Figure 4's Bottom (unreachable / not yet
+    computed), the identity of {!merge_state}. *)
+type state = t option
+
+val bot : state
+val merge_state : state -> state -> state
+val state_equal : state -> state -> bool
+val state_covered_by : state -> state -> bool
+val pp_state : Format.formatter -> state -> unit

@@ -1,0 +1,1 @@
+lib/heap/connection.ml: Array Fmt Hashtbl Int List Option Pointsto Set Simple_ir

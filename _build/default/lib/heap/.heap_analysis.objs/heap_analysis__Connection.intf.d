@@ -1,0 +1,1 @@
+lib/heap/connection.mli: Format Pointsto Set Simple_ir

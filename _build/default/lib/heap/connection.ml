@@ -1,0 +1,192 @@
+(** Connection analysis over heap-directed pointers — the companion heap
+    analysis the paper defers to ([Ghiya 93], paper §1, §7.1 and §8).
+
+    The points-to analysis deliberately abstracts all heap storage with a
+    single location; the paper's companion work refines this with "a
+    series of practical approximations of the relationships between
+    directly-accessible heap-allocated nodes ... from simple connection
+    matrices that approximate the connectivity of nodes, to complete path
+    matrices" (§8). This module implements the connection-matrix level:
+
+    - heap storage is named by {e allocation site} (run the points-to
+      analysis with {!Pointsto.Options.heap_by_site});
+    - two heap-directed pointers are {e connected} at a program point if
+      their points-to sets share an allocation site, or if some site
+      reachable from one can reach a site of the other through heap
+      pointers (heap-to-heap points-to pairs give inter-site edges);
+    - pointers that are not connected address provably disjoint heap data
+      structures — the property parallelizing transformations need
+      ("identify disjoint accesses to heap locations", §6).
+
+    Site naming is context-insensitive (one location per textual
+    allocation), so two lists built by the same constructor function are
+    conservatively connected; the paper's full path-matrix analyses
+    refine this further. *)
+
+module Ir = Simple_ir.Ir
+module Loc = Pointsto.Loc
+module Pts = Pointsto.Pts
+module Analysis = Pointsto.Analysis
+
+module IntSet = Set.Make (Int)
+
+(** The options a result must have been produced with. *)
+let options = { Pointsto.Options.default with Pointsto.Options.heap_by_site = true }
+
+(** All allocation sites appearing anywhere in the analysis result. *)
+let all_sites (res : Analysis.result) : int list =
+  let sites = ref IntSet.empty in
+  Hashtbl.iter
+    (fun _ s ->
+      Pts.iter
+        (fun src tgt _ ->
+          (match Loc.root src with Loc.Site i -> sites := IntSet.add i !sites | _ -> ());
+          match Loc.root tgt with Loc.Site i -> sites := IntSet.add i !sites | _ -> ())
+        s)
+    res.Analysis.stmt_pts;
+  IntSet.elements !sites
+
+(** Allocation sites a location points to directly under [s]. *)
+let direct_sites (s : Pts.t) (l : Loc.t) : IntSet.t =
+  List.fold_left
+    (fun acc (t, _) ->
+      match Loc.root t with Loc.Site i -> IntSet.add i acc | _ -> acc)
+    IntSet.empty (Pts.targets l s)
+
+(** Inter-site reachability under [s]: starting from [sites], add every
+    site reachable through heap-to-heap points-to pairs (a list node
+    pointing to the next cell allocated at another site connects the two
+    sites). *)
+let reachable_sites (s : Pts.t) (sites : IntSet.t) : IntSet.t =
+  let edges =
+    Pts.fold
+      (fun src tgt _ acc ->
+        match (Loc.root src, Loc.root tgt) with
+        | Loc.Site a, Loc.Site b when a <> b -> (a, b) :: acc
+        | _ -> acc)
+      s []
+  in
+  let rec fix seen =
+    let grown =
+      List.fold_left
+        (fun seen (a, b) ->
+          let seen = if IntSet.mem a seen then IntSet.add b seen else seen in
+          if IntSet.mem b seen then IntSet.add a seen else seen)
+        seen edges
+    in
+    if IntSet.equal grown seen then seen else fix grown
+  in
+  fix sites
+
+(** The heap region (set of allocation sites, closed under heap
+    reachability) addressed by location [l] under [s]. *)
+let region (s : Pts.t) (l : Loc.t) : IntSet.t = reachable_sites s (direct_sites s l)
+
+(** Are the heap structures addressed by [a] and [b] possibly the same /
+    overlapping at this point? False means provably disjoint. *)
+let connected (s : Pts.t) (a : Loc.t) (b : Loc.t) : bool =
+  not (IntSet.is_empty (IntSet.inter (region s a) (region s b)))
+
+(** The connection matrix over a list of locations: a symmetric boolean
+    matrix, [m.(i).(j)] true when locations i and j are connected. *)
+let matrix (s : Pts.t) (locs : Loc.t list) : bool array array =
+  let regions = Array.of_list (List.map (region s) locs) in
+  let n = Array.length regions in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          i = j || not (IntSet.is_empty (IntSet.inter regions.(i) regions.(j)))))
+
+(** Partition heap-directed pointers into groups addressing provably
+    disjoint heap structures (union-find by shared region). *)
+let partition (s : Pts.t) (locs : Loc.t list) : Loc.t list list =
+  let locs = List.filter (fun l -> not (IntSet.is_empty (direct_sites s l))) locs in
+  let m = matrix s locs in
+  let arr = Array.of_list locs in
+  let n = Array.length arr in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if m.(i).(j) then parent.(find i) <- find j
+    done
+  done;
+  let groups = Hashtbl.create 8 in
+  Array.iteri
+    (fun i l ->
+      let r = find i in
+      Hashtbl.replace groups r (l :: Option.value ~default:[] (Hashtbl.find_opt groups r)))
+    arr;
+  Hashtbl.fold (fun _ g acc -> List.rev g :: acc) groups []
+  |> List.sort compare
+
+(** Heap-directed pointer variables of a function at a statement: the
+    variables (locals, params, globals) whose targets include a heap
+    site. *)
+let heap_pointers (res : Analysis.result) (fn : Ir.func) (s : Pts.t) : Loc.t list =
+  let tenv = res.Analysis.tenv in
+  let candidates =
+    List.map (fun (n, _) -> Loc.Var (n, Loc.Kparam)) fn.Ir.fn_params
+    @ List.map (fun (n, _) -> Loc.Var (n, Loc.Klocal)) fn.Ir.fn_locals
+    @ List.map (fun (n, _) -> Loc.Var (n, Loc.Kglobal)) tenv.Pointsto.Tenv.prog.Ir.globals
+  in
+  List.filter (fun l -> not (IntSet.is_empty (direct_sites s l))) candidates
+
+(** Summary numbers for reporting: allocation sites, heap-directed
+    pointer variables at function exits, and how many unordered pairs of
+    them are provably disjoint. *)
+type summary = {
+  n_sites : int;
+  n_heap_ptrs : int;
+  n_pairs : int;  (** unordered pairs of heap-directed pointers *)
+  n_disjoint : int;  (** of which provably disjoint *)
+}
+
+let summarize (res : Analysis.result) : summary =
+  let n_sites = List.length (all_sites res) in
+  let pairs = ref 0 and disjoint = ref 0 and ptrs = ref 0 in
+  List.iter
+    (fun fn ->
+      (* at each call/return-free summary point we use the merged set of
+         the function's last statement; simpler: the union over the
+         function's statements *)
+      let s =
+        Ir.fold_func
+          (fun acc st ->
+            match Hashtbl.find_opt res.Analysis.stmt_pts st.Ir.s_id with
+            | Some x -> Pts.merge acc x
+            | None -> acc)
+          Pts.empty fn
+      in
+      let hp = heap_pointers res fn s in
+      ptrs := !ptrs + List.length hp;
+      let arr = Array.of_list hp in
+      let n = Array.length arr in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          incr pairs;
+          if not (connected s arr.(i) arr.(j)) then incr disjoint
+        done
+      done)
+    res.Analysis.prog.Ir.funcs;
+  { n_sites; n_heap_ptrs = !ptrs; n_pairs = !pairs; n_disjoint = !disjoint }
+
+let pp_matrix ppf (locs, m) =
+  let n = Array.length m in
+  Fmt.pf ppf "%12s" "";
+  List.iter (fun l -> Fmt.pf ppf " %10s" (Loc.to_string l)) locs;
+  Fmt.pf ppf "@.";
+  List.iteri
+    (fun i l ->
+      Fmt.pf ppf "%12s" (Loc.to_string l);
+      for j = 0 to n - 1 do
+        Fmt.pf ppf " %10s" (if m.(i).(j) then "C" else ".")
+      done;
+      Fmt.pf ppf "@.")
+    locs

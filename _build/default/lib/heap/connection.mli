@@ -1,0 +1,52 @@
+(** Connection analysis over heap-directed pointers — the
+    connection-matrix level of the companion heap analyses the paper
+    defers to (§8, [Ghiya 93]). Requires a points-to result produced with
+    allocation-site naming ({!options}). *)
+
+module Ir = Simple_ir.Ir
+module Loc = Pointsto.Loc
+module Pts = Pointsto.Pts
+module Analysis = Pointsto.Analysis
+module IntSet : Set.S with type elt = int
+
+(** The analysis options a result must have been produced with
+    ([heap_by_site] enabled). *)
+val options : Pointsto.Options.t
+
+(** All allocation sites appearing in the result. *)
+val all_sites : Analysis.result -> int list
+
+(** Sites a location points to directly. *)
+val direct_sites : Pts.t -> Loc.t -> IntSet.t
+
+(** Close a site set under heap-to-heap reachability. *)
+val reachable_sites : Pts.t -> IntSet.t -> IntSet.t
+
+(** The heap region (reachability-closed site set) a location
+    addresses. *)
+val region : Pts.t -> Loc.t -> IntSet.t
+
+(** Possibly-overlapping heap structures? [false] means provably
+    disjoint. *)
+val connected : Pts.t -> Loc.t -> Loc.t -> bool
+
+(** Symmetric connection matrix over a list of locations. *)
+val matrix : Pts.t -> Loc.t list -> bool array array
+
+(** Group heap-directed pointers into provably disjoint structures. *)
+val partition : Pts.t -> Loc.t list -> Loc.t list list
+
+(** Heap-directed pointer variables visible in a function under a
+    points-to set. *)
+val heap_pointers : Analysis.result -> Ir.func -> Pts.t -> Loc.t list
+
+type summary = {
+  n_sites : int;
+  n_heap_ptrs : int;
+  n_pairs : int;  (** unordered pairs of heap-directed pointers *)
+  n_disjoint : int;  (** of which provably disjoint *)
+}
+
+val summarize : Analysis.result -> summary
+
+val pp_matrix : Format.formatter -> Loc.t list * bool array array -> unit

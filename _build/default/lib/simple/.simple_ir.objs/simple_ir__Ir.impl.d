@@ -1,0 +1,1 @@
+lib/simple/ir.ml: Cfront List Option String

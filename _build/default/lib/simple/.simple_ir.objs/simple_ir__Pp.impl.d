@@ -1,0 +1,1 @@
+lib/simple/pp.ml: Cfront Fmt Ir List String

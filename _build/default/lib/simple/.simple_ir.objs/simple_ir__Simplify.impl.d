@@ -1,0 +1,1 @@
+lib/simple/simplify.ml: Ast Cfront Char Ctype Fmt Hashtbl Int64 Ir List Parser Printf Srcloc String

@@ -1,0 +1,1 @@
+lib/simple/simplify.mli: Cfront Ir

@@ -1,0 +1,122 @@
+(** Pretty-printer for SIMPLE programs. *)
+
+open Ir
+
+let pp_index ppf = function
+  | Izero -> Fmt.string ppf "0"
+  | Ipos -> Fmt.string ppf "+"
+  | Iany -> Fmt.string ppf "i"
+
+let pp_vref ppf (r : vref) =
+  if r.r_deref then Fmt.pf ppf "(*%s)" r.r_base else Fmt.string ppf r.r_base;
+  List.iter
+    (function
+      | Sfield f -> Fmt.pf ppf ".%s" f
+      | Sindex i -> Fmt.pf ppf "[%a]" pp_index i
+      | Sshift i -> Fmt.pf ppf "[+%a]" pp_index i)
+    r.r_path
+
+let pp_operand ppf = function
+  | Oref r -> pp_vref ppf r
+  | Oconst (Some n) -> Fmt.pf ppf "%Ld" n
+  | Oconst None -> Fmt.string ppf "<const>"
+  | Onull -> Fmt.string ppf "NULL"
+  | Ostr -> Fmt.string ppf "<string>"
+
+let pp_shift ppf = function
+  | Pzero -> Fmt.string ppf "0"
+  | Ppos -> Fmt.string ppf "k"
+  | Pany -> Fmt.string ppf "?"
+
+let pp_rhs ppf = function
+  | Rref r -> pp_vref ppf r
+  | Raddr r -> Fmt.pf ppf "&%a" pp_vref r
+  | Rconst (Some n) -> Fmt.pf ppf "%Ld" n
+  | Rconst None -> Fmt.string ppf "<const>"
+  | Rnull -> Fmt.string ppf "NULL"
+  | Rstr -> Fmt.string ppf "<string>"
+  | Rmalloc -> Fmt.string ppf "malloc()"
+  | Rarith (r, s) -> Fmt.pf ppf "%a + %a" pp_vref r pp_shift s
+  | Rbinop (op, a, b) -> Fmt.pf ppf "%a %s %a" pp_operand a op pp_operand b
+  | Runop (op, a) -> Fmt.pf ppf "%s%a" op pp_operand a
+
+let rec pp_cond ppf = function
+  | Cop (op, a, b) -> Fmt.pf ppf "%a %s %a" pp_operand a op pp_operand b
+  | Cval op -> pp_operand ppf op
+  | Cnot c -> Fmt.pf ppf "!(%a)" pp_cond c
+  | Cand (a, b) -> Fmt.pf ppf "(%a && %a)" pp_cond a pp_cond b
+  | Cor (a, b) -> Fmt.pf ppf "(%a || %a)" pp_cond a pp_cond b
+
+let pp_callee ppf = function
+  | Cdirect f -> Fmt.string ppf f
+  | Cindirect r -> Fmt.pf ppf "(*%a)" pp_vref r
+
+let rec pp_stmt ~indent ppf (s : stmt) =
+  let pad = String.make indent ' ' in
+  match s.s_desc with
+  | Sassign (l, r) -> Fmt.pf ppf "%s%a = %a;  /* s%d */@." pad pp_vref l pp_rhs r s.s_id
+  | Scall (lhs, callee, args) ->
+      Fmt.pf ppf "%s%a%a(%a);  /* s%d */@." pad
+        (Fmt.option (fun ppf l -> Fmt.pf ppf "%a = " pp_vref l))
+        lhs pp_callee callee
+        (Fmt.list ~sep:(Fmt.any ", ") pp_operand)
+        args s.s_id
+  | Sif (c, t, []) ->
+      Fmt.pf ppf "%sif (%a) {  /* s%d */@.%a%s}@." pad pp_cond c s.s_id
+        (pp_stmts ~indent:(indent + 2))
+        t pad
+  | Sif (c, t, e) ->
+      Fmt.pf ppf "%sif (%a) {  /* s%d */@.%a%s} else {@.%a%s}@." pad pp_cond c s.s_id
+        (pp_stmts ~indent:(indent + 2))
+        t pad
+        (pp_stmts ~indent:(indent + 2))
+        e pad
+  | Sloop l ->
+      let kind =
+        match l.l_kind with `While -> "while" | `Do -> "do-while" | `For -> "for"
+      in
+      if l.l_cond_stmts <> [] then
+        Fmt.pf ppf "%s/* cond eval: */@.%a" pad (pp_stmts ~indent) l.l_cond_stmts;
+      Fmt.pf ppf "%s%s (%a) {  /* s%d */@.%a" pad kind pp_cond l.l_cond s.s_id
+        (pp_stmts ~indent:(indent + 2))
+        l.l_body;
+      if l.l_step <> [] then
+        Fmt.pf ppf "%s  /* step: */@.%a" pad (pp_stmts ~indent:(indent + 2)) l.l_step;
+      if l.l_cond_stmts <> [] then
+        Fmt.pf ppf "%s  /* cond re-eval: */@.%a" pad
+          (pp_stmts ~indent:(indent + 2))
+          l.l_cond_stmts;
+      Fmt.pf ppf "%s}@." pad
+  | Sswitch (op, groups) ->
+      Fmt.pf ppf "%sswitch (%a) {  /* s%d */@." pad pp_operand op s.s_id;
+      List.iter
+        (fun g ->
+          List.iter (fun v -> Fmt.pf ppf "%scase %Ld:@." pad v) g.g_cases;
+          if g.g_default then Fmt.pf ppf "%sdefault:@." pad;
+          pp_stmts ~indent:(indent + 2) ppf g.g_body)
+        groups;
+      Fmt.pf ppf "%s}@." pad
+  | Sbreak -> Fmt.pf ppf "%sbreak;  /* s%d */@." pad s.s_id
+  | Scontinue -> Fmt.pf ppf "%scontinue;  /* s%d */@." pad s.s_id
+  | Sreturn None -> Fmt.pf ppf "%sreturn;  /* s%d */@." pad s.s_id
+  | Sreturn (Some op) -> Fmt.pf ppf "%sreturn %a;  /* s%d */@." pad pp_operand op s.s_id
+
+and pp_stmts ~indent ppf stmts = List.iter (pp_stmt ~indent ppf) stmts
+
+let pp_func ppf (f : func) =
+  Fmt.pf ppf "%s %s(%a)@.{@." (Cfront.Ctype.to_string f.fn_ret) f.fn_name
+    (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (n, t) ->
+         Fmt.pf ppf "%s %s" (Cfront.Ctype.to_string t) n))
+    f.fn_params;
+  List.iter
+    (fun (n, t) -> Fmt.pf ppf "  %s %s;@." (Cfront.Ctype.to_string t) n)
+    f.fn_locals;
+  pp_stmts ~indent:2 ppf f.fn_body;
+  Fmt.pf ppf "}@.@."
+
+let pp_program ppf (p : program) =
+  List.iter
+    (fun (n, t) -> Fmt.pf ppf "%s %s;@." (Cfront.Ctype.to_string t) n)
+    p.globals;
+  Fmt.pf ppf "@.";
+  List.iter (pp_func ppf) p.funcs

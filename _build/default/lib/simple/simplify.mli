@@ -1,0 +1,22 @@
+(** Simplification: lowering the C AST to SIMPLE (paper §2).
+
+    Complex statements become sequences of basic statements with at most
+    one level of indirection per reference; call arguments become
+    constants or variables; conditions become side-effect free (with
+    hoisted evaluation statements re-run on loop back edges);
+    initializations move into statement position; struct copies expand
+    field-wise. *)
+
+(** Raised on constructs outside the supported subset, with a source
+    location (e.g. calls of non-functions, non-lvalue assignments). *)
+exception Unsupported of Cfront.Srcloc.t * string
+
+(** Lower a parsed C program. *)
+val program : Cfront.Ast.program -> Ir.program
+
+(** Parse and lower C source text.
+    @raise Cfront.Srcloc.Error on lexing/parsing errors.
+    @raise Unsupported on unsupported constructs. *)
+val of_string : ?file:string -> string -> Ir.program
+
+val of_file : string -> Ir.program

@@ -1,0 +1,1 @@
+lib/transforms/pointer_replace.ml: Fmt Hashtbl List Option Pointsto Simple_ir

@@ -1,0 +1,1 @@
+lib/transforms/pointer_replace.mli: Format Pointsto Simple_ir

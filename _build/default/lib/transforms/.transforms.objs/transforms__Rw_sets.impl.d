@@ -1,0 +1,1 @@
+lib/transforms/rw_sets.ml: Fmt List Pointsto Simple_ir

@@ -1,0 +1,1 @@
+lib/transforms/rw_sets.mli: Format Pointsto Simple_ir

@@ -1,0 +1,145 @@
+(** Pointer replacement: using definite points-to information to replace
+    indirect references with direct ones (paper §1 and §6.1).
+
+    Given the statement [x = *q] and the fact that [q] definitely points
+    to [y], the reference [*q] can be replaced by [y]. The replacement is
+    legal only when the single definite target is a named, visible
+    location (not an invisible variable, the heap, or string storage) —
+    the paper's 19.39% "Scalar Rep" column counts exactly these.
+
+    [find] reports the opportunities; [apply] rewrites the SIMPLE
+    program (the transformation McCAT used to reduce loads/stores in its
+    backend [Donawa 94]). *)
+
+module Ir = Simple_ir.Ir
+module Loc = Pointsto.Loc
+module Pts = Pointsto.Pts
+
+type replacement = {
+  rp_stmt : int;
+  rp_func : string;
+  rp_old : Ir.vref;
+  rp_new : Ir.vref;
+  rp_target : Loc.t;
+}
+
+(** Rebuild a SIMPLE variable reference denoting abstract location [l],
+    when one exists (named variables and their field/array paths). *)
+let rec vref_of_loc (l : Loc.t) : Ir.vref option =
+  match l with
+  | Loc.Var (n, _) -> Some (Ir.var_ref n)
+  | Loc.Fld (b, f) ->
+      Option.map
+        (fun r -> { r with Ir.r_path = r.Ir.r_path @ [ Ir.Sfield f ] })
+        (vref_of_loc b)
+  | Loc.Head b ->
+      Option.map
+        (fun r -> { r with Ir.r_path = r.Ir.r_path @ [ Ir.Sindex Ir.Izero ] })
+        (vref_of_loc b)
+  | Loc.Tail _ -> None (* no single source-level name selects the tail *)
+  | Loc.Sym _ | Loc.Heap | Loc.Site _ | Loc.Null | Loc.Str | Loc.Fun _ | Loc.Ret _ -> None
+
+(** The replacement for reference [r] under points-to set [s], if its
+    dereferenced pointer definitely points to a single nameable
+    location. *)
+let replacement_for tenv fn (s : Pts.t) (r : Ir.vref) : (Ir.vref * Loc.t) option =
+  if not r.Ir.r_deref then None
+  else
+    match Pointsto.Tenv.base_loc tenv fn r.Ir.r_base with
+    | None -> None
+    | Some base -> (
+        match
+          List.filter (fun (t, _) -> not (Loc.is_null t)) (Pts.targets base s)
+        with
+        | [ (tgt, Pts.D) ] -> (
+            match vref_of_loc tgt with
+            | Some direct ->
+                (* graft the original selector path onto the direct ref *)
+                Some ({ direct with Ir.r_path = direct.Ir.r_path @ r.Ir.r_path }, tgt)
+            | None -> None)
+        | _ -> None)
+
+(** All replacement opportunities in an analyzed program. *)
+let find (res : Pointsto.Analysis.result) : replacement list =
+  let tenv = res.Pointsto.Analysis.tenv in
+  List.concat_map
+    (fun fn ->
+      List.rev
+        (Ir.fold_func
+           (fun acc stmt ->
+             let s = Pointsto.Analysis.pts_at res stmt.Ir.s_id in
+             let consider acc (r : Ir.vref) =
+               match replacement_for tenv fn s r with
+               | Some (direct, tgt) ->
+                   {
+                     rp_stmt = stmt.Ir.s_id;
+                     rp_func = fn.Ir.fn_name;
+                     rp_old = r;
+                     rp_new = direct;
+                     rp_target = tgt;
+                   }
+                   :: acc
+               | None -> acc
+             in
+             let of_rhs acc = function
+               | Ir.Rref r | Ir.Raddr r | Ir.Rarith (r, _) -> consider acc r
+               | Ir.Rconst _ | Ir.Rnull | Ir.Rstr | Ir.Rmalloc | Ir.Rbinop _ | Ir.Runop _ -> acc
+             in
+             match stmt.Ir.s_desc with
+             | Ir.Sassign (l, rhs) -> of_rhs (consider acc l) rhs
+             | Ir.Scall (lhs, _, _) -> (
+                 match lhs with Some l -> consider acc l | None -> acc)
+             | _ -> acc)
+           [] fn))
+    res.Pointsto.Analysis.prog.Ir.funcs
+
+(** Rewrite the program, applying every found replacement. *)
+let apply (res : Pointsto.Analysis.result) : Ir.program * int =
+  let reps = find res in
+  let by_stmt = Hashtbl.create 16 in
+  List.iter (fun rp -> Hashtbl.add by_stmt rp.rp_stmt rp) reps;
+  let rewrite_ref sid (r : Ir.vref) =
+    match
+      List.find_opt (fun rp -> rp.rp_old = r) (Hashtbl.find_all by_stmt sid)
+    with
+    | Some rp -> rp.rp_new
+    | None -> r
+  in
+  let rewrite_rhs sid = function
+    | Ir.Rref r -> Ir.Rref (rewrite_ref sid r)
+    | Ir.Raddr r -> Ir.Raddr (rewrite_ref sid r)
+    | Ir.Rarith (r, sh) -> Ir.Rarith (rewrite_ref sid r, sh)
+    | (Ir.Rconst _ | Ir.Rnull | Ir.Rstr | Ir.Rmalloc | Ir.Rbinop _ | Ir.Runop _) as rhs -> rhs
+  in
+  let rec rewrite_stmt (s : Ir.stmt) =
+    let desc =
+      match s.Ir.s_desc with
+      | Ir.Sassign (l, rhs) ->
+          Ir.Sassign (rewrite_ref s.Ir.s_id l, rewrite_rhs s.Ir.s_id rhs)
+      | Ir.Scall (lhs, callee, args) ->
+          Ir.Scall (Option.map (rewrite_ref s.Ir.s_id) lhs, callee, args)
+      | Ir.Sif (c, t, e) -> Ir.Sif (c, List.map rewrite_stmt t, List.map rewrite_stmt e)
+      | Ir.Sloop l ->
+          Ir.Sloop
+            {
+              l with
+              Ir.l_cond_stmts = List.map rewrite_stmt l.Ir.l_cond_stmts;
+              l_step = List.map rewrite_stmt l.Ir.l_step;
+              l_body = List.map rewrite_stmt l.Ir.l_body;
+            }
+      | Ir.Sswitch (op, gs) ->
+          Ir.Sswitch
+            (op, List.map (fun g -> { g with Ir.g_body = List.map rewrite_stmt g.Ir.g_body }) gs)
+      | (Ir.Sbreak | Ir.Scontinue | Ir.Sreturn _) as d -> d
+    in
+    { s with Ir.s_desc = desc }
+  in
+  let prog = res.Pointsto.Analysis.prog in
+  let funcs =
+    List.map (fun fn -> { fn with Ir.fn_body = List.map rewrite_stmt fn.Ir.fn_body }) prog.Ir.funcs
+  in
+  ({ prog with Ir.funcs }, List.length reps)
+
+let pp_replacement ppf rp =
+  Fmt.pf ppf "s%d (%s): %a  ->  %a   [target %a]" rp.rp_stmt rp.rp_func Simple_ir.Pp.pp_vref
+    rp.rp_old Simple_ir.Pp.pp_vref rp.rp_new Loc.pp rp.rp_target

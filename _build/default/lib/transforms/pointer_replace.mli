@@ -1,0 +1,28 @@
+(** Pointer replacement driven by definite points-to information (paper
+    §1 and §6.1): [x = *q] with [q] definitely pointing to a nameable
+    location [y] rewrites to [x = y]. *)
+
+module Ir = Simple_ir.Ir
+module Loc = Pointsto.Loc
+
+type replacement = {
+  rp_stmt : int;
+  rp_func : string;
+  rp_old : Ir.vref;
+  rp_new : Ir.vref;
+  rp_target : Loc.t;
+}
+
+(** A SIMPLE reference denoting an abstract location, when one exists
+    (named variables, field paths, array heads). *)
+val vref_of_loc : Loc.t -> Ir.vref option
+
+(** All replacement opportunities of an analyzed program (the paper's
+    "Scalar Rep" column counts these). *)
+val find : Pointsto.Analysis.result -> replacement list
+
+(** Rewrite the program, applying every replacement; returns the new
+    program and the replacement count. *)
+val apply : Pointsto.Analysis.result -> Ir.program * int
+
+val pp_replacement : Format.formatter -> replacement -> unit

@@ -1,0 +1,127 @@
+(** Read/write set computation on top of points-to results (paper §6.1:
+    "the point-specific points-to information is very useful to compute
+    read/write sets such as those used in constructing the ALPHA
+    intermediate representation").
+
+    For each basic statement, the set of abstract locations it may/must
+    write and may read; per-function summaries aggregate over the body
+    (callee effects summarized through the visible locations of the
+    caller via the invocation graph's stored information). *)
+
+module Ir = Simple_ir.Ir
+module Loc = Pointsto.Loc
+module Pts = Pointsto.Pts
+module Lval = Pointsto.Lval
+
+type access = {
+  may_write : Loc.Set.t;
+  must_write : Loc.Set.t;
+  may_read : Loc.Set.t;
+}
+
+let empty_access =
+  { may_write = Loc.Set.empty; must_write = Loc.Set.empty; may_read = Loc.Set.empty }
+
+let union_access a b =
+  {
+    may_write = Loc.Set.union a.may_write b.may_write;
+    must_write = Loc.Set.inter a.must_write b.must_write;
+    may_read = Loc.Set.union a.may_read b.may_read;
+  }
+
+let locset_to_sets (ls : Lval.locset) : Loc.Set.t * Loc.Set.t =
+  Loc.Map.fold
+    (fun l c (may, must) ->
+      ( Loc.Set.add l may,
+        if c = Pts.D && Loc.singular l then Loc.Set.add l must else must ))
+    ls
+    (Loc.Set.empty, Loc.Set.empty)
+
+let drop_null s = Loc.Set.filter (fun l -> not (Loc.is_null l)) s
+
+(** Read/write sets of one basic statement given the points-to set valid
+    there. *)
+let stmt_access tenv fn (s : Pts.t) (stmt : Ir.stmt) : access =
+  let reads_of_ref r =
+    (* reading through a reference reads the base pointer and the target
+       cells *)
+    let targets = Lval.rvals_ref tenv fn s r in
+    let cells = Lval.lvals tenv fn s r in
+    let base =
+      match Pointsto.Tenv.base_loc tenv fn r.Ir.r_base with
+      | Some b when r.Ir.r_deref -> Loc.Set.singleton b
+      | _ -> Loc.Set.empty
+    in
+    Loc.Set.union base
+      (Loc.Set.union
+         (fst (locset_to_sets cells))
+         (fst (locset_to_sets targets)))
+  in
+  let reads_of_rhs = function
+    | Ir.Rref r | Ir.Rarith (r, _) -> reads_of_ref r
+    | Ir.Raddr r ->
+        if r.Ir.r_deref then
+          match Pointsto.Tenv.base_loc tenv fn r.Ir.r_base with
+          | Some b -> Loc.Set.singleton b
+          | None -> Loc.Set.empty
+        else Loc.Set.empty
+    | Ir.Rconst _ | Ir.Rnull | Ir.Rstr | Ir.Rmalloc | Ir.Rbinop _ | Ir.Runop _ -> Loc.Set.empty
+  in
+  let reads_of_operand = function
+    | Ir.Oref r -> reads_of_ref r
+    | Ir.Oconst _ | Ir.Onull | Ir.Ostr -> Loc.Set.empty
+  in
+  match stmt.Ir.s_desc with
+  | Ir.Sassign (l, rhs) ->
+      let lhs = Lval.lvals tenv fn s l in
+      let may, must = locset_to_sets lhs in
+      {
+        may_write = drop_null may;
+        must_write = drop_null must;
+        may_read = drop_null (reads_of_rhs rhs);
+      }
+  | Ir.Scall (lhs, callee, args) ->
+      let wmay, wmust =
+        match lhs with
+        | Some l -> locset_to_sets (Lval.lvals tenv fn s l)
+        | None -> (Loc.Set.empty, Loc.Set.empty)
+      in
+      let reads =
+        List.fold_left
+          (fun acc a -> Loc.Set.union acc (reads_of_operand a))
+          Loc.Set.empty args
+      in
+      let reads =
+        match callee with
+        | Ir.Cindirect r -> Loc.Set.union reads (reads_of_ref r)
+        | Ir.Cdirect _ -> reads
+      in
+      { may_write = drop_null wmay; must_write = drop_null wmust; may_read = drop_null reads }
+  | Ir.Sreturn (Some op) ->
+      { empty_access with may_read = drop_null (reads_of_operand op) }
+  | Ir.Sif _ | Ir.Sloop _ | Ir.Sswitch _ | Ir.Sbreak | Ir.Scontinue | Ir.Sreturn None ->
+      empty_access
+
+(** Per-function summary: union of the statement accesses of its body
+    (call effects show up through the unmapped points-to sets of the
+    caller's statements, so a transitive closure over the invocation
+    graph is not needed for visible locations). *)
+let func_summary (res : Pointsto.Analysis.result) (fn : Ir.func) : access =
+  let tenv = res.Pointsto.Analysis.tenv in
+  Ir.fold_func
+    (fun acc stmt ->
+      let s = Pointsto.Analysis.pts_at res stmt.Ir.s_id in
+      let a = stmt_access tenv fn s stmt in
+      {
+        may_write = Loc.Set.union acc.may_write a.may_write;
+        must_write = Loc.Set.union acc.must_write a.must_write;
+        may_read = Loc.Set.union acc.may_read a.may_read;
+      })
+    empty_access fn
+
+let pp_access ppf a =
+  let pp_set ppf s =
+    Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any ", ") Loc.pp) (Loc.Set.elements s)
+  in
+  Fmt.pf ppf "may-write %a; must-write %a; may-read %a" pp_set a.may_write pp_set a.must_write
+    pp_set a.may_read

@@ -1,0 +1,27 @@
+(** Read/write sets over points-to results (paper §6.1: the building
+    block for the ALPHA representation and dependence testing). *)
+
+module Ir = Simple_ir.Ir
+module Loc = Pointsto.Loc
+module Pts = Pointsto.Pts
+
+type access = {
+  may_write : Loc.Set.t;
+  must_write : Loc.Set.t;  (** definite, singular write targets *)
+  may_read : Loc.Set.t;
+}
+
+val empty_access : access
+
+(** Union of accesses along alternative paths: may-sets union, must-sets
+    intersect. *)
+val union_access : access -> access -> access
+
+(** Read/write sets of one basic statement under the points-to set valid
+    there. *)
+val stmt_access : Pointsto.Tenv.t -> Ir.func -> Pts.t -> Ir.stmt -> access
+
+(** Per-function summary over its body. *)
+val func_summary : Pointsto.Analysis.result -> Ir.func -> access
+
+val pp_access : Format.formatter -> access -> unit

@@ -1,0 +1,1 @@
+test/test_alias.ml: Alcotest Alias Analysis Fmt List Loc Pts String Test_util

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Alias Analysis Filename Fmt Hashtbl Ir List Pointsto Simple_ir Test_util

@@ -1,0 +1,1 @@
+test/test_ctype.ml: Alcotest Cfront Hashtbl Ir List Option Test_util

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Alias Analysis Constprop Heap_analysis Ir List Loc Option Pointsto Pts Simple_ir String Test_util

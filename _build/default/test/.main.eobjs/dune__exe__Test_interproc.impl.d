@@ -1,0 +1,1 @@
+test/test_interproc.ml: Alcotest Analysis Pointsto Test_util

@@ -1,0 +1,1 @@
+test/test_intra.ml: Alcotest Analysis List Loc Pointsto Pts Test_util

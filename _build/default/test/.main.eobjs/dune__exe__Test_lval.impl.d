@@ -1,0 +1,1 @@
+test/test_lval.ml: Alcotest Ir List Loc Option Pointsto Pts Test_util

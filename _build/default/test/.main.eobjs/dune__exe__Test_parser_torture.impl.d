@@ -1,0 +1,1 @@
+test/test_parser_torture.ml: Alcotest Analysis Cfront Hashtbl List Loc Pts Test_util

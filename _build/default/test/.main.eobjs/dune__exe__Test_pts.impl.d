@@ -1,0 +1,1 @@
+test/test_pts.ml: Alcotest List Loc Pts QCheck2 Test_util

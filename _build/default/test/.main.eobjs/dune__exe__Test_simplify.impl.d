@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Cfront Ir List Simple_ir String Test_util

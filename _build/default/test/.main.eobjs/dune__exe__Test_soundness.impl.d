@@ -1,0 +1,1 @@
+test/test_soundness.ml: Alcotest Analysis Buffer Fmt Ir List Loc Map Pointsto Printf Pts QCheck2 String Test_util

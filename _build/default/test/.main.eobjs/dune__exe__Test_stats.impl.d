@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Pointsto Test_util

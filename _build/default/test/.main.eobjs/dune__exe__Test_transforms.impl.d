@@ -1,0 +1,1 @@
+test/test_transforms.ml: Alcotest Analysis Fmt Ir List Loc Option Simple_ir String Test_util Transforms

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Cfront Fmt List Pointsto QCheck2 QCheck_alcotest Simple_ir String

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "pointsto"
+    [
+      Test_pts.suite;
+      Test_ctype.suite;
+      Test_lval.suite;
+      Test_mapunmap.suite;
+      Test_parser.suite;
+      Test_parser_torture.suite;
+      Test_simplify.suite;
+      Test_intra.suite;
+      Test_interproc.suite;
+      Test_alias.suite;
+      Test_transforms.suite;
+      Test_stats.suite;
+      Test_soundness.suite;
+      Test_extensions.suite;
+      Test_benchmarks.suite;
+    ]

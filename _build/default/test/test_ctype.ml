@@ -1,0 +1,156 @@
+(** Unit tests for the C type algebra and the SIMPLE IR utilities. *)
+
+open Test_util
+module Ctype = Cfront.Ctype
+
+let layouts () : Ctype.layouts =
+  let h = Hashtbl.create 4 in
+  Hashtbl.replace h "s"
+    {
+      Ctype.su = Ctype.Struct_su;
+      tag = "s";
+      fields =
+        [
+          ("n", Ctype.Int Ctype.Iint);
+          ("p", Ctype.Ptr (Ctype.Int Ctype.Iint));
+          ("inner", Ctype.Su (Ctype.Struct_su, "t"));
+          ("vec", Ctype.Array (Ctype.Ptr Ctype.Void, Some 4));
+        ];
+    };
+  Hashtbl.replace h "t"
+    {
+      Ctype.su = Ctype.Struct_su;
+      tag = "t";
+      fields = [ ("q", Ctype.Ptr (Ctype.Int Ctype.Ichar)) ];
+    };
+  Hashtbl.replace h "u"
+    {
+      Ctype.su = Ctype.Union_su;
+      tag = "u";
+      fields = [ ("i", Ctype.Int Ctype.Iint); ("cp", Ctype.Ptr (Ctype.Int Ctype.Ichar)) ];
+    };
+  Hashtbl.replace h "plain"
+    {
+      Ctype.su = Ctype.Struct_su;
+      tag = "plain";
+      fields = [ ("x", Ctype.Int Ctype.Iint) ];
+    };
+  h
+
+let ctype_tests =
+  [
+    case "decay: arrays to pointers, functions to function pointers" (fun () ->
+        Alcotest.(check string) "array" "int*"
+          (Ctype.to_string (Ctype.decay (Ctype.Array (Ctype.Int Ctype.Iint, Some 4))));
+        Alcotest.(check string) "func" "int()*"
+          (Ctype.to_string
+             (Ctype.decay (Ctype.Func { Ctype.ret = Ctype.Int Ctype.Iint; params = []; variadic = false })));
+        Alcotest.(check string) "scalar unchanged" "int"
+          (Ctype.to_string (Ctype.decay (Ctype.Int Ctype.Iint))));
+    case "deref follows pointers and arrays" (fun () ->
+        Alcotest.(check bool) "ptr" true
+          (Ctype.deref (Ctype.Ptr Ctype.Void) = Some Ctype.Void);
+        Alcotest.(check bool) "array" true
+          (Ctype.deref (Ctype.Array (Ctype.Void, None)) = Some Ctype.Void);
+        Alcotest.(check bool) "int" true (Ctype.deref (Ctype.Int Ctype.Iint) = None));
+    case "carries_pointers walks aggregates" (fun () ->
+        let l = layouts () in
+        Alcotest.(check bool) "ptr" true (Ctype.carries_pointers l (Ctype.Ptr Ctype.Void));
+        Alcotest.(check bool) "struct s" true
+          (Ctype.carries_pointers l (Ctype.Su (Ctype.Struct_su, "s")));
+        Alcotest.(check bool) "union u" true
+          (Ctype.carries_pointers l (Ctype.Su (Ctype.Union_su, "u")));
+        Alcotest.(check bool) "plain struct" false
+          (Ctype.carries_pointers l (Ctype.Su (Ctype.Struct_su, "plain")));
+        Alcotest.(check bool) "array of plain" false
+          (Ctype.carries_pointers l (Ctype.Array (Ctype.Int Ctype.Iint, Some 3))));
+    case "pointer_leaf_paths enumerates pointer-carrying leaves" (fun () ->
+        let l = layouts () in
+        let paths = Ctype.pointer_leaf_paths l (Ctype.Su (Ctype.Struct_su, "s")) in
+        (* p; inner.q; vec head; vec tail *)
+        Alcotest.(check int) "four leaves" 4 (List.length paths);
+        Alcotest.(check bool) "nested path present" true
+          (List.mem [ Ctype.Pfield "inner"; Ctype.Pfield "q" ] paths);
+        Alcotest.(check bool) "array head path present" true
+          (List.mem [ Ctype.Pfield "vec"; Ctype.Phead ] paths));
+    case "unions are single leaves" (fun () ->
+        let l = layouts () in
+        Alcotest.(check (list (list string))) "one empty path" [ [] ]
+          (List.map (List.map (function
+             | Ctype.Pfield f -> f
+             | Ctype.Phead -> "<head>"
+             | Ctype.Ptail -> "<tail>"))
+             (Ctype.pointer_leaf_paths l (Ctype.Su (Ctype.Union_su, "u")))));
+    case "field_type resolves through layouts" (fun () ->
+        let l = layouts () in
+        Alcotest.(check bool) "s.p" true
+          (Ctype.field_type l (Ctype.Su (Ctype.Struct_su, "s")) "p"
+          = Some (Ctype.Ptr (Ctype.Int Ctype.Iint)));
+        Alcotest.(check bool) "missing" true
+          (Ctype.field_type l (Ctype.Su (Ctype.Struct_su, "s")) "zz" = None));
+    case "printing round-trips the C spelling of nested arrays" (fun () ->
+        Alcotest.(check string) "2d" "int[2][3]"
+          (Ctype.to_string (Ctype.Array (Ctype.Array (Ctype.Int Ctype.Iint, Some 3), Some 2)));
+        Alcotest.(check string) "ptr to array" "int[5]*"
+          (Ctype.to_string (Ctype.Ptr (Ctype.Array (Ctype.Int Ctype.Iint, Some 5)))));
+    case "equal is structural" (fun () ->
+        let f = Ctype.Func { Ctype.ret = Ctype.Void; params = [ Ctype.Int Ctype.Iint ]; variadic = false } in
+        Alcotest.(check bool) "same" true (Ctype.equal f f);
+        Alcotest.(check bool) "variadic differs" false
+          (Ctype.equal f
+             (Ctype.Func { Ctype.ret = Ctype.Void; params = [ Ctype.Int Ctype.Iint ]; variadic = true })));
+  ]
+
+let ir_tests =
+  [
+    case "fold_stmts reaches nested statements" (fun () ->
+        let p =
+          simplify
+            {|int f(int n) {
+                int i, s; s = 0;
+                for (i = 0; i < n; i++) { if (i > 2) { s += i; } else { s -= i; } }
+                switch (s) { case 0: s = 1; break; default: s = 2; }
+                do { s--; } while (s > 0);
+                return s;
+              }|}
+        in
+        let fn = Option.get (Ir.find_func p "f") in
+        let total = Ir.count_stmts fn in
+        Alcotest.(check bool) "all stmts visited" true (total >= 14));
+    case "call_sites lists calls in order" (fun () ->
+        let p =
+          simplify
+            {|void a(void) {} void b(void) {}
+              int main() { a(); b(); a(); return 0; }|}
+        in
+        let names =
+          List.filter_map
+            (fun ((_ : Ir.func), (s : Ir.stmt)) ->
+              match s.Ir.s_desc with
+              | Ir.Scall (_, Ir.Cdirect f, _) -> Some f
+              | _ -> None)
+            (Ir.call_sites p)
+        in
+        Alcotest.(check (list string)) "order" [ "a"; "b"; "a" ] names);
+    case "address_taken_funcs sees args, returns and stores" (fun () ->
+        let p =
+          simplify
+            {|int a(void) { return 0; } int b(void) { return 0; }
+              int c(void) { return 0; } int d(void) { return 0; }
+              void use(int (*f)(void)) {}
+              int (*g)(void);
+              int (*get(void))(void) { return c; }
+              int main() { use(a); g = b; get(); d(); return 0; }|}
+        in
+        Alcotest.(check (list string)) "a b c" [ "a"; "b"; "c" ]
+          (List.sort compare (Ir.address_taken_funcs p)));
+    case "n_stmts counts the whole program" (fun () ->
+        let p = simplify "int main() { int x; x = 1; x = 2; return x; }" in
+        Alcotest.(check int) "3 statements" 3 p.Ir.n_stmts);
+    case "is_indirect and is_plain_var" (fun () ->
+        Alcotest.(check bool) "plain" true (Ir.is_plain_var (Ir.var_ref "x"));
+        Alcotest.(check bool) "deref not plain" false (Ir.is_plain_var (Ir.deref_ref "x"));
+        Alcotest.(check bool) "indirect" true (Ir.is_indirect (Ir.deref_ref "x")));
+  ]
+
+let suite = ("ctype-ir", ctype_tests @ ir_tests)

@@ -1,0 +1,264 @@
+(** Intraprocedural analysis tests: the basic rules of Figure 1, the
+    L-/R-location rows of Table 1, strong/weak updates, and the
+    compositional control-flow rules. All assertions query points-to
+    targets at probe points or at exit of main. *)
+
+open Test_util
+
+let basic_rules =
+  [
+    case "p = &y creates a definite pair" (fun () ->
+        check_exit "gen" "int y; int main() { int *p; p = &y; return 0; }" "p" [ "y/D" ]);
+    case "copy propagates pairs" (fun () ->
+        check_exit "copy" "int y; int main() { int *p, *q; p = &y; q = p; return 0; }" "q"
+          [ "y/D" ]);
+    case "definite assignment kills the old pair (strong update)" (fun () ->
+        check_exit "kill" "int x, y; int main() { int *p; p = &x; p = &y; return 0; }" "p"
+          [ "y/D" ]);
+    case "*pp = &z with pp definite strong-updates the target" (fun () ->
+        check_exit "indirect strong update"
+          "int x, z; int main() { int *p, **pp; p = &x; pp = &p; *pp = &z; return 0; }" "p"
+          [ "z/D" ]);
+    case "*pp = &z with pp possible weak-updates both targets" (fun () ->
+        check_exit "weak update"
+          {|int x, z, w; int c;
+            int main() {
+              int *p, *q, **pp;
+              p = &x; q = &x;
+              if (c) pp = &p; else pp = &q;
+              *pp = &z;
+              return 0;
+            }|}
+          "p" [ "x/P"; "z/P" ]);
+    case "x = *q reads through the pointer" (fun () ->
+        check_exit "deref read"
+          "int v; int main() { int *y, **q, *x; y = &v; q = &y; x = *q; return 0; }" "x"
+          [ "v/D" ]);
+    case "chained definites keep certainty (d1 and d2)" (fun () ->
+        check_exit "both definite"
+          "int v; int main() { int *y, **q, **r, *x; y = &v; q = &y; r = q; x = *r; return 0; }"
+          "x" [ "v/D" ]);
+    case "possible source demotes the generated pair" (fun () ->
+        check_exit "possible chain"
+          {|int v, w; int c;
+            int main() {
+              int *y, *z, **q, *x;
+              y = &v; z = &w;
+              if (c) q = &y; else q = &z;
+              x = *q;
+              return 0;
+            }|}
+          "x" [ "v/P"; "w/P" ]);
+    case "self assignment is harmless" (fun () ->
+        check_exit "p = p" "int y; int main() { int *p; p = &y; p = p; return 0; }" "p"
+          [ "y/D" ]);
+    case "non-pointer assignments do not disturb points-to" (fun () ->
+        check_exit "int arithmetic"
+          "int y; int main() { int *p; int a; p = &y; a = 1 + 2; a = a * 3; return 0; }" "p"
+          [ "y/D" ]);
+    case "p = 0 resets to NULL (no targets reported)" (fun () ->
+        check_exit "null" "int y; int main() { int *p; p = &y; p = 0; return 0; }" "p" []);
+    case "malloc points into the heap" (fun () ->
+        check_exit "heap" "int main() { int *p; p = (int*)malloc(4); return 0; }" "p"
+          [ "heap/P" ]);
+    case "string literal assignment" (fun () ->
+        check_exit "str" "int main() { char *s; s = \"hi\"; return 0; }" "s" [ "str/P" ]);
+  ]
+
+let table1_rows =
+  [
+    case "&a.f yields the field location" (fun () ->
+        check_exit "field addr"
+          "struct s { int f; int g; }; struct s a; int main() { int *p; p = &a.f; return 0; }"
+          "p" [ "a.f/D" ]);
+    case "&a[0] yields the head" (fun () ->
+        check_exit "head" "int a[10]; int main() { int *p; p = &a[0]; return 0; }" "p"
+          [ "a_head/D" ]);
+    case "&a[3] yields the tail definitely" (fun () ->
+        check_exit "tail" "int a[10]; int main() { int *p; p = &a[3]; return 0; }" "p"
+          [ "a_tail/D" ]);
+    case "&a[i] with unknown i yields head or tail" (fun () ->
+        check_exit "either"
+          "int a[10]; int main(int argc, char **argv) { int *p; p = &a[argc]; return 0; }" "p"
+          [ "a_head/P"; "a_tail/P" ]);
+    case "array name decays to its head" (fun () ->
+        check_exit "decay" "int a[10]; int main() { int *p; p = a; return 0; }" "p"
+          [ "a_head/D" ]);
+    case "(*a).f reads through a struct pointer" (fun () ->
+        check_exit "through field"
+          {|struct s { int *q; } g;
+            int v;
+            int main() { struct s *a; int *x; g.q = &v; a = &g; x = (*a).q; return 0; }|}
+          "x" [ "v/D" ]);
+    case "a->f writes through a struct pointer" (fun () ->
+        let res =
+          analyze
+            {|struct s { int *q; } g;
+              int v;
+              int main() { struct s *a; a = &g; a->q = &v; return 0; }|}
+        in
+        check_targets "g.q -> v" [ "v/D" ]
+          (match res.Analysis.entry_output with
+          | Some s ->
+              Pts.targets (Loc.Fld (Loc.Var ("g", Loc.Kglobal), "q")) s
+              |> List.filter (fun (t, _) -> not (Loc.is_null t))
+              |> List.map show_pair |> sorted_strings
+          | None -> Alcotest.fail "no exit"));
+    case "array-of-pointers element write lands on head/tail" (fun () ->
+        let res =
+          analyze
+            "int v; int *a[4]; int main(int argc, char **argv) { a[0] = &v; a[argc] = &v; return 0; }"
+        in
+        (match res.Analysis.entry_output with
+        | Some s ->
+            check_targets "head" [ "v/P" ]
+              (Pts.targets (Loc.Head (Loc.Var ("a", Loc.Kglobal))) s
+              |> List.filter (fun (t, _) -> not (Loc.is_null t))
+              |> List.map show_pair |> sorted_strings);
+            check_targets "tail weak" [ "v/P" ]
+              (Pts.targets (Loc.Tail (Loc.Var ("a", Loc.Kglobal))) s
+              |> List.filter (fun (t, _) -> not (Loc.is_null t))
+              |> List.map show_pair |> sorted_strings)
+        | None -> Alcotest.fail "no exit"));
+    case "pointer arithmetic moves head into tail" (fun () ->
+        check_exit "p = a + 1"
+          "int a[10]; int main() { int *p; p = a + 1; return 0; }" "p" [ "a_tail/D" ]);
+    case "pointer arithmetic with unknown offset covers the array" (fun () ->
+        check_exit "p = a + n"
+          "int a[10]; int main(int argc, char **argv) { int *p; p = a + argc; return 0; }" "p"
+          [ "a_head/P"; "a_tail/P" ]);
+    case "p++ from the head stays within the array" (fun () ->
+        check_exit "p++"
+          "int a[10]; int main() { int *p; p = a; p++; return 0; }" "p" [ "a_tail/D" ]);
+    case "subscripting a pointer moves across the pointed array" (fun () ->
+        check_exit "q = &p[2]"
+          "int a[10]; int main() { int *p, *q; p = a; q = &p[2]; return 0; }" "q"
+          [ "a_tail/D" ]);
+    case "union fields collapse to one location" (fun () ->
+        check_exit "union"
+          {|union u { int *p; char *q; } g;
+            int v;
+            int main() { int *x; g.p = &v; x = (int*)g.q; return 0; }|}
+          "x" [ "v/D" ]);
+  ]
+
+let control_flow =
+  [
+    case "if merge demotes one-sided definites" (fun () ->
+        check_exit "merge"
+          {|int x, y; int c;
+            int main() { int *p; if (c) p = &x; else p = &y; return 0; }|}
+          "p" [ "x/P"; "y/P" ]);
+    case "if without else merges with the fall-through" (fun () ->
+        check_exit "half if"
+          "int x, y; int c; int main() { int *p; p = &x; if (c) p = &y; return 0; }" "p"
+          [ "x/P"; "y/P" ]);
+    case "same assignment in both branches stays definite" (fun () ->
+        check_exit "both branches"
+          "int x; int c; int main() { int *p; if (c) p = &x; else p = &x; return 0; }" "p"
+          [ "x/D" ]);
+    case "while loop reaches a fixed point" (fun () ->
+        check_exit "loop"
+          {|struct n { struct n *next; };
+            struct n a, b;
+            int main() { struct n *p; int c;
+              a.next = &b; b.next = &a;
+              p = &a;
+              while (c) p = p->next;
+              return 0; }|}
+          "p" [ "a/P"; "b/P" ]);
+    case "loop body executed zero times keeps the input" (fun () ->
+        check_exit "zero trip"
+          "int x, y; int main() { int *p; int c; p = &x; while (c) p = &y; return 0; }" "p"
+          [ "x/P"; "y/P" ]);
+    case "do-while body always executes" (fun () ->
+        check_exit "do"
+          "int x, y; int main() { int *p; int c; p = &x; do { p = &y; } while (c); return 0; }"
+          "p" [ "y/D" ]);
+    case "break exits carry their state" (fun () ->
+        check_exit "break"
+          {|int x, y, z;
+            int main() { int *p; int c;
+              p = &x;
+              while (1) { p = &y; if (c) break; p = &z; }
+              return 0; }|}
+          (* the analysis is condition-insensitive: the zero-trip exit
+             (p = &x) remains possible *)
+          "p" [ "x/P"; "y/P"; "z/P" ]);
+    case "continue re-runs the loop step" (fun () ->
+        check_exit "continue"
+          {|int x, y;
+            int main() { int *p; int i;
+              p = &x;
+              for (i = 0; i < 3; i++) { if (i == 1) continue; p = &y; }
+              return 0; }|}
+          "p" [ "x/P"; "y/P" ]);
+    case "return inside a branch merges at function exit" (fun () ->
+        check_exit "early return"
+          {|int x, y; int c;
+            int main() { int *p; p = &x; if (c) { p = &y; return 0; } return 0; }|}
+          "p" [ "x/P"; "y/P" ]);
+    case "code after return is unreachable" (fun () ->
+        check_exit "dead code"
+          "int x, y; int main() { int *p; p = &x; return 0; p = &y; return 0; }" "p"
+          [ "x/D" ]);
+    case "switch merges all groups" (fun () ->
+        check_exit "switch"
+          {|int x, y, z; int c;
+            int main() { int *p;
+              switch (c) {
+              case 0: p = &x; break;
+              case 1: p = &y; break;
+              default: p = &z; break;
+              }
+              return 0; }|}
+          "p" [ "x/P"; "y/P"; "z/P" ]);
+    case "switch fall-through flows into the next group" (fun () ->
+        check_exit "fallthrough"
+          {|int x, y; int c;
+            int main() { int *p; p = 0;
+              switch (c) {
+              case 0: p = &x;
+              case 1: if (p == 0) p = &y; break;
+              default: p = &y;
+              }
+              return 0; }|}
+          "p" [ "x/P"; "y/P" ]);
+    case "switch without default keeps the input reachable" (fun () ->
+        check_exit "no default"
+          {|int x, y; int c;
+            int main() { int *p; p = &x;
+              switch (c) { case 0: p = &y; break; }
+              return 0; }|}
+          "p" [ "x/P"; "y/P" ]);
+    case "nested loops converge" (fun () ->
+        check_exit "nested"
+          {|int x, y, z;
+            int main() { int *p; int i, j;
+              p = &x;
+              for (i = 0; i < 3; i++) {
+                for (j = 0; j < 3; j++) {
+                  if (j == 2) p = &y; else p = &z;
+                }
+              }
+              return 0; }|}
+          "p" [ "x/P"; "y/P"; "z/P" ]);
+    case "condition reads do not change points-to" (fun () ->
+        check_exit "cond read"
+          "int x; int main() { int *p; p = &x; if (*p > 0) { } return 0; }" "p" [ "x/D" ]);
+  ]
+
+let definite_ablation =
+  [
+    case "with use_definite=false everything is possible" (fun () ->
+        let opts = { Pointsto.Options.default with Pointsto.Options.use_definite = false } in
+        check_exit ~opts "no definite"
+          "int x; int main() { int *p; p = &x; return 0; }" "p" [ "x/P" ]);
+    case "without definite info strong updates are lost" (fun () ->
+        let opts = { Pointsto.Options.default with Pointsto.Options.use_definite = false } in
+        check_exit ~opts "weak only"
+          "int x, y; int main() { int *p; p = &x; p = &y; return 0; }" "p"
+          [ "x/P"; "y/P" ]);
+  ]
+
+let suite = ("intra", basic_rules @ table1_rows @ control_flow @ definite_ablation)

@@ -1,0 +1,165 @@
+(** Direct unit tests of the L-/R-location rules against constructed
+    points-to sets — every row of Table 1, including the certainty
+    algebra ([d1 ∧ d2]) and the selector-path generalizations. *)
+
+open Test_util
+module Lval = Pointsto.Lval
+module Tenv = Pointsto.Tenv
+
+(* A fixture program declaring the variables Table 1 talks about; we
+   construct points-to sets by hand and query the rules directly. *)
+let fixture =
+  simplify
+    {|
+struct s { int f; int *q; struct inner { int g; } sub; };
+union u { int *up; char *uc; };
+int plain;
+int other;
+int arr[10];
+int *aptr[4];
+struct s st;
+union u un;
+int main() {
+  int *a;
+  int **m;
+  struct s *ps;
+  int (*fp)(void);
+  a = 0; m = 0; ps = 0; fp = 0;
+  return 0;
+}
+|}
+
+let tenv = Tenv.make fixture
+let main_fn = Option.get (Ir.find_func fixture "main")
+
+let v name = Loc.Var (name, Loc.Klocal)
+let g name = Loc.Var (name, Loc.Kglobal)
+
+let lv s r = sorted_strings (List.map show_pair (Lval.to_list (Lval.lvals tenv main_fn s r)))
+
+let rv s r =
+  sorted_strings (List.map show_pair (Lval.to_list (Lval.rvals_ref tenv main_fn s r)))
+
+let rv_rhs s rhs =
+  sorted_strings (List.map show_pair (Lval.to_list (Lval.rvals_rhs tenv main_fn s rhs)))
+
+let ref_ ?(deref = false) ?(path = []) base = { Ir.r_base = base; r_deref = deref; r_path = path }
+
+let check = Alcotest.(check (list string))
+
+let lloc_tests =
+  [
+    case "L-loc of a plain variable is itself, definite" (fun () ->
+        check "a" [ "a/D" ] (lv Pts.empty (ref_ "a")));
+    case "L-loc of a field path" (fun () ->
+        check "st.f" [ "st.f/D" ] (lv Pts.empty (ref_ "st" ~path:[ Ir.Sfield "f" ])));
+    case "L-loc of a nested field path" (fun () ->
+        check "st.sub.g" [ "st.sub.g/D" ]
+          (lv Pts.empty (ref_ "st" ~path:[ Ir.Sfield "sub"; Ir.Sfield "g" ])));
+    case "L-loc of a[0] is the head, definite" (fun () ->
+        check "arr[0]" [ "arr_head/D" ] (lv Pts.empty (ref_ "arr" ~path:[ Ir.Sindex Ir.Izero ])));
+    case "L-loc of a[k>0] is the tail" (fun () ->
+        check "arr[3]" [ "arr_tail/D" ] (lv Pts.empty (ref_ "arr" ~path:[ Ir.Sindex Ir.Ipos ])));
+    case "L-loc of a[i] is head or tail, possible" (fun () ->
+        check "arr[i]" [ "arr_head/P"; "arr_tail/P" ]
+          (lv Pts.empty (ref_ "arr" ~path:[ Ir.Sindex Ir.Iany ])));
+    case "L-loc of *a follows the points-to set" (fun () ->
+        let s = Pts.of_list [ (v "a", g "plain", Pts.D) ] in
+        check "*a" [ "plain/D" ] (lv s (ref_ "a" ~deref:true)));
+    case "L-loc of *a with possible targets" (fun () ->
+        let s = Pts.of_list [ (v "a", g "plain", Pts.P); (v "a", g "other", Pts.P) ] in
+        check "*a" [ "other/P"; "plain/P" ] (lv s (ref_ "a" ~deref:true)));
+    case "L-loc of *a drops NULL targets" (fun () ->
+        let s = Pts.of_list [ (v "a", Loc.Null, Pts.D); (v "a", g "plain", Pts.P) ] in
+        check "*a" [ "plain/P" ] (lv s (ref_ "a" ~deref:true)));
+    case "L-loc of (*ps).f appends the field to the targets" (fun () ->
+        let s = Pts.of_list [ (v "ps", g "st", Pts.D) ] in
+        check "(*ps).f" [ "st.f/D" ] (lv s (ref_ "ps" ~deref:true ~path:[ Ir.Sfield "f" ])));
+    case "L-loc of union field collapses to the union" (fun () ->
+        check "un.up" [ "un/D" ] (lv Pts.empty (ref_ "un" ~path:[ Ir.Sfield "up" ])));
+    case "L-loc of a heap target absorbs selectors" (fun () ->
+        let s = Pts.of_list [ (v "ps", Loc.Heap, Pts.P) ] in
+        check "(*ps).f on heap" [ "heap/P" ]
+          (lv s (ref_ "ps" ~deref:true ~path:[ Ir.Sfield "f" ])));
+    case "L-loc of pointer shift from head" (fun () ->
+        let s = Pts.of_list [ (v "a", Loc.Head (g "arr"), Pts.D) ] in
+        check "p[+k]" [ "arr_tail/D" ] (lv s (ref_ "a" ~deref:true ~path:[ Ir.Sshift Ir.Ipos ]));
+        check "p[+0]" [ "arr_head/D" ] (lv s (ref_ "a" ~deref:true ~path:[ Ir.Sshift Ir.Izero ]));
+        check "p[+i]" [ "arr_head/P"; "arr_tail/P" ]
+          (lv s (ref_ "a" ~deref:true ~path:[ Ir.Sshift Ir.Iany ])));
+    case "L-loc of pointer shift within the tail stays there" (fun () ->
+        let s = Pts.of_list [ (v "a", Loc.Tail (g "arr"), Pts.D) ] in
+        check "tail[+i]" [ "arr_tail/P" ]
+          (lv s (ref_ "a" ~deref:true ~path:[ Ir.Sshift Ir.Iany ])));
+  ]
+
+let rloc_tests =
+  [
+    case "R-loc of a variable reads its targets" (fun () ->
+        let s = Pts.of_list [ (v "a", g "plain", Pts.D) ] in
+        check "a" [ "plain/D" ] (rv s (ref_ "a")));
+    case "R-loc of *m composes certainties (d1 and d2)" (fun () ->
+        let s =
+          Pts.of_list [ (v "m", v "a", Pts.D); (v "a", g "plain", Pts.D) ]
+        in
+        check "*m definite chain" [ "plain/D" ] (rv s (ref_ "m" ~deref:true));
+        let s =
+          Pts.of_list [ (v "m", v "a", Pts.P); (v "a", g "plain", Pts.D) ]
+        in
+        check "possible first hop demotes" [ "plain/P" ] (rv s (ref_ "m" ~deref:true));
+        let s =
+          Pts.of_list [ (v "m", v "a", Pts.D); (v "a", g "plain", Pts.P) ]
+        in
+        check "possible second hop demotes" [ "plain/P" ] (rv s (ref_ "m" ~deref:true)));
+    case "R-loc of a function name is its function location" (fun () ->
+        let p =
+          simplify "int h(void) { return 0; } int main() { int (*f)(void); f = h; return 0; }"
+        in
+        let tenv = Tenv.make p in
+        let fn = Option.get (Ir.find_func p "main") in
+        let locs =
+          Lval.to_list (Lval.rvals_ref tenv fn Pts.empty (Ir.var_ref "h"))
+          |> List.map show_pair
+        in
+        Alcotest.(check (list string)) "fn:h" [ "fn:h/D" ] locs);
+    case "rhs &x yields the L-locations of x" (fun () ->
+        check "&plain" [ "plain/D" ] (rv_rhs Pts.empty (Ir.Raddr (ref_ "plain"))));
+    case "rhs &a[0] yields the head definitely (Table 1 row 3)" (fun () ->
+        check "&arr[0]" [ "arr_head/D" ]
+          (rv_rhs Pts.empty (Ir.Raddr (ref_ "arr" ~path:[ Ir.Sindex Ir.Izero ]))));
+    case "rhs &a[k>0] yields the tail definitely (Table 1 row 4)" (fun () ->
+        check "&arr[3]" [ "arr_tail/D" ]
+          (rv_rhs Pts.empty (Ir.Raddr (ref_ "arr" ~path:[ Ir.Sindex Ir.Ipos ]))));
+    case "rhs &a[i] yields both, possible (Table 1 row 5)" (fun () ->
+        check "&arr[i]" [ "arr_head/P"; "arr_tail/P" ]
+          (rv_rhs Pts.empty (Ir.Raddr (ref_ "arr" ~path:[ Ir.Sindex Ir.Iany ]))));
+    case "rhs malloc yields the heap possibly (Table 1 last row)" (fun () ->
+        check "malloc" [ "heap/P" ] (rv_rhs Pts.empty Ir.Rmalloc));
+    case "rhs NULL and constants yield the NULL target" (fun () ->
+        check "null" [ "NULL/D" ] (rv_rhs Pts.empty Ir.Rnull);
+        check "const" [ "NULL/D" ] (rv_rhs Pts.empty (Ir.Rconst (Some 3L))));
+    case "rhs string literal yields string storage" (fun () ->
+        check "str" [ "str/P" ] (rv_rhs Pts.empty Ir.Rstr));
+    case "rhs pointer arithmetic shifts array targets" (fun () ->
+        let s = Pts.of_list [ (v "a", Loc.Head (g "arr"), Pts.D) ] in
+        check "a + k" [ "arr_tail/D" ] (rv_rhs s (Ir.Rarith (ref_ "a", Ir.Ppos)));
+        check "a + 0" [ "arr_head/D" ] (rv_rhs s (Ir.Rarith (ref_ "a", Ir.Pzero)));
+        check "a + ?" [ "arr_head/P"; "arr_tail/P" ]
+          (rv_rhs s (Ir.Rarith (ref_ "a", Ir.Pany))));
+    case "pointer arithmetic on a scalar target stays put (flag on)" (fun () ->
+        let s = Pts.of_list [ (v "a", g "plain", Pts.D) ] in
+        check "scalar + k" [ "plain/P" ] (rv_rhs s (Ir.Rarith (ref_ "a", Ir.Ppos))));
+    case "pointer arithmetic on heap stays heap" (fun () ->
+        let s = Pts.of_list [ (v "a", Loc.Heap, Pts.P) ] in
+        check "heap + k" [ "heap/P" ] (rv_rhs s (Ir.Rarith (ref_ "a", Ir.Ppos))));
+    case "locset operations" (fun () ->
+        let ls = Lval.of_list [ (v "a", Pts.D); (v "a", Pts.P) ] in
+        Alcotest.(check int) "weakened on conflict" 1 (List.length (Lval.to_list ls));
+        Alcotest.(check bool) "is P" true (Lval.to_list ls = [ (v "a", Pts.P) ]);
+        let u = Lval.union (Lval.of_list [ (v "a", Pts.D) ]) (Lval.of_list [ (v "m", Pts.D) ]) in
+        Alcotest.(check int) "union" 2 (List.length (Lval.to_list u));
+        Alcotest.(check bool) "weaken demotes all" true
+          (List.for_all (fun (_, c) -> c = Pts.P) (Lval.to_list (Lval.weaken u))));
+  ]
+
+let suite = ("lval", lloc_tests @ rloc_tests)

@@ -1,0 +1,155 @@
+(** Additional front-end robustness tests: declarator torture,
+    expression corner cases, and full-pipeline checks that realistic C
+    idioms survive parse, simplification and analysis. *)
+
+open Test_util
+module Ast = Cfront.Ast
+module Ctype = Cfront.Ctype
+
+let global_type p name =
+  match List.find_opt (fun (d : Ast.decl) -> d.Ast.d_name = name) p.Ast.p_globals with
+  | Some d -> Ctype.to_string d.Ast.d_ty
+  | None -> Alcotest.failf "no global %s" name
+
+let check_type msg src name expected =
+  Alcotest.(check string) msg expected (global_type (parse src) name)
+
+let declarator_torture =
+  [
+    case "function returning pointer to array" (fun () ->
+        (* a prototype, not a variable: check the recorded signature *)
+        let p = parse "int (*f(void))[5];" in
+        match List.assoc_opt "f" p.Ast.p_protos with
+        | Some s -> Alcotest.(check string) "ret" "int[5]*" (Ctype.to_string s.Ctype.ret)
+        | None -> Alcotest.fail "no prototype for f");
+    case "array of pointers to functions returning pointers" (fun () ->
+        check_type "t" "int *(*tab[3])(void);" "tab" "int*()*[3]");
+    case "pointer to array of function pointers" (fun () ->
+        check_type "t" "int (*(*p)[4])(void);" "p" "int()*[4]*");
+    case "const/volatile qualifiers are absorbed" (fun () ->
+        check_type "t" "const volatile int * const p;" "p" "int*");
+    case "nested parenthesized declarators" (fun () ->
+        check_type "t" "int (*(*pp))(void);" "pp" "int()**");
+    case "three-dimensional array" (fun () ->
+        check_type "t" "char cube[2][3][4];" "cube" "char[2][3][4]");
+    case "unnamed parameters in prototypes" (fun () ->
+        let p = parse "int f(int, char *, void (*)(int));" in
+        match List.assoc_opt "f" p.Ast.p_protos with
+        | Some s -> Alcotest.(check int) "three params" 3 (List.length s.Ctype.params)
+        | None -> Alcotest.fail "no proto");
+    case "typedef chains through pointers and arrays" (fun () ->
+        check_type "t"
+          "typedef int elem; typedef elem row[4]; typedef row *rowptr; rowptr g;" "g"
+          "int[4]*");
+    case "struct with a function-pointer field parses" (fun () ->
+        let p = parse "struct vt { int (*call)(struct vt *, int); };" in
+        let l = Hashtbl.find p.Ast.p_layouts "vt" in
+        Alcotest.(check int) "one field" 1 (List.length l.Ctype.fields));
+    case "self-referential struct through two pointers" (fun () ->
+        let p = parse "struct g { struct g *left, *right; } root;" in
+        ignore (global_type p "root"));
+  ]
+
+let pipeline_idioms =
+  [
+    case "idiom: swap via xor (no pointers disturbed)" (fun () ->
+        check_exit "xor swap"
+          {|int v;
+            int main() { int *p; int a, b; p = &v; a = 1; b = 2;
+              a ^= b; b ^= a; a ^= b;
+              return 0; }|}
+          "p" [ "v/D" ]);
+    case "idiom: string walk with post-increment" (fun () ->
+        check_exit "strcpy-like"
+          {|char buf[16];
+            int main() { char *d, *s; d = buf; s = "hi";
+              while ((*d++ = *s++) != 0) { }
+              return 0; }|}
+          (* d is incremented before every condition test, so at exit it
+             is definitely past the head *)
+          "d" [ "buf_tail/D" ]);
+    case "idiom: take address of array element in a call" (fun () ->
+        check_exit "sub-array"
+          {|int m[8]; int *g;
+            void sink(int *p) { g = p; }
+            int main() { sink(&m[4]); return 0; }|}
+          "g" [ "m_tail/D" ]);
+    case "idiom: conditional expression selecting pointers" (fun () ->
+        check_exit "ternary"
+          {|int a, b; int c;
+            int main() { int *p; p = c ? &a : &b; return 0; }|}
+          "p" [ "a/P"; "b/P" ]);
+    case "idiom: chained assignment of pointers" (fun () ->
+        let res =
+          analyze "int v; int main() { int *p, *q, *r; p = q = r = &v; return 0; }"
+        in
+        check_targets "p" [ "v/D" ] (exit_targets res "p");
+        check_targets "q" [ "v/D" ] (exit_targets res "q");
+        check_targets "r" [ "v/D" ] (exit_targets res "r"));
+    case "idiom: comma expression with pointer side effects" (fun () ->
+        check_exit "comma"
+          {|int a, b;
+            int main() { int *p; int x; x = (p = &a, 1); p = (x ? (p = &b, p) : p);
+              return 0; }|}
+          "p" [ "a/P"; "b/P" ]);
+    case "idiom: negative-looking subscripts through locals" (fun () ->
+        check_exit "expr subscript"
+          {|int m[8];
+            int main(int argc, char **argv) { int *p; p = &m[argc * 2 - 1]; return 0; }|}
+          "p" [ "m_head/P"; "m_tail/P" ]);
+    case "idiom: function pointer comparison in a condition" (fun () ->
+        check_exit "fp compare"
+          {|void f(void) {}
+            int main() { void (*fp)(void); fp = f;
+              if (fp == f) { fp = 0; }
+              return 0; }|}
+          "fp" [ "fn:f/P" ]);
+    case "idiom: sizeof does not evaluate its operand" (fun () ->
+        check_exit "sizeof"
+          {|int v;
+            int main() { int *p; int n; p = &v; n = (int) sizeof(*p); return 0; }|}
+          "p" [ "v/D" ]);
+    case "idiom: do-while(0) wrapper" (fun () ->
+        check_exit "do-while-0"
+          {|int v;
+            int main() { int *p; do { p = &v; } while (0); return 0; }|}
+          "p" [ "v/D" ]);
+    case "idiom: early continue guarding a store" (fun () ->
+        check_exit "guarded store"
+          {|int a[4]; int *slots[4];
+            int main() { int i;
+              for (i = 0; i < 4; i++) {
+                if (i == 0) continue;
+                slots[i] = &a[i];
+              }
+              return 0; }|}
+          "i" [] |> ignore;
+        let res =
+          analyze
+            {|int a[4]; int *slots[4];
+              int main() { int i;
+                for (i = 0; i < 4; i++) {
+                  if (i == 0) continue;
+                  slots[i] = &a[i];
+                }
+                return 0; }|}
+        in
+        match res.Analysis.entry_output with
+        | None -> Alcotest.fail "no exit"
+        | Some s ->
+            let tails =
+              Pts.targets (Loc.Tail (Loc.Var ("slots", Loc.Kglobal))) s
+              |> List.filter (fun (t, _) -> not (Loc.is_null t))
+              |> List.map show_pair |> sorted_strings
+            in
+            Alcotest.(check (list string)) "slots tail" [ "a_head/P"; "a_tail/P" ] tails);
+    case "idiom: returning a struct by value copies pointer fields" (fun () ->
+        check_exit "struct return"
+          {|int v;
+            struct pair { int *x; int n; };
+            struct pair make(void) { struct pair r; r.x = &v; r.n = 0; return r; }
+            int main() { struct pair got; int *p; got = make(); p = got.x; return 0; }|}
+          "p" [ "v/D" ]);
+  ]
+
+let suite = ("torture", declarator_torture @ pipeline_idioms)

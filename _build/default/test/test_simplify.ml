@@ -1,0 +1,257 @@
+(** Tests for the SIMPLE lowering: the restrictions of paper §2 hold on
+    the output of the simplifier (single-level indirection, simple call
+    arguments, hoisted initializers, restructured side-effecting
+    conditions), and the lowering of specific constructs. *)
+
+open Test_util
+module Ctype = Cfront.Ctype
+
+let func p name =
+  match Ir.find_func p name with
+  | Some f -> f
+  | None -> Alcotest.failf "no function %s" name
+
+(** Collect all variable references of a function's basic statements. *)
+let all_refs fn =
+  let of_rhs = function
+    | Ir.Rref r | Ir.Raddr r | Ir.Rarith (r, _) -> [ r ]
+    | Ir.Rbinop (_, a, b) ->
+        List.filter_map (function Ir.Oref r -> Some r | _ -> None) [ a; b ]
+    | Ir.Runop (_, a) -> ( match a with Ir.Oref r -> [ r ] | _ -> [])
+    | Ir.Rconst _ | Ir.Rnull | Ir.Rstr | Ir.Rmalloc -> []
+  in
+  List.rev
+    (Ir.fold_func
+       (fun acc s ->
+         match s.Ir.s_desc with
+         | Ir.Sassign (l, rhs) -> List.rev_append (l :: of_rhs rhs) acc
+         | Ir.Scall (lhs, callee, args) ->
+             let cs = match callee with Ir.Cindirect r -> [ r ] | Ir.Cdirect _ -> [] in
+             let ls = match lhs with Some l -> [ l ] | None -> [] in
+             let args =
+               List.filter_map (function Ir.Oref r -> Some r | _ -> None) args
+             in
+             List.rev_append (ls @ cs @ args) acc
+         | _ -> acc)
+       [] fn)
+
+let count_stmts_desc fn pred = Ir.fold_func (fun n s -> if pred s then n + 1 else n) 0 fn
+
+let invariant_tests =
+  [
+    case "multi-level dereferences are decomposed" (fun () ->
+        let p = simplify "int f(int ***ppp) { return ***ppp; }" in
+        let refs = all_refs (func p "f") in
+        (* no reference both dereferences and then dereferences again;
+           each has at most the single deref flag *)
+        Alcotest.(check bool) "refs exist" true (refs <> []);
+        List.iter
+          (fun (r : Ir.vref) ->
+            (* a deref'd base must be a plain variable name *)
+            if r.Ir.r_deref then
+              Alcotest.(check bool) "base is simple" true (String.length r.Ir.r_base > 0))
+          refs);
+    case "call arguments become constants or variables" (fun () ->
+        let p =
+          simplify
+            "int g(int, int*); int f(int *p, int x) { return g(x * 2 + *p, &x); }"
+        in
+        Ir.fold_func
+          (fun () s ->
+            match s.Ir.s_desc with
+            | Ir.Scall (_, _, args) ->
+                List.iter
+                  (fun a ->
+                    match a with
+                    | Ir.Oref r ->
+                        Alcotest.(check bool) "plain var arg" true (Ir.is_plain_var r)
+                    | Ir.Oconst _ | Ir.Onull | Ir.Ostr -> ())
+                  args
+            | _ -> ())
+          () (func p "f"));
+    case "nested calls are flattened" (fun () ->
+        let p = simplify "int g(int); int f(int x) { return g(g(g(x))); }" in
+        Alcotest.(check int) "three calls" 3
+          (count_stmts_desc (func p "f") (fun s ->
+               match s.Ir.s_desc with Ir.Scall _ -> true | _ -> false)));
+    case "global initializers move into main" (fun () ->
+        let p = simplify "int x; int *p = &x; int main() { return 0; }" in
+        let main = func p "main" in
+        Alcotest.(check bool) "main starts with p = &x" true
+          (match main.Ir.fn_body with
+          | { Ir.s_desc = Ir.Sassign ({ Ir.r_base = "p"; _ }, Ir.Raddr _); _ } :: _ -> true
+          | _ -> false));
+    case "local initializers become statements in place" (fun () ->
+        let p = simplify "int f() { int x = 4; int *p = &x; return *p; }" in
+        Alcotest.(check bool) "has assignments" true
+          (count_stmts_desc (func p "f") (fun s ->
+               match s.Ir.s_desc with Ir.Sassign _ -> true | _ -> false)
+          >= 2));
+    case "array initializer lists expand element-wise" (fun () ->
+        let p = simplify "int f() { int *t[2] = { 0, 0 }; return 0; }" in
+        Alcotest.(check bool) "two element inits" true
+          (count_stmts_desc (func p "f") (fun s ->
+               match s.Ir.s_desc with
+               | Ir.Sassign ({ Ir.r_path = [ Ir.Sindex _ ]; _ }, _) -> true
+               | _ -> false)
+          = 2));
+    case "struct copies expand to pointer-carrying fields" (fun () ->
+        let p =
+          simplify
+            "struct s { int a; int *p; int *q; }; \
+             int f() { struct s x, y; x = y; return 0; }"
+        in
+        (* one assignment per pointer field (a carries no pointers) *)
+        Alcotest.(check int) "two field copies" 2
+          (count_stmts_desc (func p "f") (fun s ->
+               match s.Ir.s_desc with
+               | Ir.Sassign ({ Ir.r_path = [ Ir.Sfield _ ]; _ }, Ir.Rref _) -> true
+               | _ -> false)));
+    case "shadowed locals are renamed apart" (fun () ->
+        let p = simplify "int x; int f() { int x; { int x; x = 1; } x = 2; return x; }" in
+        let names = List.map fst (func p "f").Ir.fn_locals in
+        let uniq = List.sort_uniq compare names in
+        Alcotest.(check int) "all distinct" (List.length names) (List.length uniq);
+        Alcotest.(check bool) "none clashes with the global" true
+          (not (List.exists (String.equal "x") (List.tl (List.sort compare names)))));
+  ]
+
+let lowering_tests =
+  [
+    case "pointer subscript lowers to a shift selector" (fun () ->
+        let p = simplify "int f(int *p, int i) { return p[i]; }" in
+        let has_shift =
+          List.exists
+            (fun (r : Ir.vref) ->
+              r.Ir.r_deref
+              && List.exists (function Ir.Sshift _ -> true | _ -> false) r.Ir.r_path)
+            (all_refs (func p "f"))
+        in
+        Alcotest.(check bool) "shift" true has_shift);
+    case "array subscript lowers to an index selector" (fun () ->
+        let p = simplify "int a[4]; int f(int i) { return a[i]; }" in
+        let has_index =
+          List.exists
+            (fun (r : Ir.vref) ->
+              (not r.Ir.r_deref)
+              && List.exists (function Ir.Sindex _ -> true | _ -> false) r.Ir.r_path)
+            (all_refs (func p "f"))
+        in
+        Alcotest.(check bool) "index" true has_index);
+    case "e->f lowers to deref-then-field" (fun () ->
+        let p = simplify "struct s { int v; }; int f(struct s *p) { return p->v; }" in
+        let ok =
+          List.exists
+            (fun (r : Ir.vref) -> r.Ir.r_deref && r.Ir.r_path = [ Ir.Sfield "v" ])
+            (all_refs (func p "f"))
+        in
+        Alcotest.(check bool) "(*p).v" true ok);
+    case "&*p simplifies to p" (fun () ->
+        let p = simplify "int f(int *p) { int *q; q = &*p; return *q; }" in
+        let copies_p =
+          count_stmts_desc (func p "f") (fun s ->
+              match s.Ir.s_desc with
+              | Ir.Sassign ({ Ir.r_base = "q"; _ }, Ir.Rref { Ir.r_base = "p"; r_deref = false; _ })
+                ->
+                  true
+              | _ -> false)
+        in
+        Alcotest.(check int) "q = p" 1 copies_p);
+    case "malloc family maps to Rmalloc" (fun () ->
+        let p =
+          simplify
+            "int main() { int *a, *b, *c; a = (int*)malloc(4); b = (int*)calloc(1,4); \
+             c = (int*)realloc(a, 8); return 0; }"
+        in
+        Alcotest.(check int) "three allocations" 3
+          (count_stmts_desc (func p "main") (fun s ->
+               match s.Ir.s_desc with Ir.Sassign (_, Ir.Rmalloc) -> true | _ -> false)));
+    case "0 in pointer context becomes NULL" (fun () ->
+        let p = simplify "int main() { int *p; p = 0; return 0; }" in
+        Alcotest.(check int) "one null assignment" 1
+          (count_stmts_desc (func p "main") (fun s ->
+               match s.Ir.s_desc with Ir.Sassign (_, Ir.Rnull) -> true | _ -> false)));
+    case "0 in integer context stays a constant" (fun () ->
+        let p = simplify "int main() { int x; x = 0; return 0; }" in
+        Alcotest.(check int) "no null assignment" 0
+          (count_stmts_desc (func p "main") (fun s ->
+               match s.Ir.s_desc with Ir.Sassign (_, Ir.Rnull) -> true | _ -> false)));
+    case "p++ becomes pointer arithmetic" (fun () ->
+        let p = simplify "int f(int *p) { p++; return 0; }" in
+        Alcotest.(check int) "one Rarith" 1
+          (count_stmts_desc (func p "f") (fun s ->
+               match s.Ir.s_desc with
+               | Ir.Sassign (_, Ir.Rarith (_, Ir.Ppos)) -> true
+               | _ -> false)));
+    case "side-effecting while condition re-evaluates on the back edge" (fun () ->
+        let p =
+          simplify
+            "struct n { struct n *next; }; \
+             int f(struct n *p) { int k; k = 0; while ((p = p->next) != 0) k++; return k; }"
+        in
+        let found =
+          Ir.fold_func
+            (fun acc s ->
+              match s.Ir.s_desc with
+              | Ir.Sloop l -> acc || l.Ir.l_cond_stmts <> []
+              | _ -> acc)
+            false (func p "f")
+        in
+        Alcotest.(check bool) "cond stmts present" true found);
+    case "impure short-circuit condition restructures into nested ifs" (fun () ->
+        let p =
+          simplify "int g(void); int f(int a) { if (a && g()) return 1; return 0; }"
+        in
+        let has_if =
+          count_stmts_desc (func p "f") (fun s ->
+              match s.Ir.s_desc with Ir.Sif _ -> true | _ -> false)
+        in
+        Alcotest.(check bool) "at least two ifs" true (has_if >= 2));
+    case "pure short-circuit condition stays a condition" (fun () ->
+        let p = simplify "int f(int a, int b) { if (a && b < 3) return 1; return 0; }" in
+        Alcotest.(check int) "single if" 1
+          (count_stmts_desc (func p "f") (fun s ->
+               match s.Ir.s_desc with Ir.Sif _ -> true | _ -> false)));
+    case "for loop carries its step separately" (fun () ->
+        let p = simplify "int f(int n) { int i, s; s = 0; for (i = 0; i < n; i++) s += i; return s; }" in
+        let ok =
+          Ir.fold_func
+            (fun acc s ->
+              match s.Ir.s_desc with
+              | Ir.Sloop { Ir.l_kind = `For; l_step; _ } -> acc || l_step <> []
+              | _ -> acc)
+            false (func p "f")
+        in
+        Alcotest.(check bool) "step" true ok);
+    case "switch groups preserve fall-through structure" (fun () ->
+        let p =
+          simplify
+            "int f(int x) { int y; y = 0; switch (x) { case 1: y = 1; case 2: y = 2; \
+             break; default: y = 9; } return y; }"
+        in
+        let groups =
+          Ir.fold_func
+            (fun acc s ->
+              match s.Ir.s_desc with Ir.Sswitch (_, gs) -> acc + List.length gs | _ -> acc)
+            0 (func p "f")
+        in
+        Alcotest.(check int) "three groups" 3 groups);
+    case "statement counts include control statements" (fun () ->
+        let p = simplify "int f(int n) { if (n) return 1; return 0; }" in
+        Alcotest.(check bool) "counted" true (Ir.count_stmts (func p "f") >= 3));
+    case "address-taken functions are detected" (fun () ->
+        let p =
+          simplify
+            "int a(void) { return 1; } int b(void) { return 2; } int c(void) { return 3; } \
+             int (*fp)(void); int main() { fp = a; fp = &b; return c(); }"
+        in
+        let at = List.sort compare (Ir.address_taken_funcs p) in
+        Alcotest.(check (list string)) "a and b" [ "a"; "b" ] at);
+    case "unsupported construct reports a location" (fun () ->
+        match simplify "int f() { return *3; }" with
+        | exception Simple_ir.Simplify.Unsupported _ -> ()
+        | exception Cfront.Srcloc.Error _ -> ()
+        | _ -> Alcotest.fail "expected an error");
+  ]
+
+let suite = ("simplify", invariant_tests @ lowering_tests)

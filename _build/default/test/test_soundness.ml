@@ -1,0 +1,335 @@
+(** Property-based soundness testing: random pointer programs are
+    rendered to C, pushed through the full pipeline (parse, simplify,
+    context-sensitive analysis), and the resulting exit points-to set is
+    checked against a concrete interpreter that enumerates every
+    execution path (Definition 3.3 of the paper):
+
+    - every points-to fact observed on some valid concrete path must be
+      present in the analysis result (possible or definite);
+    - every definite pair claimed by the analysis must hold on every
+      valid concrete path.
+
+    Paths that would dereference NULL are undefined behaviour and are
+    excluded (matching the paper's assumption that dereferenced pointers
+    are non-NULL at run time). *)
+
+open Test_util
+
+(* Variable universe: three ints, three int*, two int**; all globals so
+   that generated helper functions can touch them too. *)
+let l0_vars = [ "a"; "b"; "c" ]
+let l1_vars = [ "p"; "q"; "r" ]
+let l2_vars = [ "x"; "y" ]
+
+type stmt =
+  | Take1 of string * string  (** p = &a *)
+  | Copy1 of string * string  (** p = q *)
+  | Load1 of string * string  (** p = *x *)
+  | Null1 of string  (** p = 0 *)
+  | Malloc1 of string  (** p = malloc *)
+  | Take2 of string * string  (** x = &p *)
+  | Copy2 of string * string  (** x = y *)
+  | Store1 of string * string  (** *x = p *)
+  | If of stmt list * stmt list
+  | While of stmt list
+  | Call of int  (** call generated helper [i] *)
+  | CallArg of int * string
+      (** call generated pointer-helper [i] with level-2 argument [&p]:
+          the helper writes through its parameter, exercising map/unmap
+          of invisible variables *)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering to C                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* the bodies of the arg-taking helpers, fixed: each writes through or
+   reads its int** parameter "ap" in a different way *)
+type arg_helper = Hstore of string  (** *ap = &x *) | Hload of string  (** p = *ap *)
+
+let arg_helpers : arg_helper list = [ Hstore "a"; Hstore "b"; Hload "q" ]
+
+let render (helpers : stmt list list) (body : stmt list) : string =
+  let buf = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "int %s;\n" (String.concat ", " l0_vars);
+  pf "int *%s;\n" (String.concat ", *" l1_vars);
+  pf "int **%s;\n" (String.concat ", **" l2_vars);
+  pf "int cnd;\n";
+  let rec stmts ind l = List.iter (stmt ind) l
+  and stmt ind s =
+    let pad = String.make ind ' ' in
+    match s with
+    | Take1 (d, s) -> pf "%s%s = &%s;\n" pad d s
+    | Copy1 (d, s) | Copy2 (d, s) -> pf "%s%s = %s;\n" pad d s
+    | Load1 (d, s) -> pf "%s%s = *%s;\n" pad d s
+    | Null1 d -> pf "%s%s = 0;\n" pad d
+    | Malloc1 d -> pf "%s%s = (int*)malloc(4);\n" pad d
+    | Take2 (d, s) -> pf "%s%s = &%s;\n" pad d s
+    | Store1 (d, s) -> pf "%sif (%s != 0) *%s = %s;\n" pad d d s
+    | If (t, e) ->
+        pf "%sif (cnd) {\n" pad;
+        stmts (ind + 2) t;
+        pf "%s} else {\n" pad;
+        stmts (ind + 2) e;
+        pf "%s}\n" pad
+    | While b ->
+        pf "%swhile (cnd) {\n" pad;
+        stmts (ind + 2) b;
+        pf "%s}\n" pad
+    | Call i -> pf "%shelper%d();\n" pad i
+    | CallArg (i, v) -> pf "%sarg_helper%d(&%s);\n" pad i v
+  in
+  List.iteri
+    (fun i h ->
+      match h with
+      | Hstore tgt -> pf "void arg_helper%d(int **ap) { *ap = &%s; }\n" i tgt
+      | Hload dst -> pf "void arg_helper%d(int **ap) { %s = *ap; }\n" i dst)
+    arg_helpers;
+  List.iteri
+    (fun i b ->
+      pf "void helper%d(void) {\n" i;
+      stmts 2 b;
+      pf "}\n")
+    helpers;
+  pf "int main() {\n";
+  stmts 2 body;
+  pf "  return 0;\n}\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Concrete interpreter                                               *)
+(* ------------------------------------------------------------------ *)
+
+type value =
+  | Vnull
+  | Vvar of string  (** address of a named variable (level 0 or 1) *)
+  | Vheap of int  (** address of heap cell [i] *)
+
+module SM = Map.Make (String)
+
+type cstate = {
+  vars : value SM.t;  (** pointer variables only *)
+  heap : value list;  (** heap cells (each may hold a pointer) *)
+}
+
+let init_state =
+  {
+    vars =
+      List.fold_left (fun m v -> SM.add v Vnull m) SM.empty (l1_vars @ l2_vars);
+    heap = [];
+  }
+
+(** All final states over all path decisions (bounded loop unrollings);
+    paths dereferencing NULL are discarded as undefined. *)
+let interpret (helpers : stmt list list) (body : stmt list) : cstate list =
+  let max_states = 512 in
+  let read st v = SM.find v st.vars in
+  let deref st v =
+    match read st v with
+    | Vnull -> None
+    | Vvar w -> Some (`Var w)
+    | Vheap i -> Some (`Heap i)
+  in
+  let rec exec_list sts stmts =
+    List.fold_left (fun sts s -> exec sts s) sts stmts
+  and exec (sts : cstate list) (s : stmt) : cstate list =
+    (* bound the path count: deduplicate, then truncate (checking a
+       subset of paths only weakens the test, never its validity) *)
+    let cap l =
+      let l = List.sort_uniq compare l in
+      if List.length l > max_states then List.filteri (fun i _ -> i < max_states) l else l
+    in
+    match s with
+    | Take1 (d, sv) | Take2 (d, sv) ->
+        List.map (fun st -> { st with vars = SM.add d (Vvar sv) st.vars }) sts
+    | Copy1 (d, sv) | Copy2 (d, sv) ->
+        List.map (fun st -> { st with vars = SM.add d (read st sv) st.vars }) sts
+    | Null1 d -> List.map (fun st -> { st with vars = SM.add d Vnull st.vars }) sts
+    | Malloc1 d ->
+        List.map
+          (fun st ->
+            {
+              vars = SM.add d (Vheap (List.length st.heap)) st.vars;
+              heap = st.heap @ [ Vnull ];
+            })
+          sts
+    | Load1 (d, sv) ->
+        List.filter_map
+          (fun st ->
+            match deref st sv with
+            | None -> None (* null dereference: path undefined *)
+            | Some (`Var w) -> Some { st with vars = SM.add d (read st w) st.vars }
+            | Some (`Heap i) ->
+                Some { st with vars = SM.add d (List.nth st.heap i) st.vars })
+          sts
+    | Store1 (d, sv) ->
+        List.map
+          (fun st ->
+            (* rendering guards the store with a null check *)
+            match deref st d with
+            | None -> st
+            | Some (`Var w) -> { st with vars = SM.add w (read st sv) st.vars }
+            | Some (`Heap i) ->
+                {
+                  st with
+                  heap = List.mapi (fun j c -> if j = i then read st sv else c) st.heap;
+                })
+          sts
+    | If (t, e) -> cap (exec_list sts t @ exec_list sts e)
+    | While b ->
+        (* 0, 1 or 2 iterations *)
+        let once = exec_list sts b in
+        let twice = exec_list once b in
+        cap (sts @ once @ twice)
+    | Call i -> exec_list sts (List.nth helpers i)
+    | CallArg (i, v) ->
+        (* inline the fixed arg-helper body: ap = &v *)
+        List.map
+          (fun st ->
+            match List.nth arg_helpers i with
+            | Hstore tgt -> { st with vars = SM.add v (Vvar tgt) st.vars }
+            | Hload dst -> { st with vars = SM.add dst (read st v) st.vars })
+          sts
+  in
+  exec_list [ init_state ] body
+
+(* ------------------------------------------------------------------ *)
+(* The safety check                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let target_name = function
+  | Vnull -> "NULL"
+  | Vvar w -> w
+  | Vheap _ -> "heap"
+
+(** Check Definition 3.3 against the concrete states. *)
+let check_safety (helpers : stmt list list) (body : stmt list) : bool =
+  let src = render helpers body in
+  let res = analyze src in
+  let exit_set =
+    match res.Analysis.entry_output with
+    | Some s -> s
+    | None -> Alcotest.failf "no exit state for:\n%s" src
+  in
+  let main_fn =
+    match Ir.find_func res.Analysis.prog "main" with Some f -> f | None -> assert false
+  in
+  let loc_of_var v =
+    match Pointsto.Tenv.base_loc res.Analysis.tenv main_fn v with
+    | Some l -> l
+    | None -> assert false
+  in
+  let loc_of_value = function
+    | Vnull -> Loc.Null
+    | Vvar w -> loc_of_var w
+    | Vheap _ -> Loc.Heap
+  in
+  let states = interpret helpers body in
+  (* (1) every concrete fact is covered *)
+  let covered =
+    List.for_all
+      (fun st ->
+        SM.for_all
+          (fun v value ->
+            let ok = Pts.mem (loc_of_var v) (loc_of_value value) exit_set in
+            if not ok then
+              Fmt.epr "MISSING: %s -> %s@.%s@." v (target_name value) src;
+            ok)
+          st.vars)
+      states
+  in
+  (* (2) every definite claim holds on every path *)
+  let definites_ok =
+    List.for_all
+      (fun v ->
+        let l = loc_of_var v in
+        List.for_all
+          (fun (tgt, c) ->
+            c = Pts.P
+            || List.for_all
+                 (fun st -> Loc.equal (loc_of_value (SM.find v st.vars)) tgt)
+                 states
+            ||
+            (Fmt.epr "SPURIOUS DEFINITE: %s -> %a@.%s@." v Loc.pp tgt src;
+             false))
+          (Pts.targets l exit_set))
+      (l1_vars @ l2_vars)
+  in
+  (* vacuous if all paths were undefined *)
+  states = [] || (covered && definites_ok)
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let gen_stmt ~depth ~n_helpers : stmt QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let l0 = oneofl l0_vars in
+  let l1 = oneofl l1_vars in
+  let l2 = oneofl l2_vars in
+  let base =
+    [
+      (3, map2 (fun d s -> Take1 (d, s)) l1 l0);
+      (2, map2 (fun d s -> Copy1 (d, s)) l1 l1);
+      (2, map2 (fun d s -> Load1 (d, s)) l1 l2);
+      (1, map (fun d -> Null1 d) l1);
+      (1, map (fun d -> Malloc1 d) l1);
+      (2, map2 (fun d s -> Take2 (d, s)) l2 l1);
+      (1, map2 (fun d s -> Copy2 (d, s)) l2 l2);
+      (2, map2 (fun d s -> Store1 (d, s)) l2 l1);
+    ]
+  in
+  let base =
+    (1, map2 (fun i v -> CallArg (i, v)) (int_bound (List.length arg_helpers - 1)) l1)
+    :: (if n_helpers > 0 then [ (1, map (fun i -> Call i) (int_bound (n_helpers - 1))) ]
+        else [])
+    @ base
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then frequency base
+      else
+        frequency
+          (base
+          @ [
+              ( 1,
+                map2 (fun t e -> If (t, e))
+                  (list_size (int_bound 3) (self (depth - 1)))
+                  (list_size (int_bound 3) (self (depth - 1))) );
+              (1, map (fun b -> While b) (list_size (int_bound 3) (self (depth - 1))));
+            ]))
+    depth
+
+let gen_program : (stmt list list * stmt list) QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* n_helpers = int_bound 2 in
+  let* helpers =
+    list_repeat n_helpers (list_size (int_bound 4) (gen_stmt ~depth:1 ~n_helpers:0))
+  in
+  let* body = list_size (int_range 1 8) (gen_stmt ~depth:2 ~n_helpers) in
+  return (helpers, body)
+
+let suite =
+  ( "soundness",
+    [
+      qcase ~count:300 "analysis is safe w.r.t. the concrete semantics" gen_program
+        (fun (helpers, body) -> check_safety helpers body);
+      case "regression: conditional store through double pointer" (fun () ->
+          Alcotest.(check bool) "safe" true
+            (check_safety []
+               [
+                 Take1 ("p", "a");
+                 Take2 ("x", "p");
+                 If ([ Take2 ("x", "q") ], []);
+                 Store1 ("x", "r");
+               ]));
+      case "regression: loop rebinding" (fun () ->
+          Alcotest.(check bool) "safe" true
+            (check_safety []
+               [ Take1 ("p", "a"); While [ Copy1 ("q", "p"); Take1 ("p", "b") ] ]));
+      case "regression: helper touching globals" (fun () ->
+          Alcotest.(check bool) "safe" true
+            (check_safety
+               [ [ Take1 ("p", "b") ] ]
+               [ Take1 ("p", "a"); Call 0; Copy1 ("q", "p") ]));
+    ] )

@@ -1,0 +1,159 @@
+(** Tests for the statistics machinery behind Tables 2–6. *)
+
+open Test_util
+module Stats = Pointsto.Stats
+
+let stats_of src = Stats.indirect_stats (analyze src)
+
+let table3_tests =
+  [
+    case "definitely-one counts in 1D" (fun () ->
+        let s = stats_of "int y; int main() { int *q; int x; q = &y; x = *q; return 0; }" in
+        Alcotest.(check int) "one ref" 1 s.Stats.ind_refs;
+        Alcotest.(check int) "1D scalar" 1 s.Stats.one_d.Stats.scalar;
+        Alcotest.(check int) "replaceable" 1 s.Stats.scalar_rep;
+        Alcotest.(check bool) "avg 1" true (s.Stats.avg = 1.0));
+    case "possibly-one (other NULL) counts in 1P" (fun () ->
+        let s =
+          stats_of
+            {|int y; int c;
+              int main() { int *q; int x; q = 0; if (c) q = &y; x = *q; return 0; }|}
+        in
+        Alcotest.(check int) "1P scalar" 1 s.Stats.one_p.Stats.scalar;
+        Alcotest.(check int) "no rep" 0 s.Stats.scalar_rep);
+    case "two targets count in 2P" (fun () ->
+        let s =
+          stats_of
+            {|int y, z; int c;
+              int main() { int *q; int x; if (c) q = &y; else q = &z; x = *q; return 0; }|}
+        in
+        Alcotest.(check int) "2P" 1 s.Stats.two_p.Stats.scalar;
+        Alcotest.(check bool) "avg 2" true (s.Stats.avg = 2.0));
+    case "array-form references use the second column" (fun () ->
+        let s =
+          stats_of
+            "int a[8]; int main() { int *p; int x; p = a; x = p[0]; return 0; }"
+        in
+        Alcotest.(check int) "array-form 1D" 1 s.Stats.one_d.Stats.array;
+        Alcotest.(check int) "scalar-form none" 0 s.Stats.one_d.Stats.scalar);
+    case "heap targets count in To-Heap" (fun () ->
+        let s =
+          stats_of "int main() { int *p; int x; p = (int*)malloc(4); x = *p; return 0; }"
+        in
+        Alcotest.(check int) "to heap" 1 s.Stats.to_heap;
+        Alcotest.(check int) "to stack" 0 s.Stats.to_stack);
+    case "writes through pointers are indirect references too" (fun () ->
+        let s = stats_of "int y; int main() { int *q; q = &y; *q = 1; return 0; }" in
+        Alcotest.(check int) "one ref" 1 s.Stats.ind_refs);
+    case "NULL-only pointers contribute no pairs" (fun () ->
+        let s = stats_of "int main() { int *q; q = 0; if (0) *q = 1; return 0; }" in
+        Alcotest.(check int) "no pairs" 0 s.Stats.total_pairs);
+  ]
+
+let table4_tests =
+  [
+    case "formal-parameter sources categorize as fp" (fun () ->
+        let c =
+          Stats.categorize
+            (analyze
+               {|int g_target; int *gp;
+                 void callee(int *p) { int x; x = *p; }
+                 int main() { callee(&g_target); return 0; }|})
+        in
+        Alcotest.(check int) "from fp" 1 c.Stats.from_fp;
+        Alcotest.(check int) "to gl" 1 c.Stats.to_gl);
+    case "local sources categorize as lo" (fun () ->
+        let c =
+          Stats.categorize
+            (analyze "int g; int main() { int *p; int x; p = &g; x = *p; return 0; }")
+        in
+        Alcotest.(check int) "from lo" 1 c.Stats.from_lo);
+    case "symbolic targets categorize as sy" (fun () ->
+        let c =
+          Stats.categorize
+            (analyze
+               {|void callee(int **pp) { int *x; x = *pp; }
+                 int main() { int *q; int v; q = &v; callee(&q); return 0; }|})
+        in
+        Alcotest.(check bool) "to sy" true (c.Stats.to_sy >= 1));
+  ]
+
+let table5_tests =
+  [
+    case "stack/heap pair classification" (fun () ->
+        let g =
+          Stats.general
+            (analyze
+               {|int v;
+                 int main() { int *p, *q; p = &v; q = (int*)malloc(4); return 0; }|})
+        in
+        Alcotest.(check bool) "stack-to-stack" true (g.Stats.stack_to_stack > 0);
+        Alcotest.(check bool) "stack-to-heap" true (g.Stats.stack_to_heap > 0);
+        Alcotest.(check int) "no heap-to-stack" 0 g.Stats.heap_to_stack);
+    case "heap-to-heap from linked heap structures" (fun () ->
+        let g =
+          Stats.general
+            (analyze
+               {|struct n { struct n *next; };
+                 int main() { struct n *a, *b;
+                   a = (struct n*)malloc(8); b = (struct n*)malloc(8);
+                   a->next = b;
+                   return 0; }|})
+        in
+        Alcotest.(check bool) "heap-to-heap" true (g.Stats.heap_to_heap > 0));
+    case "heap-to-stack is reported when the program does it" (fun () ->
+        let g =
+          Stats.general
+            (analyze
+               {|int v;
+                 int main() { int **p;
+                   p = (int**)malloc(8);
+                   *p = &v;
+                   p = p;
+                   return 0; }|})
+        in
+        Alcotest.(check bool) "heap-to-stack seen" true (g.Stats.heap_to_stack > 0));
+    case "max per statement bounds avg" (fun () ->
+        let g =
+          Stats.general
+            (analyze "int v, w; int main() { int *p, *q; p = &v; q = &w; return 0; }")
+        in
+        Alcotest.(check bool) "avg <= max" true
+          (g.Stats.avg_per_stmt <= float_of_int g.Stats.max_per_stmt));
+  ]
+
+let table2_6_tests =
+  [
+    case "characteristics: statements and abstract stack sizes" (fun () ->
+        let c =
+          Stats.characteristics
+            (analyze
+               {|int g1; int *gp;
+                 void f(int *p) { gp = p; }
+                 int main() { f(&g1); return 0; }|})
+        in
+        Alcotest.(check bool) "stmts > 0" true (c.Stats.c_stmts > 0);
+        Alcotest.(check bool) "min <= max" true (c.Stats.c_min_vars <= c.Stats.c_max_vars);
+        Alcotest.(check bool) "counts globals at least" true (c.Stats.c_min_vars >= 2));
+    case "invocation-graph statistics" (fun () ->
+        let s =
+          Stats.ig_stats
+            (analyze
+               {|void f(void) { }
+                 void g(void) { f(); }
+                 int main() { g(); g(); f(); return 0; }|})
+        in
+        Alcotest.(check int) "nodes" 6 s.Stats.ig_nodes;
+        Alcotest.(check int) "call sites" 4 s.Stats.call_sites;
+        Alcotest.(check int) "funcs" 2 s.Stats.n_funcs;
+        Alcotest.(check bool) "avg per site" true (s.Stats.avg_per_call_site > 1.0));
+    case "recursive/approximate counts" (fun () ->
+        let s =
+          Stats.ig_stats
+            (analyze {|void f(int n) { if (n) f(n - 1); } int main() { f(3); return 0; }|})
+        in
+        Alcotest.(check int) "R" 1 s.Stats.n_recursive;
+        Alcotest.(check int) "A" 1 s.Stats.n_approximate);
+  ]
+
+let suite = ("stats", table3_tests @ table4_tests @ table5_tests @ table2_6_tests)

@@ -1,0 +1,133 @@
+(** Tests for the applications of points-to analysis: pointer
+    replacement and read/write sets (paper §6.1). *)
+
+open Test_util
+module PR = Transforms.Pointer_replace
+module RW = Transforms.Rw_sets
+
+let replace_tests =
+  [
+    case "x = *q with q definite is replaceable" (fun () ->
+        let res =
+          analyze "int y; int main() { int *q; int x; q = &y; x = *q; return 0; }"
+        in
+        let reps = PR.find res in
+        Alcotest.(check int) "one replacement" 1 (List.length reps);
+        let rp = List.hd reps in
+        Alcotest.(check string) "target" "y" (Fmt.str "%a" Loc.pp rp.PR.rp_target));
+    case "possible target is not replaceable" (fun () ->
+        let res =
+          analyze
+            {|int y, z; int c;
+              int main() { int *q; int x; if (c) q = &y; else q = &z; x = *q; return 0; }|}
+        in
+        Alcotest.(check int) "none" 0 (List.length (PR.find res)));
+    case "definite invisible target is not replaceable (paper footnote 7)" (fun () ->
+        let res =
+          analyze
+            {|int *g;
+              void callee(int *p) { int x; x = *p; g = p; }
+              int main() { int v; callee(&v); return 0; }|}
+        in
+        (* inside callee, p definitely points to 1_p: no direct name *)
+        let in_callee =
+          List.filter (fun rp -> String.equal rp.PR.rp_func "callee") (PR.find res)
+        in
+        Alcotest.(check int) "no replacement in callee" 0 (List.length in_callee));
+    case "heap target is not replaceable" (fun () ->
+        let res =
+          analyze "int main() { int *p; int x; p = (int*)malloc(4); x = *p; return 0; }"
+        in
+        Alcotest.(check int) "none" 0 (List.length (PR.find res)));
+    case "replacement through a field path" (fun () ->
+        let res =
+          analyze
+            {|struct s { int v; } g;
+              int main() { struct s *p; int x; p = &g; x = p->v; return 0; }|}
+        in
+        let reps = PR.find res in
+        Alcotest.(check bool) "found" true (List.length reps >= 1);
+        Alcotest.(check bool) "g.v" true
+          (List.exists
+             (fun rp -> Fmt.str "%a" Simple_ir.Pp.pp_vref rp.PR.rp_new = "g.v")
+             reps));
+    case "apply rewrites the program" (fun () ->
+        let res =
+          analyze "int y; int main() { int *q; int x; q = &y; x = *q; return 0; }"
+        in
+        let prog', n = PR.apply res in
+        Alcotest.(check int) "count" 1 n;
+        (* the rewritten program must contain a direct read of y *)
+        let reads_y =
+          Ir.fold_program
+            (fun acc s ->
+              match s.Ir.s_desc with
+              | Ir.Sassign (_, Ir.Rref { Ir.r_base = "y"; r_deref = false; _ }) -> true
+              | _ -> acc)
+            false prog'
+        in
+        Alcotest.(check bool) "direct read" true reads_y);
+    case "array head target is replaceable as a[0]" (fun () ->
+        let res =
+          analyze "int a[8]; int main() { int *p; int x; p = a; x = *p; return 0; }"
+        in
+        let reps = PR.find res in
+        Alcotest.(check bool) "a[0]" true
+          (List.exists
+             (fun rp -> Fmt.str "%a" Simple_ir.Pp.pp_vref rp.PR.rp_new = "a[0]")
+             reps));
+  ]
+
+let rw_tests =
+  [
+    case "assignment writes its L-location definitely" (fun () ->
+        let res = analyze "int y; int main() { int *p; p = &y; return 0; }" in
+        let fn = Option.get (Ir.find_func res.Analysis.prog "main") in
+        let a = RW.func_summary res fn in
+        Alcotest.(check bool) "p must-written" true
+          (Loc.Set.mem (Loc.Var ("p", Loc.Klocal)) a.RW.must_write));
+    case "store through a possible pointer is a may-write" (fun () ->
+        let res =
+          analyze
+            {|int y, z; int c;
+              int main() { int *q; if (c) q = &y; else q = &z; *q = 1; return 0; }|}
+        in
+        let fn = Option.get (Ir.find_func res.Analysis.prog "main") in
+        let a = RW.func_summary res fn in
+        Alcotest.(check bool) "y may-written" true
+          (Loc.Set.mem (Loc.Var ("y", Loc.Kglobal)) a.RW.may_write);
+        Alcotest.(check bool) "z may-written" true
+          (Loc.Set.mem (Loc.Var ("z", Loc.Kglobal)) a.RW.may_write);
+        Alcotest.(check bool) "y not must-written" false
+          (Loc.Set.mem (Loc.Var ("y", Loc.Kglobal)) a.RW.must_write));
+    case "store through a definite pointer is a must-write" (fun () ->
+        let res = analyze "int y; int main() { int *q; q = &y; *q = 1; return 0; }" in
+        let fn = Option.get (Ir.find_func res.Analysis.prog "main") in
+        let a = RW.func_summary res fn in
+        Alcotest.(check bool) "y must-written" true
+          (Loc.Set.mem (Loc.Var ("y", Loc.Kglobal)) a.RW.must_write));
+    case "reads through pointers show the pointed-to location" (fun () ->
+        let res =
+          analyze "int y; int main() { int *q; int x; q = &y; x = *q; return 0; }"
+        in
+        let fn = Option.get (Ir.find_func res.Analysis.prog "main") in
+        let a = RW.func_summary res fn in
+        Alcotest.(check bool) "y read" true
+          (Loc.Set.mem (Loc.Var ("y", Loc.Kglobal)) a.RW.may_read));
+    case "union_access intersects must-writes" (fun () ->
+        let a =
+          {
+            RW.may_write = Loc.Set.singleton Loc.Heap;
+            must_write = Loc.Set.singleton Loc.Heap;
+            may_read = Loc.Set.empty;
+          }
+        in
+        let b =
+          { RW.may_write = Loc.Set.empty; must_write = Loc.Set.empty; may_read = Loc.Set.empty }
+        in
+        let u = RW.union_access a b in
+        Alcotest.(check bool) "may kept" true (Loc.Set.mem Loc.Heap u.RW.may_write);
+        Alcotest.(check bool) "must dropped" true (Loc.Set.is_empty u.RW.must_write));
+  ]
+
+let suite = ("transforms", replace_tests @ rw_tests)

@@ -1,0 +1,73 @@
+(** Shared helpers for the test suites. *)
+
+module Ir = Simple_ir.Ir
+module Loc = Pointsto.Loc
+module Pts = Pointsto.Pts
+module Analysis = Pointsto.Analysis
+
+let parse src = Cfront.Parser.parse_string ~file:"<test>" src
+
+let simplify src = Simple_ir.Simplify.of_string ~file:"<test>" src
+
+let analyze ?opts src = Analysis.of_string ?opts ~file:"<test>" src
+
+(** Render a (location, certainty) pair as "name/D" or "name/P". *)
+let show_pair (l, c) = Fmt.str "%a/%s" Loc.pp l (Pts.cert_to_string c)
+
+let sorted_strings l = List.sort compare l
+
+(** Targets of variable [var] in points-to set [s], as sorted
+    "name/cert" strings, NULL excluded. *)
+let targets_in (s : Pts.t) (res : Analysis.result) (fname : string) (var : string) :
+    string list =
+  let fn =
+    match Ir.find_func res.Analysis.prog fname with
+    | Some f -> f
+    | None -> Alcotest.failf "no function %s" fname
+  in
+  match Pointsto.Tenv.base_loc res.Analysis.tenv fn var with
+  | None -> Alcotest.failf "no variable %s" var
+  | Some base ->
+      Pts.targets base s
+      |> List.filter (fun (t, _) -> not (Loc.is_null t))
+      |> List.map show_pair |> sorted_strings
+
+(** Targets of [var] (a variable of [main]) at normal exit of main. *)
+let exit_targets (res : Analysis.result) ?(fname = "main") (var : string) : string list =
+  match res.Analysis.entry_output with
+  | None -> Alcotest.fail "entry function does not terminate normally"
+  | Some s -> targets_in s res fname var
+
+(** The statement id of the call to undeclared probe function [name]
+    (tests insert calls like [probe1();] as observation points). *)
+let probe_stmt (res : Analysis.result) (name : string) : int =
+  let found =
+    Ir.fold_program
+      (fun acc s ->
+        match s.Ir.s_desc with
+        | Ir.Scall (_, Ir.Cdirect f, _) when String.equal f name -> Some s.Ir.s_id
+        | _ -> acc)
+      None res.Analysis.prog
+  in
+  match found with Some id -> id | None -> Alcotest.failf "no probe %s" name
+
+(** Targets of [var] (in function [fname], default main) at the probe
+    call [probe]. *)
+let probe_targets (res : Analysis.result) ?(fname = "main") (probe : string) (var : string) :
+    string list =
+  let s = Analysis.pts_at res (probe_stmt res probe) in
+  targets_in s res fname var
+
+let check_targets msg expected actual =
+  Alcotest.(check (list string)) msg (sorted_strings expected) actual
+
+(** Assert that analyzing [src] gives [var] exactly [expected] targets at
+    exit of main. *)
+let check_exit ?opts msg src var expected =
+  let res = analyze ?opts src in
+  check_targets msg expected (exit_targets res var)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let qcase ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)

@@ -23,14 +23,17 @@ let path name = Filename.concat bench_dir (name ^ ".c")
 
 let count_lines file =
   let ic = open_in file in
-  let n = ref 0 in
-  (try
-     while true do
-       ignore (input_line ic);
-       incr n
-     done
-   with End_of_file -> close_in ic);
-  !n
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = ref 0 in
+      (try
+         while true do
+           ignore (input_line ic);
+           incr n
+         done
+       with End_of_file -> ());
+      !n)
 
 let progs : (string, Ir.program) Hashtbl.t = Hashtbl.create 18
 let results : (string, Analysis.result) Hashtbl.t = Hashtbl.create 18
@@ -395,6 +398,36 @@ let extensions () =
     Paper_data.names
 
 (* ------------------------------------------------------------------ *)
+(* Engine cost counters                                               *)
+(* ------------------------------------------------------------------ *)
+
+let counters () =
+  section "Engine Counters (per-phase work of one default analysis run)";
+  Fmt.pr "%-12s %7s %6s %6s %8s %8s %7s %7s %7s@." "benchmark" "bodies" "loop" "rec"
+    "assigns" "merges" "fast%" "eq-fst%" "memo%";
+  Fmt.pr "%s@." hr;
+  let module M = Pointsto.Metrics in
+  List.iter
+    (fun name ->
+      let m = (result name).Analysis.metrics in
+      (* memo hit rate comes from a share-contexts run of the same program *)
+      let shared =
+        Analysis.analyze
+          ~opts:{ Pointsto.Options.default with Pointsto.Options.share_contexts = true }
+          (prog name)
+      in
+      let ms = shared.Analysis.metrics in
+      Fmt.pr "%-12s %7d %6d %6d %8d %8d %6.1f%% %6.1f%% %6.1f%%@." name m.M.bodies
+        m.M.loop_iters m.M.rec_iters m.M.assigns m.M.merges
+        (M.ratio m.M.merge_fast m.M.merges)
+        (M.ratio m.M.equal_fast m.M.equal_checks)
+        (M.ratio ms.M.memo_hits ms.M.memo_lookups))
+    (Paper_data.names @ [ "livc" ]);
+  let m = (result "livc").Analysis.metrics in
+  Fmt.pr "@.livc detail:@.%a@." M.pp m;
+  Fmt.pr "interned locations: %d@." (Loc.interned_count ())
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timings                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -432,21 +465,100 @@ let timings () =
         (Test.elements test))
     tests
 
+(* ------------------------------------------------------------------ *)
+(* Representation micro-benchmarks                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Micro-benchmarks of the points-to set operations on the hot path of
+    the fixed points, over the largest set observed while analyzing livc
+    (the heaviest benchmark). *)
+let rep_ops () =
+  section "Representation Ops (Bechamel, largest points-to set of livc)";
+  let r = result "livc" in
+  let big =
+    Hashtbl.fold (fun _ s acc -> if Pts.cardinal s > Pts.cardinal acc then s else acc)
+      r.Analysis.stmt_pts Pts.empty
+  in
+  let pairs = Pts.to_list big in
+  (* a structurally equal copy that shares nothing, so [equal]/[merge]
+     cannot win by physical identity *)
+  let copy = Pts.of_list pairs in
+  (* a slightly divergent variant, for the non-subsuming merge path *)
+  let variant = Pts.add Loc.Heap Loc.Str Pointsto.Pts.P copy in
+  let some_src =
+    match pairs with (s, _, _) :: _ -> s | [] -> Loc.Heap
+  in
+  Fmt.pr "set under test: %d pairs, %d locations@.@." (Pts.cardinal big)
+    (Loc.Set.cardinal (Pts.all_locs big));
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    [
+      Test.make ~name:"merge (identical copy)"
+        (Staged.stage (fun () -> ignore (Pts.merge big copy)));
+      Test.make ~name:"merge (divergent)"
+        (Staged.stage (fun () -> ignore (Pts.merge big variant)));
+      Test.make ~name:"equal (identical copy)"
+        (Staged.stage (fun () -> ignore (Pts.equal big copy)));
+      Test.make ~name:"covered_by"
+        (Staged.stage (fun () -> ignore (Pts.covered_by big variant)));
+      Test.make ~name:"kill_src"
+        (Staged.stage (fun () -> ignore (Pts.kill_src some_src big)));
+      Test.make ~name:"remove_tgt NULL"
+        (Staged.stage (fun () -> ignore (Pts.remove_tgt Loc.Null big)));
+    ]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.25) ~kde:None () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun tst ->
+          let raw = Benchmark.run cfg [ instance ] tst in
+          let est = Analyze.one ols instance raw in
+          match Analyze.OLS.estimates est with
+          | Some [ t ] -> Fmt.pr "%-32s %10.1f ns/run@." (Test.Elt.name tst) t
+          | Some _ | None -> Fmt.pr "%-32s (no estimate)@." (Test.Elt.name tst))
+        (Test.elements test))
+    tests
+
+(** CI smoke mode: parse, analyze and sanity-check two benchmarks (the
+    smallest and the heaviest) without the Bechamel sections. *)
+let smoke () =
+  Fmt.pr "smoke: analyzing stanford and livc@.";
+  List.iter
+    (fun name ->
+      let r = result name in
+      let g = Stats.general r in
+      let m = r.Analysis.metrics in
+      Fmt.pr "%-10s bodies %4d, pairs SS %4d SH %4d, merges %6d@." name
+        m.Pointsto.Metrics.bodies g.Stats.stack_to_stack g.Stats.stack_to_heap
+        m.Pointsto.Metrics.merges;
+      if m.Pointsto.Metrics.bodies = 0 then failwith (name ^ ": no body passes recorded"))
+    [ "stanford"; "livc" ];
+  Fmt.pr "smoke: ok@."
+
 let () =
-  Fmt.pr "Reproduction harness: Emami, Ghiya & Hendren, PLDI 1994@.";
-  Fmt.pr "\"Context-Sensitive Interprocedural Points-to Analysis in the Presence of@.";
-  Fmt.pr "Function Pointers\" -- every table and figure of section 6.@.";
-  table2 ();
-  table3 ();
-  table4 ();
-  table5 ();
-  table6 ();
-  figure2 ();
-  figures67 ();
-  figures89 ();
-  livc_study ();
-  overall ();
-  ablations ();
-  extensions ();
-  timings ();
-  Fmt.pr "@.Done. See EXPERIMENTS.md for the paper-vs-measured discussion.@."
+  if Array.exists (String.equal "--smoke") Sys.argv then smoke ()
+  else begin
+    Fmt.pr "Reproduction harness: Emami, Ghiya & Hendren, PLDI 1994@.";
+    Fmt.pr "\"Context-Sensitive Interprocedural Points-to Analysis in the Presence of@.";
+    Fmt.pr "Function Pointers\" -- every table and figure of section 6.@.";
+    table2 ();
+    table3 ();
+    table4 ();
+    table5 ();
+    table6 ();
+    figure2 ();
+    figures67 ();
+    figures89 ();
+    livc_study ();
+    overall ();
+    ablations ();
+    extensions ();
+    counters ();
+    timings ();
+    rep_ops ();
+    Fmt.pr "@.Done. See EXPERIMENTS.md for the paper-vs-measured discussion.@."
+  end

@@ -44,7 +44,8 @@ let analyze_file ?(opts = Pointsto.Options.default) file =
   let p = load file in
   Pointsto.Analysis.analyze ~opts p
 
-let cmd_analyze file no_context no_definite sym_depth share heap_by_site show_null =
+let cmd_analyze file no_context no_definite sym_depth share heap_by_site show_null
+    show_stats =
   with_errors (fun () ->
       let opts = opts_of ~no_context ~no_definite ~sym_depth ~share ~heap_by_site in
       let r = analyze_file ~opts file in
@@ -52,14 +53,12 @@ let cmd_analyze file no_context no_definite sym_depth share heap_by_site show_nu
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) r.Pointsto.Analysis.stmt_pts []
       |> List.sort compare
       |> List.iter (fun (id, s) ->
-             let s =
-               if show_null then s
-               else Pointsto.Pts.filter (fun _ t _ -> not (Pointsto.Loc.is_null t)) s
-             in
+             let s = if show_null then s else Pointsto.Pts.remove_tgt Pointsto.Loc.Null s in
              Fmt.pr "s%d: %a@." id Pointsto.Pts.pp s);
       if share then
         Fmt.pr "sub-tree sharing: %d hits, %d body passes@." r.Pointsto.Analysis.share_hits
-          r.Pointsto.Analysis.bodies_analyzed)
+          r.Pointsto.Analysis.bodies_analyzed;
+      if show_stats then Fmt.pr "%a@." Pointsto.Stats.pp_engine_metrics r)
 
 let cmd_heap file =
   with_errors (fun () ->
@@ -121,7 +120,9 @@ let cmd_stats file =
         g.stack_to_heap g.heap_to_heap g.heap_to_stack g.avg_per_stmt g.max_per_stmt;
       let s = ig_stats r in
       Fmt.pr "IG: nodes %d sites %d funcs %d R %d A %d Avgc %.2f Avgf %.2f@." s.ig_nodes
-        s.call_sites s.n_funcs s.n_recursive s.n_approximate s.avg_per_call_site s.avg_per_func)
+        s.call_sites s.n_funcs s.n_recursive s.n_approximate s.avg_per_call_site
+        s.avg_per_func;
+      Fmt.pr "%a@." Pointsto.Stats.pp_engine_metrics r)
 
 let cmd_alias file =
   with_errors (fun () ->
@@ -129,7 +130,7 @@ let cmd_alias file =
       match r.Pointsto.Analysis.entry_output with
       | None -> Fmt.pr "main does not terminate normally@."
       | Some s ->
-          let s = Pointsto.Pts.filter (fun _ t _ -> not (Pointsto.Loc.is_null t)) s in
+          let s = Pointsto.Pts.remove_tgt Pointsto.Loc.Null s in
           Fmt.pr "points-to at exit: %a@." Pointsto.Pts.pp s;
           Fmt.pr "alias pairs:      %a@." Alias.Pairs.pp (Alias.Pairs.of_pts s))
 
@@ -167,6 +168,11 @@ let sym_depth =
 
 let show_null = Arg.(value & flag & info [ "show-null" ] ~doc:"Include NULL pairs.")
 
+let show_stats =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Print per-phase timings and engine operation counters.")
+
 let share =
   Arg.(value & flag & info [ "share-contexts" ] ~doc:"Memoize IN/OUT pairs across contexts.")
 
@@ -182,7 +188,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Run points-to analysis")
     Term.(
       const cmd_analyze $ file_arg $ no_context $ no_definite $ sym_depth $ share
-      $ heap_by_site $ show_null)
+      $ heap_by_site $ show_null $ show_stats)
 
 let heap_cmd =
   Cmd.v

@@ -23,6 +23,7 @@ type result = {
       (** evaluations avoided by §6 sub-tree sharing (option
           [share_contexts]) *)
   bodies_analyzed : int;  (** function-body passes performed *)
+  metrics : Metrics.t;  (** per-phase timing and operation counters *)
 }
 
 (** Initial points-to set for the entry function: global and local
@@ -31,19 +32,19 @@ type result = {
 let initial_input (tenv : Tenv.t) (entry_fn : Ir.func) : Pts.t =
   let s = ref Pts.empty in
   List.iter
-    (fun (g, ty) -> s := Map_unmap.null_init tenv (Loc.Var (g, Loc.Kglobal)) ty !s)
+    (fun (g, ty) -> s := Map_unmap.null_init tenv (Loc.var g Loc.Kglobal) ty !s)
     tenv.Tenv.prog.Ir.globals;
   List.iter
-    (fun (n, ty) -> s := Map_unmap.null_init tenv (Loc.Var (n, Loc.Klocal)) ty !s)
+    (fun (n, ty) -> s := Map_unmap.null_init tenv (Loc.var n Loc.Klocal) ty !s)
     entry_fn.Ir.fn_locals;
   List.iter
     (fun (n, ty) ->
       List.iter
         (fun (cell, _) -> s := Pts.add cell Loc.Heap Pts.P !s)
-        (Tenv.pointer_cells tenv (Loc.Var (n, Loc.Kparam)) ty))
+        (Tenv.pointer_cells tenv (Loc.var n Loc.Kparam) ty))
     entry_fn.Ir.fn_params;
   (match Ctype.decay entry_fn.Ir.fn_ret with
-  | Ctype.Ptr _ -> s := Pts.add (Loc.Ret entry_fn.Ir.fn_name) Loc.Null Pts.D !s
+  | Ctype.Ptr _ -> s := Pts.add (Loc.ret entry_fn.Ir.fn_name) Loc.Null Pts.D !s
   | _ -> ());
   !s
 
@@ -59,6 +60,8 @@ let analyze ?(opts = Options.default) ?(entry = "main") (prog : Ir.program) : re
   let graph = Ig.build tenv ~entry in
   let ctx = Engine.make_ctx tenv in
   let input0 = initial_input tenv entry_fn in
+  Metrics.reset ();
+  let t0 = Metrics.now () in
   let entry_output =
     if opts.Options.context_sensitive then
       Engine.eval_node ctx graph.Ig.root entry_fn input0
@@ -76,6 +79,7 @@ let analyze ?(opts = Options.default) ?(entry = "main") (prog : Ir.program) : re
       !out
     end
   in
+  Metrics.cur.Metrics.t_analysis <- Metrics.now () -. t0;
   {
     prog;
     tenv;
@@ -85,6 +89,7 @@ let analyze ?(opts = Options.default) ?(entry = "main") (prog : Ir.program) : re
     warnings = ctx.Engine.warnings;
     share_hits = ctx.Engine.share_hits;
     bodies_analyzed = ctx.Engine.bodies_analyzed;
+    metrics = Metrics.snapshot ();
   }
 
 (** Convenience: parse, simplify and analyze C source text. *)
@@ -102,4 +107,4 @@ let pts_at (r : result) (id : int) : Pts.t =
     statistics exclude the pairs contributed by NULL initialization,
     §6). *)
 let pts_at_no_null (r : result) (id : int) : Pts.t =
-  Pts.filter (fun _ tgt _ -> not (Loc.is_null tgt)) (pts_at r id)
+  Pts.remove_tgt Loc.Null (pts_at r id)

@@ -17,6 +17,9 @@ type result = {
   share_hits : int;
       (** evaluations avoided by §6 sub-tree sharing ([share_contexts]) *)
   bodies_analyzed : int;  (** function-body passes performed *)
+  metrics : Metrics.t;
+      (** per-phase timing and operation counters of this run (a
+          snapshot of the engine's global {!Metrics.cur}) *)
 }
 
 (** Initial set for the entry function: global and local pointers

@@ -25,6 +25,8 @@ type ctx = {
   stmt_pts : (int, Pts.t) Hashtbl.t;
       (** merged points-to set valid at each statement, over all contexts *)
   mutable warnings : string list;
+  warn_seen : (string, unit) Hashtbl.t;
+      (** messages already emitted (duplicate suppression in O(1)) *)
   (* context-insensitive ablation: one IN/OUT slot per function *)
   ci_slots : (string, Pts.t option * Pts.state) Hashtbl.t;
   ci_in_flight : (string, unit) Hashtbl.t;
@@ -43,6 +45,7 @@ let make_ctx (tenv : Tenv.t) : ctx =
     opts = tenv.Tenv.opts;
     stmt_pts = Hashtbl.create 256;
     warnings = [];
+    warn_seen = Hashtbl.create 16;
     ci_slots = Hashtbl.create 16;
     ci_in_flight = Hashtbl.create 16;
     ci_changed = false;
@@ -52,7 +55,13 @@ let make_ctx (tenv : Tenv.t) : ctx =
   }
 
 let warn ctx fmt =
-  Fmt.kstr (fun m -> if not (List.mem m ctx.warnings) then ctx.warnings <- m :: ctx.warnings) fmt
+  Fmt.kstr
+    (fun m ->
+      if not (Hashtbl.mem ctx.warn_seen m) then begin
+        Hashtbl.replace ctx.warn_seen m ();
+        ctx.warnings <- m :: ctx.warnings
+      end)
+    fmt
 
 (** Flow state through structured statements. Each component is a
     {!Pts.state} ([None] = Figure 4's Bottom / unreachable). *)
@@ -90,11 +99,17 @@ let record_stmt ctx (s : Ir.stmt) (input : Pts.t) =
     and R-location sets. *)
 let apply_assign (ctx : ctx) (s : Pts.t) (lhs : Lval.locset) (rhs : Lval.locset) : Pts.t =
   let use_definite = ctx.opts.Options.use_definite in
+  let m = Metrics.cur in
+  m.Metrics.assigns <- m.Metrics.assigns + 1;
   (* kill: all relationships of definite, singular L-locations *)
   let s =
     Loc.Map.fold
       (fun l c acc ->
-        if use_definite && c = Pts.D && Loc.singular l then Pts.kill_src l acc else acc)
+        if use_definite && c = Pts.D && Loc.singular l then begin
+          m.Metrics.kills <- m.Metrics.kills + 1;
+          Pts.kill_src l acc
+        end
+        else acc)
       lhs s
   in
   (* change: relationships of possible (or non-singular) L-locations
@@ -102,7 +117,10 @@ let apply_assign (ctx : ctx) (s : Pts.t) (lhs : Lval.locset) (rhs : Lval.locset)
   let s =
     Loc.Map.fold
       (fun l c acc ->
-        if c = Pts.P || (not (Loc.singular l)) || not use_definite then Pts.weaken_src l acc
+        if c = Pts.P || (not (Loc.singular l)) || not use_definite then begin
+          m.Metrics.weakens <- m.Metrics.weakens + 1;
+          Pts.weaken_src l acc
+        end
         else acc)
       lhs s
   in
@@ -115,6 +133,7 @@ let apply_assign (ctx : ctx) (s : Pts.t) (lhs : Lval.locset) (rhs : Lval.locset)
           let cert =
             if use_definite && Loc.singular l then Pts.cert_and cl cr else Pts.P
           in
+          m.Metrics.gens <- m.Metrics.gens + 1;
           Pts.add l r cert acc)
         rhs acc)
     lhs s
@@ -164,7 +183,7 @@ and process_stmt ctx fn node (input : Pts.state) (stmt : Ir.stmt) : flow =
               | Ir.Rmalloc when ctx.opts.Options.heap_by_site ->
                   (* name the allocation by its site (DESIGN.md: the
                      refinement behind the companion heap analysis) *)
-                  Lval.of_list [ (Loc.Site stmt.Ir.s_id, Pts.P) ]
+                  Lval.of_list [ (Loc.site stmt.Ir.s_id, Pts.P) ]
               | _ -> Lval.rvals_rhs ctx.tenv fn s rhs
             in
             flow_of (Some (apply_assign ctx s lhs rvals))
@@ -186,7 +205,7 @@ and process_stmt ctx fn node (input : Pts.state) (stmt : Ir.stmt) : flow =
             | Some op ->
                 let ret_ty = fn.Ir.fn_ret in
                 if Ctype.is_pointer (Ctype.decay ret_ty) then begin
-                  let lhs = Lval.of_list [ (Loc.Ret fn.Ir.fn_name, Pts.D) ] in
+                  let lhs = Lval.of_list [ (Loc.ret fn.Ir.fn_name, Pts.D) ] in
                   let rvals = Lval.rvals_operand ctx.tenv fn s op in
                   apply_assign ctx s lhs rvals
                 end
@@ -201,7 +220,7 @@ and process_stmt ctx fn node (input : Pts.state) (stmt : Ir.stmt) : flow =
                       match Tenv.base_loc ctx.tenv fn r.Ir.r_base with
                       | Some src_base ->
                           let ret_cells =
-                            Tenv.pointer_cells ctx.tenv (Loc.Ret fn.Ir.fn_name) ret_ty
+                            Tenv.pointer_cells ctx.tenv (Loc.ret fn.Ir.fn_name) ret_ty
                           in
                           let src_cells = Tenv.pointer_cells ctx.tenv src_base ret_ty in
                           List.fold_left2
@@ -228,6 +247,7 @@ and process_loop ctx fn node (s : Pts.t) (l : Ir.loop) : flow =
       (* head state: after evaluating the condition statements *)
       let first = process_list (Some s) l.Ir.l_cond_stmts in
       let rec iterate head ~brk ~ret =
+        Metrics.(cur.loop_iters <- cur.loop_iters + 1);
         let body = process_list head l.Ir.l_body in
         let brk = Pts.merge_state brk body.brk in
         let ret = Pts.merge_state ret body.ret in
@@ -243,6 +263,7 @@ and process_loop ctx fn node (s : Pts.t) (l : Ir.loop) : flow =
       { normal = exit; brk = Pts.bot; cont = Pts.bot; ret }
   | `Do ->
       let rec iterate entry ~brk ~ret =
+        Metrics.(cur.loop_iters <- cur.loop_iters + 1);
         let body = process_list entry l.Ir.l_body in
         let brk = Pts.merge_state brk body.brk in
         let ret = Pts.merge_state ret body.ret in
@@ -365,7 +386,7 @@ and process_call_stmt ctx fn node (s : Pts.t) (stmt : Ir.stmt) lhs callee args :
                   let s' =
                     match Lval.to_list fptr_lvals with
                     | [ (l, Pts.D) ] when Loc.singular l ->
-                        Pts.add l (Loc.Fun fname) Pts.D (Pts.kill_src l s)
+                        Pts.add l (Loc.func fname) Pts.D (Pts.kill_src l s)
                     | _ -> s
                   in
                   invoke ctx fn child s' callee_fn args)
@@ -475,64 +496,72 @@ and eval_node ctx (node : Ig.node) (callee_fn : Ir.func) (func_input : Pts.t) : 
           Pts.bot)
   | Ig.Ordinary | Ig.Recursive -> (
       match (node.Ig.stored_input, node.Ig.in_flight) with
-      | Some si, false when Pts.equal si func_input && node.Ig.stored_output <> Pts.bot ->
+      | Some si, false when Pts.equal si func_input && Option.is_some node.Ig.stored_output
+        ->
           node.Ig.stored_output
-      | _ when shared_lookup ctx callee_fn.Ir.fn_name func_input <> None -> (
-          (* §6 sub-tree sharing: another context of the same function was
-             already analyzed with an identical input *)
+      | _ -> (
+          (* §6 sub-tree sharing: another context of the same function may
+             already have been analyzed with an identical input *)
           match shared_lookup ctx callee_fn.Ir.fn_name func_input with
           | Some out ->
               ctx.share_hits <- ctx.share_hits + 1;
+              Metrics.(cur.memo_hits <- cur.memo_hits + 1);
               node.Ig.stored_input <- Some func_input;
               node.Ig.stored_output <- Some out;
               Some out
-          | None -> assert false)
-      | _ ->
-          node.Ig.stored_input <- Some func_input;
-          node.Ig.stored_output <- Pts.bot;
-          node.Ig.pending <- [];
-          node.Ig.in_flight <- true;
-          let rec fixpoint () =
-            let cur_input =
-              match node.Ig.stored_input with Some s -> s | None -> func_input
-            in
-            ctx.bodies_analyzed <- ctx.bodies_analyzed + 1;
-            let fl = process_stmts ctx callee_fn node (Some cur_input) callee_fn.Ir.fn_body in
-            let func_output = Pts.merge_state fl.normal fl.ret in
-            if node.Ig.pending <> [] then begin
-              let merged =
-                List.fold_left
-                  (fun acc p -> Pts.merge_state acc (Some p))
-                  node.Ig.stored_input node.Ig.pending
-              in
-              node.Ig.stored_input <- merged;
-              node.Ig.pending <- [];
+          | None ->
+              node.Ig.stored_input <- Some func_input;
               node.Ig.stored_output <- Pts.bot;
-              fixpoint ()
-            end
-            else if Pts.state_covered_by func_output node.Ig.stored_output then ()
-            else begin
-              node.Ig.stored_output <- Pts.merge_state node.Ig.stored_output func_output;
-              if node.Ig.kind = Ig.Recursive then fixpoint ()
-            end
-          in
-          fixpoint ();
-          node.Ig.in_flight <- false;
-          node.Ig.stored_input <- Some func_input;
-          (match node.Ig.stored_output with
-          | Some out -> shared_record ctx callee_fn.Ir.fn_name func_input out
-          | None -> ());
-          node.Ig.stored_output)
+              node.Ig.pending <- [];
+              node.Ig.in_flight <- true;
+              let rec fixpoint ~first =
+                if not first then Metrics.(cur.rec_iters <- cur.rec_iters + 1);
+                let cur_input =
+                  match node.Ig.stored_input with Some s -> s | None -> func_input
+                in
+                ctx.bodies_analyzed <- ctx.bodies_analyzed + 1;
+                Metrics.(cur.bodies <- cur.bodies + 1);
+                let fl =
+                  process_stmts ctx callee_fn node (Some cur_input) callee_fn.Ir.fn_body
+                in
+                let func_output = Pts.merge_state fl.normal fl.ret in
+                if node.Ig.pending <> [] then begin
+                  let merged =
+                    List.fold_left
+                      (fun acc p -> Pts.merge_state acc (Some p))
+                      node.Ig.stored_input node.Ig.pending
+                  in
+                  node.Ig.stored_input <- merged;
+                  node.Ig.pending <- [];
+                  node.Ig.stored_output <- Pts.bot;
+                  fixpoint ~first:false
+                end
+                else if Pts.state_covered_by func_output node.Ig.stored_output then ()
+                else begin
+                  node.Ig.stored_output <-
+                    Pts.merge_state node.Ig.stored_output func_output;
+                  if node.Ig.kind = Ig.Recursive then fixpoint ~first:false
+                end
+              in
+              fixpoint ~first:true;
+              node.Ig.in_flight <- false;
+              node.Ig.stored_input <- Some func_input;
+              (match node.Ig.stored_output with
+              | Some out -> shared_record ctx callee_fn.Ir.fn_name func_input out
+              | None -> ());
+              node.Ig.stored_output))
 
 and shared_lookup ctx fname (input : Pts.t) : Pts.t option =
   if not ctx.opts.Options.share_contexts then None
-  else
+  else begin
+    Metrics.(cur.memo_lookups <- cur.memo_lookups + 1);
     match Hashtbl.find_opt ctx.share_memo fname with
     | None -> None
     | Some entries ->
         List.find_map
           (fun (i, o) -> if Pts.equal i input then Some o else None)
           !entries
+  end
 
 and shared_record ctx fname (input : Pts.t) (output : Pts.t) : unit =
   if ctx.opts.Options.share_contexts then begin

@@ -41,8 +41,109 @@ type t =
   | Fun of string
   | Ret of string
 
-let compare : t -> t -> int = Stdlib.compare
-let equal a b = compare a b = 0
+(* ------------------------------------------------------------------ *)
+(* Interning                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Locations are built over and over from the same small vocabulary (the
+   L-/R-location rules rebuild them per statement, the map/unmap
+   machinery per call) and then compared many times as [Map]/[Set] keys
+   on the engine's hot path. We intern every location into an id-stamped
+   table: structurally equal locations share one physical
+   representative, so the comparisons below answer most queries with a
+   pointer check instead of a structural walk. The table lives for the
+   whole process — abstract locations are tiny and their vocabulary is
+   bounded by the program under analysis. *)
+
+module HT = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal (a : t) (b : t) = a == b || Stdlib.compare a b = 0
+  let hash (l : t) = Hashtbl.hash l
+end)
+
+let intern_tbl : (t * int) HT.t = HT.create 4096
+let next_id = ref 0
+
+(** The canonical physical representative of [l] (sub-locations
+    canonicalized too). Idempotent; safe on any location. *)
+let rec intern (l : t) : t =
+  match HT.find_opt intern_tbl l with
+  | Some (c, _) -> c
+  | None ->
+      let canon =
+        match l with
+        | Fld (b, f) -> Fld (intern b, f)
+        | Head b -> Head (intern b)
+        | Tail b -> Tail (intern b)
+        | Sym b -> Sym (intern b)
+        | Var _ | Heap | Site _ | Null | Str | Fun _ | Ret _ -> l
+      in
+      HT.add intern_tbl canon (canon, !next_id);
+      incr next_id;
+      canon
+
+(** The stamp of [l] in the intern table (interning it on demand).
+    Equal locations have equal ids; ids are assigned in first-seen
+    order. *)
+let id (l : t) : int =
+  match HT.find_opt intern_tbl l with
+  | Some (_, i) -> i
+  | None ->
+      let c = intern l in
+      (match HT.find_opt intern_tbl c with Some (_, i) -> i | None -> assert false)
+
+let interned_count () = !next_id
+
+(* Smart constructors returning interned locations. Use these on hot
+   paths; the bare variant constructors remain available (and correct)
+   for pattern matching and cold code. *)
+
+let var n k = intern (Var (n, k))
+let fld b f = intern (Fld (b, f))
+let head b = intern (Head b)
+let tail b = intern (Tail b)
+let sym b = intern (Sym b)
+let site i = intern (Site i)
+let func f = intern (Fun f)
+let ret f = intern (Ret f)
+
+(* Total order identical to [Stdlib.compare] on this type (constant
+   constructors first in declaration order, then blocks in declaration
+   order, fields left-to-right) — map/set iteration order is part of
+   the engine's observable behavior (symbolic-name assignment follows
+   it), so it must not change. The physical-equality fast paths are
+   what interning buys: equal interned locations compare in O(1). *)
+
+let order_tag = function
+  | Heap -> 0
+  | Null -> 1
+  | Str -> 2
+  | Var _ -> 3
+  | Fld _ -> 4
+  | Head _ -> 5
+  | Tail _ -> 6
+  | Sym _ -> 7
+  | Site _ -> 8
+  | Fun _ -> 9
+  | Ret _ -> 10
+
+let rec compare (a : t) (b : t) : int =
+  if a == b then 0
+  else
+    match (a, b) with
+    | Var (n1, k1), Var (n2, k2) ->
+        let c = String.compare n1 n2 in
+        if c <> 0 then c else Stdlib.compare k1 k2
+    | Fld (b1, f1), Fld (b2, f2) ->
+        let c = compare b1 b2 in
+        if c <> 0 then c else String.compare f1 f2
+    | Head b1, Head b2 | Tail b1, Tail b2 | Sym b1, Sym b2 -> compare b1 b2
+    | Site i1, Site i2 -> Int.compare i1 i2
+    | Fun f1, Fun f2 | Ret f1, Ret f2 -> String.compare f1 f2
+    | _ -> Int.compare (order_tag a) (order_tag b)
+
+let equal a b = a == b || compare a b = 0
 
 (** The base variable (or special location) a location is built from. *)
 let rec root = function

@@ -33,8 +33,46 @@ type t =
   | Fun of string  (** a function, as the target of function pointers (§5) *)
   | Ret of string  (** the return-value pseudo-location of a function *)
 
+(** Total order identical to the structural [Stdlib.compare] on this
+    type (iteration order of {!Map}/{!Set} is engine-observable and must
+    not change), with physical-equality fast paths that make comparisons
+    of {!intern}ed locations O(1). *)
 val compare : t -> t -> int
+
 val equal : t -> t -> bool
+
+(** {2 Interning}
+
+    Every location can be interned into a process-wide id-stamped table;
+    structurally equal locations then share one physical representative,
+    so comparisons and [Map]/[Set] operations on the engine's hot path
+    reduce to pointer checks. All smart constructors below return
+    interned locations; the bare variant constructors remain available
+    for pattern matching and cold code. *)
+
+(** Canonical physical representative (sub-locations canonicalized too).
+    Idempotent. *)
+val intern : t -> t
+
+(** Stamp of a location in the intern table (interning on demand).
+    Equal locations have equal ids. *)
+val id : t -> int
+
+(** Number of distinct locations interned so far. *)
+val interned_count : unit -> int
+
+val var : string -> var_kind -> t
+val fld : t -> string -> t
+val head : t -> t
+val tail : t -> t
+val sym : t -> t
+val site : int -> t
+
+(** Interned [Fun f]. *)
+val func : string -> t
+
+(** Interned [Ret f]. *)
+val ret : string -> t
 
 (** The base variable or special location a location is built from. *)
 val root : t -> t

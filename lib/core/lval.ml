@@ -41,7 +41,7 @@ let apply_field tenv fn l f c : (Loc.t * Pts.cert) list =
   | Loc.Str -> [ (Loc.Str, c) ]
   | Loc.Null -> []
   | Loc.Fun _ | Loc.Ret _ -> []
-  | _ -> if Tenv.is_union_loc tenv fn l then [ (l, c) ] else [ (Loc.Fld (l, f), c) ]
+  | _ -> if Tenv.is_union_loc tenv fn l then [ (l, c) ] else [ (Loc.fld l f, c) ]
 
 (** Move across sibling objects of an array region (pointer subscripts
     and pointer arithmetic, the "(*a)[i]" rows of Table 1): the head
@@ -54,13 +54,13 @@ let apply_shift l (idx : Ir.index) c : (Loc.t * Pts.cert) list =
   | Loc.Site _ -> [ (l, c) ]
   | Loc.Head b -> (
       match idx with
-      | Ir.Izero -> [ (Loc.Head b, c) ]
-      | Ir.Ipos -> [ (Loc.Tail b, c) ]
-      | Ir.Iany -> [ (Loc.Head b, Pts.P); (Loc.Tail b, Pts.P) ])
+      | Ir.Izero -> [ (Loc.head b, c) ]
+      | Ir.Ipos -> [ (Loc.tail b, c) ]
+      | Ir.Iany -> [ (Loc.head b, Pts.P); (Loc.tail b, Pts.P) ])
   | Loc.Tail b -> (
       match idx with
-      | Ir.Izero | Ir.Ipos -> [ (Loc.Tail b, c) ]
-      | Ir.Iany -> [ (Loc.Tail b, Pts.P) ])
+      | Ir.Izero | Ir.Ipos -> [ (Loc.tail b, c) ]
+      | Ir.Iany -> [ (Loc.tail b, Pts.P) ])
   | Loc.Heap -> [ (Loc.Heap, c) ]
   | Loc.Str -> [ (Loc.Str, c) ]
   | Loc.Null -> []
@@ -73,9 +73,9 @@ let apply_shift l (idx : Ir.index) c : (Loc.t * Pts.cert) list =
 let apply_index tenv fn l (idx : Ir.index) c : (Loc.t * Pts.cert) list =
   if Tenv.is_array_loc tenv fn l then
     match idx with
-    | Ir.Izero -> [ (Loc.Head l, c) ]
-    | Ir.Ipos -> [ (Loc.Tail l, c) ]
-    | Ir.Iany -> [ (Loc.Head l, Pts.P); (Loc.Tail l, Pts.P) ]
+    | Ir.Izero -> [ (Loc.head l, c) ]
+    | Ir.Ipos -> [ (Loc.tail l, c) ]
+    | Ir.Iany -> [ (Loc.head l, Pts.P); (Loc.tail l, Pts.P) ]
   else apply_shift l idx c
 
 let apply_selector tenv fn sel (s : locset) : locset =
@@ -116,7 +116,7 @@ let lvals tenv fn (s : Pts.t) (r : Ir.vref) : locset =
 let rvals_ref tenv fn (s : Pts.t) (r : Ir.vref) : locset =
   if (not r.Ir.r_deref) && r.Ir.r_path = [] && Tenv.var_info tenv fn r.Ir.r_base = None
      && Tenv.is_func_name tenv r.Ir.r_base
-  then add_loc (Loc.Fun r.Ir.r_base) Pts.D empty
+  then add_loc (Loc.func r.Ir.r_base) Pts.D empty
   else
     let ls = lvals tenv fn s r in
     Loc.Map.fold
@@ -141,15 +141,15 @@ let shift_loc tenv (s : Pts.t) (l : Loc.t) (shift : Ir.ptr_shift) c : (Loc.t * P
   | Ir.Pzero -> [ (l, c) ]
   | Ir.Ppos -> (
       match l with
-      | Loc.Head b -> [ (Loc.Tail b, c) ]
-      | Loc.Tail b -> [ (Loc.Tail b, c) ]
+      | Loc.Head b -> [ (Loc.tail b, c) ]
+      | Loc.Tail b -> [ (Loc.tail b, c) ]
       | Loc.Heap | Loc.Site _ -> [ (l, c) ]
       | Loc.Str -> [ (Loc.Str, c) ]
       | Loc.Null -> [ (Loc.Null, c) ]
       | _ -> universe ())
   | Ir.Pany -> (
       match l with
-      | Loc.Head b | Loc.Tail b -> [ (Loc.Head b, Pts.P); (Loc.Tail b, Pts.P) ]
+      | Loc.Head b | Loc.Tail b -> [ (Loc.head b, Pts.P); (Loc.tail b, Pts.P) ]
       | Loc.Heap | Loc.Site _ -> [ (l, c) ]
       | Loc.Str -> [ (Loc.Str, c) ]
       | Loc.Null -> [ (Loc.Null, c) ]

@@ -69,9 +69,9 @@ let rec translate_with ~find (l : Loc.t) : Loc.t option =
     | Some s -> Some s
     | None -> (
         match l with
-        | Loc.Fld (b, f) -> Option.map (fun b -> Loc.Fld (b, f)) (translate_with ~find b)
-        | Loc.Head b -> Option.map (fun b -> Loc.Head b) (translate_with ~find b)
-        | Loc.Tail b -> Option.map (fun b -> Loc.Tail b) (translate_with ~find b)
+        | Loc.Fld (b, f) -> Option.map (fun b -> Loc.fld b f) (translate_with ~find b)
+        | Loc.Head b -> Option.map Loc.head (translate_with ~find b)
+        | Loc.Tail b -> Option.map Loc.tail (translate_with ~find b)
         | _ -> None)
 
 let translate_fwd st l = translate_with ~find:(Hashtbl.find_opt st.fwd) l
@@ -88,12 +88,12 @@ let assign_sym st ~parent t =
   | None ->
       let max_depth = st.tenv.Tenv.opts.Options.max_sym_depth in
       let sym =
-        if Loc.sym_depth parent < max_depth then Loc.Sym parent
+        if Loc.sym_depth parent < max_depth then Loc.sym parent
         else
           let rec enclosing = function
-            | Loc.Sym _ as l -> l
+            | Loc.Sym _ as l -> Loc.intern l
             | Loc.Fld (b, _) | Loc.Head b | Loc.Tail b -> enclosing b
-            | _ -> Loc.Sym parent
+            | _ -> Loc.sym parent
           in
           enclosing parent
       in
@@ -113,9 +113,9 @@ let rec rebase ~from ~onto l =
   if Loc.equal l from then onto
   else
     match l with
-    | Loc.Fld (b, f) -> Loc.Fld (rebase ~from ~onto b, f)
-    | Loc.Head b -> Loc.Head (rebase ~from ~onto b)
-    | Loc.Tail b -> Loc.Tail (rebase ~from ~onto b)
+    | Loc.Fld (b, f) -> Loc.fld (rebase ~from ~onto b) f
+    | Loc.Head b -> Loc.head (rebase ~from ~onto b)
+    | Loc.Tail b -> Loc.tail (rebase ~from ~onto b)
     | _ -> l
 
 let sort_definite_first targets =
@@ -204,11 +204,14 @@ let null_init tenv l ty acc =
     actuals are allowed for variadic-style calls and map to NULL). *)
 let map_call (tenv : Tenv.t) ~(caller_fn : Ir.func) ~(callee : Ir.func) ~(input : Pts.t)
     ~(actuals : actual list) : Pts.t * info =
+  let m = Metrics.cur in
+  m.Metrics.map_calls <- m.Metrics.map_calls + 1;
+  let t0 = Metrics.now () in
   let st = make_state tenv caller_fn input in
   (* roots: globals and the heap *)
   List.iter
     (fun (g, _ty) ->
-      let gl = Loc.Var (g, Loc.Kglobal) in
+      let gl = Loc.var g Loc.Kglobal in
       explore st gl gl)
     tenv.Tenv.prog.Ir.globals;
   explore st Loc.Heap Loc.Heap;
@@ -229,7 +232,7 @@ let map_call (tenv : Tenv.t) ~(caller_fn : Ir.func) ~(callee : Ir.func) ~(input 
   in
   List.iter2
     (fun (pname, pty) actual ->
-      let ploc = Loc.Var (pname, Loc.Kparam) in
+      let ploc = Loc.var pname Loc.Kparam in
       match (Ctype.decay pty, actual) with
       | Ctype.Ptr _, Aptr targets ->
           let targets = sort_definite_first (Lval.to_list targets) in
@@ -260,6 +263,10 @@ let map_call (tenv : Tenv.t) ~(caller_fn : Ir.func) ~(callee : Ir.func) ~(input 
   (* explored cells, merged per callee cell over the represented caller
      cells *)
   let func_input = ref Pts.empty in
+  (* a target kept verbatim by the forward translation: visible, hence
+     its own callee-side name, and (not being a symbolic name) never
+     subject to multi-representation demotion *)
+  let identity_tgt t _d = visible t && rep_count info t = 1 in
   List.iter
     (fun cl_cell ->
       let callers = Option.value ~default:[] (Hashtbl.find_opt st.cells cl_cell) in
@@ -271,12 +278,20 @@ let map_call (tenv : Tenv.t) ~(caller_fn : Ir.func) ~(callee : Ir.func) ~(input 
             | None -> acc)
           Pts.empty (Pts.targets c st.input)
       in
-      let merged =
-        match List.map per_caller callers with
-        | [] -> Pts.empty
-        | s :: rest -> List.fold_left Pts.merge s rest
-      in
-      func_input := Pts.union_override !func_input merged)
+      match callers with
+      | [ c ]
+        when Loc.equal cl_cell c && Loc.Map.for_all identity_tgt (Pts.tgt_map c st.input)
+        ->
+          (* visible cell, every target visible: the caller's submap
+             transfers wholesale, shared, with no per-pair translation *)
+          func_input := Pts.add_map cl_cell (Pts.tgt_map c st.input) !func_input
+      | _ ->
+          let merged =
+            match List.map per_caller callers with
+            | [] -> Pts.empty
+            | s :: rest -> List.fold_left Pts.merge s rest
+          in
+          func_input := Pts.union_override !func_input merged)
     (List.rev !(st.cell_order));
   (* formal pairs *)
   List.iter
@@ -293,14 +308,15 @@ let map_call (tenv : Tenv.t) ~(caller_fn : Ir.func) ~(callee : Ir.func) ~(input 
   (* NULL-initialize callee pointer locals and the return slot *)
   List.iter
     (fun (n, ty) ->
-      func_input := null_init tenv (Loc.Var (n, Loc.Klocal)) ty !func_input)
+      func_input := null_init tenv (Loc.var n Loc.Klocal) ty !func_input)
     callee.Ir.fn_locals;
   func_input :=
-    null_init tenv (Loc.Ret callee.Ir.fn_name) (Ctype.decay callee.Ir.fn_ret) !func_input;
+    null_init tenv (Loc.ret callee.Ir.fn_name) (Ctype.decay callee.Ir.fn_ret) !func_input;
   (match callee.Ir.fn_ret with
   | Ctype.Su _ ->
-      func_input := null_init tenv (Loc.Ret callee.Ir.fn_name) callee.Ir.fn_ret !func_input
+      func_input := null_init tenv (Loc.ret callee.Ir.fn_name) callee.Ir.fn_ret !func_input
   | _ -> ());
+  m.Metrics.t_map <- m.Metrics.t_map +. (Metrics.now () -. t0);
   (!func_input, info)
 
 (* ------------------------------------------------------------------ *)
@@ -315,9 +331,9 @@ let rec resolve_back (info : info) (l : Loc.t) : Loc.t list =
   | _ when visible l && not (Loc.Map.mem l info.i_reps) -> [ l ]
   | Loc.Sym _ -> (
       match Loc.Map.find_opt l info.i_reps with Some reps -> reps | None -> [])
-  | Loc.Fld (b, f) -> List.map (fun b -> Loc.Fld (b, f)) (resolve_back info b)
-  | Loc.Head b -> List.map (fun b -> Loc.Head b) (resolve_back info b)
-  | Loc.Tail b -> List.map (fun b -> Loc.Tail b) (resolve_back info b)
+  | Loc.Fld (b, f) -> List.map (fun b -> Loc.fld b f) (resolve_back info b)
+  | Loc.Head b -> List.map Loc.head (resolve_back info b)
+  | Loc.Tail b -> List.map Loc.tail (resolve_back info b)
   | Loc.Var _ | Loc.Ret _ -> []
   | Loc.Heap | Loc.Site _ | Loc.Null | Loc.Str | Loc.Fun _ -> [ l ]
 
@@ -336,9 +352,12 @@ let targets_meet (a : Pts.cert Loc.Map.t) (b : Pts.cert Loc.Map.t) =
 
 (** Output points-to set at the call site, from the callee's output. *)
 let unmap_call (_tenv : Tenv.t) ~(input : Pts.t) ~(output : Pts.t) ~(info : info) : Pts.t =
+  let m = Metrics.cur in
+  m.Metrics.unmap_calls <- m.Metrics.unmap_calls + 1;
+  let t0 = Metrics.now () in
   (* relationships of caller locations out of the callee's reach persist *)
   let persistent =
-    Pts.filter (fun src _ _ -> Option.is_none (info_translate info src)) input
+    Pts.filter_src (fun src -> Option.is_none (info_translate info src)) input
   in
   (* per caller source: the translated target maps of every callee-side
      source resolving to it *)
@@ -350,18 +369,27 @@ let unmap_call (_tenv : Tenv.t) ~(input : Pts.t) ~(output : Pts.t) ~(info : info
         Hashtbl.replace seen_sources src ();
         let srcs = resolve_back info src in
         if srcs <> [] then begin
+          let m0 = Pts.tgt_map src output in
           let tmap =
-            List.fold_left
-              (fun acc (tgt, d) ->
-                let tgts = resolve_back info tgt in
-                let d = if List.length tgts > 1 then Pts.P else d in
-                List.fold_left
-                  (fun acc t ->
-                    Loc.Map.update t
-                      (function None -> Some d | Some d0 -> Some (Pts.cert_and d0 d))
-                      acc)
-                  acc tgts)
-              Loc.Map.empty (Pts.targets src output)
+            (* every target resolves back to itself: the callee's submap
+               is already the translated target map — share it *)
+            if
+              Loc.Map.for_all
+                (fun t _ -> visible t && not (Loc.Map.mem t info.i_reps))
+                m0
+            then m0
+            else
+              Loc.Map.fold
+                (fun tgt d acc ->
+                  let tgts = resolve_back info tgt in
+                  let d = if List.length tgts > 1 then Pts.P else d in
+                  List.fold_left
+                    (fun acc t ->
+                      Loc.Map.update t
+                        (function None -> Some d | Some d0 -> Some (Pts.cert_and d0 d))
+                        acc)
+                    acc tgts)
+                m0 Loc.Map.empty
           in
           List.iter
             (fun s ->
@@ -371,13 +399,19 @@ let unmap_call (_tenv : Tenv.t) ~(input : Pts.t) ~(output : Pts.t) ~(info : info
         end
       end)
     output;
-  Hashtbl.fold
-    (fun s tmaps acc ->
-      let merged =
-        match tmaps with [] -> Loc.Map.empty | m :: rest -> List.fold_left targets_meet m rest
-      in
-      Loc.Map.fold (fun t d acc -> Pts.add s t d acc) merged acc)
-    per_src persistent
+  let result =
+    Hashtbl.fold
+      (fun s tmaps acc ->
+        let merged =
+          match tmaps with
+          | [] -> Loc.Map.empty
+          | m :: rest -> List.fold_left targets_meet m rest
+        in
+        Pts.add_map s merged acc)
+      per_src persistent
+  in
+  m.Metrics.t_unmap <- m.Metrics.t_unmap +. (Metrics.now () -. t0);
+  result
 
 (** The caller-side targets of the callee's return value. *)
 let return_targets ~(output : Pts.t) ~(info : info) ~(callee : string) : (Loc.t * Pts.cert) list
@@ -387,22 +421,21 @@ let return_targets ~(output : Pts.t) ~(info : info) ~(callee : string) : (Loc.t 
       let tgts = resolve_back info t in
       let d = if List.length tgts > 1 then Pts.P else d in
       List.map (fun t -> (t, d)) tgts)
-    (Pts.targets (Loc.Ret callee) output)
+    (Pts.targets (Loc.ret callee) output)
 
 (** For aggregate returns: every cell of the return slot (a path under
     [Ret callee]) with its caller-side targets. The path is returned as a
     function that grafts it onto a caller location. *)
 let return_cell_targets ~(output : Pts.t) ~(info : info) ~(callee : string) :
     ((Loc.t -> Loc.t) * (Loc.t * Pts.cert) list) list =
-  let ret = Loc.Ret callee in
+  let ret = Loc.ret callee in
   let rec graft_of (l : Loc.t) : (Loc.t -> Loc.t) option =
     if Loc.equal l ret then Some (fun base -> base)
     else
       match l with
-      | Loc.Fld (b, f) ->
-          Option.map (fun g base -> Loc.Fld (g base, f)) (graft_of b)
-      | Loc.Head b -> Option.map (fun g base -> Loc.Head (g base)) (graft_of b)
-      | Loc.Tail b -> Option.map (fun g base -> Loc.Tail (g base)) (graft_of b)
+      | Loc.Fld (b, f) -> Option.map (fun g base -> Loc.fld (g base) f) (graft_of b)
+      | Loc.Head b -> Option.map (fun g base -> Loc.head (g base)) (graft_of b)
+      | Loc.Tail b -> Option.map (fun g base -> Loc.tail (g base)) (graft_of b)
       | _ -> None
   in
   Pts.fold

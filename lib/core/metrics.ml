@@ -1,0 +1,123 @@
+(** Engine observability: per-phase timing and work counters.
+
+    A single mutable record accumulates counts from the hot paths of the
+    analysis — the points-to lattice operations ({!Pts}), the kill /
+    change / gen rule and the fixed points ({!Engine}), and the call
+    mapping machinery ({!Map_unmap}). {!Analysis.analyze} resets the
+    record on entry and stores a {!snapshot} in its result, so every
+    result carries the exact work its computation performed.
+
+    The counters are deliberately cheap (single mutable-int bumps) so
+    they can stay enabled in benchmark runs. *)
+
+type t = {
+  (* Pts lattice operations *)
+  mutable merges : int;  (** {!Pts.merge} invocations *)
+  mutable merge_fast : int;
+      (** merges answered by the subsumption pre-check without
+          rebuilding the map *)
+  mutable equal_checks : int;  (** {!Pts.equal} invocations *)
+  mutable equal_fast : int;
+      (** equalities decided by physical identity or the cardinality
+          pre-check alone *)
+  mutable covered_checks : int;  (** {!Pts.covered_by} invocations *)
+  mutable covered_fast : int;
+      (** coverings decided by identity or cardinality alone *)
+  (* Figure 1 rule applications *)
+  mutable assigns : int;  (** kill/change/gen rule applications *)
+  mutable kills : int;  (** strong updates: sources killed *)
+  mutable weakens : int;  (** weak updates: sources demoted *)
+  mutable gens : int;  (** generated (L, R) pairs *)
+  (* fixed points *)
+  mutable loop_iters : int;  (** loop-head fixed-point iterations *)
+  mutable rec_iters : int;
+      (** re-evaluations forced by the recursion fixed point (Figure 4)
+          and by pending approximate-node inputs *)
+  mutable bodies : int;  (** function-body passes *)
+  (* §6 sub-tree sharing memo *)
+  mutable memo_lookups : int;
+  mutable memo_hits : int;
+  (* map/unmap (§4.1) *)
+  mutable map_calls : int;
+  mutable unmap_calls : int;
+  (* per-phase wall-clock time, seconds *)
+  mutable t_map : float;  (** in {!Map_unmap.map_call} *)
+  mutable t_unmap : float;  (** in {!Map_unmap.unmap_call} *)
+  mutable t_analysis : float;  (** whole {!Analysis.analyze} run *)
+}
+
+let create () =
+  {
+    merges = 0;
+    merge_fast = 0;
+    equal_checks = 0;
+    equal_fast = 0;
+    covered_checks = 0;
+    covered_fast = 0;
+    assigns = 0;
+    kills = 0;
+    weakens = 0;
+    gens = 0;
+    loop_iters = 0;
+    rec_iters = 0;
+    bodies = 0;
+    memo_lookups = 0;
+    memo_hits = 0;
+    map_calls = 0;
+    unmap_calls = 0;
+    t_map = 0.;
+    t_unmap = 0.;
+    t_analysis = 0.;
+  }
+
+(** The global accumulator the analysis modules bump. *)
+let cur = create ()
+
+let reset () =
+  cur.merges <- 0;
+  cur.merge_fast <- 0;
+  cur.equal_checks <- 0;
+  cur.equal_fast <- 0;
+  cur.covered_checks <- 0;
+  cur.covered_fast <- 0;
+  cur.assigns <- 0;
+  cur.kills <- 0;
+  cur.weakens <- 0;
+  cur.gens <- 0;
+  cur.loop_iters <- 0;
+  cur.rec_iters <- 0;
+  cur.bodies <- 0;
+  cur.memo_lookups <- 0;
+  cur.memo_hits <- 0;
+  cur.map_calls <- 0;
+  cur.unmap_calls <- 0;
+  cur.t_map <- 0.;
+  cur.t_unmap <- 0.;
+  cur.t_analysis <- 0.
+
+let snapshot () = { cur with merges = cur.merges }
+
+let now () = Unix.gettimeofday ()
+
+let ratio num den = if den = 0 then 0. else 100. *. float_of_int num /. float_of_int den
+
+let pp ppf (m : t) =
+  Fmt.pf ppf
+    "@[<v>analysis time:        %.3f ms (map %.3f ms, unmap %.3f ms)@,\
+     body passes:          %d@,\
+     fixpoint iterations:  %d loop, %d recursion/pending@,\
+     assignments:          %d (kills %d, weakens %d, gen pairs %d)@,\
+     merges:               %d (%.1f%% fast-path)@,\
+     equality checks:      %d (%.1f%% fast-path)@,\
+     covering checks:      %d (%.1f%% fast-path)@,\
+     map/unmap calls:      %d/%d@,\
+     memo hit rate:        %d/%d (%.1f%%)@]"
+    (m.t_analysis *. 1e3) (m.t_map *. 1e3) (m.t_unmap *. 1e3) m.bodies m.loop_iters
+    m.rec_iters m.assigns m.kills m.weakens m.gens m.merges
+    (ratio m.merge_fast m.merges)
+    m.equal_checks
+    (ratio m.equal_fast m.equal_checks)
+    m.covered_checks
+    (ratio m.covered_fast m.covered_checks)
+    m.map_calls m.unmap_calls m.memo_hits m.memo_lookups
+    (ratio m.memo_hits m.memo_lookups)

@@ -1,0 +1,46 @@
+(** Engine observability: per-phase timing and work counters.
+
+    {!Analysis.analyze} resets the global accumulator {!cur} on entry
+    and stores a {!snapshot} in its result. Surfaced by
+    [ptan analyze --stats], [ptan stats] and the bench harness. *)
+
+type t = {
+  mutable merges : int;  (** {!Pts.merge} invocations *)
+  mutable merge_fast : int;  (** answered by the subsumption pre-check *)
+  mutable equal_checks : int;
+  mutable equal_fast : int;  (** decided by identity or cardinality *)
+  mutable covered_checks : int;
+  mutable covered_fast : int;
+  mutable assigns : int;  (** kill/change/gen rule applications *)
+  mutable kills : int;
+  mutable weakens : int;
+  mutable gens : int;
+  mutable loop_iters : int;  (** loop-head fixed-point iterations *)
+  mutable rec_iters : int;  (** recursion / pending re-evaluations *)
+  mutable bodies : int;  (** function-body passes *)
+  mutable memo_lookups : int;  (** §6 sub-tree sharing lookups *)
+  mutable memo_hits : int;
+  mutable map_calls : int;
+  mutable unmap_calls : int;
+  mutable t_map : float;  (** seconds in {!Map_unmap.map_call} *)
+  mutable t_unmap : float;
+  mutable t_analysis : float;  (** whole-analysis wall-clock seconds *)
+}
+
+val create : unit -> t
+
+(** The global accumulator bumped by the analysis modules. *)
+val cur : t
+
+val reset : unit -> unit
+
+(** An independent copy of {!cur}. *)
+val snapshot : unit -> t
+
+(** Monotonic-enough wall clock used for the phase timers. *)
+val now : unit -> float
+
+(** [ratio num den] as a percentage; 0 when [den] is 0. *)
+val ratio : int -> int -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,6 +1,14 @@
 (** Points-to sets: maps from (source, target) abstract-location pairs to
     a certainty (paper Definitions 3.1–3.3).
 
+    The representation is source-indexed and carries the pair count
+    plus a lazily computed, memoized reverse (target → sources) index,
+    so cardinality is O(1) and target-directed operations cost one
+    transposition per set value instead of per query; {!merge},
+    {!equal} and {!covered_by} run identity / cardinality / subsumption
+    pre-checks so fixed-point steady states cost O(1)–O(pairs) without
+    allocation.
+
     The interprocedural fixed point (Figure 4) uses the lattice defined
     by {!covered_by} (safe generalization) and {!merge} (least upper
     bound); {!state} adds the Bottom element for unreachable code. *)
@@ -30,6 +38,15 @@ val mem : Loc.t -> Loc.t -> t -> bool
 (** All targets of a source, with certainties. *)
 val targets : Loc.t -> t -> (Loc.t * cert) list
 
+(** The target map of a source (empty when it has no relationships);
+    the set's own submap, shared, not a copy. *)
+val tgt_map : Loc.t -> t -> cert Loc.Map.t
+
+(** Bind every pair of a target map under the given source with override
+    semantics — the bulk counterpart of repeated {!add}, sharing the map
+    when the source is unbound. *)
+val add_map : Loc.t -> cert Loc.Map.t -> t -> t
+
 (** Remove every relationship of a source (Figure 1's kill). *)
 val kill_src : Loc.t -> t -> t
 
@@ -37,10 +54,21 @@ val kill_src : Loc.t -> t -> t
     change set). *)
 val weaken_src : Loc.t -> t -> t
 
+(** Remove every relationship with the given target, via the reverse
+    index (touches only the sources actually pointing at it). *)
+val remove_tgt : Loc.t -> t -> t
+
+(** All sources pointing at a target (the reverse index). *)
+val sources : Loc.t -> t -> Loc.Set.t
+
 val fold : (Loc.t -> Loc.t -> cert -> 'a -> 'a) -> t -> 'a -> 'a
 val iter : (Loc.t -> Loc.t -> cert -> unit) -> t -> unit
 val exists : (Loc.t -> Loc.t -> cert -> bool) -> t -> bool
 val filter : (Loc.t -> Loc.t -> cert -> bool) -> t -> t
+
+(** Keep only the relationships whose source satisfies the predicate
+    (evaluated once per source, not per pair). *)
+val filter_src : (Loc.t -> bool) -> t -> t
 val cardinal : t -> int
 val to_list : t -> (Loc.t * Loc.t * cert) list
 val of_list : (Loc.t * Loc.t * cert) list -> t

@@ -8,7 +8,18 @@
 module Ir = Simple_ir.Ir
 module Ig = Invocation_graph
 
-let no_null (s : Pts.t) = Pts.filter (fun _ tgt _ -> not (Loc.is_null tgt)) s
+let no_null (s : Pts.t) = Pts.remove_tgt Loc.Null s
+
+(* ------------------------------------------------------------------ *)
+(* Engine cost counters (per-phase timings and operation counts)      *)
+(* ------------------------------------------------------------------ *)
+
+(** The per-phase timing and counter record of a run (fixpoint
+    iterations, kill/gen applications, merge and memo fast-path rates),
+    as recorded by the engine. *)
+let engine_metrics (r : Analysis.result) : Metrics.t = r.Analysis.metrics
+
+let pp_engine_metrics ppf (r : Analysis.result) = Metrics.pp ppf r.Analysis.metrics
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: abstract stack sizes                                      *)
@@ -31,9 +42,9 @@ let abstract_stack_size (r : Analysis.result) (fn : Ir.func) : int =
     locs := Loc.Set.add l !locs;
     List.iter (fun (cell, _) -> locs := Loc.Set.add cell !locs) (Tenv.pointer_cells tenv l ty)
   in
-  List.iter (fun (g, ty) -> add_var (Loc.Var (g, Loc.Kglobal)) ty) r.Analysis.prog.Ir.globals;
-  List.iter (fun (n, ty) -> add_var (Loc.Var (n, Loc.Kparam)) ty) fn.Ir.fn_params;
-  List.iter (fun (n, ty) -> add_var (Loc.Var (n, Loc.Klocal)) ty) fn.Ir.fn_locals;
+  List.iter (fun (g, ty) -> add_var (Loc.var g Loc.Kglobal) ty) r.Analysis.prog.Ir.globals;
+  List.iter (fun (n, ty) -> add_var (Loc.var n Loc.Kparam) ty) fn.Ir.fn_params;
+  List.iter (fun (n, ty) -> add_var (Loc.var n Loc.Klocal) ty) fn.Ir.fn_locals;
   (* locations observed in the recorded sets of this function's statements
      (symbolic names, heap, array locations reached through pointers) *)
   Ir.fold_func

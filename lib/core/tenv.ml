@@ -57,8 +57,8 @@ let var_info t (fn : Ir.func) name : (Loc.var_kind * Ctype.t) option =
     the name denotes a function (the caller should use [Loc.Fun]). *)
 let base_loc t fn name : Loc.t option =
   match var_info t fn name with
-  | Some (kind, _) -> Some (Loc.Var (name, kind))
-  | None -> if is_func_name t name then None else Some (Loc.Var (name, Loc.Klocal))
+  | Some (kind, _) -> Some (Loc.var name kind)
+  | None -> if is_func_name t name then None else Some (Loc.var name Loc.Klocal)
 
 (** Type of an abstract location, when one is derivable. [Heap], [Null]
     and [Str] are untyped. The function owning local/param locations must
@@ -152,7 +152,7 @@ let rec pointer_cells t (l : Loc.t) (ty : Ctype.t) : (Loc.t * Ctype.t) list =
   | Ctype.Ptr _ -> [ (l, ty) ]
   | Ctype.Array (elt, _) ->
       if Ctype.carries_pointers (layouts t) elt then
-        pointer_cells t (Loc.Head l) elt @ pointer_cells t (Loc.Tail l) elt
+        pointer_cells t (Loc.head l) elt @ pointer_cells t (Loc.tail l) elt
       else []
   | Ctype.Su (Ctype.Union_su, _) ->
       if Ctype.carries_pointers (layouts t) ty then [ (l, ty) ] else []
@@ -161,7 +161,7 @@ let rec pointer_cells t (l : Loc.t) (ty : Ctype.t) : (Loc.t * Ctype.t) list =
       | None -> []
       | Some lay ->
           List.concat_map
-            (fun (f, ft) -> pointer_cells t (Loc.Fld (l, f)) ft)
+            (fun (f, ft) -> pointer_cells t (Loc.fld l f) ft)
             lay.Ctype.fields)
   | Ctype.Void | Ctype.Int _ | Ctype.Float _ | Ctype.Func _ -> []
 

@@ -248,6 +248,91 @@ let control_flow =
           "int x; int main() { int *p; p = &x; if (*p > 0) { } return 0; }" "p" [ "x/D" ]);
   ]
 
+(** Targets of a location derived from variable [var] (e.g. its array
+    tail cell) at exit of main. *)
+let check_exit_loc msg src var derive expected =
+  let res = analyze src in
+  let s =
+    match res.Analysis.entry_output with
+    | Some s -> s
+    | None -> Alcotest.fail "entry function does not terminate normally"
+  in
+  let fn =
+    match Ir.find_func res.Analysis.prog "main" with
+    | Some f -> f
+    | None -> Alcotest.fail "no main"
+  in
+  let base =
+    match Pointsto.Tenv.base_loc res.Analysis.tenv fn var with
+    | Some b -> b
+    | None -> Alcotest.failf "no variable %s" var
+  in
+  let actual =
+    Pts.targets (derive base) s
+    |> List.filter (fun (t, _) -> not (Loc.is_null t))
+    |> List.map show_pair |> sorted_strings
+  in
+  check_targets msg expected actual
+
+(** Strong-update refinement (paper §3.3): only singular L-locations are
+    killed; non-singular ones (array tails, the heap, multi-represented
+    symbolic names) receive weak updates and their generated pairs are
+    demoted to possible. *)
+let strong_update_refinement =
+  [
+    case "array tail assignments are weak with demoted gen pairs" (fun () ->
+        check_exit_loc "tail accumulates"
+          "int x, y; int main() { int *a[10]; a[3] = &x; a[5] = &y; return 0; }" "a"
+          Loc.tail [ "x/P"; "y/P" ]);
+    case "array head is singular: the second assignment kills" (fun () ->
+        check_exit_loc "head kill"
+          "int x, y; int main() { int *a[10]; a[0] = &x; a[0] = &y; return 0; }" "a"
+          Loc.head [ "y/D" ]);
+    case "head update does not disturb the tail cell" (fun () ->
+        let src =
+          "int x, y; int main() { int *a[10]; a[3] = &x; a[0] = &y; return 0; }"
+        in
+        check_exit_loc "tail kept" src "a" Loc.tail [ "x/P" ];
+        check_exit_loc "head definite" src "a" Loc.head [ "y/D" ]);
+    case "the heap cell only ever weak-updates" (fun () ->
+        check_exit "heap weak"
+          {|int x, y;
+            int main() {
+              int **p; int *q;
+              p = (int**)malloc(8);
+              *p = &x; *p = &y;
+              q = *p;
+              return 0;
+            }|}
+          "q" [ "x/P"; "y/P" ]);
+    case "a multi-represented symbolic name weak-updates every invisible" (fun () ->
+        (* inside [set], pp's symbolic target represents both p and q:
+           the indirect assignment must not kill either one's pairs. The
+           symbolic name holds the merged view of both invisibles, so at
+           unmap each also conservatively inherits the other's target. *)
+        let src =
+          {|int g; int x, y; int c;
+            void set(int **pp) { *pp = &g; }
+            int main() {
+              int *p, *q, **pp;
+              p = &x; q = &y;
+              if (c) pp = &p; else pp = &q;
+              set(pp);
+              return 0;
+            }|}
+        in
+        check_exit "p keeps x" src "p" [ "g/P"; "x/P"; "y/P" ];
+        check_exit "q keeps y" src "q" [ "g/P"; "x/P"; "y/P" ]);
+    case "a singly-represented symbolic name strong-updates" (fun () ->
+        (* pp definitely points to p: the callee's indirect assignment
+           kills p's old pair even across the mapping *)
+        check_exit "definite through sym"
+          {|int g; int x;
+            void set(int **pp) { *pp = &g; }
+            int main() { int *p, **pp; p = &x; pp = &p; set(pp); return 0; }|}
+          "p" [ "g/D" ]);
+  ]
+
 let definite_ablation =
   [
     case "with use_definite=false everything is possible" (fun () ->
@@ -261,4 +346,7 @@ let definite_ablation =
           [ "x/P"; "y/P" ]);
   ]
 
-let suite = ("intra", basic_rules @ table1_rows @ control_flow @ definite_ablation)
+let suite =
+  ( "intra",
+    basic_rules @ table1_rows @ control_flow @ strong_update_refinement
+    @ definite_ablation )

@@ -76,6 +76,33 @@ let unit_tests =
         let u = Pts.union_override base over in
         Alcotest.(check bool) "x->y D" true (Pts.find x y u = Some Pts.D);
         Alcotest.(check bool) "y->z kept" true (Pts.find y z u = Some Pts.D));
+    case "remove_tgt drops every pair at the target" (fun () ->
+        let s = Pts.of_list [ (x, z, Pts.D); (y, z, Pts.P); (z, y, Pts.D) ] in
+        let s = Pts.remove_tgt z s in
+        Alcotest.(check int) "one pair left" 1 (Pts.cardinal s);
+        Alcotest.(check bool) "z->y kept" true (Pts.find z y s = Some Pts.D));
+    case "sources inverts targets" (fun () ->
+        let s = Pts.of_list [ (x, z, Pts.D); (y, z, Pts.P); (z, y, Pts.D) ] in
+        Alcotest.(check int) "two sources of z" 2 (Loc.Set.cardinal (Pts.sources z s));
+        Alcotest.(check bool) "x there" true (Loc.Set.mem x (Pts.sources z s));
+        Alcotest.(check bool) "y there" true (Loc.Set.mem y (Pts.sources z s));
+        Alcotest.(check bool) "none of x" true (Loc.Set.is_empty (Pts.sources x s)));
+    case "filter_src keeps whole sources" (fun () ->
+        let s = Pts.of_list [ (x, y, Pts.D); (x, z, Pts.P); (y, z, Pts.D) ] in
+        let s = Pts.filter_src (fun src -> not (Loc.equal src x)) s in
+        Alcotest.(check int) "x's pairs gone" 1 (Pts.cardinal s);
+        Alcotest.(check bool) "y->z kept" true (Pts.mem y z s));
+    case "add_map equals repeated add" (fun () ->
+        let base = Pts.of_list [ (x, y, Pts.P); (y, z, Pts.D) ] in
+        let m = Pts.tgt_map y base in
+        (* graft y's targets under x: overrides x->... pairs pointwise *)
+        let bulk = Pts.add_map x m base in
+        let one_by_one =
+          Loc.Map.fold (fun t d acc -> Pts.add x t d acc) m base
+        in
+        Alcotest.(check bool) "same set" true (Pts.equal bulk one_by_one);
+        Alcotest.(check int) "cardinal tracked" (Pts.cardinal one_by_one)
+          (Pts.cardinal bulk));
     case "all_locs collects sources and targets" (fun () ->
         let s = Pts.of_list [ (x, y, Pts.D); (y, z, Pts.P) ] in
         Alcotest.(check int) "three locs" 3 (Loc.Set.cardinal (Pts.all_locs s)));
@@ -131,6 +158,14 @@ let loc_tests =
         Alcotest.(check string) "2_x" "2_x" (Loc.to_string (Loc.Sym (Loc.Sym x)));
         Alcotest.(check string) "field" "s.f" (Loc.to_string (Loc.Fld (v "s", "f")));
         Alcotest.(check string) "heap" "heap" (Loc.to_string Loc.Heap));
+    case "interning: smart constructors return the canonical value" (fun () ->
+        Alcotest.(check bool) "var" true
+          (Loc.var "ix" Loc.Klocal == Loc.var "ix" Loc.Klocal);
+        Alcotest.(check bool) "fld" true
+          (Loc.fld (Loc.var "ix" Loc.Klocal) "f" == Loc.fld (Loc.var "ix" Loc.Klocal) "f");
+        Alcotest.(check bool) "intern of a bare value" true (Loc.intern (Loc.Sym x) == Loc.sym x);
+        Alcotest.(check bool) "stable id" true
+          (Loc.id (Loc.var "ix" Loc.Klocal) = Loc.id (Loc.var "ix" Loc.Klocal)));
     case "is_stack: named locations and not heap/str/fun" (fun () ->
         Alcotest.(check bool) "var" true (Loc.is_stack x);
         Alcotest.(check bool) "sym" true (Loc.is_stack (Loc.Sym x));
@@ -185,6 +220,27 @@ let property_tests =
       QCheck2.Gen.(pair loc_gen pts_gen)
       (fun (l, s) ->
         List.for_all (fun (_, c) -> c = Pts.P) (Pts.targets l (Pts.weaken_src l s)));
+    qcase "merge absorption: merge a (merge a b) = merge a b"
+      QCheck2.Gen.(pair pts_gen pts_gen)
+      (fun (a, b) ->
+        (* exercises the subsumption fast path: the second merge's left
+           operand is covered by the result of the first *)
+        let ab = Pts.merge a b in
+        Pts.equal (Pts.merge a ab) ab && Pts.equal (Pts.merge ab b) ab);
+    qcase "remove_tgt leaves no sources of the target"
+      QCheck2.Gen.(pair loc_gen pts_gen)
+      (fun (l, s) -> Loc.Set.is_empty (Pts.sources l (Pts.remove_tgt l s)));
+    qcase "sources agrees with a forward scan" QCheck2.Gen.(pair loc_gen pts_gen)
+      (fun (l, s) ->
+        let scan =
+          Pts.fold
+            (fun src tgt _ acc -> if Loc.equal tgt l then Loc.Set.add src acc else acc)
+            s Loc.Set.empty
+        in
+        Loc.Set.equal scan (Pts.sources l s));
+    qcase "filter_src agrees with filter" pts_gen (fun s ->
+        let keep src = Loc.singular src in
+        Pts.equal (Pts.filter_src keep s) (Pts.filter (fun src _ _ -> keep src) s));
     qcase "cardinal agrees with to_list" pts_gen (fun s ->
         Pts.cardinal s = List.length (Pts.to_list s));
     qcase "Loc.compare is a total order (antisymmetry)"
@@ -193,6 +249,10 @@ let property_tests =
         let c1 = Loc.compare a b and c2 = Loc.compare b a in
         (c1 = 0) = (c2 = 0) && (c1 > 0) = (c2 < 0));
     qcase "root is idempotent" loc_gen (fun l -> Loc.root (Loc.root l) = Loc.root l);
+    qcase "interning preserves the order" QCheck2.Gen.(pair loc_gen loc_gen)
+      (fun (a, b) ->
+        let sign c = compare c 0 in
+        sign (Loc.compare (Loc.intern a) (Loc.intern b)) = sign (Loc.compare a b));
   ]
 
 let suite = ("pts", unit_tests @ loc_tests @ property_tests)

@@ -398,6 +398,116 @@ let extensions () =
     Paper_data.names
 
 (* ------------------------------------------------------------------ *)
+(* Persisted results: cold analyze vs warm load + demand queries      *)
+(* ------------------------------------------------------------------ *)
+
+module Persist = Pointsto.Persist
+
+(** One string summarizing the Table 3-5 rows of a result; the
+    analyze-once/query-many contract is that a loaded result reproduces
+    it bit-identically. *)
+let table345_rows r =
+  let i = Stats.indirect_stats r in
+  let c = Stats.categorize r in
+  let g = Stats.general r in
+  Fmt.str "%d %d %d %d %.2f | %d %d %d %d %d %d %d %d | %d %d %d %d %.1f %d" i.Stats.ind_refs
+    i.Stats.scalar_rep i.Stats.to_stack i.Stats.to_heap i.Stats.avg c.Stats.from_lo
+    c.Stats.from_gl c.Stats.from_fp c.Stats.from_sy c.Stats.to_lo c.Stats.to_gl c.Stats.to_fp
+    c.Stats.to_sy g.Stats.stack_to_stack g.Stats.stack_to_heap g.Stats.heap_to_heap
+    g.Stats.heap_to_stack g.Stats.avg_per_stmt g.Stats.max_per_stmt
+
+(** A program-derived query workload: every variable of every function
+    probed at the function's first and last statement, plus one [calls]
+    query per call site. *)
+let gen_queries (r : Analysis.result) =
+  let qs = ref [] in
+  let add q = qs := q :: !qs in
+  List.iter
+    (fun (fn : Ir.func) ->
+      let ids = List.rev (Ir.fold_func (fun acc s -> s.Ir.s_id :: acc) [] fn) in
+      (match ids with
+      | [] -> ()
+      | first :: rest ->
+          let last = List.fold_left (fun _ id -> id) first rest in
+          List.iter
+            (fun (v, _) ->
+              add (Fmt.str "pts %s s%d %s" fn.Ir.fn_name first v);
+              if last <> first then add (Fmt.str "pts %s s%d %s" fn.Ir.fn_name last v))
+            (fn.Ir.fn_params @ fn.Ir.fn_locals));
+      Ir.fold_func
+        (fun () s ->
+          match s.Ir.s_desc with
+          | Ir.Scall _ -> add (Fmt.str "calls s%d" s.Ir.s_id)
+          | _ -> ())
+        () fn)
+    r.Analysis.prog.Ir.funcs;
+  List.rev !qs
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1e3)
+
+let persistence () =
+  section "Persisted Results: cold analyze+save vs warm load, then demand queries";
+  let dir = Filename.temp_file "ptan-bench" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      Fmt.pr "%-12s %10s %10s %9s %6s %8s %10s@." "benchmark" "cold ms" "warm ms" "speedup"
+        "ident" "queries" "queries/s";
+      Fmt.pr "%s@." hr;
+      let livc_detail = ref None in
+      List.iter
+        (fun name ->
+          let source = path name in
+          let (cold, cold_hit), t_cold =
+            time (fun () -> Persist.analyze_cached ~cache_dir:dir source)
+          in
+          (* min of a few hits: the first warm call tends to absorb the GC
+             debt of the cold analyze, which is not load cost *)
+          let warm_runs =
+            List.init 5 (fun _ -> time (fun () -> Persist.analyze_cached ~cache_dir:dir source))
+          in
+          let (warm, warm_hit), _ = List.hd warm_runs in
+          let t_warm =
+            List.fold_left (fun acc (_, t) -> Float.min acc t) Float.infinity warm_runs
+          in
+          if cold_hit || not warm_hit then
+            Fmt.failwith "%s: cache behaved unexpectedly (cold hit %b, warm hit %b)" name
+              cold_hit warm_hit;
+          let ident = String.equal (table345_rows cold) (table345_rows warm) in
+          let qs = gen_queries warm in
+          let n = List.length qs in
+          let (), t_q =
+            time (fun () -> List.iter (fun q -> ignore (Alias.Query.run warm q)) qs)
+          in
+          let qps = if t_q > 0. then float_of_int n /. t_q *. 1e3 else Float.infinity in
+          Fmt.pr "%-12s %10.2f %10.2f %8.1fx %6s %8d %10.0f@." name t_cold t_warm
+            (t_cold /. t_warm)
+            (if ident then "yes" else "NO")
+            n qps;
+          if String.equal name "livc" then livc_detail := Some (cold, warm))
+        (Paper_data.names @ [ "livc" ]);
+      (match !livc_detail with
+      | None -> ()
+      | Some (cold, warm) ->
+          let module M = Pointsto.Metrics in
+          let mc = cold.Analysis.metrics and mw = warm.Analysis.metrics in
+          Fmt.pr
+            "@.livc cache detail: %d hit(s), %d miss(es); serialize %.3f ms, deserialize \
+             %.3f ms@."
+            mw.M.cache_hits mc.M.cache_misses (mc.M.t_serialize *. 1e3)
+            (mw.M.t_deserialize *. 1e3));
+      Fmt.pr
+        "(cold = full fixpoint + save; warm = load from the result cache; the@.\
+         acceptance bar is warm at least 10x faster than cold on livc)@.")
+
+(* ------------------------------------------------------------------ *)
 (* Engine cost counters                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -537,6 +647,21 @@ let smoke () =
         m.Pointsto.Metrics.merges;
       if m.Pointsto.Metrics.bodies = 0 then failwith (name ^ ": no body passes recorded"))
     [ "stanford"; "livc" ];
+  let dir = Filename.temp_file "ptan-smoke" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let source = path "stanford" in
+      let cold, _ = Persist.analyze_cached ~cache_dir:dir source in
+      let warm, hit = Persist.analyze_cached ~cache_dir:dir source in
+      if not hit then failwith "persist: expected a warm cache hit";
+      if not (String.equal (table345_rows cold) (table345_rows warm)) then
+        failwith "persist: loaded result is not bit-identical";
+      Fmt.pr "smoke: persisted stanford round trip ok@.");
   Fmt.pr "smoke: ok@."
 
 let () =
@@ -557,6 +682,7 @@ let () =
     overall ();
     ablations ();
     extensions ();
+    persistence ();
     counters ();
     timings ();
     rep_ops ();

@@ -7,9 +7,16 @@
     - [stats FILE]     print the Tables 2-6 statistics for one file
     - [alias FILE]     print alias pairs at the end of main
     - [callgraph FILE] compare call-graph strategies
-    - [replace FILE]   show pointer-replacement opportunities *)
+    - [replace FILE]   show pointer-replacement opportunities
+    - [query FILE Q]   answer one demand query against the (cached) result
+    - [batch FILE [QS]] answer newline-delimited queries from a file or stdin
+
+    Analyzing subcommands consult a disk cache of persisted results
+    (see {!Pointsto.Persist}); [--cache-dir] relocates it and
+    [--no-cache] bypasses it. *)
 
 module Ir = Simple_ir.Ir
+module Persist = Pointsto.Persist
 
 let load file = Simple_ir.Simplify.of_file file
 
@@ -40,15 +47,20 @@ let cmd_simple file =
       let p = load file in
       Simple_ir.Pp.pp_program Fmt.stdout p)
 
-let analyze_file ?(opts = Pointsto.Options.default) file =
-  let p = load file in
-  Pointsto.Analysis.analyze ~opts p
+(** [cache] is [None] when [--no-cache] was given, [Some dir] with
+    [dir = None] meaning the default cache directory. *)
+let analyze_file ?(opts = Pointsto.Options.default) ?(cache = None) file =
+  match cache with
+  | None ->
+      let p = load file in
+      Pointsto.Analysis.analyze ~opts p
+  | Some cache_dir -> fst (Persist.analyze_cached ?cache_dir ~opts file)
 
-let cmd_analyze file no_context no_definite sym_depth share heap_by_site show_null
+let cmd_analyze file cache no_context no_definite sym_depth share heap_by_site show_null
     show_stats =
   with_errors (fun () ->
       let opts = opts_of ~no_context ~no_definite ~sym_depth ~share ~heap_by_site in
-      let r = analyze_file ~opts file in
+      let r = analyze_file ~opts ~cache file in
       List.iter (fun w -> Fmt.pr "warning: %s@." w) r.Pointsto.Analysis.warnings;
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) r.Pointsto.Analysis.stmt_pts []
       |> List.sort compare
@@ -60,9 +72,9 @@ let cmd_analyze file no_context no_definite sym_depth share heap_by_site show_nu
           r.Pointsto.Analysis.bodies_analyzed;
       if show_stats then Fmt.pr "%a@." Pointsto.Stats.pp_engine_metrics r)
 
-let cmd_heap file =
+let cmd_heap file cache =
   with_errors (fun () ->
-      let r = analyze_file ~opts:Heap_analysis.Connection.options file in
+      let r = analyze_file ~opts:Heap_analysis.Connection.options ~cache file in
       let module C = Heap_analysis.Connection in
       Fmt.pr "allocation sites: %a@."
         Fmt.(list ~sep:(any ", ") int)
@@ -79,9 +91,9 @@ let cmd_heap file =
           let hp = C.heap_pointers r fn s in
           if hp <> [] then Fmt.pr "@.connection matrix at exit of main:@.%a" C.pp_matrix (hp, C.matrix s hp))
 
-let cmd_constants file =
+let cmd_constants file cache =
   with_errors (fun () ->
-      let r = analyze_file file in
+      let r = analyze_file ~cache file in
       let cp = Constprop.run r in
       let sites = Constprop.fold_sites cp in
       Fmt.pr "%d constant operand reads@." (List.length sites);
@@ -91,9 +103,9 @@ let cmd_constants file =
             Pointsto.Loc.pp fs.Constprop.fs_loc fs.Constprop.fs_value)
         sites)
 
-let cmd_ig file =
+let cmd_ig file cache =
   with_errors (fun () ->
-      let r = analyze_file file in
+      let r = analyze_file ~cache file in
       Fmt.pr "%a" Pointsto.Invocation_graph.pp r.Pointsto.Analysis.graph;
       let st = Pointsto.Stats.ig_stats r in
       Fmt.pr "nodes %d, call sites %d, funcs %d, R %d, A %d, Avgc %.2f, Avgf %.2f@."
@@ -101,9 +113,9 @@ let cmd_ig file =
         st.Pointsto.Stats.n_recursive st.Pointsto.Stats.n_approximate
         st.Pointsto.Stats.avg_per_call_site st.Pointsto.Stats.avg_per_func)
 
-let cmd_stats file =
+let cmd_stats file cache =
   with_errors (fun () ->
-      let r = analyze_file file in
+      let r = analyze_file ~cache file in
       let c = Pointsto.Stats.characteristics r in
       Fmt.pr "SIMPLE stmts: %d; abstract stack min %d max %d@." c.Pointsto.Stats.c_stmts
         c.Pointsto.Stats.c_min_vars c.Pointsto.Stats.c_max_vars;
@@ -124,9 +136,9 @@ let cmd_stats file =
         s.avg_per_func;
       Fmt.pr "%a@." Pointsto.Stats.pp_engine_metrics r)
 
-let cmd_alias file =
+let cmd_alias file cache =
   with_errors (fun () ->
-      let r = analyze_file file in
+      let r = analyze_file ~cache file in
       match r.Pointsto.Analysis.entry_output with
       | None -> Fmt.pr "main does not terminate normally@."
       | Some s ->
@@ -147,12 +159,52 @@ let cmd_callgraph file =
             fanout)
         [ Alias.Callgraph.Precise; Alias.Callgraph.Naive; Alias.Callgraph.Address_taken ])
 
-let cmd_replace file =
+let cmd_replace file cache =
   with_errors (fun () ->
-      let r = analyze_file file in
+      let r = analyze_file ~cache file in
       let reps = Transforms.Pointer_replace.find r in
       Fmt.pr "%d replacement opportunities@." (List.length reps);
       List.iter (fun rp -> Fmt.pr "  %a@." Transforms.Pointer_replace.pp_replacement rp) reps)
+
+let cmd_query file cache words =
+  with_errors (fun () ->
+      let r = analyze_file ~cache file in
+      match Alias.Query.run r (String.concat " " words) with
+      | Ok ans -> Fmt.pr "%s@." ans
+      | Error e ->
+          Fmt.epr "error: %s@." e;
+          exit 2)
+
+let cmd_batch file cache queries =
+  with_errors (fun () ->
+      let r = analyze_file ~cache file in
+      let ic, close_ic =
+        match queries with
+        | None | Some "-" -> (stdin, false)
+        | Some f -> (
+            try (open_in f, true)
+            with Sys_error m ->
+              Fmt.epr "error: %s@." m;
+              exit 1)
+      in
+      let failed = ref 0 in
+      let rec loop n =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some line ->
+            let trimmed = String.trim line in
+            if trimmed <> "" && trimmed.[0] <> '#' then begin
+              match Alias.Query.run r trimmed with
+              | Ok ans -> Fmt.pr "%s => %s@." trimmed ans
+              | Error e ->
+                  incr failed;
+                  Fmt.pr "line %d: error: %s@." n e
+            end;
+            loop (n + 1)
+      in
+      loop 1;
+      if close_ic then close_in ic;
+      if !failed > 0 then exit 2)
 
 open Cmdliner
 
@@ -179,6 +231,24 @@ let share =
 let heap_by_site =
   Arg.(value & flag & info [ "heap-by-site" ] ~doc:"Name heap storage by allocation site.")
 
+let cache_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory holding persisted analysis results (default: \
+           \\$XDG_CACHE_HOME/ptan, falling back to ~/.cache/ptan).")
+
+let no_cache =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ] ~doc:"Always re-run the analysis; neither read nor write the cache.")
+
+(** Combined cache selector: [None] = disabled, [Some None] = default
+    directory, [Some (Some d)] = explicit directory. *)
+let cache = Term.(const (fun dir off -> if off then None else Some dir) $ cache_dir $ no_cache)
+
 let simple_cmd =
   Cmd.v (Cmd.info "simple" ~doc:"Dump the SIMPLE lowering")
     Term.(const cmd_simple $ file_arg)
@@ -187,27 +257,32 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run points-to analysis")
     Term.(
-      const cmd_analyze $ file_arg $ no_context $ no_definite $ sym_depth $ share
+      const cmd_analyze $ file_arg $ cache $ no_context $ no_definite $ sym_depth $ share
       $ heap_by_site $ show_null $ show_stats)
 
 let heap_cmd =
   Cmd.v
     (Cmd.info "heap" ~doc:"Allocation-site heap naming + connection analysis")
-    Term.(const cmd_heap $ file_arg)
+    Term.(const cmd_heap $ file_arg $ cache)
 
 let constants_cmd =
   Cmd.v
     (Cmd.info "constants" ~doc:"Interprocedural constant propagation")
-    Term.(const cmd_constants $ file_arg)
+    Term.(const cmd_constants $ file_arg $ cache)
 
 let ig_cmd =
-  Cmd.v (Cmd.info "ig" ~doc:"Print the invocation graph") Term.(const cmd_ig $ file_arg)
+  Cmd.v (Cmd.info "ig" ~doc:"Print the invocation graph")
+    Term.(const cmd_ig $ file_arg $ cache)
 
 let stats_cmd =
-  Cmd.v (Cmd.info "stats" ~doc:"Print Tables 2-6 statistics") Term.(const cmd_stats $ file_arg)
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print Tables 2-6 statistics")
+    Term.(const cmd_stats $ file_arg $ cache)
 
 let alias_cmd =
-  Cmd.v (Cmd.info "alias" ~doc:"Print alias pairs at exit") Term.(const cmd_alias $ file_arg)
+  Cmd.v
+    (Cmd.info "alias" ~doc:"Print alias pairs at exit")
+    Term.(const cmd_alias $ file_arg $ cache)
 
 let callgraph_cmd =
   Cmd.v
@@ -217,7 +292,34 @@ let callgraph_cmd =
 let replace_cmd =
   Cmd.v
     (Cmd.info "replace" ~doc:"Pointer replacement opportunities")
-    Term.(const cmd_replace $ file_arg)
+    Term.(const cmd_replace $ file_arg $ cache)
+
+let query_words =
+  Arg.(
+    non_empty
+    & pos_right 0 string []
+    & info [] ~docv:"QUERY"
+        ~doc:
+          "Query words, e.g. 'pts main s12 p'. See docs/CLI.md for the full query grammar.")
+
+let query_cmd =
+  Cmd.v
+    (Cmd.info "query" ~doc:"Answer one demand query against the analysis result")
+    Term.(const cmd_query $ file_arg $ cache $ query_words)
+
+let queries_file =
+  Arg.(
+    value
+    & pos 1 (some string) None
+    & info [] ~docv:"QUERIES"
+        ~doc:"File of newline-delimited queries; '-' or absent reads standard input.")
+
+let batch_cmd =
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Answer newline-delimited queries from a file or stdin against one loaded result")
+    Term.(const cmd_batch $ file_arg $ cache $ queries_file)
 
 let () =
   let info = Cmd.info "ptan" ~doc:"Context-sensitive interprocedural points-to analysis" in
@@ -234,4 +336,6 @@ let () =
             replace_cmd;
             heap_cmd;
             constants_cmd;
+            query_cmd;
+            batch_cmd;
           ]))

@@ -1,0 +1,27 @@
+(** The README "Quickstart" code snippet, compiled — if this file stops
+    building, the README is out of date. Keep the code between the
+    BEGIN/END markers identical to the snippet in README.md
+    (scripts/check_cli_docs.sh guards the CLI half of the README; this
+    executable guards the library half). *)
+
+(* BEGIN README SNIPPET *)
+let targets_of_p =
+  let result =
+    Pointsto.Analysis.of_string
+      {|
+      int g;
+      void set(int **pp) { *pp = &g; }
+      int main() { int *p; set(&p); return 0; }
+      |}
+  in
+  (* p definitely points to g at exit of main *)
+  match result.Pointsto.Analysis.entry_output with
+  | Some s -> Pointsto.Pts.targets (Pointsto.Loc.Var ("p", Pointsto.Loc.Klocal)) s
+  | None -> []
+(* END README SNIPPET *)
+
+let () =
+  List.iter
+    (fun (t, c) ->
+      Fmt.pr "p points to %a (%s)@." Pointsto.Loc.pp t (Pointsto.Pts.cert_to_string c))
+    targets_of_p

@@ -1,5 +1,11 @@
 (** May/must-alias queries over points-to results (paper §6.1): the
-    interface a dependence tester asks. *)
+    interface a dependence tester asks.
+
+    Verdicts are computed from the L-location sets (Table 1) of the two
+    references at the given statement, with contexts merged — the same
+    convention as the per-statement sets in {!Analysis.result}. The CLI
+    exposes [refs_alias]/[derefs_alias] as the [alias] form of
+    [ptan query] (see [Query]). *)
 
 module Ir = Simple_ir.Ir
 module Loc = Pointsto.Loc
@@ -8,8 +14,12 @@ module Analysis = Pointsto.Analysis
 type verdict =
   | No_alias  (** provably distinct locations *)
   | May_alias
+      (** the L-location sets overlap (equality or aggregate
+          containment) without meeting the must-alias bar *)
   | Must_alias  (** same single definite, singular location *)
 
+(** ["no-alias"] / ["may-alias"] / ["must-alias"] — the stable textual
+    form printed by [ptan query]. *)
 val verdict_to_string : verdict -> string
 
 (** Do two abstract locations possibly overlap in memory? Equal or one

@@ -1,0 +1,148 @@
+(** Demand queries over analysis results (see query.mli). *)
+
+module Ir = Simple_ir.Ir
+module Loc = Pointsto.Loc
+module Pts = Pointsto.Pts
+module Lval = Pointsto.Lval
+module Tenv = Pointsto.Tenv
+module Analysis = Pointsto.Analysis
+
+type t =
+  | Alias_q of { func : string; stmt : int; p : string; q : string }
+  | Pts_q of { func : string; stmt : int; var : string }
+  | Calls_q of { stmt : int }
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Statement ids as printed by the CLI ([s12]) or bare ([12]). *)
+let stmt_id tok =
+  let digits =
+    if String.length tok > 1 && tok.[0] = 's' then String.sub tok 1 (String.length tok - 1)
+    else tok
+  in
+  match int_of_string_opt digits with
+  | Some n when n >= 0 -> Some n
+  | Some _ | None -> None
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let parse line : (t, string) result =
+  let stmt_or what tok k =
+    match stmt_id tok with
+    | Some stmt -> k stmt
+    | None -> Error (Fmt.str "%s: malformed statement id '%s' (expected 12 or s12)" what tok)
+  in
+  match tokens line with
+  | [] -> Error "empty query"
+  | [ "alias"; func; sid; p; q ] ->
+      stmt_or "alias" sid (fun stmt -> Ok (Alias_q { func; stmt; p; q }))
+  | "alias" :: _ -> Error "alias expects: alias <func> <stmt> <p> <q>"
+  | [ "pts"; func; sid; var ] -> stmt_or "pts" sid (fun stmt -> Ok (Pts_q { func; stmt; var }))
+  | "pts" :: _ -> Error "pts expects: pts <func> <stmt> <var>"
+  | [ "calls"; sid ] -> stmt_or "calls" sid (fun stmt -> Ok (Calls_q { stmt }))
+  | "calls" :: _ -> Error "calls expects: calls <stmt>"
+  | kw :: _ -> Error (Fmt.str "unknown query '%s' (expected alias, pts or calls)" kw)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let find_func (res : Analysis.result) name =
+  match Ir.find_func res.Analysis.prog name with
+  | Some fn -> Ok fn
+  | None -> Error (Fmt.str "unknown function '%s'" name)
+
+(** Resolve a variable name as seen from [fn]; functions are named
+    constants, not variables, and are rejected here. *)
+let find_var (res : Analysis.result) fn name =
+  let tenv = res.Analysis.tenv in
+  match Tenv.var_info tenv fn name with
+  | Some (kind, ty) -> Ok (Loc.var name kind, ty)
+  | None when Tenv.is_func_name tenv name ->
+      Error (Fmt.str "'%s' is a function, not a variable" name)
+  | None -> Error (Fmt.str "unknown variable '%s' in function '%s'" name fn.Ir.fn_name)
+
+(** The function whose body contains statement [sid], with the statement
+    itself. *)
+let find_stmt (res : Analysis.result) sid =
+  let found =
+    List.find_map
+      (fun fn ->
+        Ir.fold_func
+          (fun acc s -> if s.Ir.s_id = sid then Some (fn, s) else acc)
+          None fn)
+      res.Analysis.prog.Ir.funcs
+  in
+  match found with
+  | Some fs -> Ok fs
+  | None -> Error (Fmt.str "no statement s%d in the program" sid)
+
+let show_targets (tgts : (Loc.t * Pts.cert) list) =
+  let tgts =
+    List.filter (fun (l, _) -> not (Loc.is_null l)) tgts
+    |> List.sort (fun (a, _) (b, _) -> Loc.compare a b)
+  in
+  Fmt.str "{%a}"
+    (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (l, c) ->
+         Fmt.pf ppf "%a/%s" Loc.pp l (Pts.cert_to_string c)))
+    tgts
+
+let answer (res : Analysis.result) (q : t) : (string, string) result =
+  match q with
+  | Alias_q { func; stmt; p; q } ->
+      let* fn = find_func res func in
+      let* (_ : Loc.t * Cfront.Ctype.t) = find_var res fn p in
+      let* (_ : Loc.t * Cfront.Ctype.t) = find_var res fn q in
+      Ok (Queries.verdict_to_string (Queries.derefs_alias res fn stmt p q))
+  | Pts_q { func; stmt; var } ->
+      let* fn = find_func res func in
+      let* base, ty = find_var res fn var in
+      (* aggregates keep their pairs on contained cells (head/tail of
+         arrays, pointer fields of structs), so expand to those *)
+      let cells =
+        match Tenv.pointer_cells res.Analysis.tenv base ty with
+        | [] -> [ (base, ty) ]
+        | cells -> cells
+      in
+      let pts = Analysis.pts_at res stmt in
+      Ok
+        (List.map
+           (fun (cell, _) ->
+             Fmt.str "%a -> %s" Loc.pp cell (show_targets (Pts.targets cell pts)))
+           cells
+        |> String.concat "; ")
+  | Calls_q { stmt } ->
+      let* fn, s = find_stmt res stmt in
+      let* callee =
+        match s.Ir.s_desc with
+        | Ir.Scall (_, callee, _) -> Ok callee
+        | _ -> Error (Fmt.str "statement s%d is not a call" stmt)
+      in
+      let targets =
+        match callee with
+        | Ir.Cdirect f -> [ f ]
+        | Ir.Cindirect fref ->
+            (* Figure 5: the invocable functions are exactly the pointer's
+               current function targets *)
+            let pts = Analysis.pts_at res stmt in
+            Loc.Map.fold
+              (fun l _ acc -> match l with Loc.Fun f -> f :: acc | _ -> acc)
+              (Lval.rvals_ref res.Analysis.tenv fn pts fref)
+              []
+            |> List.sort_uniq String.compare
+      in
+      Ok
+        (Fmt.str "s%d -> {%a}" stmt
+           (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+           targets)
+
+let run res line =
+  let* q = parse line in
+  answer res q

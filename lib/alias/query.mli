@@ -1,0 +1,43 @@
+(** A small textual query language over persisted points-to results —
+    the demand side of the analyze-once / query-many layer.
+
+    One analysis result answers many queries (paper §6.1 lists the
+    consumers: dependence testing, call-graph construction, pointer
+    replacement); this module parses one-line queries and dispatches
+    them against a {!Pointsto.Analysis.result}, loaded from the disk
+    cache by the CLI ([ptan query] / [ptan batch]).
+
+    {2 Grammar}
+
+    Tokens are whitespace-separated; statement ids accept both [12] and
+    the [s12] form the CLI prints:
+
+    {v
+    alias <func> <stmt> <p> <q>   verdict for the dereferences *p, *q
+                                  at <stmt> of <func>
+    pts <func> <stmt> <var>       points-to targets of <var> at <stmt>
+                                  (NULL targets excluded)
+    calls <stmt>                  functions callable at call site <stmt>
+    v} *)
+
+module Analysis = Pointsto.Analysis
+
+type t =
+  | Alias_q of { func : string; stmt : int; p : string; q : string }
+      (** [alias]: {!Queries.derefs_alias} verdict *)
+  | Pts_q of { func : string; stmt : int; var : string }
+      (** [pts]: targets of a named variable at a statement *)
+  | Calls_q of { stmt : int }
+      (** [calls]: resolved target set of a (direct or indirect) call *)
+
+(** Parse one query line. [Error] carries a human-readable reason
+    (unknown keyword, wrong arity, malformed statement id). *)
+val parse : string -> (t, string) result
+
+(** Answer a parsed query. [Error] carries a semantic failure: unknown
+    function or variable, no such statement, statement not a call. The
+    [Ok] text is deterministic (targets sorted by location order). *)
+val answer : Analysis.result -> t -> (string, string) result
+
+(** [run res line]: {!parse} then {!answer}. *)
+val run : Analysis.result -> string -> (string, string) result

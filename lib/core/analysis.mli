@@ -1,5 +1,18 @@
 (** Top-level driver for the context-sensitive interprocedural points-to
-    analysis. *)
+    analysis.
+
+    [analyze] (or the [of_string]/[of_file] conveniences, which run the
+    front end and simplifier first) computes the full interprocedural
+    fixed point — invocation graph construction, map/unmap of points-to
+    information across calls, function-pointer resolution — and returns
+    a {!result}: the self-contained value every consumer works from
+    (statistics in {!Stats}, alias pairs and demand queries in the
+    [alias] library, pointer replacement in [transforms], the companion
+    heap analysis, constant propagation).
+
+    Results are immutable once returned and can be persisted to disk and
+    loaded back bit-identically by {!Persist} — the analyze-once /
+    query-many layer behind the [ptan] disk cache. *)
 
 module Ir = Simple_ir.Ir
 module Ig = Invocation_graph

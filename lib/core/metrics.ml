@@ -40,10 +40,15 @@ type t = {
   (* map/unmap (§4.1) *)
   mutable map_calls : int;
   mutable unmap_calls : int;
+  (* result cache ({!Persist}) *)
+  mutable cache_hits : int;  (** results served from the disk cache *)
+  mutable cache_misses : int;  (** cache lookups that fell back to analysis *)
   (* per-phase wall-clock time, seconds *)
   mutable t_map : float;  (** in {!Map_unmap.map_call} *)
   mutable t_unmap : float;  (** in {!Map_unmap.unmap_call} *)
   mutable t_analysis : float;  (** whole {!Analysis.analyze} run *)
+  mutable t_serialize : float;  (** in {!Persist.save} *)
+  mutable t_deserialize : float;  (** in {!Persist.load} *)
 }
 
 let create () =
@@ -65,9 +70,13 @@ let create () =
     memo_hits = 0;
     map_calls = 0;
     unmap_calls = 0;
+    cache_hits = 0;
+    cache_misses = 0;
     t_map = 0.;
     t_unmap = 0.;
     t_analysis = 0.;
+    t_serialize = 0.;
+    t_deserialize = 0.;
   }
 
 (** The global accumulator the analysis modules bump. *)
@@ -91,9 +100,13 @@ let reset () =
   cur.memo_hits <- 0;
   cur.map_calls <- 0;
   cur.unmap_calls <- 0;
+  cur.cache_hits <- 0;
+  cur.cache_misses <- 0;
   cur.t_map <- 0.;
   cur.t_unmap <- 0.;
-  cur.t_analysis <- 0.
+  cur.t_analysis <- 0.;
+  cur.t_serialize <- 0.;
+  cur.t_deserialize <- 0.
 
 let snapshot () = { cur with merges = cur.merges }
 
@@ -111,7 +124,8 @@ let pp ppf (m : t) =
      equality checks:      %d (%.1f%% fast-path)@,\
      covering checks:      %d (%.1f%% fast-path)@,\
      map/unmap calls:      %d/%d@,\
-     memo hit rate:        %d/%d (%.1f%%)@]"
+     memo hit rate:        %d/%d (%.1f%%)@,\
+     result cache:         %d hits, %d misses (save %.3f ms, load %.3f ms)@]"
     (m.t_analysis *. 1e3) (m.t_map *. 1e3) (m.t_unmap *. 1e3) m.bodies m.loop_iters
     m.rec_iters m.assigns m.kills m.weakens m.gens m.merges
     (ratio m.merge_fast m.merges)
@@ -121,3 +135,4 @@ let pp ppf (m : t) =
     (ratio m.covered_fast m.covered_checks)
     m.map_calls m.unmap_calls m.memo_hits m.memo_lookups
     (ratio m.memo_hits m.memo_lookups)
+    m.cache_hits m.cache_misses (m.t_serialize *. 1e3) (m.t_deserialize *. 1e3)

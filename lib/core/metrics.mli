@@ -22,9 +22,13 @@ type t = {
   mutable memo_hits : int;
   mutable map_calls : int;
   mutable unmap_calls : int;
+  mutable cache_hits : int;  (** results served from the {!Persist} disk cache *)
+  mutable cache_misses : int;  (** cache lookups that fell back to a fresh analysis *)
   mutable t_map : float;  (** seconds in {!Map_unmap.map_call} *)
   mutable t_unmap : float;
   mutable t_analysis : float;  (** whole-analysis wall-clock seconds *)
+  mutable t_serialize : float;  (** seconds in {!Persist.save} *)
+  mutable t_deserialize : float;  (** seconds in {!Persist.load} *)
 }
 
 val create : unit -> t

@@ -1,0 +1,641 @@
+(** Persisted analysis results (see persist.mli).
+
+    Encoding conventions: non-negative integers are unsigned LEB128
+    varints; strings are length-prefixed; floats are IEEE-754 bits,
+    little-endian; locations are written once into an interned table and
+    referenced by index (an entry only references earlier entries, so
+    the table decodes in one left-to-right pass). The file layout is
+
+    {v magic | version | key digest | loc table | payload v}
+
+    where the payload holds the marshalled SIMPLE program (plain data,
+    no closures — re-lowering the source would double the warm-load
+    cost), an interned table of the distinct points-to sets (the engine
+    reaches a steady state, so most statements share one of a few dozen
+    sets; each is written once, grouped by source location), the
+    per-statement set references, the entry output, warnings, the
+    sharing counters, the metrics snapshot, and the invocation graph in
+    pre-order. The header carries a digest of the payload, verified
+    before any decoding (in particular before [Marshal.from_string],
+    which is not robust against corrupt input). Every decode path
+    bounds-checks and raises {!Bad}, which [load] maps to [None] — a
+    stale or corrupt cache entry degrades to a cache miss, never to a
+    wrong answer. *)
+
+module Ir = Simple_ir.Ir
+module Ig = Invocation_graph
+
+let version = 1
+
+let magic = "PTANC"
+
+(* ------------------------------------------------------------------ *)
+(* Primitive writers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let w_u b n =
+  assert (n >= 0);
+  let rec go n =
+    if n < 0x80 then Buffer.add_char b (Char.chr n)
+    else begin
+      Buffer.add_char b (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let w_str b s =
+  w_u b (String.length s);
+  Buffer.add_string b s
+
+let w_float b f = Buffer.add_int64_le b (Int64.bits_of_float f)
+
+(* ------------------------------------------------------------------ *)
+(* Primitive readers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad
+
+type rd = { data : string; mutable pos : int }
+
+let r_byte r =
+  if r.pos >= String.length r.data then raise Bad;
+  let c = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let r_u r =
+  let rec go shift acc =
+    if shift > 56 then raise Bad;
+    let c = r_byte r in
+    let acc = acc lor ((c land 0x7f) lsl shift) in
+    if c land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let r_str r =
+  let n = r_u r in
+  if n < 0 || r.pos + n > String.length r.data then raise Bad;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let r_raw r n =
+  if r.pos + n > String.length r.data then raise Bad;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let r_float r =
+  if r.pos + 8 > String.length r.data then raise Bad;
+  let v = Int64.float_of_bits (String.get_int64_le r.data r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Keys                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let opts_repr (o : Options.t) =
+  Printf.sprintf "sym=%d;arith=%b;ctx=%b;def=%b;stats=%b;share=%b;site=%b"
+    o.Options.max_sym_depth o.Options.pointer_arith_stays o.Options.context_sensitive
+    o.Options.use_definite o.Options.record_stats o.Options.share_contexts
+    o.Options.heap_by_site
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let key ~source ~opts ~entry =
+  let content = read_file source in
+  Digest.to_hex
+    (Digest.string (Printf.sprintf "%d\x00%s\x00%s\x00%s" version content (opts_repr opts) entry))
+
+(* ------------------------------------------------------------------ *)
+(* Location table                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type loc_enc = {
+  tbl : (Loc.t, int) Hashtbl.t;
+  buf : Buffer.t;  (** table entries, in index order *)
+  mutable next : int;
+}
+
+let kind_int = function Loc.Kglobal -> 0 | Loc.Klocal -> 1 | Loc.Kparam -> 2
+
+let kind_of_int = function
+  | 0 -> Loc.Kglobal
+  | 1 -> Loc.Klocal
+  | 2 -> Loc.Kparam
+  | _ -> raise Bad
+
+(** Index of [l] in the table, appending its entry (sub-locations
+    first) on first sight. *)
+let rec loc_idx e (l : Loc.t) : int =
+  match Hashtbl.find_opt e.tbl l with
+  | Some i -> i
+  | None ->
+      let b = e.buf in
+      let finish () =
+        let i = e.next in
+        e.next <- i + 1;
+        Hashtbl.add e.tbl l i;
+        i
+      in
+      (match l with
+      | Loc.Var (n, k) ->
+          Buffer.add_char b '\000';
+          w_str b n;
+          Buffer.add_char b (Char.chr (kind_int k));
+          finish ()
+      | Loc.Fld (base, f) ->
+          let bi = loc_idx e base in
+          Buffer.add_char b '\001';
+          w_u b bi;
+          w_str b f;
+          finish ()
+      | Loc.Head base ->
+          let bi = loc_idx e base in
+          Buffer.add_char b '\002';
+          w_u b bi;
+          finish ()
+      | Loc.Tail base ->
+          let bi = loc_idx e base in
+          Buffer.add_char b '\003';
+          w_u b bi;
+          finish ()
+      | Loc.Sym base ->
+          let bi = loc_idx e base in
+          Buffer.add_char b '\004';
+          w_u b bi;
+          finish ()
+      | Loc.Heap ->
+          Buffer.add_char b '\005';
+          finish ()
+      | Loc.Site i ->
+          Buffer.add_char b '\006';
+          w_u b i;
+          finish ()
+      | Loc.Null ->
+          Buffer.add_char b '\007';
+          finish ()
+      | Loc.Str ->
+          Buffer.add_char b '\008';
+          finish ()
+      | Loc.Fun f ->
+          Buffer.add_char b '\009';
+          w_str b f;
+          finish ()
+      | Loc.Ret f ->
+          Buffer.add_char b '\010';
+          w_str b f;
+          finish ())
+
+(** Decode the table into an array of interned locations. *)
+let r_loc_table r : Loc.t array =
+  let n = r_u r in
+  let arr = Array.make n (Loc.intern Loc.Heap) in
+  let earlier i =
+    if i < 0 || i >= n then raise Bad;
+    arr.(i)
+  in
+  for i = 0 to n - 1 do
+    let l =
+      match r_byte r with
+      | 0 ->
+          let name = r_str r in
+          Loc.var name (kind_of_int (r_byte r))
+      | 1 ->
+          let base = earlier (r_u r) in
+          Loc.fld base (r_str r)
+      | 2 -> Loc.head (earlier (r_u r))
+      | 3 -> Loc.tail (earlier (r_u r))
+      | 4 -> Loc.sym (earlier (r_u r))
+      | 5 -> Loc.intern Loc.Heap
+      | 6 -> Loc.site (r_u r)
+      | 7 -> Loc.intern Loc.Null
+      | 8 -> Loc.intern Loc.Str
+      | 9 -> Loc.func (r_str r)
+      | 10 -> Loc.ret (r_str r)
+      | _ -> raise Bad
+    in
+    arr.(i) <- l
+  done;
+  arr
+
+let r_loc (arr : Loc.t array) r : Loc.t =
+  let i = r_u r in
+  if i < 0 || i >= Array.length arr then raise Bad;
+  arr.(i)
+
+(* ------------------------------------------------------------------ *)
+(* Points-to sets, states, map info                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Table of distinct rows — a row is one source and its target map.
+    Related sets share physically equal submaps (functional updates
+    leave untouched sources alone), so across the whole result a few
+    hundred rows cover thousands of (statement, source) occurrences;
+    each is written and decoded exactly once, and decoded sets share the
+    decoded maps. *)
+type row_enc = {
+  rw_tbl : (int, (Loc.t * Pts.cert Loc.Map.t * int) list) Hashtbl.t;
+      (** (source, cardinality) hash -> entries *)
+  rw_buf : Buffer.t;
+  mutable rw_next : int;
+}
+
+let row_idx e rw (src : Loc.t) (m : Pts.cert Loc.Map.t) : int =
+  let h = Hashtbl.hash src lxor (Loc.Map.cardinal m * 65599) in
+  let bucket = Option.value ~default:[] (Hashtbl.find_opt rw.rw_tbl h) in
+  match
+    List.find_opt
+      (fun (src', m', _) -> src' == src && (m' == m || Loc.Map.equal ( = ) m' m))
+      bucket
+  with
+  | Some (_, _, i) -> i
+  | None ->
+      let b = rw.rw_buf in
+      w_u b (loc_idx e src);
+      w_u b (Loc.Map.cardinal m);
+      Loc.Map.iter
+        (fun tgt c ->
+          w_u b (loc_idx e tgt);
+          Buffer.add_char b (match c with Pts.D -> '\001' | Pts.P -> '\000'))
+        m;
+      let i = rw.rw_next in
+      rw.rw_next <- i + 1;
+      Hashtbl.replace rw.rw_tbl h ((src, m, i) :: bucket);
+      i
+
+let r_row_table arr r : (Loc.t * Pts.cert Loc.Map.t) array =
+  let n = r_u r in
+  let rows = Array.make n (Loc.intern Loc.Heap, Loc.Map.empty) in
+  for i = 0 to n - 1 do
+    let src = r_loc arr r in
+    let nt = r_u r in
+    let m = ref Loc.Map.empty in
+    for _ = 1 to nt do
+      let tgt = r_loc arr r in
+      let c = match r_byte r with 1 -> Pts.D | 0 -> Pts.P | _ -> raise Bad in
+      m := Loc.Map.add tgt c !m
+    done;
+    rows.(i) <- (src, !m)
+  done;
+  rows
+
+(** One set: its rows in source order, by reference into the row
+    table. Decoding costs one {!Pts.add_map} per row, over a shared,
+    already-built map. *)
+let w_set e rw b (s : Pts.t) =
+  let n = ref 0 in
+  Pts.iter_srcs (fun _ _ -> incr n) s;
+  w_u b !n;
+  Pts.iter_srcs (fun src m -> w_u b (row_idx e rw src m)) s
+
+let r_set (rows : (Loc.t * Pts.cert Loc.Map.t) array) r : Pts.t =
+  let n = r_u r in
+  let s = ref Pts.empty in
+  for _ = 1 to n do
+    let i = r_u r in
+    if i < 0 || i >= Array.length rows then raise Bad;
+    let src, m = rows.(i) in
+    s := Pts.add_map src m !s
+  done;
+  !s
+
+(** Table of distinct points-to sets, interned by structural equality
+    (bucketed by cardinality; {!Pts.equal} answers shared or equal sets
+    cheaply). A fixed point leaves most statements of a function with
+    the same final set, so the table is far smaller than the statement
+    count. *)
+type set_enc = {
+  s_tbl : (int, (Pts.t * int) list) Hashtbl.t;  (** cardinality -> entries *)
+  s_buf : Buffer.t;
+  mutable s_next : int;
+}
+
+let set_idx e rw se (s : Pts.t) : int =
+  let card = Pts.cardinal s in
+  let bucket = Option.value ~default:[] (Hashtbl.find_opt se.s_tbl card) in
+  match List.find_opt (fun (s', _) -> Pts.equal s' s) bucket with
+  | Some (_, i) -> i
+  | None ->
+      w_set e rw se.s_buf s;
+      let i = se.s_next in
+      se.s_next <- i + 1;
+      Hashtbl.replace se.s_tbl card ((s, i) :: bucket);
+      i
+
+let r_set_table rows r : Pts.t array =
+  let n = r_u r in
+  let sets = Array.make n Pts.empty in
+  for i = 0 to n - 1 do
+    sets.(i) <- r_set rows r
+  done;
+  sets
+
+let r_set_ref (sets : Pts.t array) r : Pts.t =
+  let i = r_u r in
+  if i < 0 || i >= Array.length sets then raise Bad;
+  sets.(i)
+
+let w_state e rw se b (st : Pts.state) =
+  match st with None -> w_u b 0 | Some s -> w_u b (set_idx e rw se s + 1)
+
+let r_state sets r : Pts.state =
+  match r_u r with
+  | 0 -> None
+  | k ->
+      if k - 1 >= Array.length sets then raise Bad;
+      Some sets.(k - 1)
+
+let w_map_info e b (mi : Ig.map_info) =
+  w_u b (List.length mi);
+  List.iter
+    (fun (l, ls) ->
+      w_u b (loc_idx e l);
+      w_u b (List.length ls);
+      List.iter (fun l' -> w_u b (loc_idx e l')) ls)
+    mi
+
+let r_list r f =
+  let n = r_u r in
+  let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (f () :: acc) in
+  go n []
+
+let r_map_info arr r : Ig.map_info =
+  r_list r (fun () ->
+      let l = r_loc arr r in
+      let ls = r_list r (fun () -> r_loc arr r) in
+      (l, ls))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let w_metrics b (m : Metrics.t) =
+  List.iter (w_u b)
+    [
+      m.Metrics.merges; m.merge_fast; m.equal_checks; m.equal_fast; m.covered_checks;
+      m.covered_fast; m.assigns; m.kills; m.weakens; m.gens; m.loop_iters; m.rec_iters;
+      m.bodies; m.memo_lookups; m.memo_hits; m.map_calls; m.unmap_calls; m.cache_hits;
+      m.cache_misses;
+    ];
+  List.iter (w_float b) [ m.t_map; m.t_unmap; m.t_analysis; m.t_serialize; m.t_deserialize ]
+
+let r_metrics r : Metrics.t =
+  let m = Metrics.create () in
+  m.Metrics.merges <- r_u r;
+  m.merge_fast <- r_u r;
+  m.equal_checks <- r_u r;
+  m.equal_fast <- r_u r;
+  m.covered_checks <- r_u r;
+  m.covered_fast <- r_u r;
+  m.assigns <- r_u r;
+  m.kills <- r_u r;
+  m.weakens <- r_u r;
+  m.gens <- r_u r;
+  m.loop_iters <- r_u r;
+  m.rec_iters <- r_u r;
+  m.bodies <- r_u r;
+  m.memo_lookups <- r_u r;
+  m.memo_hits <- r_u r;
+  m.map_calls <- r_u r;
+  m.unmap_calls <- r_u r;
+  m.cache_hits <- r_u r;
+  m.cache_misses <- r_u r;
+  m.t_map <- r_float r;
+  m.t_unmap <- r_float r;
+  m.t_analysis <- r_float r;
+  m.t_serialize <- r_float r;
+  m.t_deserialize <- r_float r;
+  m
+
+(* ------------------------------------------------------------------ *)
+(* Invocation graph                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let kind_byte = function Ig.Ordinary -> '\000' | Ig.Recursive -> '\001' | Ig.Approximate -> '\002'
+
+let kind_of_byte = function
+  | 0 -> Ig.Ordinary
+  | 1 -> Ig.Recursive
+  | 2 -> Ig.Approximate
+  | _ -> raise Bad
+
+(** Pre-order: a node's entry precedes its children's, so back-edges
+    ([partner] always points to an ancestor) resolve while decoding. *)
+let rec w_node e rw se b (n : Ig.node) =
+  w_u b n.Ig.id;
+  w_str b n.Ig.func;
+  Buffer.add_char b (kind_byte n.Ig.kind);
+  (match n.Ig.partner with None -> w_u b 0 | Some p -> w_u b (p.Ig.id + 1));
+  w_state e rw se b n.Ig.stored_input;
+  w_state e rw se b n.Ig.stored_output;
+  w_map_info e b n.Ig.map_info;
+  w_u b (List.length n.Ig.children);
+  List.iter
+    (fun (site, c) ->
+      w_u b site;
+      w_node e rw se b c)
+    n.Ig.children
+
+let rec r_node arr sets r ~parent ~(nodes : (int, Ig.node) Hashtbl.t) : Ig.node =
+  let id = r_u r in
+  let func = r_str r in
+  let kind = kind_of_byte (r_byte r) in
+  let partner_id = r_u r in
+  let stored_input = r_state sets r in
+  let stored_output = r_state sets r in
+  let map_info = r_map_info arr r in
+  let node =
+    {
+      Ig.id;
+      func;
+      parent;
+      kind;
+      partner = None;
+      children = [];
+      stored_input;
+      stored_output;
+      pending = [];
+      in_flight = false;
+      map_info;
+    }
+  in
+  Hashtbl.replace nodes id node;
+  if partner_id <> 0 then begin
+    match Hashtbl.find_opt nodes (partner_id - 1) with
+    | Some p -> node.Ig.partner <- Some p
+    | None -> raise Bad
+  end;
+  let children =
+    r_list r (fun () ->
+        let site = r_u r in
+        let c = r_node arr sets r ~parent:(Some node) ~nodes in
+        (site, c))
+  in
+  node.Ig.children <- children;
+  node
+
+(* ------------------------------------------------------------------ *)
+(* Save                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec mkdirs dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdirs parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let save ~source ?(entry = "main") (res : Analysis.result) file =
+  let t0 = Metrics.now () in
+  let opts = res.Analysis.tenv.Tenv.opts in
+  let e = { tbl = Hashtbl.create 1024; buf = Buffer.create 8192; next = 0 } in
+  let rw = { rw_tbl = Hashtbl.create 512; rw_buf = Buffer.create 8192; rw_next = 0 } in
+  let se = { s_tbl = Hashtbl.create 256; s_buf = Buffer.create 8192; s_next = 0 } in
+  let pay = Buffer.create 65536 in
+  let stmts =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) res.Analysis.stmt_pts []
+    |> List.sort compare
+  in
+  w_u pay (List.length stmts);
+  List.iter
+    (fun (id, s) ->
+      w_u pay id;
+      w_u pay (set_idx e rw se s))
+    stmts;
+  w_state e rw se pay res.Analysis.entry_output;
+  w_u pay (List.length res.Analysis.warnings);
+  List.iter (w_str pay) res.Analysis.warnings;
+  w_u pay res.Analysis.share_hits;
+  w_u pay res.Analysis.bodies_analyzed;
+  w_metrics pay res.Analysis.metrics;
+  w_u pay res.Analysis.graph.Ig.n_nodes;
+  w_node e rw se pay res.Analysis.graph.Ig.root;
+  let body = Buffer.create (Buffer.length e.buf + Buffer.length pay + 65536) in
+  w_str body (Marshal.to_string res.Analysis.prog []);
+  w_u body e.next;
+  Buffer.add_buffer body e.buf;
+  w_u body rw.rw_next;
+  Buffer.add_buffer body rw.rw_buf;
+  w_u body se.s_next;
+  Buffer.add_buffer body se.s_buf;
+  Buffer.add_buffer body pay;
+  let body = Buffer.contents body in
+  let out = Buffer.create (String.length body + 64) in
+  Buffer.add_string out magic;
+  w_u out version;
+  Buffer.add_string out (Digest.from_hex (key ~source ~opts ~entry));
+  Buffer.add_string out (Digest.string body);
+  Buffer.add_string out body;
+  mkdirs (Filename.dirname file);
+  let tmp = Filename.temp_file ~temp_dir:(Filename.dirname file) ".ptan" ".tmp" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists tmp then try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc (Buffer.contents out));
+      Sys.rename tmp file);
+  Metrics.cur.Metrics.t_serialize <- Metrics.cur.Metrics.t_serialize +. (Metrics.now () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Load                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let load ~source ?(opts = Options.default) ?(entry = "main") file : Analysis.result option =
+  let t0 = Metrics.now () in
+  let res =
+    try
+      let data = read_file file in
+      let r = { data; pos = 0 } in
+      if r_raw r (String.length magic) <> magic then raise Bad;
+      if r_u r <> version then raise Bad;
+      let stored_key = r_raw r 16 in
+      if stored_key <> Digest.from_hex (key ~source ~opts ~entry) then raise Bad;
+      let body_digest = r_raw r 16 in
+      (* authenticate the remaining bytes before decoding anything from
+         them: [Marshal.from_string] below must only ever see bytes this
+         process's [save] wrote *)
+      if body_digest <> Digest.substring data r.pos (String.length data - r.pos) then
+        raise Bad;
+      let prog : Ir.program = Marshal.from_string (r_str r) 0 in
+      let arr = r_loc_table r in
+      let rows = r_row_table arr r in
+      let sets = r_set_table rows r in
+      let n_stmts = r_u r in
+      let stmt_pts = Hashtbl.create (max 16 n_stmts) in
+      for _ = 1 to n_stmts do
+        let id = r_u r in
+        Hashtbl.replace stmt_pts id (r_set_ref sets r)
+      done;
+      let entry_output = r_state sets r in
+      let warnings = r_list r (fun () -> r_str r) in
+      let share_hits = r_u r in
+      let bodies_analyzed = r_u r in
+      let metrics = r_metrics r in
+      let n_nodes = r_u r in
+      let root = r_node arr sets r ~parent:None ~nodes:(Hashtbl.create 64) in
+      if r.pos <> String.length data then raise Bad;
+      let tenv = Tenv.make ~opts prog in
+      Some
+        {
+          Analysis.prog;
+          tenv;
+          graph = { Ig.root; n_nodes };
+          stmt_pts;
+          entry_output;
+          warnings;
+          share_hits;
+          bodies_analyzed;
+          metrics;
+        }
+    with Bad | Failure _ | Invalid_argument _ | Sys_error _ | End_of_file -> None
+  in
+  Metrics.cur.Metrics.t_deserialize <-
+    Metrics.cur.Metrics.t_deserialize +. (Metrics.now () -. t0);
+  res
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let default_cache_dir () =
+  match Sys.getenv_opt "XDG_CACHE_HOME" with
+  | Some d when d <> "" -> Filename.concat d "ptan"
+  | _ -> (
+      match Sys.getenv_opt "HOME" with
+      | Some h when h <> "" -> Filename.concat (Filename.concat h ".cache") "ptan"
+      | _ -> ".ptan-cache")
+
+let cache_file ~cache_dir ~source ~opts ~entry =
+  let base = Filename.remove_extension (Filename.basename source) in
+  Filename.concat cache_dir (Printf.sprintf "%s-%s.ptc" base (key ~source ~opts ~entry))
+
+let analyze_cached ?cache_dir ?(opts = Options.default) ?(entry = "main") source :
+    Analysis.result * bool =
+  let dir = match cache_dir with Some d -> d | None -> default_cache_dir () in
+  let file = try Some (cache_file ~cache_dir:dir ~source ~opts ~entry) with Sys_error _ -> None in
+  let load_attempt =
+    match file with
+    | None -> None
+    | Some f ->
+        let t0 = Metrics.now () in
+        Option.map (fun r -> (r, Metrics.now () -. t0)) (load ~source ~opts ~entry f)
+  in
+  match load_attempt with
+  | Some (res, dt) ->
+      Metrics.cur.Metrics.cache_hits <- Metrics.cur.Metrics.cache_hits + 1;
+      res.Analysis.metrics.Metrics.cache_hits <- res.Analysis.metrics.Metrics.cache_hits + 1;
+      res.Analysis.metrics.Metrics.t_deserialize <-
+        res.Analysis.metrics.Metrics.t_deserialize +. dt;
+      (res, true)
+  | None ->
+      let res = Analysis.of_file ~opts ~entry source in
+      (match file with
+      | None -> ()
+      | Some f -> ( try save ~source ~entry res f with Sys_error _ | Failure _ -> ()));
+      Metrics.cur.Metrics.cache_misses <- Metrics.cur.Metrics.cache_misses + 1;
+      res.Analysis.metrics.Metrics.cache_misses <-
+        res.Analysis.metrics.Metrics.cache_misses + 1;
+      res.Analysis.metrics.Metrics.t_serialize <- Metrics.cur.Metrics.t_serialize;
+      (res, false)

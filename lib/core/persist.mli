@@ -1,0 +1,86 @@
+(** Persisted analysis results: the analyze-once / query-many layer.
+
+    The whole point of a context-sensitive summary (paper §5–6) is that
+    one interprocedural fixed point pays for many downstream consumers —
+    alias queries, pointer replacement, call-graph construction. This
+    module makes the fixed point a durable artifact: a {!result} is
+    serialized to a compact, versioned binary file and later {!load}ed
+    and queried without re-running the analysis.
+
+    {2 Format}
+
+    A saved file carries a magic string, a {!version} number, and a
+    16-byte key digesting the analyzed source text together with the
+    {!Options.t} record and the entry-function name. The payload is an
+    interned {!Loc.t} table (each location written once, referenced by
+    index), the per-statement {!Pts.t} sets, the entry output state, the
+    invocation-graph shape (nodes, kinds, recursive back-edges, stored
+    IN/OUT pairs and map information), and the run's {!Metrics.t}
+    snapshot. Loading re-lowers the (digest-verified) source to rebuild
+    the program and typing environment — parsing is cheap; only the
+    fixed point is worth persisting.
+
+    A load returns [None] — never a wrong answer — when the file is
+    missing, truncated or corrupt, was written by a different {!version}
+    of the format, or keys a different source text, option record or
+    entry function.
+
+    {2 Cache}
+
+    {!analyze_cached} keys files by digest under a cache directory
+    (default [$XDG_CACHE_HOME/ptan] or [~/.cache/ptan]) and is the
+    backend of every [ptan] subcommand; cache traffic is surfaced via
+    {!Metrics} ([cache_hits], [cache_misses], [t_serialize],
+    [t_deserialize]). *)
+
+(** Format version; bumped on any change to the encoding. A version
+    mismatch invalidates a cache file (the reader returns [None]). *)
+val version : int
+
+(** Hex digest keying a saved result: source text content, the full
+    {!Options.t} record, the entry name, and the format {!version}.
+    [source] is the path of the C file. *)
+val key : source:string -> opts:Options.t -> entry:string -> string
+
+(** [save ~source ?entry result file] writes [result] (obtained by
+    analyzing [source] with entry [entry], default ["main"]) to [file]
+    in the versioned binary format. The options are taken from the
+    result's typing environment. Creates parent directories as needed;
+    writes atomically (temp file + rename). Records its cost in
+    {!Metrics.cur}[.t_serialize]. *)
+val save : source:string -> ?entry:string -> Analysis.result -> string -> unit
+
+(** [load ~source ?opts ?entry file] reads a result saved by {!save}.
+    Returns [None] on version or key mismatch (different source content,
+    options or entry) and on any read/decode failure. On success the
+    program is re-lowered from [source] and the result is equivalent to
+    the one originally saved: same per-statement points-to sets, entry
+    output, invocation graph (shape, stored IN/OUT, map information),
+    warnings and counters. Records its cost in
+    {!Metrics.cur}[.t_deserialize]. *)
+val load :
+  source:string -> ?opts:Options.t -> ?entry:string -> string -> Analysis.result option
+
+(** The default cache directory: [$XDG_CACHE_HOME/ptan] when
+    [XDG_CACHE_HOME] is set, else [$HOME/.cache/ptan], else
+    [.ptan-cache] in the working directory. *)
+val default_cache_dir : unit -> string
+
+(** The cache file a (source, options, entry) triple maps to under a
+    cache directory: [dir/<basename>-<key>.ptc]. *)
+val cache_file : cache_dir:string -> source:string -> opts:Options.t -> entry:string -> string
+
+(** [analyze_cached ?cache_dir ?opts ?entry source] serves the analysis
+    result for [source] from the disk cache when a valid entry exists,
+    and otherwise runs {!Analysis.of_file} and populates the cache. The
+    boolean is [true] on a cache hit. The returned result's metrics
+    carry this invocation's cache counters ([cache_hits] /
+    [cache_misses] / [t_serialize] / [t_deserialize]) alongside the
+    counters of the run that originally produced the result. Cache I/O
+    failures degrade to a fresh analysis, never to an error. *)
+val analyze_cached :
+  ?cache_dir:string ->
+  ?opts:Options.t ->
+  ?entry:string ->
+  string ->
+  Analysis.result * bool

@@ -169,6 +169,8 @@ let fold f (s : t) acc =
 
 let iter f (s : t) = LM.iter (fun src m -> LM.iter (fun tgt c -> f src tgt c) m) s.fwd
 
+let iter_srcs f (s : t) = LM.iter f s.fwd
+
 let exists f (s : t) =
   LM.exists (fun src m -> LM.exists (fun tgt c -> f src tgt c) m) s.fwd
 

@@ -63,6 +63,13 @@ val sources : Loc.t -> t -> Loc.Set.t
 
 val fold : (Loc.t -> Loc.t -> cert -> 'a -> 'a) -> t -> 'a -> 'a
 val iter : (Loc.t -> Loc.t -> cert -> unit) -> t -> unit
+
+(** Iterate sources in {!Loc.compare} order, passing each source's
+    target map — the set's own submaps, shared, not copies. Functional
+    updates preserve the submaps of untouched sources, so consumers
+    (e.g. the serializer's row-dedup table) can exploit physical
+    equality across related sets. *)
+val iter_srcs : (Loc.t -> cert Loc.Map.t -> unit) -> t -> unit
 val exists : (Loc.t -> Loc.t -> cert -> bool) -> t -> bool
 val filter : (Loc.t -> Loc.t -> cert -> bool) -> t -> t
 

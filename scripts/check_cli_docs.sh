@@ -1,0 +1,37 @@
+#!/bin/sh
+# Docs-drift check: every ptan subcommand and flag defined in bin/ptan.ml
+# must be documented in docs/CLI.md. Run from the repository root; CI runs
+# this after the build.
+set -eu
+
+src=bin/ptan.ml
+doc=docs/CLI.md
+
+[ -f "$src" ] || { echo "check_cli_docs: $src not found (run from repo root)" >&2; exit 1; }
+[ -f "$doc" ] || { echo "check_cli_docs: $doc not found" >&2; exit 1; }
+
+missing=0
+
+# Subcommands: Cmd.info "name" (the group's own "ptan" included; it must
+# appear in the doc too, which it trivially does).
+for cmd in $(grep -o 'Cmd\.info "[a-z-]*"' "$src" | cut -d'"' -f2 | sort -u); do
+  if ! grep -q "$cmd" "$doc"; then
+    echo "docs/CLI.md: missing subcommand '$cmd'" >&2
+    missing=1
+  fi
+done
+
+# Flags: named arguments, info [ "name" ]. Positional args use info [] and
+# are skipped by the pattern.
+for flag in $(grep -o 'info \[ "[a-z-]*" \]' "$src" | cut -d'"' -f2 | sort -u); do
+  if ! grep -q -- "--$flag" "$doc"; then
+    echo "docs/CLI.md: missing flag '--$flag'" >&2
+    missing=1
+  fi
+done
+
+if [ "$missing" -ne 0 ]; then
+  echo "check_cli_docs: documentation is out of date with bin/ptan.ml" >&2
+  exit 1
+fi
+echo "check_cli_docs: ok"

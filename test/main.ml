@@ -16,4 +16,6 @@ let () =
       Test_soundness.suite;
       Test_extensions.suite;
       Test_benchmarks.suite;
+      Test_persist.suite;
+      Test_queries.suite;
     ]

@@ -538,6 +538,75 @@ let counters () =
   Fmt.pr "interned locations: %d@." (Loc.interned_count ())
 
 (* ------------------------------------------------------------------ *)
+(* Parallel suite analysis                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = Pointsto.Pool
+
+(** Digest covering the Table 3-6 rows, the invocation-graph shape and
+    every per-statement points-to set of a result. The parallel-driver
+    contract is that any [-j] reproduces it bit-identically. *)
+let result_digest r =
+  let stmts =
+    Hashtbl.fold (fun id s acc -> (id, s) :: acc) r.Analysis.stmt_pts []
+    |> List.sort compare
+    |> List.map (fun (id, s) -> Fmt.str "s%d:%a" id Pts.pp s)
+    |> String.concat "\n"
+  in
+  let ig = Stats.ig_stats r in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          [
+            table345_rows r;
+            Fmt.str "%d %d %d %d %d" ig.Stats.ig_nodes ig.Stats.call_sites ig.Stats.n_funcs
+              ig.Stats.n_recursive ig.Stats.n_approximate;
+            stmts;
+          ]))
+
+(** Analyze the whole suite on a pool of [jobs] domains; returns the
+    named results (in suite order) and the wall-clock milliseconds. *)
+let suite_on_pool parsed jobs =
+  Pool.with_pool ~jobs (fun pool ->
+      time (fun () -> Pool.map pool (fun (name, p) -> (name, Analysis.analyze p)) parsed))
+
+let parallel_suite jobs_list =
+  section "Parallel Suite (domain pool over the whole benchmark suite)";
+  let names = Paper_data.names @ [ "livc" ] in
+  (* parse up front so the walls below time only analysis work *)
+  let parsed = List.map (fun name -> (name, prog name)) names in
+  let baseline, t1 = suite_on_pool parsed 1 in
+  let base_digests = List.map (fun (_, r) -> result_digest r) baseline in
+  Fmt.pr "%d programs, %d core(s) recommended by the runtime@.@." (List.length names)
+    (Domain.recommended_domain_count ());
+  Fmt.pr "%-8s %12s %10s %12s@." "jobs" "wall ms" "speedup" "identical";
+  Fmt.pr "%s@." hr;
+  Fmt.pr "%-8d %12.1f %10s %12s@." 1 t1 "1.00x" "-";
+  List.iter
+    (fun jobs ->
+      let rs, t = suite_on_pool parsed jobs in
+      let ident = List.for_all2 (fun (_, r) d -> String.equal (result_digest r) d) rs base_digests in
+      if not ident then Fmt.failwith "parallel suite: -j %d diverged from -j 1" jobs;
+      Fmt.pr "%-8d %12.1f %9.2fx %12s@." jobs t (t1 /. t) "yes")
+    jobs_list;
+  let module M = Pointsto.Metrics in
+  let agg = M.sum (List.map (fun (_, r) -> r.Analysis.metrics) baseline) in
+  Fmt.pr "@.sub-tree sharing memo (hash-indexed, on by default): %d lookups, %d hits (%.1f%%)@."
+    agg.M.memo_lookups agg.M.memo_hits
+    (M.ratio agg.M.memo_hits agg.M.memo_lookups);
+  Fmt.pr "(speedup is bounded by the cores available to the runtime)@."
+
+(** [-j N] on the command line narrows the parallel section (and the
+    smoke check) to that one pool width. *)
+let argv_jobs () =
+  let rec go i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if String.equal Sys.argv.(i) "-j" then int_of_string_opt Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timings                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -662,6 +731,20 @@ let smoke () =
       if not (String.equal (table345_rows cold) (table345_rows warm)) then
         failwith "persist: loaded result is not bit-identical";
       Fmt.pr "smoke: persisted stanford round trip ok@.");
+  (* drive the domain pool over the full suite and insist the parallel
+     run reproduces the sequential one bit-for-bit *)
+  let jobs = Option.value ~default:4 (argv_jobs ()) in
+  let names = Paper_data.names @ [ "livc" ] in
+  let parsed = List.map (fun name -> (name, prog name)) names in
+  let seq, _ = suite_on_pool parsed 1 in
+  let par, _ = suite_on_pool parsed jobs in
+  List.iter2
+    (fun (name, r1) (_, rj) ->
+      if not (String.equal (result_digest r1) (result_digest rj)) then
+        Fmt.failwith "smoke: %s differs between -j 1 and -j %d" name jobs)
+    seq par;
+  Fmt.pr "smoke: parallel suite (-j %d) identical to sequential on %d programs@." jobs
+    (List.length names);
   Fmt.pr "smoke: ok@."
 
 let () =
@@ -684,6 +767,7 @@ let () =
     extensions ();
     persistence ();
     counters ();
+    parallel_suite (match argv_jobs () with Some n -> [ n ] | None -> [ 2; 4; 8 ]);
     timings ();
     rep_ops ();
     Fmt.pr "@.Done. See EXPERIMENTS.md for the paper-vs-measured discussion.@."

@@ -5,6 +5,7 @@
     - [analyze FILE]   run the analysis and print per-statement points-to
     - [ig FILE]        print the invocation graph
     - [stats FILE]     print the Tables 2-6 statistics for one file
+    - [tables FILES]   the same statistics for many files, [-j N] in parallel
     - [alias FILE]     print alias pairs at the end of main
     - [callgraph FILE] compare call-graph strategies
     - [replace FILE]   show pointer-replacement opportunities
@@ -13,7 +14,12 @@
 
     Analyzing subcommands consult a disk cache of persisted results
     (see {!Pointsto.Persist}); [--cache-dir] relocates it and
-    [--no-cache] bypasses it. *)
+    [--no-cache] bypasses it.
+
+    The parallel modes ([tables -j], [batch -j]) fan work out over a
+    {!Pointsto.Pool} of domains. Analysis state is domain-local, so
+    output is bit-identical to a sequential run; results are printed in
+    input order regardless of which domain finished first. *)
 
 module Ir = Simple_ir.Ir
 module Persist = Pointsto.Persist
@@ -32,13 +38,13 @@ let with_errors f =
       Fmt.epr "error: no entry function '%s'@." e;
       exit 1
 
-let opts_of ~no_context ~no_definite ~sym_depth ~share ~heap_by_site =
+let opts_of ~no_context ~no_definite ~sym_depth ~no_share ~heap_by_site =
   {
     Pointsto.Options.default with
     Pointsto.Options.context_sensitive = not no_context;
     use_definite = not no_definite;
     max_sym_depth = sym_depth;
-    share_contexts = share;
+    share_contexts = not no_share;
     heap_by_site;
   }
 
@@ -56,10 +62,10 @@ let analyze_file ?(opts = Pointsto.Options.default) ?(cache = None) file =
       Pointsto.Analysis.analyze ~opts p
   | Some cache_dir -> fst (Persist.analyze_cached ?cache_dir ~opts file)
 
-let cmd_analyze file cache no_context no_definite sym_depth share heap_by_site show_null
+let cmd_analyze file cache no_context no_definite sym_depth no_share heap_by_site show_null
     show_stats =
   with_errors (fun () ->
-      let opts = opts_of ~no_context ~no_definite ~sym_depth ~share ~heap_by_site in
+      let opts = opts_of ~no_context ~no_definite ~sym_depth ~no_share ~heap_by_site in
       let r = analyze_file ~opts ~cache file in
       List.iter (fun w -> Fmt.pr "warning: %s@." w) r.Pointsto.Analysis.warnings;
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) r.Pointsto.Analysis.stmt_pts []
@@ -67,7 +73,7 @@ let cmd_analyze file cache no_context no_definite sym_depth share heap_by_site s
       |> List.iter (fun (id, s) ->
              let s = if show_null then s else Pointsto.Pts.remove_tgt Pointsto.Loc.Null s in
              Fmt.pr "s%d: %a@." id Pointsto.Pts.pp s);
-      if share then
+      if not no_share then
         Fmt.pr "sub-tree sharing: %d hits, %d body passes@." r.Pointsto.Analysis.share_hits
           r.Pointsto.Analysis.bodies_analyzed;
       if show_stats then Fmt.pr "%a@." Pointsto.Stats.pp_engine_metrics r)
@@ -113,28 +119,72 @@ let cmd_ig file cache =
         st.Pointsto.Stats.n_recursive st.Pointsto.Stats.n_approximate
         st.Pointsto.Stats.avg_per_call_site st.Pointsto.Stats.avg_per_func)
 
+(** The Tables 2-6 report for one analyzed file; shared by [stats] and
+    the multi-file [tables] (whose workers render it off the main
+    domain, hence a formatter rather than direct printing). *)
+let pp_stats_report ppf r =
+  let c = Pointsto.Stats.characteristics r in
+  Fmt.pf ppf "SIMPLE stmts: %d; abstract stack min %d max %d@." c.Pointsto.Stats.c_stmts
+    c.Pointsto.Stats.c_min_vars c.Pointsto.Stats.c_max_vars;
+  let i = Pointsto.Stats.indirect_stats r in
+  let open Pointsto.Stats in
+  Fmt.pf ppf
+    "indirect refs: %d (1D %d/%d, 1P %d/%d, 2P %d/%d, 3P %d/%d, 4+P %d/%d); rep %d; \
+     to-stack %d; to-heap %d; avg %.2f@."
+    i.ind_refs i.one_d.scalar i.one_d.array i.one_p.scalar i.one_p.array i.two_p.scalar
+    i.two_p.array i.three_p.scalar i.three_p.array i.four_plus_p.scalar i.four_plus_p.array
+    i.scalar_rep i.to_stack i.to_heap i.avg;
+  let g = general r in
+  Fmt.pf ppf "pairs: SS %d SH %d HH %d HS %d; avg/stmt %.1f; max/stmt %d@." g.stack_to_stack
+    g.stack_to_heap g.heap_to_heap g.heap_to_stack g.avg_per_stmt g.max_per_stmt;
+  let s = ig_stats r in
+  Fmt.pf ppf "IG: nodes %d sites %d funcs %d R %d A %d Avgc %.2f Avgf %.2f@." s.ig_nodes
+    s.call_sites s.n_funcs s.n_recursive s.n_approximate s.avg_per_call_site s.avg_per_func;
+  Fmt.pf ppf "%a@." Pointsto.Stats.pp_engine_metrics r
+
 let cmd_stats file cache =
   with_errors (fun () ->
       let r = analyze_file ~cache file in
-      let c = Pointsto.Stats.characteristics r in
-      Fmt.pr "SIMPLE stmts: %d; abstract stack min %d max %d@." c.Pointsto.Stats.c_stmts
-        c.Pointsto.Stats.c_min_vars c.Pointsto.Stats.c_max_vars;
-      let i = Pointsto.Stats.indirect_stats r in
-      let open Pointsto.Stats in
-      Fmt.pr
-        "indirect refs: %d (1D %d/%d, 1P %d/%d, 2P %d/%d, 3P %d/%d, 4+P %d/%d); rep %d; \
-         to-stack %d; to-heap %d; avg %.2f@."
-        i.ind_refs i.one_d.scalar i.one_d.array i.one_p.scalar i.one_p.array i.two_p.scalar
-        i.two_p.array i.three_p.scalar i.three_p.array i.four_plus_p.scalar i.four_plus_p.array
-        i.scalar_rep i.to_stack i.to_heap i.avg;
-      let g = general r in
-      Fmt.pr "pairs: SS %d SH %d HH %d HS %d; avg/stmt %.1f; max/stmt %d@." g.stack_to_stack
-        g.stack_to_heap g.heap_to_heap g.heap_to_stack g.avg_per_stmt g.max_per_stmt;
-      let s = ig_stats r in
-      Fmt.pr "IG: nodes %d sites %d funcs %d R %d A %d Avgc %.2f Avgf %.2f@." s.ig_nodes
-        s.call_sites s.n_funcs s.n_recursive s.n_approximate s.avg_per_call_site
-        s.avg_per_func;
-      Fmt.pr "%a@." Pointsto.Stats.pp_engine_metrics r)
+      Fmt.pr "%a" pp_stats_report r)
+
+(** Render an analysis failure the way {!with_errors} reports it, for
+    the per-file handling in [tables] where one bad file must not kill
+    the whole run. *)
+let describe_exn = function
+  | Cfront.Srcloc.Error (loc, m) -> Fmt.str "%a: error: %s" Cfront.Srcloc.pp loc m
+  | Simple_ir.Simplify.Unsupported (loc, m) ->
+      Fmt.str "%a: unsupported: %s" Cfront.Srcloc.pp loc m
+  | Pointsto.Analysis.No_entry e -> Fmt.str "error: no entry function '%s'" e
+  | e -> Printexc.to_string e
+
+let cmd_tables files cache jobs show_stats =
+  let task file () =
+    let r = analyze_file ~cache file in
+    (Fmt.str "%a" pp_stats_report r, r.Pointsto.Analysis.metrics)
+  in
+  let results =
+    Pointsto.Pool.with_pool ~jobs (fun pool ->
+        Pointsto.Pool.run_list pool (List.map task files))
+  in
+  let failed = ref 0 in
+  let metrics = ref [] in
+  List.iter2
+    (fun file res ->
+      Fmt.pr "== %s ==@." file;
+      match res with
+      | Ok (report, m) ->
+          metrics := m :: !metrics;
+          Fmt.pr "%s" report
+      | Error e ->
+          incr failed;
+          Fmt.pr "%s@." (describe_exn e))
+    files results;
+  if show_stats then
+    Fmt.pr "@.== aggregate (%d files) ==@.%a@."
+      (List.length !metrics)
+      Pointsto.Metrics.pp
+      (Pointsto.Metrics.sum (List.rev !metrics));
+  if !failed > 0 then exit 1
 
 let cmd_alias file cache =
   with_errors (fun () ->
@@ -175,7 +225,20 @@ let cmd_query file cache words =
           Fmt.epr "error: %s@." e;
           exit 2)
 
-let cmd_batch file cache queries =
+(** Force the lazy components of a result that concurrent readers would
+    otherwise race to build (forcing the same lazy from two domains is a
+    runtime error in OCaml 5): the reverse indexes of every reachable
+    points-to set. After this the result is read-only for queries. *)
+let prime_result r =
+  Hashtbl.iter (fun _ s -> Pointsto.Pts.prime s) r.Pointsto.Analysis.stmt_pts;
+  Option.iter Pointsto.Pts.prime r.Pointsto.Analysis.entry_output;
+  Pointsto.Invocation_graph.fold
+    (fun () n ->
+      Option.iter Pointsto.Pts.prime n.Pointsto.Invocation_graph.stored_input;
+      Option.iter Pointsto.Pts.prime n.Pointsto.Invocation_graph.stored_output)
+    () r.Pointsto.Analysis.graph
+
+let cmd_batch file cache jobs queries =
   with_errors (fun () ->
       let r = analyze_file ~cache file in
       let ic, close_ic =
@@ -187,23 +250,46 @@ let cmd_batch file cache queries =
               Fmt.epr "error: %s@." m;
               exit 1)
       in
-      let failed = ref 0 in
-      let rec loop n =
-        match In_channel.input_line ic with
-        | None -> ()
-        | Some line ->
-            let trimmed = String.trim line in
-            if trimmed <> "" && trimmed.[0] <> '#' then begin
-              match Alias.Query.run r trimmed with
-              | Ok ans -> Fmt.pr "%s => %s@." trimmed ans
-              | Error e ->
-                  incr failed;
-                  Fmt.pr "line %d: error: %s@." n e
-            end;
-            loop (n + 1)
+      let lines =
+        let rec go n acc =
+          match In_channel.input_line ic with
+          | None -> List.rev acc
+          | Some line -> go (n + 1) ((n, line) :: acc)
+        in
+        go 1 []
       in
-      loop 1;
       if close_ic then close_in ic;
+      let todo =
+        List.filter_map
+          (fun (n, line) ->
+            let trimmed = String.trim line in
+            if trimmed = "" || trimmed.[0] = '#' then None else Some (n, trimmed))
+          lines
+      in
+      (* Each query is independent, so answering is a pure map over the
+         one shared (primed) result; printing in input order afterwards
+         keeps the output deterministic whatever the schedule. *)
+      let answer (n, q) =
+        match Alias.Query.run r q with
+        | Ok ans -> Ok (Fmt.str "%s => %s" q ans)
+        | Error e -> Error (Fmt.str "line %d: error: %s" n e)
+      in
+      let answers =
+        if jobs <= 1 then List.map answer todo
+        else begin
+          prime_result r;
+          Pointsto.Pool.with_pool ~jobs (fun pool -> Pointsto.Pool.map pool answer todo)
+        end
+      in
+      let failed = ref 0 in
+      List.iter
+        (fun a ->
+          match a with
+          | Ok s -> Fmt.pr "%s@." s
+          | Error s ->
+              incr failed;
+              Fmt.pr "%s@." s)
+        answers;
       if !failed > 0 then exit 2)
 
 open Cmdliner
@@ -225,8 +311,19 @@ let show_stats =
     value & flag
     & info [ "stats" ] ~doc:"Print per-phase timings and engine operation counters.")
 
-let share =
-  Arg.(value & flag & info [ "share-contexts" ] ~doc:"Memoize IN/OUT pairs across contexts.")
+let no_share =
+  Arg.(
+    value & flag
+    & info [ "no-share-contexts" ]
+        ~doc:
+          "Disable §6 sub-tree sharing (memoized IN/OUT pairs across contexts). Sharing is \
+           on by default and does not change results; this exists for ablation.")
+
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Run on $(docv) domains; results and output order are identical for any $(docv).")
 
 let heap_by_site =
   Arg.(value & flag & info [ "heap-by-site" ] ~doc:"Name heap storage by allocation site.")
@@ -257,7 +354,7 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run points-to analysis")
     Term.(
-      const cmd_analyze $ file_arg $ cache $ no_context $ no_definite $ sym_depth $ share
+      const cmd_analyze $ file_arg $ cache $ no_context $ no_definite $ sym_depth $ no_share
       $ heap_by_site $ show_null $ show_stats)
 
 let heap_cmd =
@@ -278,6 +375,17 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"Print Tables 2-6 statistics")
     Term.(const cmd_stats $ file_arg $ cache)
+
+let files_arg =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"C source files to analyze.")
+
+let tables_cmd =
+  Cmd.v
+    (Cmd.info "tables"
+       ~doc:
+         "Print Tables 2-6 statistics for many files, analyzed on -j domains in parallel; \
+          with --stats, also an aggregated operation/timing table")
+    Term.(const cmd_tables $ files_arg $ cache $ jobs $ show_stats)
 
 let alias_cmd =
   Cmd.v
@@ -319,7 +427,7 @@ let batch_cmd =
     (Cmd.info "batch"
        ~doc:
          "Answer newline-delimited queries from a file or stdin against one loaded result")
-    Term.(const cmd_batch $ file_arg $ cache $ queries_file)
+    Term.(const cmd_batch $ file_arg $ cache $ jobs $ queries_file)
 
 let () =
   let info = Cmd.info "ptan" ~doc:"Context-sensitive interprocedural points-to analysis" in
@@ -331,6 +439,7 @@ let () =
             analyze_cmd;
             ig_cmd;
             stats_cmd;
+            tables_cmd;
             alias_cmd;
             callgraph_cmd;
             replace_cmd;

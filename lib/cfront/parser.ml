@@ -25,6 +25,9 @@ type state = {
   mutable globals : Ast.decl list;  (** reverse order *)
   mutable funcs : Ast.func_def list;  (** reverse order *)
   mutable protos : (string * Ctype.func_sig) list;
+  mutable anon_counter : int;
+      (** tags handed to anonymous structs/unions; per-translation-unit
+          so parses are deterministic under parallel drivers *)
 }
 
 let make_state lexbuf =
@@ -37,6 +40,7 @@ let make_state lexbuf =
     globals = [];
     funcs = [];
     protos = [];
+    anon_counter = 0;
   }
 
 let loc_of st = Srcloc.of_lexbuf st.lexbuf
@@ -90,11 +94,9 @@ let starts_decl st tok =
 
 type specifiers = { spec_ty : Ctype.t; spec_typedef : bool }
 
-let anon_counter = ref 0
-
-let fresh_anon_tag prefix =
-  incr anon_counter;
-  Printf.sprintf "%s$%d" prefix !anon_counter
+let fresh_anon_tag st prefix =
+  st.anon_counter <- st.anon_counter + 1;
+  Printf.sprintf "%s$%d" prefix st.anon_counter
 
 (* Forward declarations to break the specifier/declarator cycle
    (struct fields and function parameters contain declarators). *)
@@ -187,7 +189,7 @@ and parse_struct_or_union st su : Ctype.t =
     | IDENT s ->
         ignore (advance st);
         s
-    | _ -> fresh_anon_tag (match su with Ctype.Struct_su -> "struct" | _ -> "union")
+    | _ -> fresh_anon_tag st (match su with Ctype.Struct_su -> "struct" | _ -> "union")
   in
   if accept st LBRACE then begin
     let fields = ref [] in

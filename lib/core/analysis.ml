@@ -79,7 +79,7 @@ let analyze ?(opts = Options.default) ?(entry = "main") (prog : Ir.program) : re
       !out
     end
   in
-  Metrics.cur.Metrics.t_analysis <- Metrics.now () -. t0;
+  (Metrics.cur ()).Metrics.t_analysis <- Metrics.now () -. t0;
   {
     prog;
     tenv;

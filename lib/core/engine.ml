@@ -32,8 +32,11 @@ type ctx = {
   ci_in_flight : (string, unit) Hashtbl.t;
   mutable ci_changed : bool;
   (* §6 sub-tree sharing: per-function memo of completed (input, output)
-     pairs, shared across invocation-graph nodes *)
-  share_memo : (string, (Pts.t * Pts.t) list ref) Hashtbl.t;
+     pairs, shared across invocation-graph nodes. Two-level index:
+     function name, then {!Pts.hash} of the input, so a lookup costs one
+     digest plus O(1) expected instead of a [Pts.equal] scan over every
+     stored context. *)
+  share_memo : (string, (int, (Pts.t * Pts.t) list) Hashtbl.t) Hashtbl.t;
   mutable share_hits : int;
   mutable bodies_analyzed : int;
       (** number of times any function body was (re)processed *)
@@ -99,7 +102,7 @@ let record_stmt ctx (s : Ir.stmt) (input : Pts.t) =
     and R-location sets. *)
 let apply_assign (ctx : ctx) (s : Pts.t) (lhs : Lval.locset) (rhs : Lval.locset) : Pts.t =
   let use_definite = ctx.opts.Options.use_definite in
-  let m = Metrics.cur in
+  let m = Metrics.cur () in
   m.Metrics.assigns <- m.Metrics.assigns + 1;
   (* kill: all relationships of definite, singular L-locations *)
   let s =
@@ -247,7 +250,7 @@ and process_loop ctx fn node (s : Pts.t) (l : Ir.loop) : flow =
       (* head state: after evaluating the condition statements *)
       let first = process_list (Some s) l.Ir.l_cond_stmts in
       let rec iterate head ~brk ~ret =
-        Metrics.(cur.loop_iters <- cur.loop_iters + 1);
+        Metrics.((cur ()).loop_iters <- (cur ()).loop_iters + 1);
         let body = process_list head l.Ir.l_body in
         let brk = Pts.merge_state brk body.brk in
         let ret = Pts.merge_state ret body.ret in
@@ -263,7 +266,7 @@ and process_loop ctx fn node (s : Pts.t) (l : Ir.loop) : flow =
       { normal = exit; brk = Pts.bot; cont = Pts.bot; ret }
   | `Do ->
       let rec iterate entry ~brk ~ret =
-        Metrics.(cur.loop_iters <- cur.loop_iters + 1);
+        Metrics.((cur ()).loop_iters <- (cur ()).loop_iters + 1);
         let body = process_list entry l.Ir.l_body in
         let brk = Pts.merge_state brk body.brk in
         let ret = Pts.merge_state ret body.ret in
@@ -505,7 +508,7 @@ and eval_node ctx (node : Ig.node) (callee_fn : Ir.func) (func_input : Pts.t) : 
           match shared_lookup ctx callee_fn.Ir.fn_name func_input with
           | Some out ->
               ctx.share_hits <- ctx.share_hits + 1;
-              Metrics.(cur.memo_hits <- cur.memo_hits + 1);
+              Metrics.((cur ()).memo_hits <- (cur ()).memo_hits + 1);
               node.Ig.stored_input <- Some func_input;
               node.Ig.stored_output <- Some out;
               Some out
@@ -515,12 +518,12 @@ and eval_node ctx (node : Ig.node) (callee_fn : Ir.func) (func_input : Pts.t) : 
               node.Ig.pending <- [];
               node.Ig.in_flight <- true;
               let rec fixpoint ~first =
-                if not first then Metrics.(cur.rec_iters <- cur.rec_iters + 1);
+                if not first then Metrics.((cur ()).rec_iters <- (cur ()).rec_iters + 1);
                 let cur_input =
                   match node.Ig.stored_input with Some s -> s | None -> func_input
                 in
                 ctx.bodies_analyzed <- ctx.bodies_analyzed + 1;
-                Metrics.(cur.bodies <- cur.bodies + 1);
+                Metrics.((cur ()).bodies <- (cur ()).bodies + 1);
                 let fl =
                   process_stmts ctx callee_fn node (Some cur_input) callee_fn.Ir.fn_body
                 in
@@ -554,27 +557,34 @@ and eval_node ctx (node : Ig.node) (callee_fn : Ir.func) (func_input : Pts.t) : 
 and shared_lookup ctx fname (input : Pts.t) : Pts.t option =
   if not ctx.opts.Options.share_contexts then None
   else begin
-    Metrics.(cur.memo_lookups <- cur.memo_lookups + 1);
+    Metrics.((cur ()).memo_lookups <- (cur ()).memo_lookups + 1);
     match Hashtbl.find_opt ctx.share_memo fname with
     | None -> None
-    | Some entries ->
-        List.find_map
-          (fun (i, o) -> if Pts.equal i input then Some o else None)
-          !entries
+    | Some by_hash -> (
+        (* hash bucket first: [Pts.equal] runs only on digest collisions
+           (in practice, on the one stored entry with this input) *)
+        match Hashtbl.find_opt by_hash (Pts.hash input) with
+        | None -> None
+        | Some entries ->
+            List.find_map
+              (fun (i, o) -> if Pts.equal i input then Some o else None)
+              entries)
   end
 
 and shared_record ctx fname (input : Pts.t) (output : Pts.t) : unit =
   if ctx.opts.Options.share_contexts then begin
-    let entries =
+    let by_hash =
       match Hashtbl.find_opt ctx.share_memo fname with
-      | Some r -> r
+      | Some t -> t
       | None ->
-          let r = ref [] in
-          Hashtbl.replace ctx.share_memo fname r;
-          r
+          let t = Hashtbl.create 16 in
+          Hashtbl.replace ctx.share_memo fname t;
+          t
     in
-    if not (List.exists (fun (i, _) -> Pts.equal i input) !entries) then
-      entries := (input, output) :: !entries
+    let h = Pts.hash input in
+    let entries = Option.value ~default:[] (Hashtbl.find_opt by_hash h) in
+    if not (List.exists (fun (i, _) -> Pts.equal i input) entries) then
+      Hashtbl.replace by_hash h ((input, output) :: entries)
   end
 
 (** Context-insensitive ablation: one merged IN/OUT pair per function;

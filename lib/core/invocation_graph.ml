@@ -48,9 +48,14 @@ type t = {
   mutable n_nodes : int;
 }
 
-let node_counter = ref 0
+(* Node ids are assigned from a domain-local counter, reset by {!build}:
+   an analysis runs wholly on one domain, so ids depend only on the
+   program under analysis — never on what other domains (or earlier
+   analyses on this one) did. *)
+let node_counter : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_node ~func ~parent ~kind =
+  let node_counter = Domain.DLS.get node_counter in
   incr node_counter;
   {
     id = !node_counter;
@@ -129,6 +134,7 @@ let add_indirect_child tenv node stmt_id fname : node =
       child
 
 let build (tenv : Tenv.t) ~(entry : string) : t =
+  let node_counter = Domain.DLS.get node_counter in
   node_counter := 0;
   let root = grow tenv ~parent:None entry in
   { root; n_nodes = !node_counter }

@@ -51,9 +51,16 @@ type t =
    on the engine's hot path. We intern every location into an id-stamped
    table: structurally equal locations share one physical
    representative, so the comparisons below answer most queries with a
-   pointer check instead of a structural walk. The table lives for the
-   whole process — abstract locations are tiny and their vocabulary is
-   bounded by the program under analysis. *)
+   pointer check instead of a structural walk.
+
+   The table is domain-local ([Domain.DLS]): each {!Pool} worker interns
+   into its own table, so the lock-free hot path stays lock-free under
+   parallel analysis. Physical equality is only ever a fast path —
+   [compare]/[equal] fall back to the structural walk — so values built
+   on one domain remain correct (just marginally slower to compare) when
+   consumed on another. A table lives as long as its domain — abstract
+   locations are tiny and their vocabulary is bounded by the programs
+   the domain analyzes. *)
 
 module HT = Hashtbl.Make (struct
   type nonrec t = t
@@ -62,38 +69,51 @@ module HT = Hashtbl.Make (struct
   let hash (l : t) = Hashtbl.hash l
 end)
 
-let intern_tbl : (t * int) HT.t = HT.create 4096
-let next_id = ref 0
+type intern_tbl = { tbl : (t * int) HT.t; mutable next_id : int }
+
+let tbl_key : intern_tbl Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { tbl = HT.create 4096; next_id = 0 })
 
 (** The canonical physical representative of [l] (sub-locations
-    canonicalized too). Idempotent; safe on any location. *)
-let rec intern (l : t) : t =
-  match HT.find_opt intern_tbl l with
-  | Some (c, _) -> c
-  | None ->
-      let canon =
-        match l with
-        | Fld (b, f) -> Fld (intern b, f)
-        | Head b -> Head (intern b)
-        | Tail b -> Tail (intern b)
-        | Sym b -> Sym (intern b)
-        | Var _ | Heap | Site _ | Null | Str | Fun _ | Ret _ -> l
-      in
-      HT.add intern_tbl canon (canon, !next_id);
-      incr next_id;
-      canon
+    canonicalized too) in the calling domain. Idempotent; safe on any
+    location. *)
+let intern (l : t) : t =
+  let it = Domain.DLS.get tbl_key in
+  let rec go l =
+    match HT.find_opt it.tbl l with
+    | Some (c, _) -> c
+    | None ->
+        let canon =
+          match l with
+          | Fld (b, f) -> Fld (go b, f)
+          | Head b -> Head (go b)
+          | Tail b -> Tail (go b)
+          | Sym b -> Sym (go b)
+          | Var _ | Heap | Site _ | Null | Str | Fun _ | Ret _ -> l
+        in
+        HT.add it.tbl canon (canon, it.next_id);
+        it.next_id <- it.next_id + 1;
+        canon
+  in
+  go l
 
-(** The stamp of [l] in the intern table (interning it on demand).
-    Equal locations have equal ids; ids are assigned in first-seen
-    order. *)
+(** The stamp of [l] in the calling domain's intern table (interning it
+    on demand). Equal locations have equal ids within one domain; ids
+    are assigned in first-seen order. *)
 let id (l : t) : int =
-  match HT.find_opt intern_tbl l with
+  let it = Domain.DLS.get tbl_key in
+  match HT.find_opt it.tbl l with
   | Some (_, i) -> i
   | None ->
       let c = intern l in
-      (match HT.find_opt intern_tbl c with Some (_, i) -> i | None -> assert false)
+      (match HT.find_opt it.tbl c with Some (_, i) -> i | None -> assert false)
 
-let interned_count () = !next_id
+let interned_count () = (Domain.DLS.get tbl_key).next_id
+
+(** Structural hash, consistent with {!equal} across domains (interning
+    never changes structure, and [Hashtbl.hash] is depth-limited but
+    deterministic on equal values). *)
+let hash (l : t) : int = Hashtbl.hash l
 
 (* Smart constructors returning interned locations. Use these on hot
    paths; the bare variant constructors remain available (and correct)

@@ -43,23 +43,30 @@ val equal : t -> t -> bool
 
 (** {2 Interning}
 
-    Every location can be interned into a process-wide id-stamped table;
+    Every location can be interned into a domain-local id-stamped table;
     structurally equal locations then share one physical representative,
     so comparisons and [Map]/[Set] operations on the engine's hot path
-    reduce to pointer checks. All smart constructors below return
-    interned locations; the bare variant constructors remain available
-    for pattern matching and cold code. *)
+    reduce to pointer checks. The table is per-domain ([Domain.DLS]):
+    parallel {!Pool} workers intern without locks, and since physical
+    equality is only a fast path, values interned on one domain stay
+    correct when consumed on another. All smart constructors below
+    return interned locations; the bare variant constructors remain
+    available for pattern matching and cold code. *)
 
-(** Canonical physical representative (sub-locations canonicalized too).
-    Idempotent. *)
+(** Canonical physical representative in the calling domain
+    (sub-locations canonicalized too). Idempotent. *)
 val intern : t -> t
 
-(** Stamp of a location in the intern table (interning on demand).
-    Equal locations have equal ids. *)
+(** Stamp of a location in the calling domain's intern table (interning
+    on demand). Equal locations have equal ids within one domain. *)
 val id : t -> int
 
-(** Number of distinct locations interned so far. *)
+(** Number of distinct locations interned so far on the calling domain. *)
 val interned_count : unit -> int
+
+(** Structural hash, consistent with {!equal} (equal locations hash
+    equal, on any domain). *)
+val hash : t -> int
 
 val var : string -> var_kind -> t
 val fld : t -> string -> t

@@ -204,7 +204,7 @@ let null_init tenv l ty acc =
     actuals are allowed for variadic-style calls and map to NULL). *)
 let map_call (tenv : Tenv.t) ~(caller_fn : Ir.func) ~(callee : Ir.func) ~(input : Pts.t)
     ~(actuals : actual list) : Pts.t * info =
-  let m = Metrics.cur in
+  let m = Metrics.cur () in
   m.Metrics.map_calls <- m.Metrics.map_calls + 1;
   let t0 = Metrics.now () in
   let st = make_state tenv caller_fn input in
@@ -352,7 +352,7 @@ let targets_meet (a : Pts.cert Loc.Map.t) (b : Pts.cert Loc.Map.t) =
 
 (** Output points-to set at the call site, from the callee's output. *)
 let unmap_call (_tenv : Tenv.t) ~(input : Pts.t) ~(output : Pts.t) ~(info : info) : Pts.t =
-  let m = Metrics.cur in
+  let m = Metrics.cur () in
   m.Metrics.unmap_calls <- m.Metrics.unmap_calls + 1;
   let t0 = Metrics.now () in
   (* relationships of caller locations out of the callee's reach persist *)

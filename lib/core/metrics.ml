@@ -1,11 +1,18 @@
 (** Engine observability: per-phase timing and work counters.
 
-    A single mutable record accumulates counts from the hot paths of the
-    analysis — the points-to lattice operations ({!Pts}), the kill /
-    change / gen rule and the fixed points ({!Engine}), and the call
-    mapping machinery ({!Map_unmap}). {!Analysis.analyze} resets the
-    record on entry and stores a {!snapshot} in its result, so every
-    result carries the exact work its computation performed.
+    One mutable record per domain accumulates counts from the hot paths
+    of the analysis — the points-to lattice operations ({!Pts}), the
+    kill / change / gen rule and the fixed points ({!Engine}), and the
+    call mapping machinery ({!Map_unmap}). {!Analysis.analyze} resets
+    the calling domain's record on entry and stores a {!snapshot} in its
+    result, so every result carries the exact work its computation
+    performed.
+
+    The accumulator is domain-local ({!Domain.DLS}): an analysis runs
+    wholly on one domain, so parallel workers ({!Pool}) never contend on
+    the counters and each produces a coherent snapshot. Aggregate
+    snapshots from several tasks with {!add_into} / {!sum} when one
+    table must cover a whole suite.
 
     The counters are deliberately cheap (single mutable-int bumps) so
     they can stay enabled in benchmark runs. *)
@@ -79,10 +86,15 @@ let create () =
     t_deserialize = 0.;
   }
 
-(** The global accumulator the analysis modules bump. *)
-let cur = create ()
+(* One accumulator per domain: worker domains spawned by {!Pool} get a
+   fresh record on first use, so the hot-path bumps below never race. *)
+let key : t Domain.DLS.key = Domain.DLS.new_key create
+
+(** The calling domain's accumulator. *)
+let cur () = Domain.DLS.get key
 
 let reset () =
+  let cur = cur () in
   cur.merges <- 0;
   cur.merge_fast <- 0;
   cur.equal_checks <- 0;
@@ -108,7 +120,44 @@ let reset () =
   cur.t_serialize <- 0.;
   cur.t_deserialize <- 0.
 
-let snapshot () = { cur with merges = cur.merges }
+let snapshot () =
+  let cur = cur () in
+  { cur with merges = cur.merges }
+
+(** [add_into ~into m]: accumulate every counter and timer of [m] into
+    [into]. Used to aggregate the per-task snapshots of a parallel run
+    into one table; times add up to total CPU-seconds across domains,
+    not wall-clock. *)
+let add_into ~(into : t) (m : t) =
+  into.merges <- into.merges + m.merges;
+  into.merge_fast <- into.merge_fast + m.merge_fast;
+  into.equal_checks <- into.equal_checks + m.equal_checks;
+  into.equal_fast <- into.equal_fast + m.equal_fast;
+  into.covered_checks <- into.covered_checks + m.covered_checks;
+  into.covered_fast <- into.covered_fast + m.covered_fast;
+  into.assigns <- into.assigns + m.assigns;
+  into.kills <- into.kills + m.kills;
+  into.weakens <- into.weakens + m.weakens;
+  into.gens <- into.gens + m.gens;
+  into.loop_iters <- into.loop_iters + m.loop_iters;
+  into.rec_iters <- into.rec_iters + m.rec_iters;
+  into.bodies <- into.bodies + m.bodies;
+  into.memo_lookups <- into.memo_lookups + m.memo_lookups;
+  into.memo_hits <- into.memo_hits + m.memo_hits;
+  into.map_calls <- into.map_calls + m.map_calls;
+  into.unmap_calls <- into.unmap_calls + m.unmap_calls;
+  into.cache_hits <- into.cache_hits + m.cache_hits;
+  into.cache_misses <- into.cache_misses + m.cache_misses;
+  into.t_map <- into.t_map +. m.t_map;
+  into.t_unmap <- into.t_unmap +. m.t_unmap;
+  into.t_analysis <- into.t_analysis +. m.t_analysis;
+  into.t_serialize <- into.t_serialize +. m.t_serialize;
+  into.t_deserialize <- into.t_deserialize +. m.t_deserialize
+
+let sum (ms : t list) : t =
+  let acc = create () in
+  List.iter (fun m -> add_into ~into:acc m) ms;
+  acc
 
 let now () = Unix.gettimeofday ()
 

@@ -1,8 +1,14 @@
 (** Engine observability: per-phase timing and work counters.
 
-    {!Analysis.analyze} resets the global accumulator {!cur} on entry
-    and stores a {!snapshot} in its result. Surfaced by
-    [ptan analyze --stats], [ptan stats] and the bench harness. *)
+    {!Analysis.analyze} resets the calling domain's accumulator
+    ({!cur}) on entry and stores a {!snapshot} in its result. Surfaced
+    by [ptan analyze --stats], [ptan stats], [ptan tables --stats] and
+    the bench harness.
+
+    The accumulator is domain-local ({!Domain.DLS}): each {!Pool}
+    worker bumps its own record, so parallel analyses never contend and
+    each task's snapshot is coherent. Use {!add_into} / {!sum} to
+    aggregate the snapshots of a multi-task run into one table. *)
 
 type t = {
   mutable merges : int;  (** {!Pts.merge} invocations *)
@@ -33,13 +39,24 @@ type t = {
 
 val create : unit -> t
 
-(** The global accumulator bumped by the analysis modules. *)
-val cur : t
+(** The calling domain's accumulator (created on first use, one record
+    per domain). *)
+val cur : unit -> t
 
+(** Zero the calling domain's accumulator. *)
 val reset : unit -> unit
 
-(** An independent copy of {!cur}. *)
+(** An independent copy of the calling domain's accumulator. *)
 val snapshot : unit -> t
+
+(** Accumulate every counter and timer of the second argument into
+    [into] — the aggregation step that turns per-task snapshots of a
+    parallel run into one coherent table. Summed times are CPU-seconds
+    across domains, not wall-clock. *)
+val add_into : into:t -> t -> unit
+
+(** A fresh record holding the element-wise sum of the snapshots. *)
+val sum : t list -> t
 
 (** Monotonic-enough wall clock used for the phase timers. *)
 val now : unit -> float

@@ -27,7 +27,9 @@ type t = {
       (** the paper's §6 proposal for large invocation graphs: memoize
           IN/OUT pairs per function across contexts, so a node whose
           mapped input has already been analyzed at another node of the
-          same function reuses that result (sub-tree sharing) *)
+          same function reuses that result (sub-tree sharing). On by
+          default; produces bit-identical results, so the switch exists
+          only for ablation ([--no-share-contexts]) *)
   heap_by_site : bool;
       (** name heap storage by allocation site instead of the single
           [heap] location — the refinement underlying the companion heap
@@ -42,6 +44,6 @@ let default =
     context_sensitive = true;
     use_definite = true;
     record_stats = true;
-    share_contexts = false;
+    share_contexts = true;
     heap_by_site = false;
   }

@@ -488,6 +488,23 @@ let rec mkdirs dir =
     try Sys.mkdir dir 0o755 with Sys_error _ -> ()
   end
 
+(* Concurrency-safe scratch names for the write-then-rename protocol:
+   pid + domain id + a per-domain counter can never collide between two
+   workers (unlike [Filename.temp_file], whose shared PRNG state is not
+   domain-safe). The final [Sys.rename] is atomic within the cache
+   directory, so a reader only ever sees absent or complete entries;
+   two workers racing on the same digest each publish a complete file
+   and the last rename wins. *)
+let tmp_counter : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let tmp_name dir =
+  let c = Domain.DLS.get tmp_counter in
+  incr c;
+  Filename.concat dir
+    (Printf.sprintf ".ptan-%d-%d-%d.tmp" (Unix.getpid ())
+       ((Domain.self () :> int))
+       !c)
+
 let save ~source ?(entry = "main") (res : Analysis.result) file =
   let t0 = Metrics.now () in
   let opts = res.Analysis.tenv.Tenv.opts in
@@ -530,13 +547,14 @@ let save ~source ?(entry = "main") (res : Analysis.result) file =
   Buffer.add_string out (Digest.string body);
   Buffer.add_string out body;
   mkdirs (Filename.dirname file);
-  let tmp = Filename.temp_file ~temp_dir:(Filename.dirname file) ".ptan" ".tmp" in
+  let tmp = tmp_name (Filename.dirname file) in
   Fun.protect
     ~finally:(fun () -> if Sys.file_exists tmp then try Sys.remove tmp with Sys_error _ -> ())
     (fun () ->
       Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc (Buffer.contents out));
       Sys.rename tmp file);
-  Metrics.cur.Metrics.t_serialize <- Metrics.cur.Metrics.t_serialize +. (Metrics.now () -. t0)
+  let m = Metrics.cur () in
+  m.Metrics.t_serialize <- m.Metrics.t_serialize +. (Metrics.now () -. t0)
 
 (* ------------------------------------------------------------------ *)
 (* Load                                                               *)
@@ -591,8 +609,8 @@ let load ~source ?(opts = Options.default) ?(entry = "main") file : Analysis.res
         }
     with Bad | Failure _ | Invalid_argument _ | Sys_error _ | End_of_file -> None
   in
-  Metrics.cur.Metrics.t_deserialize <-
-    Metrics.cur.Metrics.t_deserialize +. (Metrics.now () -. t0);
+  let m = Metrics.cur () in
+  m.Metrics.t_deserialize <- m.Metrics.t_deserialize +. (Metrics.now () -. t0);
   res
 
 (* ------------------------------------------------------------------ *)
@@ -624,7 +642,7 @@ let analyze_cached ?cache_dir ?(opts = Options.default) ?(entry = "main") source
   in
   match load_attempt with
   | Some (res, dt) ->
-      Metrics.cur.Metrics.cache_hits <- Metrics.cur.Metrics.cache_hits + 1;
+      (Metrics.cur ()).Metrics.cache_hits <- (Metrics.cur ()).Metrics.cache_hits + 1;
       res.Analysis.metrics.Metrics.cache_hits <- res.Analysis.metrics.Metrics.cache_hits + 1;
       res.Analysis.metrics.Metrics.t_deserialize <-
         res.Analysis.metrics.Metrics.t_deserialize +. dt;
@@ -634,8 +652,8 @@ let analyze_cached ?cache_dir ?(opts = Options.default) ?(entry = "main") source
       (match file with
       | None -> ()
       | Some f -> ( try save ~source ~entry res f with Sys_error _ | Failure _ -> ()));
-      Metrics.cur.Metrics.cache_misses <- Metrics.cur.Metrics.cache_misses + 1;
+      (Metrics.cur ()).Metrics.cache_misses <- (Metrics.cur ()).Metrics.cache_misses + 1;
       res.Analysis.metrics.Metrics.cache_misses <-
         res.Analysis.metrics.Metrics.cache_misses + 1;
-      res.Analysis.metrics.Metrics.t_serialize <- Metrics.cur.Metrics.t_serialize;
+      res.Analysis.metrics.Metrics.t_serialize <- (Metrics.cur ()).Metrics.t_serialize;
       (res, false)

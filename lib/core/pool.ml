@@ -1,0 +1,117 @@
+(** Fixed-size domain pool (see pool.mli).
+
+    One mutex guards the queue, the shutdown flag and each call's
+    completion counter. Workers block on [nonempty]; the caller of
+    [run_list] both feeds the queue and drains it, then blocks on a
+    per-call condition until the last task (wherever it ran) reports
+    completion. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable shutting_down : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+let worker t () =
+  let rec next () =
+    match Queue.take_opt t.queue with
+    | Some task ->
+        Mutex.unlock t.mutex;
+        Some task
+    | None ->
+        if t.shutting_down then begin
+          Mutex.unlock t.mutex;
+          None
+        end
+        else begin
+          Condition.wait t.nonempty t.mutex;
+          next ()
+        end
+  in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    match next () with
+    | Some task ->
+        task ();
+        loop ()
+    | None -> ()
+  in
+  loop ()
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      shutting_down = false;
+      workers = [];
+    }
+  in
+  (* the caller participates in run_list, so [jobs] concurrency needs
+     only [jobs - 1] spawned domains *)
+  if jobs > 1 then
+    t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let run_list t tasks =
+  match tasks with
+  | [] -> []
+  | _ when t.jobs = 1 ->
+      List.map (fun f -> try Ok (f ()) with e -> Error e) tasks
+  | _ ->
+      let n = List.length tasks in
+      let results = Array.make n None in
+      let remaining = ref n in
+      let all_done = Condition.create () in
+      let wrap i f () =
+        let r = try Ok (f ()) with e -> Error e in
+        Mutex.lock t.mutex;
+        results.(i) <- Some r;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast all_done;
+        Mutex.unlock t.mutex
+      in
+      Mutex.lock t.mutex;
+      List.iteri (fun i f -> Queue.push (wrap i f) t.queue) tasks;
+      Condition.broadcast t.nonempty;
+      (* drain alongside the workers, then wait for the stragglers *)
+      let rec drive () =
+        if !remaining = 0 then Mutex.unlock t.mutex
+        else
+          match Queue.take_opt t.queue with
+          | Some task ->
+              Mutex.unlock t.mutex;
+              task ();
+              Mutex.lock t.mutex;
+              drive ()
+          | None ->
+              Condition.wait all_done t.mutex;
+              drive ()
+      in
+      drive ();
+      Array.to_list results
+      |> List.map (function Some r -> r | None -> assert false)
+
+let map t f xs =
+  let rs = run_list t (List.map (fun x () -> f x) xs) in
+  List.map (function Ok y -> y | Error e -> raise e) rs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.shutting_down <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,40 @@
+(** Fixed-size domain pool for embarrassingly parallel driver work.
+
+    A pool owns [jobs - 1] worker domains plus the calling domain; tasks
+    submitted through {!run_list} or {!map} are drained from a shared
+    queue. With [jobs = 1] no domains are spawned and tasks run inline
+    on the caller, so sequential and parallel runs share one code path.
+
+    Tasks must not share mutable state: the analysis keeps its state in
+    [Domain.DLS] (metrics, interning, gensym counters), so analyzing
+    distinct programs on distinct domains is safe by construction.
+    Results are returned in submission order regardless of completion
+    order, which is what gives parallel drivers deterministic output. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] makes a pool that runs up to [jobs] tasks
+    concurrently ([jobs] is clamped below at 1). Workers idle until
+    work is submitted and are reused across calls. *)
+
+val jobs : t -> int
+(** Concurrency the pool was created with (after clamping). *)
+
+val run_list : t -> (unit -> 'a) list -> ('a, exn) result list
+(** [run_list pool tasks] runs every task and blocks until all finish.
+    The result list is in the same order as [tasks]; a task that raises
+    yields [Error exn] without disturbing the others. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] is [run_list] specialised to a function applied to
+    each element; the first exception (in submission order) is
+    re-raised after all tasks have finished. *)
+
+val shutdown : t -> unit
+(** Join the worker domains. The pool must not be used afterwards;
+    calling [shutdown] twice is harmless. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down
+    afterwards, whether [f] returns or raises. *)

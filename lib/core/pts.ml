@@ -210,7 +210,7 @@ let to_list (s : t) = List.rev (fold (fun a b c acc -> (a, b, c) :: acc) s [])
 let of_list l = List.fold_left (fun s (a, b, c) -> add_weak a b c s) empty l
 
 let equal (a : t) (b : t) =
-  let m = Metrics.cur in
+  let m = Metrics.cur () in
   m.Metrics.equal_checks <- m.Metrics.equal_checks + 1;
   if a == b then begin
     m.Metrics.equal_fast <- m.Metrics.equal_fast + 1;
@@ -264,7 +264,7 @@ let all_possible m = LM.for_all (fun _ c -> c == P) m
     becomes possible, since the other side's execution paths do not
     establish it). *)
 let merge (a : t) (b : t) : t =
-  let mt = Metrics.cur in
+  let mt = Metrics.cur () in
   mt.Metrics.merges <- mt.Metrics.merges + 1;
   if a == b then begin
     mt.Metrics.merge_fast <- mt.Metrics.merge_fast + 1;
@@ -315,7 +315,7 @@ let merge (a : t) (b : t) : t =
     Requires (1) every pair of [s1] to be present in [s2], and (2) every
     definite pair of [s2] to be definite in [s1]. *)
 let covered_by (s1 : t) (s2 : t) : bool =
-  let m = Metrics.cur in
+  let m = Metrics.cur () in
   m.Metrics.covered_checks <- m.Metrics.covered_checks + 1;
   if s1 == s2 then begin
     m.Metrics.covered_fast <- m.Metrics.covered_fast + 1;
@@ -348,6 +348,31 @@ let covered_by (s1 : t) (s2 : t) : bool =
                       | Some m1 -> LM.find_opt tgt m1 <> Some D)
                     m2)
             s2.fwd)
+
+(** Canonical structural digest, consistent with {!equal}: equal sets
+    hash equal (on any domain). Folding [fwd] visits pairs in
+    [Loc.compare] order, which is canonical for the value, and
+    {!Loc.hash} is structural, so neither interning nor construction
+    order can split equal sets. Used by the {!Engine} sub-tree-sharing
+    memo to index stored (IN, OUT) entries in O(1) expected instead of a
+    linear [equal] scan. *)
+let hash (s : t) : int =
+  let comb h x = (h * 1000003) lxor x in
+  LM.fold
+    (fun src m acc ->
+      LM.fold
+        (fun tgt c acc ->
+          comb (comb acc (Loc.hash tgt)) (match c with D -> 17 | P -> 19))
+        m
+        (comb acc (Loc.hash src)))
+    s.fwd (comb 0 s.card)
+  land max_int
+
+(** Force (and memoize) the reverse index now. Call before sharing a
+    set across domains for read-only parallel querying: two domains
+    racing to force the same lazy suspension is a runtime error in
+    OCaml 5, and a primed set has no suspension left to race on. *)
+let prime (s : t) : unit = ignore (Lazy.force s.rev)
 
 (** Union where pairs of [over] override pairs of [base] (Figure 1's
     [(changed_input - kill_set) ∪ gen_set]). *)

@@ -81,6 +81,16 @@ val to_list : t -> (Loc.t * Loc.t * cert) list
 val of_list : (Loc.t * Loc.t * cert) list -> t
 val equal : t -> t -> bool
 
+(** Canonical structural digest, consistent with {!equal}: equal sets
+    hash equal, regardless of construction order or interning domain.
+    Backs the hash-indexed sub-tree-sharing memo in {!Engine}. *)
+val hash : t -> int
+
+(** Force the lazy reverse index now. Required before read-only
+    parallel querying of a shared set ({!Pool} workers racing to force
+    one suspension is a runtime error in OCaml 5). *)
+val prime : t -> unit
+
 (** Least upper bound: union of pairs, definite only when definite on
     both sides (a one-sided definite becomes possible — some execution
     paths do not establish it). *)

@@ -21,11 +21,17 @@ for cmd in $(grep -o 'Cmd\.info "[a-z-]*"' "$src" | cut -d'"' -f2 | sort -u); do
   fi
 done
 
-# Flags: named arguments, info [ "name" ]. Positional args use info [] and
-# are skipped by the pattern.
-for flag in $(grep -o 'info \[ "[a-z-]*" \]' "$src" | cut -d'"' -f2 | sort -u); do
-  if ! grep -q -- "--$flag" "$doc"; then
-    echo "docs/CLI.md: missing flag '--$flag'" >&2
+# Flags: named arguments, info [ "name" ] or info [ "a"; "b" ]. Positional
+# args use info [] and are skipped by the pattern. Single-letter names are
+# documented as -x, longer ones as --name.
+for flag in $(grep -o 'info \[ "[a-z-]*"\(; "[a-z-]*"\)* \]' "$src" \
+              | grep -o '"[a-z-]*"' | tr -d '"' | sort -u); do
+  case "$flag" in
+    ?) needle="-$flag" ;;
+    *) needle="--$flag" ;;
+  esac
+  if ! grep -q -- "$needle" "$doc"; then
+    echo "docs/CLI.md: missing flag '$needle'" >&2
     missing=1
   fi
 done

@@ -18,4 +18,5 @@ let () =
       Test_benchmarks.suite;
       Test_persist.suite;
       Test_queries.suite;
+      Test_parallel.suite;
     ]

@@ -10,6 +10,10 @@ module Q = Alias.Queries
 
 let share_opts = { Pointsto.Options.default with Pointsto.Options.share_contexts = true }
 
+(* sharing is on by default, so the no-sharing baseline is the explicit one *)
+let no_share_opts =
+  { Pointsto.Options.default with Pointsto.Options.share_contexts = false }
+
 let sharing_tests =
   [
     case "sharing reuses identical inputs across contexts" (fun () ->
@@ -22,7 +26,7 @@ let sharing_tests =
             void b(void) { look(); }
             int main() { gp = &g1; a(); b(); return 0; }|}
         in
-        let off = analyze src in
+        let off = analyze ~opts:no_share_opts src in
         let on = analyze ~opts:share_opts src in
         Alcotest.(check bool) "hits occurred" true (on.Analysis.share_hits > 0);
         Alcotest.(check bool) "fewer body passes" true
@@ -41,7 +45,7 @@ let sharing_tests =
         Alcotest.(check int) "no spurious hits" 0 res.Analysis.share_hits);
     case "whole benchmark agrees under sharing" (fun () ->
         let p = Simple_ir.Simplify.of_file "../benchmarks/config.c" in
-        let off = Analysis.analyze p in
+        let off = Analysis.analyze ~opts:no_share_opts p in
         let on = Analysis.analyze ~opts:share_opts p in
         Alcotest.(check bool) "same output" true
           (Pts.state_equal off.Analysis.entry_output on.Analysis.entry_output);

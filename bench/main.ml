@@ -360,12 +360,15 @@ let extensions () =
   List.iter
     (fun name ->
       let p = prog name in
-      let off = Analysis.analyze p in
-      let on =
+      (* share_contexts is on by default; the "without" column must turn it
+         off explicitly. *)
+      let off =
         Analysis.analyze
-          ~opts:{ Pointsto.Options.default with Pointsto.Options.share_contexts = true }
+          ~opts:
+            { Pointsto.Options.default with Pointsto.Options.share_contexts = false }
           p
       in
+      let on = Analysis.analyze p in
       if on.Analysis.share_hits > 0 then
         Fmt.pr "%-12s %14d %14d %8d@." name off.Analysis.bodies_analyzed
           on.Analysis.bodies_analyzed on.Analysis.share_hits)
@@ -563,6 +566,60 @@ let result_digest r =
               ig.Stats.n_recursive ig.Stats.n_approximate;
             stmts;
           ]))
+
+(* ------------------------------------------------------------------ *)
+(* Trace layer                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = Pointsto.Trace
+
+(** The trace layer's acceptance bars: results bit-identical with the
+    sink enabled, and a disabled sink cheap enough that the instrumented
+    hot paths cost at most 3% of the analysis time. *)
+let tracing () =
+  section "Trace Layer: span volume, export size, disabled-sink overhead (livc)";
+  let p = prog "livc" in
+  let off = Analysis.analyze p in
+  Trace.enable ();
+  Trace.clear ();
+  let on_r, t_on = time (fun () -> Analysis.analyze p) in
+  Trace.disable ();
+  let spans = Trace.collect () in
+  if not (String.equal (result_digest off) (result_digest on_r)) then
+    failwith "tracing: enabled-sink result differs from disabled-sink result";
+  Fmt.pr "enabled-sink run: bit-identical result in %.3f ms@." t_on;
+  let per_kind = Hashtbl.create 9 in
+  List.iter
+    (fun s ->
+      let k = Trace.kind_name s.Trace.sp_kind in
+      Hashtbl.replace per_kind k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt per_kind k)))
+    spans;
+  Fmt.pr "spans: %d (%s)@.JSON export: %d bytes; root-span coverage %.1f%%@."
+    (List.length spans)
+    (Hashtbl.fold (fun k n acc -> Fmt.str "%s %d" k n :: acc) per_kind []
+    |> List.sort compare |> String.concat ", ")
+    (String.length (Trace.json_string spans))
+    (100. *. Trace.coverage spans);
+  (* cost of one disabled instrumentation site (a start/emit pair),
+     multiplied by the sites the enabled run actually hit: that product
+     is the whole overhead tracing leaves in a default run *)
+  let n = 10_000_000 in
+  let (), t_ms =
+    time (fun () ->
+        for _ = 1 to n do
+          let t0 = Trace.start () in
+          if Trace.on () then Trace.emit Trace.Node ~name:"x" ~t0 ()
+        done)
+  in
+  let ns_per_site = t_ms *. 1e6 /. float_of_int n in
+  let t_analysis = off.Analysis.metrics.Pointsto.Metrics.t_analysis *. 1e3 in
+  let overhead_ms = float_of_int (List.length spans) *. ns_per_site /. 1e6 in
+  Fmt.pr "disabled sink: %.2f ns/site; %d sites => %.4f ms vs %.3f ms analysis (%.2f%%)@."
+    ns_per_site (List.length spans) overhead_ms t_analysis
+    (100. *. overhead_ms /. t_analysis);
+  if overhead_ms > 0.03 *. t_analysis then
+    failwith "tracing: disabled-sink overhead exceeds 3% of the analysis time"
 
 (** Analyze the whole suite on a pool of [jobs] domains; returns the
     named results (in suite order) and the wall-clock milliseconds. *)
@@ -767,6 +824,7 @@ let () =
     extensions ();
     persistence ();
     counters ();
+    tracing ();
     parallel_suite (match argv_jobs () with Some n -> [ n ] | None -> [ 2; 4; 8 ]);
     timings ();
     rep_ops ();

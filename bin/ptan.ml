@@ -23,8 +23,27 @@
 
 module Ir = Simple_ir.Ir
 module Persist = Pointsto.Persist
+module Trace = Pointsto.Trace
 
 let load file = Simple_ir.Simplify.of_file file
+
+(** Run [f] with the trace sink enabled when [--trace-out FILE] was
+    given, then write the collected spans as trace-event JSON. The
+    confirmation goes to stderr so stdout stays bit-identical with and
+    without tracing. *)
+let with_trace trace_out f =
+  match trace_out with
+  | None -> f ()
+  | Some path ->
+      Trace.enable ();
+      Trace.clear ();
+      let finally () =
+        Trace.disable ();
+        let spans = Trace.collect () in
+        Trace.save_json path spans;
+        Fmt.epr "trace: wrote %d spans to %s@." (List.length spans) path
+      in
+      Fun.protect ~finally f
 
 let with_errors f =
   try f () with
@@ -63,8 +82,9 @@ let analyze_file ?(opts = Pointsto.Options.default) ?(cache = None) file =
   | Some cache_dir -> fst (Persist.analyze_cached ?cache_dir ~opts file)
 
 let cmd_analyze file cache no_context no_definite sym_depth no_share heap_by_site show_null
-    show_stats =
+    show_stats trace_out =
   with_errors (fun () ->
+    with_trace trace_out @@ fun () ->
       let opts = opts_of ~no_context ~no_definite ~sym_depth ~no_share ~heap_by_site in
       let r = analyze_file ~opts ~cache file in
       List.iter (fun w -> Fmt.pr "warning: %s@." w) r.Pointsto.Analysis.warnings;
@@ -142,8 +162,9 @@ let pp_stats_report ppf r =
     s.call_sites s.n_funcs s.n_recursive s.n_approximate s.avg_per_call_site s.avg_per_func;
   Fmt.pf ppf "%a@." Pointsto.Stats.pp_engine_metrics r
 
-let cmd_stats file cache =
+let cmd_stats file cache trace_out =
   with_errors (fun () ->
+    with_trace trace_out @@ fun () ->
       let r = analyze_file ~cache file in
       Fmt.pr "%a" pp_stats_report r)
 
@@ -157,7 +178,8 @@ let describe_exn = function
   | Pointsto.Analysis.No_entry e -> Fmt.str "error: no entry function '%s'" e
   | e -> Printexc.to_string e
 
-let cmd_tables files cache jobs show_stats =
+let cmd_tables files cache jobs show_stats trace_out =
+  with_trace trace_out @@ fun () ->
   let task file () =
     let r = analyze_file ~cache file in
     (Fmt.str "%a" pp_stats_report r, r.Pointsto.Analysis.metrics)
@@ -179,11 +201,57 @@ let cmd_tables files cache jobs show_stats =
           incr failed;
           Fmt.pr "%s@." (describe_exn e))
     files results;
-  if show_stats then
-    Fmt.pr "@.== aggregate (%d files) ==@.%a@."
-      (List.length !metrics)
-      Pointsto.Metrics.pp
-      (Pointsto.Metrics.sum (List.rev !metrics));
+  (* the aggregate sums only the files that analyzed; with no successes
+     there is nothing to sum, so print no table at all *)
+  if show_stats && !metrics <> [] then begin
+    let header =
+      if !failed = 0 then Fmt.str "%d files" (List.length !metrics)
+      else
+        Fmt.str "%d of %d files analyzed; errored files excluded"
+          (List.length !metrics) (List.length files)
+    in
+    Fmt.pr "@.== aggregate (%s) ==@.%a@." header Pointsto.Metrics.pp
+      (Pointsto.Metrics.sum (List.rev !metrics))
+  end;
+  if !failed > 0 then exit 1
+
+(** [profile] always re-analyzes (a result served from the disk cache
+    records no engine spans) with the trace sink enabled, prints the
+    self-profile report and optionally writes the trace-event JSON. *)
+let cmd_profile files jobs trace_out top =
+  Trace.enable ();
+  Trace.clear ();
+  let task file () =
+    let t0 = Trace.start () in
+    let p = load file in
+    let r = Pointsto.Analysis.analyze p in
+    Trace.emit Trace.Task ~name:(Filename.basename file) ~t0 ();
+    r
+  in
+  let results =
+    Pointsto.Pool.with_pool ~jobs (fun pool ->
+        Pointsto.Pool.run_list pool (List.map task files))
+  in
+  Trace.disable ();
+  let failed = ref 0 in
+  List.iter2
+    (fun file res ->
+      match res with
+      | Ok r ->
+          Fmt.pr "== %s ==@.%d IG nodes, %d body passes, %d sharing hits@." file
+            r.Pointsto.Analysis.graph.Pointsto.Invocation_graph.n_nodes
+            r.Pointsto.Analysis.bodies_analyzed r.Pointsto.Analysis.share_hits
+      | Error e ->
+          incr failed;
+          Fmt.pr "== %s ==@.%s@." file (describe_exn e))
+    files results;
+  let spans = Trace.collect () in
+  Fmt.pr "@.%a" (Trace.pp_profile ~top) spans;
+  Option.iter
+    (fun path ->
+      Trace.save_json path spans;
+      Fmt.epr "trace: wrote %d spans to %s@." (List.length spans) path)
+    trace_out;
   if !failed > 0 then exit 1
 
 let cmd_alias file cache =
@@ -342,6 +410,20 @@ let no_cache =
     value & flag
     & info [ "no-cache" ] ~doc:"Always re-run the analysis; neither read nor write the cache.")
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record engine spans and write them to $(docv) as Chrome trace-event JSON \
+           (open in Perfetto or about://tracing). See docs/OBSERVABILITY.md.")
+
+let top =
+  Arg.(
+    value & opt int 15
+    & info [ "top" ] ~docv:"N" ~doc:"Rows in each profile table (default 15).")
+
 (** Combined cache selector: [None] = disabled, [Some None] = default
     directory, [Some (Some d)] = explicit directory. *)
 let cache = Term.(const (fun dir off -> if off then None else Some dir) $ cache_dir $ no_cache)
@@ -355,7 +437,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Run points-to analysis")
     Term.(
       const cmd_analyze $ file_arg $ cache $ no_context $ no_definite $ sym_depth $ no_share
-      $ heap_by_site $ show_null $ show_stats)
+      $ heap_by_site $ show_null $ show_stats $ trace_out)
 
 let heap_cmd =
   Cmd.v
@@ -374,7 +456,7 @@ let ig_cmd =
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"Print Tables 2-6 statistics")
-    Term.(const cmd_stats $ file_arg $ cache)
+    Term.(const cmd_stats $ file_arg $ cache $ trace_out)
 
 let files_arg =
   Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"C source files to analyze.")
@@ -385,7 +467,16 @@ let tables_cmd =
        ~doc:
          "Print Tables 2-6 statistics for many files, analyzed on -j domains in parallel; \
           with --stats, also an aggregated operation/timing table")
-    Term.(const cmd_tables $ files_arg $ cache $ jobs $ show_stats)
+    Term.(const cmd_tables $ files_arg $ cache $ jobs $ show_stats $ trace_out)
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Re-analyze files with the trace sink enabled and print where the time went: \
+          top-N spans by cumulative/self time and fixpoint iteration histograms; \
+          --trace-out additionally writes the Perfetto-loadable timeline")
+    Term.(const cmd_profile $ files_arg $ jobs $ trace_out $ top)
 
 let alias_cmd =
   Cmd.v
@@ -440,6 +531,7 @@ let () =
             ig_cmd;
             stats_cmd;
             tables_cmd;
+            profile_cmd;
             alias_cmd;
             callgraph_cmd;
             replace_cmd;

@@ -62,6 +62,7 @@ let analyze ?(opts = Options.default) ?(entry = "main") (prog : Ir.program) : re
   let input0 = initial_input tenv entry_fn in
   Metrics.reset ();
   let t0 = Metrics.now () in
+  let ttr = Trace.start () in
   let entry_output =
     if opts.Options.context_sensitive then
       Engine.eval_node ctx graph.Ig.root entry_fn input0
@@ -80,6 +81,12 @@ let analyze ?(opts = Options.default) ?(entry = "main") (prog : Ir.program) : re
     end
   in
   (Metrics.cur ()).Metrics.t_analysis <- Metrics.now () -. t0;
+  if Trace.on () then
+    Trace.emit Trace.Analysis ~name:entry
+      ~stmts:(Ir.fold_program (fun n _ -> n + 1) 0 prog)
+      ~pts_in:(Pts.cardinal input0)
+      ~pts_out:(match entry_output with Some s -> Pts.cardinal s | None -> -1)
+      ~t0:ttr ();
   {
     prog;
     tenv;

@@ -251,6 +251,7 @@ and process_loop ctx fn node (s : Pts.t) (l : Ir.loop) : flow =
       let first = process_list (Some s) l.Ir.l_cond_stmts in
       let rec iterate head ~brk ~ret =
         Metrics.((cur ()).loop_iters <- (cur ()).loop_iters + 1);
+        let lt0 = Trace.start () in
         let body = process_list head l.Ir.l_body in
         let brk = Pts.merge_state brk body.brk in
         let ret = Pts.merge_state ret body.ret in
@@ -258,6 +259,7 @@ and process_loop ctx fn node (s : Pts.t) (l : Ir.loop) : flow =
         let step = process_list after_body l.Ir.l_step in
         let back = process_list step.normal l.Ir.l_cond_stmts in
         let head' = Pts.merge_state head back.normal in
+        if Trace.on () then Trace.emit Trace.Loop ~name:fn.Ir.fn_name ~t0:lt0 ();
         if Pts.state_equal head head' then (head, brk, ret)
         else iterate head' ~brk ~ret
       in
@@ -267,6 +269,7 @@ and process_loop ctx fn node (s : Pts.t) (l : Ir.loop) : flow =
   | `Do ->
       let rec iterate entry ~brk ~ret =
         Metrics.((cur ()).loop_iters <- (cur ()).loop_iters + 1);
+        let lt0 = Trace.start () in
         let body = process_list entry l.Ir.l_body in
         let brk = Pts.merge_state brk body.brk in
         let ret = Pts.merge_state ret body.ret in
@@ -274,6 +277,7 @@ and process_loop ctx fn node (s : Pts.t) (l : Ir.loop) : flow =
         let step = process_list after_body l.Ir.l_step in
         let after_cond = process_list step.normal l.Ir.l_cond_stmts in
         let entry' = Pts.merge_state entry after_cond.normal in
+        if Trace.on () then Trace.emit Trace.Loop ~name:fn.Ir.fn_name ~t0:lt0 ();
         if Pts.state_equal entry entry' then (after_cond.normal, brk, ret)
         else iterate entry' ~brk ~ret
       in
@@ -471,7 +475,10 @@ and invoke ctx caller_fn (child : Ig.node) (s : Pts.t) (callee_fn : Ir.func)
   match output with
   | None -> (Pts.bot, [], [])
   | Some out ->
-      let result = Map_unmap.unmap_call ctx.tenv ~input:s ~output:out ~info in
+      let result =
+        Map_unmap.unmap_call ~callee:callee_fn.Ir.fn_name ctx.tenv ~input:s ~output:out
+          ~info
+      in
       let ret_tgts = Map_unmap.return_targets ~output:out ~info ~callee:callee_fn.Ir.fn_name in
       let ret_cells =
         if
@@ -513,6 +520,7 @@ and eval_node ctx (node : Ig.node) (callee_fn : Ir.func) (func_input : Pts.t) : 
               node.Ig.stored_output <- Some out;
               Some out
           | None ->
+              let tr0 = Trace.start () in
               node.Ig.stored_input <- Some func_input;
               node.Ig.stored_output <- Pts.bot;
               node.Ig.pending <- [];
@@ -524,10 +532,17 @@ and eval_node ctx (node : Ig.node) (callee_fn : Ir.func) (func_input : Pts.t) : 
                 in
                 ctx.bodies_analyzed <- ctx.bodies_analyzed + 1;
                 Metrics.((cur ()).bodies <- (cur ()).bodies + 1);
+                let tb0 = Trace.start () in
                 let fl =
                   process_stmts ctx callee_fn node (Some cur_input) callee_fn.Ir.fn_body
                 in
                 let func_output = Pts.merge_state fl.normal fl.ret in
+                if Trace.on () then
+                  Trace.emit Trace.Body ~name:callee_fn.Ir.fn_name
+                    ~ctx:(Pts.hash cur_input) ~pts_in:(Pts.cardinal cur_input)
+                    ~pts_out:
+                      (match func_output with Some o -> Pts.cardinal o | None -> -1)
+                    ~t0:tb0 ();
                 if node.Ig.pending <> [] then begin
                   let merged =
                     List.fold_left
@@ -552,6 +567,15 @@ and eval_node ctx (node : Ig.node) (callee_fn : Ir.func) (func_input : Pts.t) : 
               (match node.Ig.stored_output with
               | Some out -> shared_record ctx callee_fn.Ir.fn_name func_input out
               | None -> ());
+              if Trace.on () then
+                Trace.emit Trace.Node ~name:callee_fn.Ir.fn_name
+                  ~ctx:(Pts.hash func_input) ~stmts:(Ir.count_stmts callee_fn)
+                  ~pts_in:(Pts.cardinal func_input)
+                  ~pts_out:
+                    (match node.Ig.stored_output with
+                    | Some o -> Pts.cardinal o
+                    | None -> -1)
+                  ~t0:tr0 ();
               node.Ig.stored_output))
 
 and shared_lookup ctx fname (input : Pts.t) : Pts.t option =
@@ -611,9 +635,14 @@ and eval_ci ctx (node : Ig.node) (callee_fn : Ir.func) (func_input : Pts.t) : Pt
   if Hashtbl.mem ctx.ci_in_flight name then slot_out
   else begin
     Hashtbl.replace ctx.ci_in_flight name ();
+    let tb0 = Trace.start () in
     let fl = process_stmts ctx callee_fn node (Some new_in) callee_fn.Ir.fn_body in
     Hashtbl.remove ctx.ci_in_flight name;
     let out = Pts.merge_state fl.normal fl.ret in
+    if Trace.on () then
+      Trace.emit Trace.Body ~name ~pts_in:(Pts.cardinal new_in)
+        ~pts_out:(match out with Some o -> Pts.cardinal o | None -> -1)
+        ~t0:tb0 ();
     let merged_out = Pts.merge_state slot_out out in
     if not (Pts.state_equal merged_out slot_out) then begin
       ctx.ci_changed <- true;

@@ -207,6 +207,7 @@ let map_call (tenv : Tenv.t) ~(caller_fn : Ir.func) ~(callee : Ir.func) ~(input 
   let m = Metrics.cur () in
   m.Metrics.map_calls <- m.Metrics.map_calls + 1;
   let t0 = Metrics.now () in
+  let tr0 = Trace.start () in
   let st = make_state tenv caller_fn input in
   (* roots: globals and the heap *)
   List.iter
@@ -317,6 +318,9 @@ let map_call (tenv : Tenv.t) ~(caller_fn : Ir.func) ~(callee : Ir.func) ~(input 
       func_input := null_init tenv (Loc.ret callee.Ir.fn_name) callee.Ir.fn_ret !func_input
   | _ -> ());
   m.Metrics.t_map <- m.Metrics.t_map +. (Metrics.now () -. t0);
+  if Trace.on () then
+    Trace.emit Trace.Map ~name:callee.Ir.fn_name ~pts_in:(Pts.cardinal input)
+      ~pts_out:(Pts.cardinal !func_input) ~t0:tr0 ();
   (!func_input, info)
 
 (* ------------------------------------------------------------------ *)
@@ -351,10 +355,12 @@ let targets_meet (a : Pts.cert Loc.Map.t) (b : Pts.cert Loc.Map.t) =
     a b
 
 (** Output points-to set at the call site, from the callee's output. *)
-let unmap_call (_tenv : Tenv.t) ~(input : Pts.t) ~(output : Pts.t) ~(info : info) : Pts.t =
+let unmap_call ?(callee = "?") (_tenv : Tenv.t) ~(input : Pts.t) ~(output : Pts.t)
+    ~(info : info) : Pts.t =
   let m = Metrics.cur () in
   m.Metrics.unmap_calls <- m.Metrics.unmap_calls + 1;
   let t0 = Metrics.now () in
+  let tr0 = Trace.start () in
   (* relationships of caller locations out of the callee's reach persist *)
   let persistent =
     Pts.filter_src (fun src -> Option.is_none (info_translate info src)) input
@@ -411,6 +417,9 @@ let unmap_call (_tenv : Tenv.t) ~(input : Pts.t) ~(output : Pts.t) ~(info : info
       per_src persistent
   in
   m.Metrics.t_unmap <- m.Metrics.t_unmap +. (Metrics.now () -. t0);
+  if Trace.on () then
+    Trace.emit Trace.Unmap ~name:callee ~pts_in:(Pts.cardinal output)
+      ~pts_out:(Pts.cardinal result) ~t0:tr0 ();
   result
 
 (** The caller-side targets of the callee's return value. *)

@@ -51,8 +51,9 @@ val map_call :
 (** The caller's points-to set after the call: relationships of
     unreachable caller locations persist; the callee's output translates
     back (conflicting views of one caller cell reconcile with merge
-    semantics). *)
-val unmap_call : Tenv.t -> input:Pts.t -> output:Pts.t -> info:info -> Pts.t
+    semantics). [callee] only labels the {!Trace} span. *)
+val unmap_call :
+  ?callee:string -> Tenv.t -> input:Pts.t -> output:Pts.t -> info:info -> Pts.t
 
 (** Caller-side targets of the callee's return value. *)
 val return_targets :

@@ -163,25 +163,45 @@ let now () = Unix.gettimeofday ()
 
 let ratio num den = if den = 0 then 0. else 100. *. float_of_int num /. float_of_int den
 
+(* The --stats report as (label, rendered value) rows. The labels
+   between the two markers below are a contract checked by
+   scripts/check_cli_docs.sh: every label must appear (backticked) in
+   docs/CLI.md, and the script extracts them textually — keep the
+   markers and the [("label", value)] shape of each row. *)
+(* BEGIN stats-labels *)
+let rows (m : t) : (string * string) list =
+  [
+    ( "analysis time",
+      Printf.sprintf "%.3f ms (map %.3f ms, unmap %.3f ms)" (m.t_analysis *. 1e3)
+        (m.t_map *. 1e3) (m.t_unmap *. 1e3) );
+    ("body passes", Printf.sprintf "%d" m.bodies);
+    ( "fixpoint iterations",
+      Printf.sprintf "%d loop, %d recursion/pending" m.loop_iters m.rec_iters );
+    ( "assignments",
+      Printf.sprintf "%d (kills %d, weakens %d, gen pairs %d)" m.assigns m.kills
+        m.weakens m.gens );
+    ( "merges",
+      Printf.sprintf "%d (%.1f%% fast-path)" m.merges (ratio m.merge_fast m.merges) );
+    ( "equality checks",
+      Printf.sprintf "%d (%.1f%% fast-path)" m.equal_checks
+        (ratio m.equal_fast m.equal_checks) );
+    ( "covering checks",
+      Printf.sprintf "%d (%.1f%% fast-path)" m.covered_checks
+        (ratio m.covered_fast m.covered_checks) );
+    ("map/unmap calls", Printf.sprintf "%d/%d" m.map_calls m.unmap_calls);
+    ( "memo hit rate",
+      Printf.sprintf "%d/%d (%.1f%%)" m.memo_hits m.memo_lookups
+        (ratio m.memo_hits m.memo_lookups) );
+    ( "result cache",
+      Printf.sprintf "%d hits, %d misses (save %.3f ms, load %.3f ms)" m.cache_hits
+        m.cache_misses (m.t_serialize *. 1e3) (m.t_deserialize *. 1e3) );
+  ]
+(* END stats-labels *)
+
+let labels = List.map fst (rows (create ()))
+
 let pp ppf (m : t) =
-  Fmt.pf ppf
-    "@[<v>analysis time:        %.3f ms (map %.3f ms, unmap %.3f ms)@,\
-     body passes:          %d@,\
-     fixpoint iterations:  %d loop, %d recursion/pending@,\
-     assignments:          %d (kills %d, weakens %d, gen pairs %d)@,\
-     merges:               %d (%.1f%% fast-path)@,\
-     equality checks:      %d (%.1f%% fast-path)@,\
-     covering checks:      %d (%.1f%% fast-path)@,\
-     map/unmap calls:      %d/%d@,\
-     memo hit rate:        %d/%d (%.1f%%)@,\
-     result cache:         %d hits, %d misses (save %.3f ms, load %.3f ms)@]"
-    (m.t_analysis *. 1e3) (m.t_map *. 1e3) (m.t_unmap *. 1e3) m.bodies m.loop_iters
-    m.rec_iters m.assigns m.kills m.weakens m.gens m.merges
-    (ratio m.merge_fast m.merges)
-    m.equal_checks
-    (ratio m.equal_fast m.equal_checks)
-    m.covered_checks
-    (ratio m.covered_fast m.covered_checks)
-    m.map_calls m.unmap_calls m.memo_hits m.memo_lookups
-    (ratio m.memo_hits m.memo_lookups)
-    m.cache_hits m.cache_misses (m.t_serialize *. 1e3) (m.t_deserialize *. 1e3)
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(
+      list ~sep:cut (fun ppf (label, value) -> pf ppf "%-22s%s" (label ^ ":") value))
+    (rows m)

@@ -64,4 +64,13 @@ val now : unit -> float
 (** [ratio num den] as a percentage; 0 when [den] is 0. *)
 val ratio : int -> int -> float
 
+(** The [--stats] report as (label, rendered value) rows — the single
+    source of the counter labels; {!pp} renders these, and
+    [scripts/check_cli_docs.sh] checks every label is documented in
+    docs/CLI.md. *)
+val rows : t -> (string * string) list
+
+(** First components of {!rows}, in print order. *)
+val labels : string list
+
 val pp : Format.formatter -> t -> unit

@@ -507,6 +507,7 @@ let tmp_name dir =
 
 let save ~source ?(entry = "main") (res : Analysis.result) file =
   let t0 = Metrics.now () in
+  let tr0 = Trace.start () in
   let opts = res.Analysis.tenv.Tenv.opts in
   let e = { tbl = Hashtbl.create 1024; buf = Buffer.create 8192; next = 0 } in
   let rw = { rw_tbl = Hashtbl.create 512; rw_buf = Buffer.create 8192; rw_next = 0 } in
@@ -554,7 +555,12 @@ let save ~source ?(entry = "main") (res : Analysis.result) file =
       Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc (Buffer.contents out));
       Sys.rename tmp file);
   let m = Metrics.cur () in
-  m.Metrics.t_serialize <- m.Metrics.t_serialize +. (Metrics.now () -. t0)
+  m.Metrics.t_serialize <- m.Metrics.t_serialize +. (Metrics.now () -. t0);
+  if Trace.on () then
+    Trace.emit Trace.Cache_store
+      ~name:(Filename.basename source)
+      ~pts_in:(Hashtbl.length res.Analysis.stmt_pts)
+      ~t0:tr0 ()
 
 (* ------------------------------------------------------------------ *)
 (* Load                                                               *)
@@ -562,6 +568,7 @@ let save ~source ?(entry = "main") (res : Analysis.result) file =
 
 let load ~source ?(opts = Options.default) ?(entry = "main") file : Analysis.result option =
   let t0 = Metrics.now () in
+  let tr0 = Trace.start () in
   let res =
     try
       let data = read_file file in
@@ -611,6 +618,12 @@ let load ~source ?(opts = Options.default) ?(entry = "main") file : Analysis.res
   in
   let m = Metrics.cur () in
   m.Metrics.t_deserialize <- m.Metrics.t_deserialize +. (Metrics.now () -. t0);
+  if Trace.on () then
+    Trace.emit Trace.Cache_load
+      ~name:(Filename.basename source)
+      ~pts_out:
+        (match res with Some r -> Hashtbl.length r.Analysis.stmt_pts | None -> -1)
+      ~t0:tr0 ();
   res
 
 (* ------------------------------------------------------------------ *)

@@ -61,18 +61,25 @@ let create ~jobs =
     t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker t));
   t
 
+(* Trace each task as a span on the domain that ran it, so pool
+   scheduling is visible on the timeline. *)
+let traced f () =
+  let tr0 = Trace.start () in
+  let finally () = if Trace.on () then Trace.emit Trace.Task ~name:"pool-task" ~t0:tr0 () in
+  Fun.protect ~finally f
+
 let run_list t tasks =
   match tasks with
   | [] -> []
   | _ when t.jobs = 1 ->
-      List.map (fun f -> try Ok (f ()) with e -> Error e) tasks
+      List.map (fun f -> try Ok (traced f ()) with e -> Error e) tasks
   | _ ->
       let n = List.length tasks in
       let results = Array.make n None in
       let remaining = ref n in
       let all_done = Condition.create () in
       let wrap i f () =
-        let r = try Ok (f ()) with e -> Error e in
+        let r = try Ok (traced f ()) with e -> Error e in
         Mutex.lock t.mutex;
         results.(i) <- Some r;
         decr remaining;

@@ -1,0 +1,425 @@
+(** Structured tracing (see trace.mli).
+
+    The sink is a per-domain ring of complete spans: {!start} reads the
+    clock, {!emit} appends the finished span to the calling domain's
+    ring. Rings register themselves in a global list on first use (one
+    mutex-guarded append per domain lifetime), so {!collect} can merge
+    them from the main domain once the workers have quiesced — the same
+    ownership discipline as {!Metrics}: a ring is written only by its
+    own domain, and read only after that domain's work is done.
+
+    Disabled cost: {!on} is one [Atomic.get]; {!start} returns [0.]
+    without touching the clock, and {!emit} returns before evaluating
+    anything. The instrumentation sites in the engine guard argument
+    construction with [if Trace.on () then ...], so a disabled sink
+    leaves only the atomic load on the hot paths (the bench harness
+    checks the resulting overhead bound). *)
+
+type kind =
+  | Analysis
+  | Node
+  | Body
+  | Loop
+  | Map
+  | Unmap
+  | Cache_load
+  | Cache_store
+  | Task
+
+let kind_name = function
+  | Analysis -> "analysis"
+  | Node -> "node"
+  | Body -> "body"
+  | Loop -> "loop"
+  | Map -> "map"
+  | Unmap -> "unmap"
+  | Cache_load -> "cache-load"
+  | Cache_store -> "cache-store"
+  | Task -> "task"
+
+let n_kinds = 9
+
+let kind_idx = function
+  | Analysis -> 0
+  | Node -> 1
+  | Body -> 2
+  | Loop -> 3
+  | Map -> 4
+  | Unmap -> 5
+  | Cache_load -> 6
+  | Cache_store -> 7
+  | Task -> 8
+
+type span = {
+  sp_kind : kind;
+  sp_name : string;
+  sp_ctx : int;
+  sp_dom : int;
+  sp_t0 : float;
+  sp_t1 : float;
+  sp_stmts : int;
+  sp_in : int;
+  sp_out : int;
+}
+
+let dummy =
+  {
+    sp_kind = Analysis;
+    sp_name = "";
+    sp_ctx = 0;
+    sp_dom = 0;
+    sp_t0 = 0.;
+    sp_t1 = 0.;
+    sp_stmts = 0;
+    sp_in = -1;
+    sp_out = -1;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Sink                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type ring = {
+  r_dom : int;
+  mutable r_spans : span array;
+  mutable r_len : int;
+  mutable r_dropped : int;
+}
+
+let enabled = Atomic.make false
+let cap = Atomic.make (1 lsl 20)
+
+(* Registry of every ring ever created, so [collect]/[clear] reach the
+   rings of worker domains. Appended to once per domain under the
+   mutex; traversed by the main domain after workers quiesce. *)
+let reg_mutex = Mutex.create ()
+let rings : ring list ref = ref []
+
+let ring_key : ring Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let r =
+        { r_dom = (Domain.self () :> int); r_spans = [||]; r_len = 0; r_dropped = 0 }
+      in
+      Mutex.lock reg_mutex;
+      rings := !rings @ [ r ];
+      Mutex.unlock reg_mutex;
+      r)
+
+let on () = Atomic.get enabled
+
+let enable ?(capacity = 1 lsl 20) () =
+  Atomic.set cap (max 1 capacity);
+  Atomic.set enabled true
+
+let disable () = Atomic.set enabled false
+
+let all_rings () =
+  Mutex.lock reg_mutex;
+  let rs = !rings in
+  Mutex.unlock reg_mutex;
+  rs
+
+let clear () =
+  List.iter
+    (fun r ->
+      r.r_len <- 0;
+      r.r_dropped <- 0)
+    (all_rings ())
+
+let push r sp =
+  let cap = Atomic.get cap in
+  if r.r_len >= cap then r.r_dropped <- r.r_dropped + 1
+  else begin
+    if r.r_len >= Array.length r.r_spans then begin
+      let n = min cap (max 1024 (2 * Array.length r.r_spans)) in
+      let a = Array.make n dummy in
+      Array.blit r.r_spans 0 a 0 r.r_len;
+      r.r_spans <- a
+    end;
+    r.r_spans.(r.r_len) <- sp;
+    r.r_len <- r.r_len + 1
+  end
+
+let start () = if Atomic.get enabled then Unix.gettimeofday () else 0.
+
+let emit k ~name ?(ctx = 0) ?(stmts = 0) ?(pts_in = -1) ?(pts_out = -1) ~t0 () =
+  if Atomic.get enabled && t0 > 0. then begin
+    let t1 = Unix.gettimeofday () in
+    let r = Domain.DLS.get ring_key in
+    push r
+      {
+        sp_kind = k;
+        sp_name = name;
+        sp_ctx = ctx;
+        sp_dom = r.r_dom;
+        sp_t0 = t0;
+        sp_t1 = t1;
+        sp_stmts = stmts;
+        sp_in = pts_in;
+        sp_out = pts_out;
+      }
+  end
+
+let collect () =
+  List.concat_map
+    (fun r -> Array.to_list (Array.sub r.r_spans 0 r.r_len))
+    (all_rings ())
+
+let dropped () = List.fold_left (fun acc r -> acc + r.r_dropped) 0 (all_rings ())
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON                                            *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_string spans =
+  let b = Buffer.create 65536 in
+  let t_min =
+    List.fold_left (fun acc s -> Float.min acc s.sp_t0) Float.infinity spans
+  in
+  let t_min = if t_min = Float.infinity then 0. else t_min in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let sep () = if !first then first := false else Buffer.add_char b ',' in
+  (* thread-name metadata: one per domain, so the Perfetto timeline
+     labels each track *)
+  let doms =
+    List.sort_uniq compare (List.map (fun s -> s.sp_dom) spans)
+  in
+  List.iter
+    (fun d ->
+      sep ();
+      Printf.bprintf b
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"domain %d\"}}"
+        d d)
+    doms;
+  List.iter
+    (fun s ->
+      sep ();
+      Printf.bprintf b
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"ctx\":\"%08x\",\"stmts\":%d,\"pts_in\":%d,\"pts_out\":%d}}"
+        (json_escape s.sp_name) (kind_name s.sp_kind) s.sp_dom
+        ((s.sp_t0 -. t_min) *. 1e6)
+        ((s.sp_t1 -. s.sp_t0) *. 1e6)
+        (s.sp_ctx land 0xffffffff)
+        s.sp_stmts s.sp_in s.sp_out)
+    spans;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let save_json file spans =
+  Out_channel.with_open_bin file (fun oc ->
+      Out_channel.output_string oc (json_string spans))
+
+(* ------------------------------------------------------------------ *)
+(* Self-profile                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** A span annotated with its place in the per-domain nesting tree. *)
+type item = {
+  it_span : span;
+  mutable it_self : float;  (** duration minus directly nested spans *)
+  mutable it_root : bool;  (** no enclosing span on its domain *)
+  it_nested : int array;  (** direct children, counted per kind *)
+}
+
+(** Reconstruct the nesting forest of each domain's spans. Spans on one
+    domain are properly nested by construction (a child span both
+    starts after and ends before its parent, and the clock is
+    non-decreasing), so sorting by start time — longest span first on
+    ties — and sweeping a stack recovers parenthood. *)
+let annotate spans : item list =
+  let by_dom = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let l = Option.value ~default:[] (Hashtbl.find_opt by_dom s.sp_dom) in
+      Hashtbl.replace by_dom s.sp_dom (s :: l))
+    spans;
+  Hashtbl.fold
+    (fun _ dom_spans acc ->
+      let arr =
+        Array.of_list
+          (List.rev_map
+             (fun s ->
+               {
+                 it_span = s;
+                 it_self = s.sp_t1 -. s.sp_t0;
+                 it_root = true;
+                 it_nested = Array.make n_kinds 0;
+               })
+             dom_spans)
+      in
+      Array.sort
+        (fun a b ->
+          match compare a.it_span.sp_t0 b.it_span.sp_t0 with
+          | 0 -> compare b.it_span.sp_t1 a.it_span.sp_t1
+          | c -> c)
+        arr;
+      let stack = ref [] in
+      Array.iter
+        (fun it ->
+          let s = it.it_span in
+          let rec unwind () =
+            match !stack with
+            | top :: rest when top.it_span.sp_t1 <= s.sp_t0 ->
+                stack := rest;
+                unwind ()
+            | _ -> ()
+          in
+          unwind ();
+          (match !stack with
+          | top :: _ when s.sp_t1 <= top.it_span.sp_t1 ->
+              it.it_root <- false;
+              top.it_self <- top.it_self -. (s.sp_t1 -. s.sp_t0);
+              top.it_nested.(kind_idx s.sp_kind) <-
+                top.it_nested.(kind_idx s.sp_kind) + 1
+          | _ -> ());
+          stack := it :: !stack)
+        arr;
+      Array.fold_left (fun acc it -> it :: acc) acc arr)
+    by_dom []
+
+type prof_row = {
+  pr_kind : kind;
+  pr_name : string;
+  pr_count : int;
+  pr_cum : float;
+  pr_self : float;
+}
+
+let profile spans : prof_row list =
+  let tbl : (int * string, prof_row ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun it ->
+      let s = it.it_span in
+      let key = (kind_idx s.sp_kind, s.sp_name) in
+      let dur = s.sp_t1 -. s.sp_t0 in
+      let self = Float.max 0. it.it_self in
+      match Hashtbl.find_opt tbl key with
+      | Some r ->
+          r :=
+            {
+              !r with
+              pr_count = !r.pr_count + 1;
+              pr_cum = !r.pr_cum +. dur;
+              pr_self = !r.pr_self +. self;
+            }
+      | None ->
+          Hashtbl.replace tbl key
+            (ref
+               {
+                 pr_kind = s.sp_kind;
+                 pr_name = s.sp_name;
+                 pr_count = 1;
+                 pr_cum = dur;
+                 pr_self = self;
+               }))
+    (annotate spans);
+  Hashtbl.fold (fun _ r acc -> !r :: acc) tbl []
+  |> List.sort (fun a b ->
+         match compare b.pr_cum a.pr_cum with
+         | 0 -> compare (a.pr_name, kind_idx a.pr_kind) (b.pr_name, kind_idx b.pr_kind)
+         | c -> c)
+
+let coverage spans : float =
+  let items = annotate spans in
+  let by_dom = Hashtbl.create 8 in
+  List.iter
+    (fun it ->
+      let s = it.it_span in
+      let lo, hi, root =
+        match Hashtbl.find_opt by_dom s.sp_dom with
+        | Some (lo, hi, root) -> (lo, hi, root)
+        | None -> (Float.infinity, Float.neg_infinity, 0.)
+      in
+      let root = if it.it_root then root +. (s.sp_t1 -. s.sp_t0) else root in
+      Hashtbl.replace by_dom s.sp_dom
+        (Float.min lo s.sp_t0, Float.max hi s.sp_t1, root))
+    items;
+  let extent, root =
+    Hashtbl.fold
+      (fun _ (lo, hi, root) (e_acc, r_acc) -> (e_acc +. (hi -. lo), r_acc +. root))
+      by_dom (0., 0.)
+  in
+  if extent <= 0. then 1. else Float.min 1. (root /. extent)
+
+let iteration_histogram spans (outer, inner) : (int * int) list =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun it ->
+      if it.it_span.sp_kind = outer then begin
+        let n = it.it_nested.(kind_idx inner) in
+        Hashtbl.replace counts n
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts n))
+      end)
+    (annotate spans);
+  Hashtbl.fold (fun n c acc -> (n, c) :: acc) counts [] |> List.sort compare
+
+let pp_histogram ppf h =
+  if h = [] then Fmt.pf ppf "(none)"
+  else
+    Fmt.(list ~sep:(any ", ") (fun ppf (n, c) -> pf ppf "%dx%d" n c)) ppf h
+
+let pp_profile ?(top = 15) ppf spans =
+  match spans with
+  | [] -> Fmt.pf ppf "trace: no spans recorded@."
+  | _ ->
+      let n = List.length spans in
+      let doms = List.sort_uniq compare (List.map (fun s -> s.sp_dom) spans) in
+      let t_lo = List.fold_left (fun a s -> Float.min a s.sp_t0) Float.infinity spans in
+      let t_hi =
+        List.fold_left (fun a s -> Float.max a s.sp_t1) Float.neg_infinity spans
+      in
+      let wall = t_hi -. t_lo in
+      let rows = profile spans in
+      Fmt.pf ppf
+        "trace: %d spans on %d domain(s), %d dropped; wall %.3f ms; root-span coverage \
+         %.1f%%@."
+        n (List.length doms) (dropped ()) (wall *. 1e3)
+        (100. *. coverage spans);
+      let header () =
+        Fmt.pf ppf "%-12s %-24s %8s %12s %12s %7s@." "kind" "name" "count" "cum ms"
+          "self ms" "self%"
+      in
+      let row r =
+        Fmt.pf ppf "%-12s %-24s %8d %12.3f %12.3f %6.1f%%@." (kind_name r.pr_kind)
+          r.pr_name r.pr_count (r.pr_cum *. 1e3) (r.pr_self *. 1e3)
+          (if wall > 0. then 100. *. r.pr_self /. wall else 0.)
+      in
+      let take n l = List.filteri (fun i _ -> i < n) l in
+      Fmt.pf ppf "@.top %d by cumulative time:@." (min top (List.length rows));
+      header ();
+      List.iter row (take top rows);
+      let by_self =
+        List.sort
+          (fun a b ->
+            match compare b.pr_self a.pr_self with
+            | 0 -> compare a.pr_name b.pr_name
+            | c -> c)
+          rows
+      in
+      Fmt.pf ppf "@.top %d by self time:@." (min top (List.length rows));
+      header ();
+      List.iter row (take top by_self);
+      Fmt.pf ppf
+        "@.fixpoint iteration histograms (iterations x spans):@.\
+         \  body passes per node evaluation:   %a@.\
+         \  loop-head iterations per body:     %a@."
+        pp_histogram
+        (iteration_histogram spans (Node, Body))
+        pp_histogram
+        (iteration_histogram spans (Body, Loop))

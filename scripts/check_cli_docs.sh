@@ -36,6 +36,30 @@ for flag in $(grep -o 'info \[ "[a-z-]*"\(; "[a-z-]*"\)* \]' "$src" \
   fi
 done
 
+# --stats counters: the labels Metrics.pp prints, extracted from the
+# marked rows list in lib/core/metrics.ml. Each must appear backticked in
+# docs/CLI.md (the counters table).
+metrics=lib/core/metrics.ml
+[ -f "$metrics" ] || { echo "check_cli_docs: $metrics not found" >&2; exit 1; }
+
+labels=$(sed -n '/BEGIN stats-labels/,/END stats-labels/p' "$metrics" \
+         | grep -o '( *"[^"]*",' | sed 's/^( *"//; s/",$//')
+[ -n "$labels" ] || {
+  echo "check_cli_docs: no stats labels found in $metrics (markers moved?)" >&2
+  exit 1
+}
+
+old_ifs=$IFS
+IFS='
+'
+for label in $labels; do
+  if ! grep -qF "\`$label\`" "$doc"; then
+    echo "docs/CLI.md: missing --stats counter '$label'" >&2
+    missing=1
+  fi
+done
+IFS=$old_ifs
+
 if [ "$missing" -ne 0 ]; then
   echo "check_cli_docs: documentation is out of date with bin/ptan.ml" >&2
   exit 1

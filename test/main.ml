@@ -19,4 +19,5 @@ let () =
       Test_persist.suite;
       Test_queries.suite;
       Test_parallel.suite;
+      Test_trace.suite;
     ]

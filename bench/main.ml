@@ -621,11 +621,74 @@ let tracing () =
   if overhead_ms > 0.03 *. t_analysis then
     failwith "tracing: disabled-sink overhead exceeds 3% of the analysis time"
 
+(* ------------------------------------------------------------------ *)
+(* Degradation under budgets                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Guard = Pointsto.Guard
+
+(** One unit of fixpoint fuel trips on the second iteration of any
+    loop or recursive body, so every benchmark with non-trivial control
+    flow is forced through the widened rerun. A tiny deadline would not
+    do: it would also starve the rerun itself. *)
+let degradation_budget = { Guard.no_budget with Guard.b_fuel = Some 1 }
+
+(** Every (statement, source, target) pair of a result — per-statement
+    sets plus the entry output (statement [-1]) — with certainty
+    erased. The soundness contract of degradation is containment of
+    the full-precision run's pairs in the degraded run's. *)
+let result_pairs (r : Analysis.result) =
+  let h = Hashtbl.create 1024 in
+  let add_set sid s = Pts.iter (fun src dst _ -> Hashtbl.replace h (sid, Loc.id src, Loc.id dst) ()) s in
+  Hashtbl.iter (fun id s -> add_set id s) r.Analysis.stmt_pts;
+  (match r.Analysis.entry_output with Some o -> add_set (-1) o | None -> ());
+  h
+
+let pairs_superset ~full ~degraded =
+  Hashtbl.fold (fun k () acc -> acc && Hashtbl.mem degraded k) full true
+
+let degradation () =
+  section "Degradation (fuel 1: every trip unwinds to the widened context-insensitive rerun)";
+  Fmt.pr "%-12s %10s %11s %8s %7s %7s %7s %9s@." "benchmark" "full ms" "budget ms" "trip"
+    "pairs" "pairs'" "delta" "superset";
+  Fmt.pr "%s@." hr;
+  let tripped = ref 0 in
+  List.iter
+    (fun name ->
+      let p = prog name in
+      let full, t_full = time (fun () -> Analysis.analyze p) in
+      let deg, t_deg = time (fun () -> Analysis.analyze ~budget:degradation_budget p) in
+      let trip =
+        match deg.Analysis.degraded with
+        | Some d ->
+            incr tripped;
+            Guard.reason_name d.Analysis.deg_trip.Guard.t_reason
+        | None -> "-"
+      in
+      let fp = result_pairs full and dp = result_pairs deg in
+      let nf = Hashtbl.length fp and nd = Hashtbl.length dp in
+      if not (pairs_superset ~full:fp ~degraded:dp) then
+        Fmt.failwith "degradation: %s lost points-to pairs (unsound widening)" name;
+      Fmt.pr "%-12s %10.2f %11.2f %8s %7d %7d %+7d %9s@." name t_full t_deg trip nf nd
+        (nd - nf) "yes")
+    (Paper_data.names @ [ "livc" ]);
+  Fmt.pr
+    "@.%d/%d benchmarks tripped the fuel budget; every degraded table is a@.\
+     pair-containment superset of the full-precision one (certainty erased),@.\
+     i.e. budget exhaustion trades precision, never soundness.@."
+    !tripped
+    (List.length Paper_data.names + 1);
+  if !tripped = 0 then failwith "degradation: no benchmark tripped under fuel 1"
+
 (** Analyze the whole suite on a pool of [jobs] domains; returns the
     named results (in suite order) and the wall-clock milliseconds. *)
 let suite_on_pool parsed jobs =
   Pool.with_pool ~jobs (fun pool ->
-      time (fun () -> Pool.map pool (fun (name, p) -> (name, Analysis.analyze p)) parsed))
+      time (fun () ->
+          Pool.map_result pool (fun (name, p) -> (name, Analysis.analyze p)) parsed
+          |> List.map (function
+               | Ok r -> r
+               | Error e -> failwith ("suite analysis failed: " ^ Printexc.to_string e))))
 
 let parallel_suite jobs_list =
   section "Parallel Suite (domain pool over the whole benchmark suite)";
@@ -802,6 +865,16 @@ let smoke () =
     seq par;
   Fmt.pr "smoke: parallel suite (-j %d) identical to sequential on %d programs@." jobs
     (List.length names);
+  (* budget exhaustion must degrade, not fail, and must stay sound *)
+  let full = result "livc" in
+  let deg = Analysis.analyze ~budget:degradation_budget (prog "livc") in
+  (match deg.Analysis.degraded with
+  | None -> failwith "smoke: livc did not trip under fuel 1"
+  | Some d ->
+      if not (pairs_superset ~full:(result_pairs full) ~degraded:(result_pairs deg)) then
+        failwith "smoke: degraded livc tables lost points-to pairs";
+      Fmt.pr "smoke: livc degraded soundly (%s)@."
+        (Guard.reason_name d.Analysis.deg_trip.Guard.t_reason));
   Fmt.pr "smoke: ok@."
 
 let () =
@@ -825,6 +898,7 @@ let () =
     persistence ();
     counters ();
     tracing ();
+    degradation ();
     parallel_suite (match argv_jobs () with Some n -> [ n ] | None -> [ 2; 4; 8 ]);
     timings ();
     rep_ops ();

@@ -74,19 +74,31 @@ let cmd_simple file =
 
 (** [cache] is [None] when [--no-cache] was given, [Some dir] with
     [dir = None] meaning the default cache directory. *)
-let analyze_file ?(opts = Pointsto.Options.default) ?(cache = None) file =
+let analyze_file ?(opts = Pointsto.Options.default) ?budget ?(cache = None) file =
   match cache with
   | None ->
       let p = load file in
-      Pointsto.Analysis.analyze ~opts p
-  | Some cache_dir -> fst (Persist.analyze_cached ?cache_dir ~opts file)
+      Pointsto.Analysis.analyze ~opts ?budget p
+  | Some cache_dir -> fst (Persist.analyze_cached ?cache_dir ~opts ?budget file)
 
-let cmd_analyze file cache no_context no_definite sym_depth no_share heap_by_site show_null
-    show_stats trace_out =
+(** One-line degradation report, printed after a degraded result's
+    normal output; paired with exit code 3. *)
+let pp_degraded ppf (d : Pointsto.Analysis.degradation) =
+  Fmt.pf ppf
+    "degraded: %a (budget: %a); tables come from the widened context-insensitive, \
+     possible-only rerun"
+    Pointsto.Guard.pp_trip d.Pointsto.Analysis.deg_trip Pointsto.Guard.pp_budget
+    d.Pointsto.Analysis.deg_budget
+
+(** Exit code for runs that completed but under degradation. *)
+let exit_degraded = 3
+
+let cmd_analyze file cache budget no_context no_definite sym_depth no_share heap_by_site
+    show_null show_stats trace_out =
   with_errors (fun () ->
     with_trace trace_out @@ fun () ->
       let opts = opts_of ~no_context ~no_definite ~sym_depth ~no_share ~heap_by_site in
-      let r = analyze_file ~opts ~cache file in
+      let r = analyze_file ~opts ?budget ~cache file in
       List.iter (fun w -> Fmt.pr "warning: %s@." w) r.Pointsto.Analysis.warnings;
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) r.Pointsto.Analysis.stmt_pts []
       |> List.sort compare
@@ -96,7 +108,12 @@ let cmd_analyze file cache no_context no_definite sym_depth no_share heap_by_sit
       if not no_share then
         Fmt.pr "sub-tree sharing: %d hits, %d body passes@." r.Pointsto.Analysis.share_hits
           r.Pointsto.Analysis.bodies_analyzed;
-      if show_stats then Fmt.pr "%a@." Pointsto.Stats.pp_engine_metrics r)
+      if show_stats then Fmt.pr "%a@." Pointsto.Stats.pp_engine_metrics r;
+      match r.Pointsto.Analysis.degraded with
+      | Some d ->
+          Fmt.pr "%a@." pp_degraded d;
+          exit exit_degraded
+      | None -> ())
 
 let cmd_heap file cache =
   with_errors (fun () ->
@@ -162,11 +179,16 @@ let pp_stats_report ppf r =
     s.call_sites s.n_funcs s.n_recursive s.n_approximate s.avg_per_call_site s.avg_per_func;
   Fmt.pf ppf "%a@." Pointsto.Stats.pp_engine_metrics r
 
-let cmd_stats file cache trace_out =
+let cmd_stats file cache budget trace_out =
   with_errors (fun () ->
     with_trace trace_out @@ fun () ->
-      let r = analyze_file ~cache file in
-      Fmt.pr "%a" pp_stats_report r)
+      let r = analyze_file ?budget ~cache file in
+      Fmt.pr "%a" pp_stats_report r;
+      match r.Pointsto.Analysis.degraded with
+      | Some d ->
+          Fmt.pr "%a@." pp_degraded d;
+          exit exit_degraded
+      | None -> ())
 
 (** Render an analysis failure the way {!with_errors} reports it, for
     the per-file handling in [tables] where one bad file must not kill
@@ -176,27 +198,38 @@ let describe_exn = function
   | Simple_ir.Simplify.Unsupported (loc, m) ->
       Fmt.str "%a: unsupported: %s" Cfront.Srcloc.pp loc m
   | Pointsto.Analysis.No_entry e -> Fmt.str "error: no entry function '%s'" e
+  | Pointsto.Guard.Cancelled -> "error: cancelled (task timeout)"
+  | Pointsto.Guard.Exhausted t ->
+      Fmt.str "error: %a (even the widened rerun blew the budget)" Pointsto.Guard.pp_trip t
+  | Pointsto.Fault.Injected p -> Fmt.str "error: injected fault '%s'" p
   | e -> Printexc.to_string e
 
-let cmd_tables files cache jobs show_stats trace_out =
+let cmd_tables files cache budget timeout_ms jobs show_stats trace_out =
   with_trace trace_out @@ fun () ->
   let task file () =
-    let r = analyze_file ~cache file in
-    (Fmt.str "%a" pp_stats_report r, r.Pointsto.Analysis.metrics)
+    let r = analyze_file ?budget ~cache file in
+    (Fmt.str "%a" pp_stats_report r, r.Pointsto.Analysis.metrics,
+     r.Pointsto.Analysis.degraded)
   in
   let results =
     Pointsto.Pool.with_pool ~jobs (fun pool ->
-        Pointsto.Pool.run_list pool (List.map task files))
+        Pointsto.Pool.run_list ?timeout_ms pool (List.map task files))
   in
   let failed = ref 0 in
+  let degraded_n = ref 0 in
   let metrics = ref [] in
   List.iter2
     (fun file res ->
       Fmt.pr "== %s ==@." file;
       match res with
-      | Ok (report, m) ->
+      | Ok (report, m, deg) ->
           metrics := m :: !metrics;
-          Fmt.pr "%s" report
+          Fmt.pr "%s" report;
+          Option.iter
+            (fun d ->
+              incr degraded_n;
+              Fmt.pr "%a@." pp_degraded d)
+            deg
       | Error e ->
           incr failed;
           Fmt.pr "%s@." (describe_exn e))
@@ -213,34 +246,41 @@ let cmd_tables files cache jobs show_stats trace_out =
     Fmt.pr "@.== aggregate (%s) ==@.%a@." header Pointsto.Metrics.pp
       (Pointsto.Metrics.sum (List.rev !metrics))
   end;
-  if !failed > 0 then exit 1
+  if !failed > 0 then exit 1;
+  if !degraded_n > 0 then exit exit_degraded
 
 (** [profile] always re-analyzes (a result served from the disk cache
     records no engine spans) with the trace sink enabled, prints the
     self-profile report and optionally writes the trace-event JSON. *)
-let cmd_profile files jobs trace_out top =
+let cmd_profile files budget timeout_ms jobs trace_out top =
   Trace.enable ();
   Trace.clear ();
   let task file () =
     let t0 = Trace.start () in
     let p = load file in
-    let r = Pointsto.Analysis.analyze p in
+    let r = Pointsto.Analysis.analyze ?budget p in
     Trace.emit Trace.Task ~name:(Filename.basename file) ~t0 ();
     r
   in
   let results =
     Pointsto.Pool.with_pool ~jobs (fun pool ->
-        Pointsto.Pool.run_list pool (List.map task files))
+        Pointsto.Pool.run_list ?timeout_ms pool (List.map task files))
   in
   Trace.disable ();
   let failed = ref 0 in
+  let degraded_n = ref 0 in
   List.iter2
     (fun file res ->
       match res with
       | Ok r ->
           Fmt.pr "== %s ==@.%d IG nodes, %d body passes, %d sharing hits@." file
             r.Pointsto.Analysis.graph.Pointsto.Invocation_graph.n_nodes
-            r.Pointsto.Analysis.bodies_analyzed r.Pointsto.Analysis.share_hits
+            r.Pointsto.Analysis.bodies_analyzed r.Pointsto.Analysis.share_hits;
+          Option.iter
+            (fun d ->
+              incr degraded_n;
+              Fmt.pr "%a@." pp_degraded d)
+            r.Pointsto.Analysis.degraded
       | Error e ->
           incr failed;
           Fmt.pr "== %s ==@.%s@." file (describe_exn e))
@@ -252,7 +292,8 @@ let cmd_profile files jobs trace_out top =
       Trace.save_json path spans;
       Fmt.epr "trace: wrote %d spans to %s@." (List.length spans) path)
     trace_out;
-  if !failed > 0 then exit 1
+  if !failed > 0 then exit 1;
+  if !degraded_n > 0 then exit exit_degraded
 
 let cmd_alias file cache =
   with_errors (fun () ->
@@ -346,7 +387,15 @@ let cmd_batch file cache jobs queries =
         if jobs <= 1 then List.map answer todo
         else begin
           prime_result r;
-          Pointsto.Pool.with_pool ~jobs (fun pool -> Pointsto.Pool.map pool answer todo)
+          Pointsto.Pool.with_pool ~jobs (fun pool ->
+              Pointsto.Pool.map_result pool answer todo)
+          |> List.map2
+               (fun (n, _) res ->
+                 match res with
+                 | Ok a -> a
+                 | Error e ->
+                     Error (Fmt.str "line %d: error: %s" n (Printexc.to_string e)))
+               todo
         end
       in
       let failed = ref 0 in
@@ -410,6 +459,53 @@ let no_cache =
     value & flag
     & info [ "no-cache" ] ~doc:"Always re-run the analysis; neither read nor write the cache.")
 
+let deadline_ms =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock budget per analysis, milliseconds. On exhaustion the analysis \
+           degrades to the widened (context-insensitive, possible-only) rerun, which gets \
+           the same allowance afresh — total wall-clock stays within about twice $(docv). \
+           See docs/ROBUSTNESS.md.")
+
+let fuel =
+  Arg.(
+    value & opt (some int) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:
+          "Fixpoint-iteration budget: max iterations of any single loop-head or \
+           recursive invocation-graph fixed point before degrading.")
+
+let max_locs =
+  Arg.(
+    value & opt (some int) None
+    & info [ "max-locs" ] ~docv:"N"
+        ~doc:
+          "Size ceiling before degrading: max points-to pairs in a function output and \
+           max invocation-graph nodes.")
+
+(** Combined resource budget; [None] when no budget flag was given. *)
+let budget =
+  Term.(
+    const (fun d f m ->
+        match (d, f, m) with
+        | None, None, None -> None
+        | _ ->
+            Some { Pointsto.Guard.b_deadline_ms = d; b_fuel = f; b_max_locs = m })
+    $ deadline_ms $ fuel $ max_locs)
+
+let task_timeout_ms =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "task-timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-file timeout for parallel runs, milliseconds, measured from when the \
+           file's task starts: an overdue task is cooperatively cancelled and reported \
+           as an error without disturbing its siblings.")
+
 let trace_out =
   Arg.(
     value
@@ -436,8 +532,8 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run points-to analysis")
     Term.(
-      const cmd_analyze $ file_arg $ cache $ no_context $ no_definite $ sym_depth $ no_share
-      $ heap_by_site $ show_null $ show_stats $ trace_out)
+      const cmd_analyze $ file_arg $ cache $ budget $ no_context $ no_definite $ sym_depth
+      $ no_share $ heap_by_site $ show_null $ show_stats $ trace_out)
 
 let heap_cmd =
   Cmd.v
@@ -456,7 +552,7 @@ let ig_cmd =
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"Print Tables 2-6 statistics")
-    Term.(const cmd_stats $ file_arg $ cache $ trace_out)
+    Term.(const cmd_stats $ file_arg $ cache $ budget $ trace_out)
 
 let files_arg =
   Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"C source files to analyze.")
@@ -467,7 +563,9 @@ let tables_cmd =
        ~doc:
          "Print Tables 2-6 statistics for many files, analyzed on -j domains in parallel; \
           with --stats, also an aggregated operation/timing table")
-    Term.(const cmd_tables $ files_arg $ cache $ jobs $ show_stats $ trace_out)
+    Term.(
+      const cmd_tables $ files_arg $ cache $ budget $ task_timeout_ms $ jobs $ show_stats
+      $ trace_out)
 
 let profile_cmd =
   Cmd.v
@@ -476,7 +574,7 @@ let profile_cmd =
          "Re-analyze files with the trace sink enabled and print where the time went: \
           top-N spans by cumulative/self time and fixpoint iteration histograms; \
           --trace-out additionally writes the Perfetto-loadable timeline")
-    Term.(const cmd_profile $ files_arg $ jobs $ trace_out $ top)
+    Term.(const cmd_profile $ files_arg $ budget $ task_timeout_ms $ jobs $ trace_out $ top)
 
 let alias_cmd =
   Cmd.v

@@ -10,6 +10,13 @@ module Ir = Simple_ir.Ir
 module Ig = Invocation_graph
 open Cfront
 
+(** Why and how a result was degraded: the budget trip that aborted the
+    precise run, and the budget it was running under. *)
+type degradation = {
+  deg_trip : Guard.trip;
+  deg_budget : Guard.budget;
+}
+
 type result = {
   prog : Ir.program;
   tenv : Tenv.t;
@@ -24,6 +31,9 @@ type result = {
           [share_contexts]) *)
   bodies_analyzed : int;  (** function-body passes performed *)
   metrics : Metrics.t;  (** per-phase timing and operation counters *)
+  degraded : degradation option;
+      (** [Some _] when the budget blew and these tables come from the
+          widened (context-insensitive, possible-only) rerun *)
 }
 
 (** Initial points-to set for the entry function: global and local
@@ -50,7 +60,11 @@ let initial_input (tenv : Tenv.t) (entry_fn : Ir.func) : Pts.t =
 
 exception No_entry of string
 
-let analyze ?(opts = Options.default) ?(entry = "main") (prog : Ir.program) : result =
+(** One full run under [guard]: raises [Guard.Exhausted] when the budget
+    blows — [analyze] below handles the degradation. Does not touch the
+    Metrics accumulator's lifecycle (the caller resets once, so the
+    degraded rerun accumulates on top of the aborted precise run). *)
+let run ~opts ~entry ~guard ~degraded (prog : Ir.program) : result =
   let tenv = Tenv.make ~opts prog in
   let entry_fn =
     match Tenv.find_func tenv entry with
@@ -58,9 +72,8 @@ let analyze ?(opts = Options.default) ?(entry = "main") (prog : Ir.program) : re
     | None -> raise (No_entry entry)
   in
   let graph = Ig.build tenv ~entry in
-  let ctx = Engine.make_ctx tenv in
+  let ctx = Engine.make_ctx ~guard tenv in
   let input0 = initial_input tenv entry_fn in
-  Metrics.reset ();
   let t0 = Metrics.now () in
   let ttr = Trace.start () in
   let entry_output =
@@ -97,13 +110,39 @@ let analyze ?(opts = Options.default) ?(entry = "main") (prog : Ir.program) : re
     share_hits = ctx.Engine.share_hits;
     bodies_analyzed = ctx.Engine.bodies_analyzed;
     metrics = Metrics.snapshot ();
+    degraded;
   }
 
-(** Convenience: parse, simplify and analyze C source text. *)
-let of_string ?opts ?entry ?file src =
-  analyze ?opts ?entry (Simple_ir.Simplify.of_string ?file src)
+let analyze ?(opts = Options.default) ?(entry = "main") ?budget (prog : Ir.program) :
+    result =
+  Metrics.reset ();
+  let guard = Guard.of_budget budget in
+  try run ~opts ~entry ~guard ~degraded:None prog
+  with Guard.Exhausted trip ->
+    (* Graceful degradation: rerun under the widened semantics — the
+       context-insensitive merged summary with possible-only
+       relationships, i.e. exactly the ablation the engine already
+       implements. That mode is polynomial where the precise one can
+       blow up, so it gets the same wall-clock allowance afresh and no
+       fuel or size ceiling ({!Guard.widened}); a second exhaustion is a
+       genuine failure and propagates. *)
+    Metrics.((cur ()).budget_trips <- (cur ()).budget_trips + 1);
+    let wopts =
+      { opts with Options.context_sensitive = false; Options.use_definite = false }
+    in
+    let wguard = Guard.widened guard in
+    let degraded = Some { deg_trip = trip; deg_budget = Guard.budget guard } in
+    let tw0 = Trace.start () in
+    let r = run ~opts:wopts ~entry ~guard:wguard ~degraded prog in
+    if Trace.on () then Trace.emit Trace.Widen ~name:entry ~t0:tw0 ();
+    r
 
-let of_file ?opts ?entry path = analyze ?opts ?entry (Simple_ir.Simplify.of_file path)
+(** Convenience: parse, simplify and analyze C source text. *)
+let of_string ?opts ?entry ?budget ?file src =
+  analyze ?opts ?entry ?budget (Simple_ir.Simplify.of_string ?file src)
+
+let of_file ?opts ?entry ?budget path =
+  analyze ?opts ?entry ?budget (Simple_ir.Simplify.of_file path)
 
 (** The points-to set valid at statement [id] ([Pts.empty] when the
     statement was never reached). *)

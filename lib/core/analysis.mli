@@ -17,6 +17,13 @@
 module Ir = Simple_ir.Ir
 module Ig = Invocation_graph
 
+(** Why and how a result was degraded: the {!Guard.trip} that aborted
+    the precise run, and the budget it was running under. *)
+type degradation = {
+  deg_trip : Guard.trip;
+  deg_budget : Guard.budget;
+}
+
 type result = {
   prog : Ir.program;
   tenv : Tenv.t;
@@ -33,6 +40,11 @@ type result = {
   metrics : Metrics.t;
       (** per-phase timing and operation counters of this run (a
           snapshot of the engine's global {!Metrics.cur}) *)
+  degraded : degradation option;
+      (** [Some _] when a resource budget was exhausted and these tables
+          come from the widened (context-insensitive, possible-only)
+          rerun — still sound: every degraded table is a superset of
+          what the precise run would have computed (docs/ROBUSTNESS.md) *)
 }
 
 (** Initial set for the entry function: global and local pointers
@@ -43,13 +55,32 @@ val initial_input : Tenv.t -> Ir.func -> Pts.t
 exception No_entry of string
 
 (** Run the analysis from [entry] (default ["main"]).
-    @raise No_entry if the entry function is not defined. *)
-val analyze : ?opts:Options.t -> ?entry:string -> Ir.program -> result
+
+    [budget] bounds the run (see {!Guard}): when any component of the
+    budget is exhausted, the analysis degrades — it reruns under the
+    widened (context-insensitive, possible-only) semantics with a fresh
+    deadline-only guard and returns a result marked [degraded] instead
+    of raising. The widened rerun getting its own full deadline bounds
+    the total wall-clock at roughly twice [b_deadline_ms].
+
+    @raise No_entry if the entry function is not defined.
+    @raise Guard.Exhausted if even the widened rerun blows the deadline.
+    @raise Guard.Cancelled if the driver cancelled this task
+    ({!Pool} timeout) — never degraded, the caller gave up. *)
+val analyze :
+  ?opts:Options.t -> ?entry:string -> ?budget:Guard.budget -> Ir.program -> result
 
 (** Parse, simplify and analyze C source text. *)
-val of_string : ?opts:Options.t -> ?entry:string -> ?file:string -> string -> result
+val of_string :
+  ?opts:Options.t ->
+  ?entry:string ->
+  ?budget:Guard.budget ->
+  ?file:string ->
+  string ->
+  result
 
-val of_file : ?opts:Options.t -> ?entry:string -> string -> result
+val of_file :
+  ?opts:Options.t -> ?entry:string -> ?budget:Guard.budget -> string -> result
 
 (** The points-to set valid at a statement ([Pts.empty] if unreached). *)
 val pts_at : result -> int -> Pts.t

@@ -22,6 +22,9 @@ open Cfront
 type ctx = {
   tenv : Tenv.t;
   opts : Options.t;
+  guard : Guard.t;
+      (** resource governor, polled at the fixed-point boundaries below;
+          an unlimited guard still polls task cancellation *)
   stmt_pts : (int, Pts.t) Hashtbl.t;
       (** merged points-to set valid at each statement, over all contexts *)
   mutable warnings : string list;
@@ -42,10 +45,11 @@ type ctx = {
       (** number of times any function body was (re)processed *)
 }
 
-let make_ctx (tenv : Tenv.t) : ctx =
+let make_ctx ?guard (tenv : Tenv.t) : ctx =
   {
     tenv;
     opts = tenv.Tenv.opts;
+    guard = (match guard with Some g -> g | None -> Guard.unlimited ());
     stmt_pts = Hashtbl.create 256;
     warnings = [];
     warn_seen = Hashtbl.create 16;
@@ -249,7 +253,9 @@ and process_loop ctx fn node (s : Pts.t) (l : Ir.loop) : flow =
   | `While | `For ->
       (* head state: after evaluating the condition statements *)
       let first = process_list (Some s) l.Ir.l_cond_stmts in
-      let rec iterate head ~brk ~ret =
+      let rec iterate head ~brk ~ret ~n =
+        Guard.check ctx.guard;
+        Guard.check_fuel ctx.guard n;
         Metrics.((cur ()).loop_iters <- (cur ()).loop_iters + 1);
         let lt0 = Trace.start () in
         let body = process_list head l.Ir.l_body in
@@ -261,13 +267,15 @@ and process_loop ctx fn node (s : Pts.t) (l : Ir.loop) : flow =
         let head' = Pts.merge_state head back.normal in
         if Trace.on () then Trace.emit Trace.Loop ~name:fn.Ir.fn_name ~t0:lt0 ();
         if Pts.state_equal head head' then (head, brk, ret)
-        else iterate head' ~brk ~ret
+        else iterate head' ~brk ~ret ~n:(n + 1)
       in
-      let head, brk, ret = iterate first.normal ~brk:Pts.bot ~ret:Pts.bot in
+      let head, brk, ret = iterate first.normal ~brk:Pts.bot ~ret:Pts.bot ~n:1 in
       let exit = Pts.merge_state head brk in
       { normal = exit; brk = Pts.bot; cont = Pts.bot; ret }
   | `Do ->
-      let rec iterate entry ~brk ~ret =
+      let rec iterate entry ~brk ~ret ~n =
+        Guard.check ctx.guard;
+        Guard.check_fuel ctx.guard n;
         Metrics.((cur ()).loop_iters <- (cur ()).loop_iters + 1);
         let lt0 = Trace.start () in
         let body = process_list entry l.Ir.l_body in
@@ -279,9 +287,9 @@ and process_loop ctx fn node (s : Pts.t) (l : Ir.loop) : flow =
         let entry' = Pts.merge_state entry after_cond.normal in
         if Trace.on () then Trace.emit Trace.Loop ~name:fn.Ir.fn_name ~t0:lt0 ();
         if Pts.state_equal entry entry' then (after_cond.normal, brk, ret)
-        else iterate entry' ~brk ~ret
+        else iterate entry' ~brk ~ret ~n:(n + 1)
       in
-      let after_cond, brk, ret = iterate (Some s) ~brk:Pts.bot ~ret:Pts.bot in
+      let after_cond, brk, ret = iterate (Some s) ~brk:Pts.bot ~ret:Pts.bot ~n:1 in
       let exit = Pts.merge_state after_cond brk in
       { normal = exit; brk = Pts.bot; cont = Pts.bot; ret }
 
@@ -353,7 +361,9 @@ and process_call_stmt ctx fn node (s : Pts.t) (stmt : Ir.stmt) lhs callee args :
             | None ->
                 (* can happen in the context-insensitive ablation where
                    graph and analysis orders diverge; grow on demand *)
-                Ig.add_indirect_child ctx.tenv node stmt.Ir.s_id fname
+                let c = Ig.add_indirect_child ctx.tenv node stmt.Ir.s_id fname in
+                Guard.check_nodes ctx.guard (Ig.node_count ());
+                c
           in
           let out, ret_tgts, ret_cells = invoke ctx fn child s callee_fn args in
           finish_call ctx fn node out ret_tgts ret_cells lhs
@@ -388,11 +398,15 @@ and process_call_stmt ctx fn node (s : Pts.t) (stmt : Ir.stmt) lhs callee args :
                   (Some s, Lval.to_list (external_result_targets ctx.tenv fn s args), [])
               | Some callee_fn ->
                   let child = Ig.add_indirect_child ctx.tenv node stmt.Ir.s_id fname in
+                  Guard.check_nodes ctx.guard (Ig.node_count ());
                   (* make the function pointer definitely point to fname
-                     while analyzing it *)
+                     while analyzing it — a definite-information
+                     refinement, so gated like the other uses of
+                     definite relationships *)
                   let s' =
                     match Lval.to_list fptr_lvals with
-                    | [ (l, Pts.D) ] when Loc.singular l ->
+                    | [ (l, Pts.D) ]
+                      when ctx.opts.Options.use_definite && Loc.singular l ->
                         Pts.add l (Loc.func fname) Pts.D (Pts.kill_src l s)
                     | _ -> s
                   in
@@ -525,7 +539,11 @@ and eval_node ctx (node : Ig.node) (callee_fn : Ir.func) (func_input : Pts.t) : 
               node.Ig.stored_output <- Pts.bot;
               node.Ig.pending <- [];
               node.Ig.in_flight <- true;
-              let rec fixpoint ~first =
+              Guard.at ctx.guard callee_fn.Ir.fn_name;
+              let rec fixpoint ~first ~n =
+                Guard.check ctx.guard;
+                Guard.check_fuel ctx.guard n;
+                Fault.maybe_slow_fixpoint ~fn:callee_fn.Ir.fn_name;
                 if not first then Metrics.((cur ()).rec_iters <- (cur ()).rec_iters + 1);
                 let cur_input =
                   match node.Ig.stored_input with Some s -> s | None -> func_input
@@ -537,6 +555,9 @@ and eval_node ctx (node : Ig.node) (callee_fn : Ir.func) (func_input : Pts.t) : 
                   process_stmts ctx callee_fn node (Some cur_input) callee_fn.Ir.fn_body
                 in
                 let func_output = Pts.merge_state fl.normal fl.ret in
+                (match func_output with
+                | Some o -> Guard.check_size ctx.guard (Pts.cardinal o)
+                | None -> ());
                 if Trace.on () then
                   Trace.emit Trace.Body ~name:callee_fn.Ir.fn_name
                     ~ctx:(Pts.hash cur_input) ~pts_in:(Pts.cardinal cur_input)
@@ -552,16 +573,16 @@ and eval_node ctx (node : Ig.node) (callee_fn : Ir.func) (func_input : Pts.t) : 
                   node.Ig.stored_input <- merged;
                   node.Ig.pending <- [];
                   node.Ig.stored_output <- Pts.bot;
-                  fixpoint ~first:false
+                  fixpoint ~first:false ~n:(n + 1)
                 end
                 else if Pts.state_covered_by func_output node.Ig.stored_output then ()
                 else begin
                   node.Ig.stored_output <-
                     Pts.merge_state node.Ig.stored_output func_output;
-                  if node.Ig.kind = Ig.Recursive then fixpoint ~first:false
+                  if node.Ig.kind = Ig.Recursive then fixpoint ~first:false ~n:(n + 1)
                 end
               in
-              fixpoint ~first:true;
+              fixpoint ~first:true ~n:1;
               node.Ig.in_flight <- false;
               node.Ig.stored_input <- Some func_input;
               (match node.Ig.stored_output with
@@ -634,6 +655,8 @@ and eval_ci ctx (node : Ig.node) (callee_fn : Ir.func) (func_input : Pts.t) : Pt
      safe *)
   if Hashtbl.mem ctx.ci_in_flight name then slot_out
   else begin
+    Guard.check ctx.guard;
+    Guard.at ctx.guard name;
     Hashtbl.replace ctx.ci_in_flight name ();
     let tb0 = Trace.start () in
     let fl = process_stmts ctx callee_fn node (Some new_in) callee_fn.Ir.fn_body in

@@ -1,0 +1,149 @@
+(** Per-analysis resource governor (see guard.mli).
+
+    A guard is a small mutable record consulted from the engine's
+    fixed-point boundaries. The checks are deliberately cheap: an
+    unlimited guard costs a few loads per call; a deadline costs one
+    [Unix.gettimeofday] per fixpoint iteration (the same clock the
+    tracing layer reads at those boundaries when enabled).
+
+    Cooperative cancellation rides on the same polling sites: the pool
+    installs the running task's cancel flag in domain-local storage
+    before the task starts, and every {!check} — budgeted or not —
+    polls it, so any analysis running under {!Pool.run_list} with a
+    timeout can be unwound without the driver knowing anything about
+    guards. *)
+
+type budget = {
+  b_deadline_ms : float option;
+  b_fuel : int option;
+  b_max_locs : int option;
+}
+
+let no_budget = { b_deadline_ms = None; b_fuel = None; b_max_locs = None }
+
+let is_no_budget b =
+  b.b_deadline_ms = None && b.b_fuel = None && b.b_max_locs = None
+
+type reason = Deadline | Fuel | Size | Nodes
+
+let reason_name = function
+  | Deadline -> "deadline"
+  | Fuel -> "fuel"
+  | Size -> "set-size"
+  | Nodes -> "ig-nodes"
+
+type trip = {
+  t_reason : reason;
+  t_where : string option;  (** innermost function under evaluation *)
+  t_after_ms : float;  (** elapsed wall-clock when the budget blew *)
+}
+
+exception Exhausted of trip
+exception Cancelled
+
+type t = {
+  g_budget : budget;
+  g_deadline : float option;  (** absolute [Unix.gettimeofday] bound *)
+  g_t0 : float;
+  mutable g_where : string option;
+}
+
+let make_at ?(expired = false) budget =
+  let now = Unix.gettimeofday () in
+  let deadline =
+    match budget.b_deadline_ms with
+    | None -> None
+    | Some ms -> Some (if expired then now else now +. (ms /. 1e3))
+  in
+  { g_budget = budget; g_deadline = deadline; g_t0 = now; g_where = None }
+
+let make budget = make_at ~expired:(Fault.enabled Fault.Expired_deadline) budget
+
+let unlimited () = make_at no_budget
+
+let of_budget = function None -> unlimited () | Some b -> make b
+
+(** The degradation path's guard: same wall-clock allowance, measured
+    afresh, no fuel or size ceilings — the widened mode has no
+    exponential context machinery for them to bound, and the deadline
+    stays as the backstop. Constructed directly so the
+    [Expired_deadline] injection (a request {e arriving} out of budget)
+    does not also starve the fallback that answers it. *)
+let widened g =
+  make_at ~expired:false { no_budget with b_deadline_ms = g.g_budget.b_deadline_ms }
+
+let budget g = g.g_budget
+
+let limited g = not (is_no_budget g.g_budget)
+
+let at g where = g.g_where <- Some where
+
+let elapsed_ms g = (Unix.gettimeofday () -. g.g_t0) *. 1e3
+
+let trip g reason =
+  raise (Exhausted { t_reason = reason; t_where = g.g_where; t_after_ms = elapsed_ms g })
+
+(* ------------------------------------------------------------------ *)
+(* Cooperative cancellation                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The cancel flag of the pool task running on this domain, if any.
+   Owned by {!Pool}: installed before a task runs, cleared after. A
+   plain ref inside DLS — only the owning domain writes it; other
+   domains reach the flag itself, which is atomic. *)
+let task_cancel : bool Atomic.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let set_task_cancel c = Domain.DLS.get task_cancel := c
+
+let cancel_requested () =
+  match !(Domain.DLS.get task_cancel) with
+  | None -> false
+  | Some c -> Atomic.get c
+
+(* ------------------------------------------------------------------ *)
+(* Checks                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let check g =
+  if cancel_requested () then raise Cancelled;
+  match g.g_deadline with
+  | Some d when Unix.gettimeofday () >= d -> trip g Deadline
+  | _ -> ()
+
+let check_fuel g spent =
+  match g.g_budget.b_fuel with
+  | Some fuel when spent > fuel -> trip g Fuel
+  | _ -> ()
+
+let check_size g n =
+  match g.g_budget.b_max_locs with
+  | Some m when n > m -> trip g Size
+  | _ -> ()
+
+let check_nodes g n =
+  match g.g_budget.b_max_locs with
+  | Some m when n > m -> trip g Nodes
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_budget ppf b =
+  let parts =
+    List.filter_map Fun.id
+      [
+        Option.map (Fmt.str "deadline %gms") b.b_deadline_ms;
+        Option.map (Fmt.str "fuel %d") b.b_fuel;
+        Option.map (Fmt.str "max-locs %d") b.b_max_locs;
+      ]
+  in
+  match parts with
+  | [] -> Fmt.pf ppf "unlimited"
+  | _ -> Fmt.pf ppf "%s" (String.concat ", " parts)
+
+let pp_trip ppf t =
+  Fmt.pf ppf "%s budget exhausted after %.1f ms%a" (reason_name t.t_reason) t.t_after_ms
+    (Fmt.option (fun ppf fn -> Fmt.pf ppf " in '%s'" fn))
+    t.t_where

@@ -1,0 +1,111 @@
+(** Per-analysis resource governor: wall-clock deadline, fixpoint fuel,
+    and size ceilings, plus the cooperative-cancellation hook used by
+    {!Pool} task timeouts.
+
+    A {!t} is created per analysis (see {!Analysis.analyze}'s [?guard])
+    and consulted by the engine at its existing fixed-point boundaries —
+    the same places the {!Trace} layer opens spans: per loop-fixpoint
+    iteration, per body pass of a (possibly recursive) invocation-graph
+    node evaluation, and whenever the invocation graph grows under an
+    indirect call. Checks are cheap enough to leave on unconditionally;
+    an unlimited guard costs a few loads per site.
+
+    When a budget is exhausted the engine does not die: {!Exhausted}
+    unwinds to {!Analysis.analyze}, which reruns the program under the
+    widened (context-insensitive, possible-only) semantics with a fresh
+    deadline-only guard and marks the result degraded. {!Cancelled} is
+    different — it means the driver gave up on this task (pool timeout),
+    so it propagates without any degradation attempt. *)
+
+(** What an analysis is allowed to spend. [None] fields are unlimited. *)
+type budget = {
+  b_deadline_ms : float option;
+      (** wall-clock allowance for the whole analysis, milliseconds *)
+  b_fuel : int option;
+      (** max iterations of any single fixpoint loop: one statement
+          loop's iterate count, or one IG node's body passes *)
+  b_max_locs : int option;
+      (** size ceiling, applied to both a function output's points-to
+          pair count and the total invocation-graph node count *)
+}
+
+val no_budget : budget
+val is_no_budget : budget -> bool
+
+type reason = Deadline | Fuel | Size | Nodes
+
+val reason_name : reason -> string
+(** ["deadline"], ["fuel"], ["set-size"], ["ig-nodes"]. *)
+
+(** Structured diagnostics carried by {!Exhausted} and surfaced on
+    degraded {!Analysis.result}s. *)
+type trip = {
+  t_reason : reason;
+  t_where : string option;  (** innermost function under evaluation *)
+  t_after_ms : float;  (** elapsed wall-clock when the budget blew *)
+}
+
+exception Exhausted of trip
+(** A budget ran out. Recoverable: {!Analysis.analyze} catches it and
+    degrades. *)
+
+exception Cancelled
+(** The driver cancelled this task (pool timeout). Not recoverable by
+    degradation — propagates to the pool, which reports it as the
+    task's error. *)
+
+type t
+
+val make : budget -> t
+(** Start the clock now. Honors the {!Fault.Expired_deadline} injection
+    (the deadline starts already in the past). *)
+
+val unlimited : unit -> t
+val of_budget : budget option -> t
+
+val widened : t -> t
+(** The guard for the degradation rerun: the same deadline allowance
+    measured afresh, no fuel or size ceilings (the widened mode has no
+    exponential context machinery for them to bound). Deliberately
+    ignores {!Fault.Expired_deadline} so the injected "arrived out of
+    budget" fault still gets an answer from the fallback. *)
+
+val budget : t -> budget
+
+val limited : t -> bool
+(** [false] iff the guard carries {!no_budget} (cancellation still
+    works on unlimited guards). *)
+
+val at : t -> string -> unit
+(** Record the function currently under evaluation, for {!trip}
+    diagnostics. *)
+
+val elapsed_ms : t -> float
+
+val check : t -> unit
+(** Poll cancellation and the deadline. Raises {!Cancelled} or
+    {!Exhausted}. Called at every fixpoint boundary, budgeted or not. *)
+
+val check_fuel : t -> int -> unit
+(** [check_fuel g spent] — iterations spent on the current fixpoint
+    loop. Raises {!Exhausted} with {!Fuel} when over budget. *)
+
+val check_size : t -> int -> unit
+(** Points-to pair count of a just-computed function output against
+    [b_max_locs]. *)
+
+val check_nodes : t -> int -> unit
+(** Invocation-graph node count against [b_max_locs]. *)
+
+(** {1 Cooperative cancellation}
+
+    {!Pool} installs the running task's cancel flag in domain-local
+    storage before the task starts and clears it after; {!check} polls
+    it on every call. Other domains (the pool's watchdog) flip the
+    atomic to request cancellation. *)
+
+val set_task_cancel : bool Atomic.t option -> unit
+val cancel_requested : unit -> bool
+
+val pp_budget : Format.formatter -> budget -> unit
+val pp_trip : Format.formatter -> trip -> unit

@@ -54,6 +54,11 @@ type t = {
    analyses on this one) did. *)
 let node_counter : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
+(* Live node count of the analysis running on this domain, including
+   children grown at indirect sites since {!build} — what {!Guard}'s
+   [max-locs] ceiling bounds while the graph is still growing. *)
+let node_count () = !(Domain.DLS.get node_counter)
+
 let fresh_node ~func ~parent ~kind =
   let node_counter = Domain.DLS.get node_counter in
   incr node_counter;

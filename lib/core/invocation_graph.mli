@@ -59,6 +59,11 @@ val build : Tenv.t -> entry:string -> t
 
 val fold : ('a -> node -> 'a) -> 'a -> t -> 'a
 val n_nodes : t -> int
+
+(** Nodes allocated on this domain since the last {!build} — tracks the
+    graph as indirect calls grow it mid-analysis, so {!Guard} can bound
+    it without a traversal. *)
+val node_count : unit -> int
 val n_recursive : t -> int
 val n_approximate : t -> int
 

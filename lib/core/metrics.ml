@@ -50,6 +50,12 @@ type t = {
   (* result cache ({!Persist}) *)
   mutable cache_hits : int;  (** results served from the disk cache *)
   mutable cache_misses : int;  (** cache lookups that fell back to analysis *)
+  mutable cache_quarantined : int;
+      (** corrupt cache entries renamed to [.bad] and re-analyzed *)
+  (* resource governor ({!Guard}) *)
+  mutable budget_trips : int;
+      (** budget exhaustions that degraded an analysis to the widened
+          (context-insensitive, possible-only) rerun *)
   (* per-phase wall-clock time, seconds *)
   mutable t_map : float;  (** in {!Map_unmap.map_call} *)
   mutable t_unmap : float;  (** in {!Map_unmap.unmap_call} *)
@@ -79,6 +85,8 @@ let create () =
     unmap_calls = 0;
     cache_hits = 0;
     cache_misses = 0;
+    cache_quarantined = 0;
+    budget_trips = 0;
     t_map = 0.;
     t_unmap = 0.;
     t_analysis = 0.;
@@ -114,6 +122,8 @@ let reset () =
   cur.unmap_calls <- 0;
   cur.cache_hits <- 0;
   cur.cache_misses <- 0;
+  cur.cache_quarantined <- 0;
+  cur.budget_trips <- 0;
   cur.t_map <- 0.;
   cur.t_unmap <- 0.;
   cur.t_analysis <- 0.;
@@ -148,6 +158,8 @@ let add_into ~(into : t) (m : t) =
   into.unmap_calls <- into.unmap_calls + m.unmap_calls;
   into.cache_hits <- into.cache_hits + m.cache_hits;
   into.cache_misses <- into.cache_misses + m.cache_misses;
+  into.cache_quarantined <- into.cache_quarantined + m.cache_quarantined;
+  into.budget_trips <- into.budget_trips + m.budget_trips;
   into.t_map <- into.t_map +. m.t_map;
   into.t_unmap <- into.t_unmap +. m.t_unmap;
   into.t_analysis <- into.t_analysis +. m.t_analysis;
@@ -195,6 +207,9 @@ let rows (m : t) : (string * string) list =
     ( "result cache",
       Printf.sprintf "%d hits, %d misses (save %.3f ms, load %.3f ms)" m.cache_hits
         m.cache_misses (m.t_serialize *. 1e3) (m.t_deserialize *. 1e3) );
+    ( "robustness",
+      Printf.sprintf "%d budget trips, %d cache entries quarantined" m.budget_trips
+        m.cache_quarantined );
   ]
 (* END stats-labels *)
 

@@ -30,6 +30,11 @@ type t = {
   mutable unmap_calls : int;
   mutable cache_hits : int;  (** results served from the {!Persist} disk cache *)
   mutable cache_misses : int;  (** cache lookups that fell back to a fresh analysis *)
+  mutable cache_quarantined : int;
+      (** corrupt cache entries renamed to [.bad] and re-analyzed *)
+  mutable budget_trips : int;
+      (** {!Guard} budget exhaustions that degraded an analysis to the
+          widened rerun *)
   mutable t_map : float;  (** seconds in {!Map_unmap.map_call} *)
   mutable t_unmap : float;
   mutable t_analysis : float;  (** whole-analysis wall-clock seconds *)

@@ -25,7 +25,7 @@
 module Ir = Simple_ir.Ir
 module Ig = Invocation_graph
 
-let version = 1
+let version = 2
 
 let magic = "PTANC"
 
@@ -378,7 +378,7 @@ let w_metrics b (m : Metrics.t) =
       m.Metrics.merges; m.merge_fast; m.equal_checks; m.equal_fast; m.covered_checks;
       m.covered_fast; m.assigns; m.kills; m.weakens; m.gens; m.loop_iters; m.rec_iters;
       m.bodies; m.memo_lookups; m.memo_hits; m.map_calls; m.unmap_calls; m.cache_hits;
-      m.cache_misses;
+      m.cache_misses; m.cache_quarantined; m.budget_trips;
     ];
   List.iter (w_float b) [ m.t_map; m.t_unmap; m.t_analysis; m.t_serialize; m.t_deserialize ]
 
@@ -403,6 +403,8 @@ let r_metrics r : Metrics.t =
   m.unmap_calls <- r_u r;
   m.cache_hits <- r_u r;
   m.cache_misses <- r_u r;
+  m.cache_quarantined <- r_u r;
+  m.budget_trips <- r_u r;
   m.t_map <- r_float r;
   m.t_unmap <- r_float r;
   m.t_analysis <- r_float r;
@@ -553,7 +555,10 @@ let save ~source ?(entry = "main") (res : Analysis.result) file =
     ~finally:(fun () -> if Sys.file_exists tmp then try Sys.remove tmp with Sys_error _ -> ())
     (fun () ->
       Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc (Buffer.contents out));
-      Sys.rename tmp file);
+      Sys.rename tmp file;
+      (* chaos harness: corrupt the published entry, exactly like torn
+         storage under a complete, well-formed file name *)
+      Fault.maybe_corrupt_file file);
   let m = Metrics.cur () in
   m.Metrics.t_serialize <- m.Metrics.t_serialize +. (Metrics.now () -. t0);
   if Trace.on () then
@@ -566,17 +571,38 @@ let save ~source ?(entry = "main") (res : Analysis.result) file =
 (* Load                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let load ~source ?(opts = Options.default) ?(entry = "main") file : Analysis.result option =
+type load_error =
+  | Missing  (** no file at that path *)
+  | Stale
+      (** well-formed entry keying a different source text, option
+          record or entry function — not corrupt, just not ours *)
+  | Corrupt
+      (** truncation, bit damage, version skew, or any decode failure:
+          the entry can never load again and should be quarantined *)
+
+let load_error_name = function
+  | Missing -> "missing"
+  | Stale -> "stale"
+  | Corrupt -> "corrupt"
+
+(* internal: distinguishes the key-mismatch exit from [Bad] *)
+exception Stale_key
+
+let load_checked ~source ?(opts = Options.default) ?(entry = "main") file :
+    (Analysis.result, load_error) result =
   let t0 = Metrics.now () in
   let tr0 = Trace.start () in
   let res =
+    if not (Sys.file_exists file) then Error Missing
+    else
     try
       let data = read_file file in
       let r = { data; pos = 0 } in
       if r_raw r (String.length magic) <> magic then raise Bad;
       if r_u r <> version then raise Bad;
       let stored_key = r_raw r 16 in
-      if stored_key <> Digest.from_hex (key ~source ~opts ~entry) then raise Bad;
+      if stored_key <> Digest.from_hex (key ~source ~opts ~entry) then
+        raise_notrace Stale_key;
       let body_digest = r_raw r 16 in
       (* authenticate the remaining bytes before decoding anything from
          them: [Marshal.from_string] below must only ever see bytes this
@@ -602,7 +628,7 @@ let load ~source ?(opts = Options.default) ?(entry = "main") file : Analysis.res
       let root = r_node arr sets r ~parent:None ~nodes:(Hashtbl.create 64) in
       if r.pos <> String.length data then raise Bad;
       let tenv = Tenv.make ~opts prog in
-      Some
+      Ok
         {
           Analysis.prog;
           tenv;
@@ -613,8 +639,13 @@ let load ~source ?(opts = Options.default) ?(entry = "main") file : Analysis.res
           share_hits;
           bodies_analyzed;
           metrics;
+          (* degraded results are never saved (see [analyze_cached]), so
+             anything loaded back is a full-precision run *)
+          degraded = None;
         }
-    with Bad | Failure _ | Invalid_argument _ | Sys_error _ | End_of_file -> None
+    with
+    | Stale_key -> Error Stale
+    | Bad | Failure _ | Invalid_argument _ | Sys_error _ | End_of_file -> Error Corrupt
   in
   let m = Metrics.cur () in
   m.Metrics.t_deserialize <- m.Metrics.t_deserialize +. (Metrics.now () -. t0);
@@ -622,9 +653,12 @@ let load ~source ?(opts = Options.default) ?(entry = "main") file : Analysis.res
     Trace.emit Trace.Cache_load
       ~name:(Filename.basename source)
       ~pts_out:
-        (match res with Some r -> Hashtbl.length r.Analysis.stmt_pts | None -> -1)
+        (match res with Ok r -> Hashtbl.length r.Analysis.stmt_pts | Error _ -> -1)
       ~t0:tr0 ();
   res
+
+let load ~source ?opts ?entry file : Analysis.result option =
+  Result.to_option (load_checked ~source ?opts ?entry file)
 
 (* ------------------------------------------------------------------ *)
 (* Cache                                                              *)
@@ -642,16 +676,32 @@ let cache_file ~cache_dir ~source ~opts ~entry =
   let base = Filename.remove_extension (Filename.basename source) in
   Filename.concat cache_dir (Printf.sprintf "%s-%s.ptc" base (key ~source ~opts ~entry))
 
-let analyze_cached ?cache_dir ?(opts = Options.default) ?(entry = "main") source :
+(* Move a corrupt entry out of the lookup path (best effort — on rename
+   failure the entry stays, and the next lookup will try again). The
+   [.bad] file is kept rather than deleted so operators can post-mortem
+   what corrupted it. *)
+let quarantine file =
+  try Sys.rename file (file ^ ".bad") with Sys_error _ -> ()
+
+let analyze_cached ?cache_dir ?(opts = Options.default) ?(entry = "main") ?budget source :
     Analysis.result * bool =
   let dir = match cache_dir with Some d -> d | None -> default_cache_dir () in
   let file = try Some (cache_file ~cache_dir:dir ~source ~opts ~entry) with Sys_error _ -> None in
+  let quarantined = ref 0 in
   let load_attempt =
     match file with
     | None -> None
-    | Some f ->
+    | Some f -> (
         let t0 = Metrics.now () in
-        Option.map (fun r -> (r, Metrics.now () -. t0)) (load ~source ~opts ~entry f)
+        match load_checked ~source ~opts ~entry f with
+        | Ok r -> Some (r, Metrics.now () -. t0)
+        | Error Corrupt ->
+            (* truncated, damaged or version-skewed entry: quarantine it
+               and transparently fall back to a cold analysis *)
+            quarantine f;
+            incr quarantined;
+            None
+        | Error (Missing | Stale) -> None)
   in
   match load_attempt with
   | Some (res, dt) ->
@@ -661,10 +711,18 @@ let analyze_cached ?cache_dir ?(opts = Options.default) ?(entry = "main") source
         res.Analysis.metrics.Metrics.t_deserialize +. dt;
       (res, true)
   | None ->
-      let res = Analysis.of_file ~opts ~entry source in
+      let res = Analysis.of_file ~opts ~entry ?budget source in
+      (* a degraded result is not the full-precision answer this key
+         promises — never publish it to the cache *)
       (match file with
-      | None -> ()
-      | Some f -> ( try save ~source ~entry res f with Sys_error _ | Failure _ -> ()));
+      | Some f when res.Analysis.degraded = None -> (
+          try save ~source ~entry res f with Sys_error _ | Failure _ -> ())
+      | _ -> ());
+      (* bumped after the analysis, which reset this domain's accumulator *)
+      (Metrics.cur ()).Metrics.cache_quarantined <-
+        (Metrics.cur ()).Metrics.cache_quarantined + !quarantined;
+      res.Analysis.metrics.Metrics.cache_quarantined <-
+        res.Analysis.metrics.Metrics.cache_quarantined + !quarantined;
       (Metrics.cur ()).Metrics.cache_misses <- (Metrics.cur ()).Metrics.cache_misses + 1;
       res.Analysis.metrics.Metrics.cache_misses <-
         res.Analysis.metrics.Metrics.cache_misses + 1;

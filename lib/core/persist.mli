@@ -50,14 +50,35 @@ val key : source:string -> opts:Options.t -> entry:string -> string
     {!Metrics.cur}[.t_serialize]. *)
 val save : source:string -> ?entry:string -> Analysis.result -> string -> unit
 
-(** [load ~source ?opts ?entry file] reads a result saved by {!save}.
-    Returns [None] on version or key mismatch (different source content,
-    options or entry) and on any read/decode failure. On success the
-    program is re-lowered from [source] and the result is equivalent to
-    the one originally saved: same per-statement points-to sets, entry
-    output, invocation graph (shape, stored IN/OUT, map information),
-    warnings and counters. Records its cost in
-    {!Metrics.cur}[.t_deserialize]. *)
+(** Why a load produced no result. *)
+type load_error =
+  | Missing  (** no file at that path *)
+  | Stale
+      (** well-formed entry keying a different source text, option
+          record or entry function — not corrupt, just not ours *)
+  | Corrupt
+      (** truncation, bit damage, version skew, or any decode failure:
+          the entry can never load again; {!analyze_cached} quarantines
+          it *)
+
+val load_error_name : load_error -> string
+(** ["missing"], ["stale"], ["corrupt"]. *)
+
+(** [load_checked ~source ?opts ?entry file] reads a result saved by
+    {!save}, classifying failure: never raises, never returns a wrong
+    table. On success the program is re-lowered from [source] and the
+    result is equivalent to the one originally saved: same
+    per-statement points-to sets, entry output, invocation graph
+    (shape, stored IN/OUT, map information), warnings and counters.
+    Records its cost in {!Metrics.cur}[.t_deserialize]. *)
+val load_checked :
+  source:string ->
+  ?opts:Options.t ->
+  ?entry:string ->
+  string ->
+  (Analysis.result, load_error) result
+
+(** {!load_checked} with the failure reason dropped. *)
 val load :
   source:string -> ?opts:Options.t -> ?entry:string -> string -> Analysis.result option
 
@@ -75,12 +96,19 @@ val cache_file : cache_dir:string -> source:string -> opts:Options.t -> entry:st
     and otherwise runs {!Analysis.of_file} and populates the cache. The
     boolean is [true] on a cache hit. The returned result's metrics
     carry this invocation's cache counters ([cache_hits] /
-    [cache_misses] / [t_serialize] / [t_deserialize]) alongside the
-    counters of the run that originally produced the result. Cache I/O
-    failures degrade to a fresh analysis, never to an error. *)
+    [cache_misses] / [t_serialize] / [t_deserialize] /
+    [cache_quarantined]) alongside the counters of the run that
+    originally produced the result. Cache I/O failures degrade to a
+    fresh analysis, never to an error; a {!Corrupt} entry is renamed to
+    [<file>.bad] (kept for post-mortem) and re-analyzed cold.
+
+    [budget] is forwarded to {!Analysis.analyze} on a miss. A degraded
+    result is returned but {e never} saved to the cache — its key
+    promises the full-precision answer. *)
 val analyze_cached :
   ?cache_dir:string ->
   ?opts:Options.t ->
   ?entry:string ->
+  ?budget:Guard.budget ->
   string ->
   Analysis.result * bool

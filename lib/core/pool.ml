@@ -68,48 +68,121 @@ let traced f () =
   let finally () = if Trace.on () then Trace.emit Trace.Task ~name:"pool-task" ~t0:tr0 () in
   Fun.protect ~finally f
 
-let run_list t tasks =
+(* Per-run cancellation bookkeeping. Start/finish stamps are kept under
+   their own mutex (not the pool's — the watchdog must never contend
+   with queue traffic): workers stamp a task when they pick it up, the
+   watchdog domain scans for tasks that have been running past the
+   timeout and flips their cancel flag. Cancellation is cooperative —
+   the running analysis observes the flag at its next {!Guard.check}
+   and unwinds with [Guard.Cancelled]; a task that never polls simply
+   runs to completion. *)
+type watch = {
+  w_mutex : Mutex.t;
+  w_starts : float array;  (** [nan] until the task starts *)
+  w_finished : bool array;
+  w_cancels : bool Atomic.t array;
+  w_stop : bool Atomic.t;
+}
+
+let make_watch n =
+  {
+    w_mutex = Mutex.create ();
+    w_starts = Array.make n Float.nan;
+    w_finished = Array.make n false;
+    w_cancels = Array.init n (fun _ -> Atomic.make false);
+    w_stop = Atomic.make false;
+  }
+
+let watchdog w ~timeout_ms () =
+  let limit = timeout_ms /. 1e3 in
+  let tick = Float.max 0.001 (Float.min 0.005 (limit /. 4.)) in
+  while not (Atomic.get w.w_stop) do
+    Unix.sleepf tick;
+    let now = Unix.gettimeofday () in
+    Mutex.lock w.w_mutex;
+    Array.iteri
+      (fun i t0 ->
+        if (not (Float.is_nan t0)) && (not w.w_finished.(i)) && now -. t0 >= limit then
+          Atomic.set w.w_cancels.(i) true)
+      w.w_starts;
+    Mutex.unlock w.w_mutex
+  done
+
+(* Run one task under its cancel flag: stamp start/finish for the
+   watchdog, install the flag where {!Guard.check} polls it, and fold
+   any exception — injected, cancellation, or the task's own — into
+   [Error]. *)
+let exec w i f =
+  Mutex.lock w.w_mutex;
+  w.w_starts.(i) <- Unix.gettimeofday ();
+  Mutex.unlock w.w_mutex;
+  Guard.set_task_cancel (Some w.w_cancels.(i));
+  let r =
+    try
+      Fault.maybe_task_exn ();
+      Ok (traced f ())
+    with e -> Error e
+  in
+  Guard.set_task_cancel None;
+  Mutex.lock w.w_mutex;
+  w.w_finished.(i) <- true;
+  Mutex.unlock w.w_mutex;
+  r
+
+let run_list ?timeout_ms t tasks =
   match tasks with
   | [] -> []
-  | _ when t.jobs = 1 ->
-      List.map (fun f -> try Ok (traced f ()) with e -> Error e) tasks
   | _ ->
       let n = List.length tasks in
-      let results = Array.make n None in
-      let remaining = ref n in
-      let all_done = Condition.create () in
-      let wrap i f () =
-        let r = try Ok (traced f ()) with e -> Error e in
+      let w = make_watch n in
+      let dog =
+        Option.map (fun ms -> Domain.spawn (watchdog w ~timeout_ms:ms)) timeout_ms
+      in
+      let finally () =
+        Atomic.set w.w_stop true;
+        Option.iter Domain.join dog
+      in
+      Fun.protect ~finally @@ fun () ->
+      if t.jobs = 1 then List.mapi (fun i f -> exec w i f) tasks
+      else begin
+        let results = Array.make n None in
+        let remaining = ref n in
+        let all_done = Condition.create () in
+        let wrap i f () =
+          let r = exec w i f in
+          Mutex.lock t.mutex;
+          results.(i) <- Some r;
+          decr remaining;
+          if !remaining = 0 then Condition.broadcast all_done;
+          Mutex.unlock t.mutex
+        in
         Mutex.lock t.mutex;
-        results.(i) <- Some r;
-        decr remaining;
-        if !remaining = 0 then Condition.broadcast all_done;
-        Mutex.unlock t.mutex
-      in
-      Mutex.lock t.mutex;
-      List.iteri (fun i f -> Queue.push (wrap i f) t.queue) tasks;
-      Condition.broadcast t.nonempty;
-      (* drain alongside the workers, then wait for the stragglers *)
-      let rec drive () =
-        if !remaining = 0 then Mutex.unlock t.mutex
-        else
-          match Queue.take_opt t.queue with
-          | Some task ->
-              Mutex.unlock t.mutex;
-              task ();
-              Mutex.lock t.mutex;
-              drive ()
-          | None ->
-              Condition.wait all_done t.mutex;
-              drive ()
-      in
-      drive ();
-      Array.to_list results
-      |> List.map (function Some r -> r | None -> assert false)
+        List.iteri (fun i f -> Queue.push (wrap i f) t.queue) tasks;
+        Condition.broadcast t.nonempty;
+        (* drain alongside the workers, then wait for the stragglers *)
+        let rec drive () =
+          if !remaining = 0 then Mutex.unlock t.mutex
+          else
+            match Queue.take_opt t.queue with
+            | Some task ->
+                Mutex.unlock t.mutex;
+                task ();
+                Mutex.lock t.mutex;
+                drive ()
+            | None ->
+                Condition.wait all_done t.mutex;
+                drive ()
+        in
+        drive ();
+        Array.to_list results
+        |> List.map (function Some r -> r | None -> assert false)
+      end
+
+let map_result ?timeout_ms t f xs =
+  run_list ?timeout_ms t (List.map (fun x () -> f x) xs)
 
 let map t f xs =
-  let rs = run_list t (List.map (fun x () -> f x) xs) in
-  List.map (function Ok y -> y | Error e -> raise e) rs
+  List.map (function Ok y -> y | Error e -> raise e) (map_result t f xs)
 
 let shutdown t =
   Mutex.lock t.mutex;

@@ -21,15 +21,27 @@ val create : jobs:int -> t
 val jobs : t -> int
 (** Concurrency the pool was created with (after clamping). *)
 
-val run_list : t -> (unit -> 'a) list -> ('a, exn) result list
+val run_list : ?timeout_ms:float -> t -> (unit -> 'a) list -> ('a, exn) result list
 (** [run_list pool tasks] runs every task and blocks until all finish.
     The result list is in the same order as [tasks]; a task that raises
-    yields [Error exn] without disturbing the others. *)
+    yields [Error exn] without disturbing the others.
+
+    [timeout_ms] arms a per-task wall-clock limit, measured from when
+    the task {e starts running} (not from submission): a watchdog
+    domain flips the overdue task's cancel flag, and the task's
+    analysis observes it at its next {!Guard.check} and unwinds as
+    [Error Guard.Cancelled]. Cancellation is cooperative — a task that
+    never polls (pure OCaml with no guard sites) runs to completion.
+    Each task honours the {!Fault.Task_exn} injection point. *)
+
+val map_result : ?timeout_ms:float -> t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** [map_result pool f xs] is {!run_list} specialised to a function
+    applied to each element: per-element error isolation, results in
+    [xs] order. *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
-(** [map pool f xs] is [run_list] specialised to a function applied to
-    each element; the first exception (in submission order) is
-    re-raised after all tasks have finished. *)
+(** {!map_result} with errors re-raised: the first exception (in
+    submission order) is re-raised after all tasks have finished. *)
 
 val shutdown : t -> unit
 (** Join the worker domains. The pool must not be used afterwards;

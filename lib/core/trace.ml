@@ -25,6 +25,7 @@ type kind =
   | Cache_load
   | Cache_store
   | Task
+  | Widen
 
 let kind_name = function
   | Analysis -> "analysis"
@@ -36,8 +37,9 @@ let kind_name = function
   | Cache_load -> "cache-load"
   | Cache_store -> "cache-store"
   | Task -> "task"
+  | Widen -> "widen"
 
-let n_kinds = 9
+let n_kinds = 10
 
 let kind_idx = function
   | Analysis -> 0
@@ -49,6 +51,7 @@ let kind_idx = function
   | Cache_load -> 6
   | Cache_store -> 7
   | Task -> 8
+  | Widen -> 9
 
 type span = {
   sp_kind : kind;

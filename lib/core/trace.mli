@@ -36,6 +36,9 @@ type kind =
   | Cache_load  (** {!Persist.load} of a persisted result *)
   | Cache_store  (** {!Persist.save} of a result *)
   | Task  (** one task executed by a {!Pool} domain *)
+  | Widen
+      (** the graceful-degradation rerun of an analysis whose budget was
+          exhausted ({!Guard}) — wraps the whole widened pass *)
 
 val kind_name : kind -> string
 (** Lower-case stable name ([node], [map], [cache-load], ...); used as

@@ -20,4 +20,5 @@ let () =
       Test_queries.suite;
       Test_parallel.suite;
       Test_trace.suite;
+      Test_robust.suite;
     ]

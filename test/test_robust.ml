@@ -1,0 +1,492 @@
+(** Tests for the robustness layer: {!Pointsto.Guard} budgets and
+    cooperative cancellation, graceful degradation in
+    {!Pointsto.Analysis}, {!Pointsto.Pool} task timeouts,
+    {!Pointsto.Fault} injection, and the corrupt-entry quarantine in
+    {!Pointsto.Persist} — including the every-97th-byte truncation and
+    bit-flip fuzz of a persisted livc result.
+
+    The central contract under test is the soundness of degradation:
+    a budget-exhausted analysis falls back to the widened
+    (context-insensitive, possible-only) semantics, and the degraded
+    tables must contain every points-to pair of the full-precision run
+    (certainty erased) — resource exhaustion trades precision, never
+    soundness. *)
+
+open Test_util
+module Guard = Pointsto.Guard
+module Fault = Pointsto.Fault
+module Pool = Pointsto.Pool
+module Persist = Pointsto.Persist
+module Options = Pointsto.Options
+module M = Pointsto.Metrics
+
+let bench_dir = if Sys.file_exists "benchmarks" then "benchmarks" else "../benchmarks"
+let bench name = Filename.concat bench_dir (name ^ ".c")
+
+let bench_names =
+  [
+    "genetic"; "dry"; "clinpack"; "config"; "toplev"; "compress"; "mway"; "hash"; "misr";
+    "xref"; "stanford"; "fixoutput"; "sim"; "travel"; "csuite"; "msc"; "lws"; "livc";
+  ]
+
+let temp_dir () =
+  let d = Filename.temp_file "ptan-robust" "" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  d
+
+let in_temp f =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+(* ------------------------------------------------------------------ *)
+(* Guard                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let expect_trip f =
+  match f () with
+  | exception Guard.Exhausted t -> t
+  | _ -> Alcotest.fail "expected Guard.Exhausted"
+
+let guard_tests =
+  [
+    case "an unlimited guard passes every check" (fun () ->
+        let g = Guard.unlimited () in
+        Alcotest.(check bool) "not limited" false (Guard.limited g);
+        Alcotest.(check bool) "no budget" true (Guard.is_no_budget (Guard.budget g));
+        Guard.check g;
+        Guard.check_fuel g 1_000_000;
+        Guard.check_size g 1_000_000;
+        Guard.check_nodes g 1_000_000);
+    case "fuel trips strictly above the allowance, with diagnostics" (fun () ->
+        let g = Guard.make { Guard.no_budget with Guard.b_fuel = Some 3 } in
+        Alcotest.(check bool) "limited" true (Guard.limited g);
+        Guard.check_fuel g 3;
+        Guard.at g "looper";
+        let t = expect_trip (fun () -> Guard.check_fuel g 4) in
+        Alcotest.(check string) "reason" "fuel" (Guard.reason_name t.Guard.t_reason);
+        Alcotest.(check (option string)) "where" (Some "looper") t.Guard.t_where;
+        Alcotest.(check bool) "elapsed recorded" true (t.Guard.t_after_ms >= 0.));
+    case "deadline trips once the clock passes it" (fun () ->
+        let g = Guard.make { Guard.no_budget with Guard.b_deadline_ms = Some 1. } in
+        Unix.sleepf 0.005;
+        let t = expect_trip (fun () -> Guard.check g) in
+        Alcotest.(check string) "reason" "deadline" (Guard.reason_name t.Guard.t_reason);
+        Alcotest.(check bool) "after >= 1ms" true (t.Guard.t_after_ms >= 1.));
+    case "size and node ceilings trip with distinct reasons" (fun () ->
+        let g = Guard.make { Guard.no_budget with Guard.b_max_locs = Some 10 } in
+        Guard.check_size g 10;
+        Guard.check_nodes g 10;
+        let ts = expect_trip (fun () -> Guard.check_size g 11) in
+        Alcotest.(check string) "set-size" "set-size" (Guard.reason_name ts.Guard.t_reason);
+        let tn = expect_trip (fun () -> Guard.check_nodes g 11) in
+        Alcotest.(check string) "ig-nodes" "ig-nodes" (Guard.reason_name tn.Guard.t_reason));
+    case "widened keeps the deadline, drops fuel and size ceilings" (fun () ->
+        let g =
+          Guard.make
+            {
+              Guard.b_deadline_ms = Some 60_000.;
+              Guard.b_fuel = Some 1;
+              Guard.b_max_locs = Some 1;
+            }
+        in
+        let w = Guard.widened g in
+        let b = Guard.budget w in
+        Alcotest.(check (option (float 0.1))) "deadline kept" (Some 60_000.) b.Guard.b_deadline_ms;
+        Alcotest.(check bool) "no fuel" true (b.Guard.b_fuel = None);
+        Alcotest.(check bool) "no size ceiling" true (b.Guard.b_max_locs = None);
+        Guard.check w;
+        Guard.check_fuel w 1_000_000;
+        Guard.check_size w 1_000_000);
+    case "check raises Cancelled when the task's flag is flipped" (fun () ->
+        let flag = Atomic.make false in
+        Guard.set_task_cancel (Some flag);
+        Fun.protect
+          ~finally:(fun () -> Guard.set_task_cancel None)
+          (fun () ->
+            let g = Guard.unlimited () in
+            Guard.check g;
+            Alcotest.(check bool) "not requested" false (Guard.cancel_requested ());
+            Atomic.set flag true;
+            Alcotest.(check bool) "requested" true (Guard.cancel_requested ());
+            match Guard.check g with
+            | exception Guard.Cancelled -> ()
+            | () -> Alcotest.fail "expected Guard.Cancelled"));
+    case "budget pretty-printing" (fun () ->
+        Alcotest.(check string) "unlimited" "unlimited" (Fmt.str "%a" Guard.pp_budget Guard.no_budget);
+        Alcotest.(check string) "combined" "deadline 100ms, fuel 2"
+          (Fmt.str "%a" Guard.pp_budget
+             { Guard.b_deadline_ms = Some 100.; Guard.b_fuel = Some 2; Guard.b_max_locs = None }));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fuel_1 = { Guard.no_budget with Guard.b_fuel = Some 1 }
+
+(** Every (statement, source, target) pair of a result — per-statement
+    sets plus the entry output under key [-1] — certainty erased. *)
+let result_pairs (r : Analysis.result) =
+  let h = Hashtbl.create 256 in
+  let add sid s =
+    Pts.iter (fun src dst _ -> Hashtbl.replace h (sid, Loc.id src, Loc.id dst) ()) s
+  in
+  Hashtbl.iter add r.Analysis.stmt_pts;
+  (match r.Analysis.entry_output with Some o -> add (-1) o | None -> ());
+  h
+
+let is_superset ~full ~degraded =
+  Hashtbl.fold (fun k () acc -> acc && Hashtbl.mem degraded k) full true
+
+(** Digest of every per-statement points-to set, rendering included. *)
+let stmt_digest (r : Analysis.result) =
+  Hashtbl.fold (fun id s acc -> (id, s) :: acc) r.Analysis.stmt_pts []
+  |> List.sort compare
+  |> List.map (fun (id, s) -> Fmt.str "s%d:%a" id Pts.pp s)
+  |> String.concat "\n" |> Digest.string |> Digest.to_hex
+
+let degradation_tests =
+  [
+    case "fuel 1 degrades livc to a sound widened rerun" (fun () ->
+        let p = Simple_ir.Simplify.of_file (bench "livc") in
+        let full = Analysis.analyze p in
+        let deg = Analysis.analyze ~budget:fuel_1 p in
+        (match deg.Analysis.degraded with
+        | None -> Alcotest.fail "livc did not trip under fuel 1"
+        | Some d ->
+            Alcotest.(check string) "reason" "fuel"
+              (Guard.reason_name d.Analysis.deg_trip.Guard.t_reason);
+            Alcotest.(check bool) "budget carried" true
+              (d.Analysis.deg_budget.Guard.b_fuel = Some 1));
+        Alcotest.(check int) "one budget trip in metrics" 1 deg.Analysis.metrics.M.budget_trips;
+        Alcotest.(check int) "full run has none" 0 full.Analysis.metrics.M.budget_trips;
+        Alcotest.(check bool) "degraded tables are a pair superset" true
+          (is_superset ~full:(result_pairs full) ~degraded:(result_pairs deg)));
+    case "property: degraded tables contain the full tables, whole suite" (fun () ->
+        List.iter
+          (fun name ->
+            let p = Simple_ir.Simplify.of_file (bench name) in
+            let full = Analysis.analyze p in
+            let deg = Analysis.analyze ~budget:fuel_1 p in
+            Alcotest.(check bool)
+              (name ^ ": superset") true
+              (is_superset ~full:(result_pairs full) ~degraded:(result_pairs deg));
+            (* an untripped budget must change nothing at all *)
+            if deg.Analysis.degraded = None then
+              Alcotest.(check string) (name ^ ": untripped identical") (stmt_digest full)
+                (stmt_digest deg))
+          bench_names);
+    case "an ample budget neither trips nor perturbs the result" (fun () ->
+        let p = Simple_ir.Simplify.of_file (bench "stanford") in
+        let full = Analysis.analyze p in
+        let budget =
+          {
+            Guard.b_deadline_ms = Some 600_000.;
+            Guard.b_fuel = Some 1_000_000;
+            Guard.b_max_locs = Some 10_000_000;
+          }
+        in
+        let b = Analysis.analyze ~budget p in
+        Alcotest.(check bool) "not degraded" true (b.Analysis.degraded = None);
+        Alcotest.(check string) "bit-identical" (stmt_digest full) (stmt_digest b);
+        Alcotest.(check int) "no trips" 0 b.Analysis.metrics.M.budget_trips);
+    case "a tiny location ceiling degrades with a size reason" (fun () ->
+        let p = Simple_ir.Simplify.of_file (bench "livc") in
+        let deg =
+          Analysis.analyze ~budget:{ Guard.no_budget with Guard.b_max_locs = Some 1 } p
+        in
+        match deg.Analysis.degraded with
+        | None -> Alcotest.fail "livc did not trip under max-locs 1"
+        | Some d ->
+            let r = Guard.reason_name d.Analysis.deg_trip.Guard.t_reason in
+            Alcotest.(check bool) "size-flavoured reason" true
+              (String.equal r "set-size" || String.equal r "ig-nodes"));
+    case "expired-deadline fault: the widened fallback still answers" (fun () ->
+        let p = Simple_ir.Simplify.of_file (bench "hash") in
+        let full = Analysis.analyze p in
+        let deg =
+          Fault.with_point Fault.Expired_deadline (fun () ->
+              Analysis.analyze
+                ~budget:{ Guard.no_budget with Guard.b_deadline_ms = Some 10_000. }
+                p)
+        in
+        (match deg.Analysis.degraded with
+        | None -> Alcotest.fail "expired deadline did not degrade"
+        | Some d ->
+            Alcotest.(check string) "reason" "deadline"
+              (Guard.reason_name d.Analysis.deg_trip.Guard.t_reason));
+        Alcotest.(check bool) "still sound" true
+          (is_superset ~full:(result_pairs full) ~degraded:(result_pairs deg)));
+    case "degraded results are returned but never cached" (fun () ->
+        in_temp (fun dir ->
+            let source = bench "hash" in
+            let deg, hit = Persist.analyze_cached ~cache_dir:dir ~budget:fuel_1 source in
+            Alcotest.(check bool) "miss" false hit;
+            Alcotest.(check bool) "degraded" true (deg.Analysis.degraded <> None);
+            Alcotest.(check int) "cache left empty" 0 (Array.length (Sys.readdir dir));
+            let full, hit2 = Persist.analyze_cached ~cache_dir:dir source in
+            Alcotest.(check bool) "still a miss without the budget" false hit2;
+            Alcotest.(check bool) "full-precision this time" true
+              (full.Analysis.degraded = None)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool timeouts and cooperative cancellation                         *)
+(* ------------------------------------------------------------------ *)
+
+(** A task that spins for up to 5 s but polls a guard: the cooperative
+    shape every analysis task has. *)
+let cancellable_spin () =
+  let g = Guard.unlimited () in
+  let t0 = Unix.gettimeofday () in
+  while Unix.gettimeofday () -. t0 < 5. do
+    Guard.check g;
+    Unix.sleepf 0.002
+  done;
+  "finished"
+
+let timeout_tests =
+  [
+    case "an overdue task is cancelled; its siblings are untouched" (fun () ->
+        Pool.with_pool ~jobs:2 (fun pool ->
+            match Pool.run_list ~timeout_ms:60. pool [ cancellable_spin; (fun () -> "fast") ] with
+            | [ Error Guard.Cancelled; Ok "fast" ] -> ()
+            | [ a; b ] ->
+                Alcotest.failf "expected [Error Cancelled; Ok fast], got [%s; %s]"
+                  (match a with Ok s -> s | Error e -> Printexc.to_string e)
+                  (match b with Ok s -> s | Error e -> Printexc.to_string e)
+            | _ -> Alcotest.fail "wrong arity"));
+    case "the watchdog also covers the jobs = 1 inline path" (fun () ->
+        Pool.with_pool ~jobs:1 (fun pool ->
+            match Pool.run_list ~timeout_ms:60. pool [ cancellable_spin ] with
+            | [ Error Guard.Cancelled ] -> ()
+            | _ -> Alcotest.fail "expected Error Cancelled inline"));
+    case "tasks under their timeout are unaffected" (fun () ->
+        Pool.with_pool ~jobs:4 (fun pool ->
+            let rs = Pool.run_list ~timeout_ms:5_000. pool (List.init 8 (fun i () -> i)) in
+            List.iteri
+              (fun i r ->
+                match r with
+                | Ok v -> Alcotest.(check int) "value" i v
+                | Error e -> Alcotest.failf "unexpected: %s" (Printexc.to_string e))
+              rs));
+    case "a hanging analysis is cancelled by the task timeout" (fun () ->
+        (* slow-fixpoint makes livc's precise fixpoint sleep per body
+           pass of helper_sum; without a budget nothing degrades, so the
+           pool timeout is the only line of defence *)
+        Fault.with_point ~fn:"helper_sum" ~sleep_ms:30. Fault.Slow_fixpoint (fun () ->
+            let p = Simple_ir.Simplify.of_file (bench "livc") in
+            Pool.with_pool ~jobs:2 (fun pool ->
+                match
+                  Pool.run_list ~timeout_ms:80. pool [ (fun () -> Analysis.analyze p) ]
+                with
+                | [ Error Guard.Cancelled ] -> ()
+                | [ Ok _ ] -> Alcotest.fail "injected hang ran to completion under timeout"
+                | [ Error e ] -> Alcotest.failf "wrong error: %s" (Printexc.to_string e)
+                | _ -> Alcotest.fail "wrong arity")));
+    case "map_result isolates per-element errors in order" (fun () ->
+        Pool.with_pool ~jobs:4 (fun pool ->
+            let rs =
+              Pool.map_result pool
+                (fun i -> if i mod 2 = 0 then i * 10 else failwith (string_of_int i))
+                [ 0; 1; 2; 3 ]
+            in
+            match rs with
+            | [ Ok 0; Error (Failure m1); Ok 20; Error (Failure m3) ]
+              when String.equal m1 "1" && String.equal m3 "3" ->
+                ()
+            | _ -> Alcotest.fail "expected alternating Ok/Error in submission order"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fault_tests =
+  [
+    case "point names round-trip" (fun () ->
+        List.iter
+          (fun p ->
+            match Fault.point_of_name (Fault.point_name p) with
+            | Some p' when p' = p -> ()
+            | _ -> Alcotest.failf "%s does not round-trip" (Fault.point_name p))
+          Fault.all_points;
+        Alcotest.(check bool) "unknown rejected" true (Fault.point_of_name "nope" = None));
+    case "with_point restores the previous configuration, even on raise" (fun () ->
+        Alcotest.(check bool) "off before" false (Fault.enabled Fault.Slow_fixpoint);
+        Fault.with_point ~fn:"f" ~sleep_ms:1. Fault.Slow_fixpoint (fun () ->
+            Alcotest.(check bool) "on inside" true (Fault.enabled Fault.Slow_fixpoint);
+            Alcotest.(check (option string)) "fn" (Some "f") (Fault.target_fn ()));
+        Alcotest.(check bool) "off after" false (Fault.enabled Fault.Slow_fixpoint);
+        Alcotest.(check (option string)) "fn restored" None (Fault.target_fn ());
+        (match
+           Fault.with_point Fault.Task_exn (fun () -> raise Exit)
+         with
+        | exception Exit -> ()
+        | _ -> Alcotest.fail "expected Exit");
+        Alcotest.(check bool) "off after raise" false (Fault.enabled Fault.Task_exn));
+    case "task-exn fails every pool task, isolated as Error" (fun () ->
+        Fault.with_point Fault.Task_exn (fun () ->
+            Pool.with_pool ~jobs:2 (fun pool ->
+                let rs = Pool.run_list pool [ (fun () -> 1); (fun () -> 2) ] in
+                List.iter
+                  (function
+                    | Error (Fault.Injected p) ->
+                        Alcotest.(check string) "point" "task-exn" p
+                    | Ok _ -> Alcotest.fail "task ran despite the injection"
+                    | Error e -> Alcotest.failf "wrong exn: %s" (Printexc.to_string e))
+                  rs)));
+    case "corrupt-cache flips exactly one byte of a saved file" (fun () ->
+        in_temp (fun dir ->
+            let f = Filename.concat dir "blob" in
+            let payload = String.init 64 (fun i -> Char.chr (i * 3 mod 256)) in
+            let write () =
+              Out_channel.with_open_bin f (fun oc -> Out_channel.output_string oc payload)
+            in
+            write ();
+            Fault.maybe_corrupt_file f;
+            Alcotest.(check string) "untouched when off" payload
+              (In_channel.with_open_bin f In_channel.input_all);
+            Fault.with_point Fault.Corrupt_cache (fun () -> Fault.maybe_corrupt_file f);
+            let after = In_channel.with_open_bin f In_channel.input_all in
+            let diffs = ref 0 in
+            String.iteri (fun i c -> if c <> payload.[i] then incr diffs) after;
+            Alcotest.(check int) "same length" (String.length payload) (String.length after);
+            Alcotest.(check int) "one byte flipped" 1 !diffs));
+    case "slow-fixpoint honours its function filter" (fun () ->
+        Fault.with_point ~fn:"target" ~sleep_ms:30. Fault.Slow_fixpoint (fun () ->
+            let t0 = Unix.gettimeofday () in
+            Fault.maybe_slow_fixpoint ~fn:"other";
+            let skipped = Unix.gettimeofday () -. t0 in
+            let t1 = Unix.gettimeofday () in
+            Fault.maybe_slow_fixpoint ~fn:"target";
+            let slept = Unix.gettimeofday () -. t1 in
+            Alcotest.(check bool) "filtered fn does not sleep" true (skipped < 0.02);
+            Alcotest.(check bool) "target fn sleeps" true (slept >= 0.025)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Persist: quarantine and fuzz                                       *)
+(* ------------------------------------------------------------------ *)
+
+let flip_byte file pos =
+  let data = In_channel.with_open_bin file In_channel.input_all in
+  let b = Bytes.of_string data in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xff));
+  Out_channel.with_open_bin file (fun oc -> Out_channel.output_bytes oc b)
+
+let quarantine_tests =
+  [
+    case "a corrupt cache entry is quarantined and re-analyzed cold" (fun () ->
+        in_temp (fun dir ->
+            let source = bench "stanford" in
+            let cold, _ = Persist.analyze_cached ~cache_dir:dir source in
+            let file =
+              Persist.cache_file ~cache_dir:dir ~source ~opts:Options.default ~entry:"main"
+            in
+            let size = (Unix.stat file).Unix.st_size in
+            flip_byte file (size / 2);
+            let re, hit = Persist.analyze_cached ~cache_dir:dir source in
+            Alcotest.(check bool) "not served from the corrupt entry" false hit;
+            Alcotest.(check int) "quarantine counted" 1 re.Analysis.metrics.M.cache_quarantined;
+            Alcotest.(check bool) "entry kept for post-mortem" true
+              (Sys.file_exists (file ^ ".bad"));
+            Alcotest.(check string) "re-analysis matches the original" (stmt_digest cold)
+              (stmt_digest re);
+            let warm, hit2 = Persist.analyze_cached ~cache_dir:dir source in
+            Alcotest.(check bool) "cache repopulated" true hit2;
+            Alcotest.(check int) "no further quarantine"
+              0 warm.Analysis.metrics.M.cache_quarantined));
+    case "the corrupt-cache fault defeats every warm load" (fun () ->
+        in_temp (fun dir ->
+            let source = bench "hash" in
+            Fault.with_point Fault.Corrupt_cache (fun () ->
+                let _, hit0 = Persist.analyze_cached ~cache_dir:dir source in
+                Alcotest.(check bool) "cold miss" false hit0;
+                (* the save was corrupted in place, so the next call must
+                   quarantine and go cold again — never crash, never lie *)
+                let re, hit1 = Persist.analyze_cached ~cache_dir:dir source in
+                Alcotest.(check bool) "corrupted entry not served" false hit1;
+                Alcotest.(check int) "quarantined" 1 re.Analysis.metrics.M.cache_quarantined)));
+    case "load_checked classifies missing, stale and corrupt" (fun () ->
+        in_temp (fun dir ->
+            let source = bench "dry" in
+            let res = Analysis.of_file source in
+            let file = Filename.concat dir "r.ptc" in
+            Persist.save ~source res file;
+            let err name r =
+              match r with
+              | Ok _ -> Alcotest.failf "%s: unexpected Ok" name
+              | Error e -> Persist.load_error_name e
+            in
+            Alcotest.(check string) "missing" "missing"
+              (err "missing" (Persist.load_checked ~source (Filename.concat dir "no.ptc")));
+            Alcotest.(check string) "stale entry" "stale"
+              (err "stale" (Persist.load_checked ~source ~entry:"other" file));
+            Alcotest.(check string) "stale opts" "stale"
+              (err "stale opts"
+                 (Persist.load_checked ~source
+                    ~opts:{ Options.default with Options.context_sensitive = false }
+                    file));
+            let data = In_channel.with_open_bin file In_channel.input_all in
+            Out_channel.with_open_bin file (fun oc ->
+                Out_channel.output_string oc (String.sub data 0 (String.length data / 3)));
+            Alcotest.(check string) "truncated" "corrupt"
+              (err "truncated" (Persist.load_checked ~source file))));
+  ]
+
+(** The fuzz satellite: a persisted livc result, truncated and
+    bit-flipped at every 97th byte. Every mutant must either load back
+    bit-identically (harmless mutation — none exist today, the body is
+    digest-protected, but the contract allows it) or fall back cleanly
+    as [Stale]/[Corrupt]. No crash, no wrong tables, ever. *)
+let fuzz_tests =
+  [
+    case "fuzz: truncate + bit-flip a persisted livc result at every 97th byte" (fun () ->
+        in_temp (fun dir ->
+            let source = bench "livc" in
+            let full = Analysis.of_file source in
+            let file = Filename.concat dir "livc.ptc" in
+            Persist.save ~source full file;
+            let data = In_channel.with_open_bin file In_channel.input_all in
+            let len = String.length data in
+            let full_digest = stmt_digest full in
+            let mutant = Filename.concat dir "mutant.ptc" in
+            let mutants = ref 0 and fallbacks = ref 0 and roundtrips = ref 0 in
+            let try_mutant name s =
+              incr mutants;
+              Out_channel.with_open_bin mutant (fun oc -> Out_channel.output_string oc s);
+              (match Persist.load_checked ~source mutant with
+              | Ok r ->
+                  incr roundtrips;
+                  Alcotest.(check string) (name ^ ": loads bit-identically") full_digest
+                    (stmt_digest r)
+              | Error (Persist.Stale | Persist.Corrupt) -> incr fallbacks
+              | Error Persist.Missing -> Alcotest.failf "%s: classified missing" name);
+              Sys.remove mutant
+            in
+            let off = ref 0 in
+            while !off < len do
+              let i = !off in
+              try_mutant (Fmt.str "truncate@%d" i) (String.sub data 0 i);
+              let b = Bytes.of_string data in
+              Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+              try_mutant (Fmt.str "flip@%d" i) (Bytes.to_string b);
+              off := !off + 97
+            done;
+            Alcotest.(check bool) "a few hundred mutants exercised" true (!mutants >= 200);
+            Alcotest.(check int) "every mutant round-tripped or fell back cleanly" !mutants
+              (!fallbacks + !roundtrips)));
+  ]
+
+let suite =
+  ( "robust",
+    guard_tests @ degradation_tests @ timeout_tests @ fault_tests @ quarantine_tests
+    @ fuzz_tests )

@@ -237,7 +237,7 @@ let kind_names =
   List.map Trace.kind_name
     [
       Trace.Analysis; Trace.Node; Trace.Body; Trace.Loop; Trace.Map; Trace.Unmap;
-      Trace.Cache_load; Trace.Cache_store; Trace.Task;
+      Trace.Cache_load; Trace.Cache_store; Trace.Task; Trace.Widen;
     ]
 
 let json_tests =

@@ -727,6 +727,178 @@ let argv_jobs () =
   go 1
 
 (* ------------------------------------------------------------------ *)
+(* Serve: resident daemon throughput and latency                      *)
+(* ------------------------------------------------------------------ *)
+
+module Serve = Pointsto.Serve
+
+(** Force the lazy reverse indexes concurrent query dispatch would race
+    to build (same contract as [ptan serve]'s corpus load). *)
+let prime_result (r : Analysis.result) =
+  Hashtbl.iter (fun _ s -> Pts.prime s) r.Analysis.stmt_pts;
+  Option.iter Pts.prime r.Analysis.entry_output;
+  Ig.fold
+    (fun () n ->
+      Option.iter Pts.prime n.Ig.stored_input;
+      Option.iter Pts.prime n.Ig.stored_output)
+    () r.Analysis.graph
+
+let serve_corpus names =
+  List.map
+    (fun name ->
+      let r = result name in
+      prime_result r;
+      (name, r))
+    names
+
+let serve_handler corpus =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun (name, r) -> Hashtbl.replace tbl name r) corpus;
+  {
+    Serve.h_files = List.map fst corpus;
+    Serve.h_answer =
+      (fun ~file ~query ->
+        match Hashtbl.find_opt tbl file with
+        | None -> Serve.Ans_error ("unknown file '" ^ file ^ "'")
+        | Some r -> (
+            match Alias.Query.run r query with
+            | Ok a ->
+                if r.Analysis.degraded <> None then Serve.Ans_degraded a else Serve.Ans a
+            | Error e -> Serve.Ans_error e));
+  }
+
+(** The daemon workload: every generated query of every corpus entry as
+    a protocol line, paired with the reply a cold [Alias.Query.run]
+    implies — the bit-identity oracle. *)
+let serve_workload corpus =
+  List.concat_map
+    (fun (name, r) ->
+      List.map
+        (fun q ->
+          let expect =
+            match Alias.Query.run r q with Ok a -> "ok " ^ a | Error e -> "error " ^ e
+          in
+          ("q " ^ name ^ " " ^ q, expect))
+        (gen_queries r))
+    corpus
+
+(** Run the daemon in-process over a pipe pair and push [lines] through
+    it: a writer domain feeds the request pipe (so neither side can
+    deadlock on a full pipe buffer) while this domain reads every reply.
+    Returns the replies and the wall-clock milliseconds from first write
+    to last reply. *)
+let serve_round cfg handler lines =
+  let req_r, req_w = Unix.pipe () in
+  let rep_r, rep_w = Unix.pipe () in
+  let daemon =
+    Domain.spawn (fun () -> Serve.run cfg handler (Serve.Fds (req_r, rep_w)))
+  in
+  let payload = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+  let n = List.length lines in
+  let t0 = Unix.gettimeofday () in
+  let writer =
+    Domain.spawn (fun () ->
+        let len = String.length payload in
+        let rec go off =
+          if off < len then go (off + Unix.write_substring req_w payload off (len - off))
+        in
+        go 0;
+        Unix.close req_w)
+  in
+  let ic = Unix.in_channel_of_descr rep_r in
+  let replies = List.init n (fun _ -> input_line ic) in
+  let t_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  Domain.join writer;
+  let stats = Domain.join daemon in
+  List.iter Unix.close [ req_r; rep_w; rep_r ];
+  (replies, stats, t_ms)
+
+(** Synchronous round trips (one request in flight), for the latency
+    distribution the batched throughput run cannot show. *)
+let serve_round_trips handler line n =
+  let req_r, req_w = Unix.pipe () in
+  let rep_r, rep_w = Unix.pipe () in
+  let daemon =
+    Domain.spawn (fun () ->
+        Serve.run Serve.default_config handler (Serve.Fds (req_r, rep_w)))
+  in
+  let ic = Unix.in_channel_of_descr rep_r in
+  let payload = line ^ "\n" in
+  let times =
+    List.init n (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        let len = String.length payload in
+        let rec go off =
+          if off < len then go (off + Unix.write_substring req_w payload off (len - off))
+        in
+        go 0;
+        ignore (input_line ic);
+        (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  Unix.close req_w;
+  ignore (Domain.join daemon);
+  List.iter Unix.close [ req_r; rep_w; rep_r ];
+  List.sort compare times
+
+let percentile sorted p =
+  match sorted with
+  | [] -> 0.
+  | _ ->
+      let n = List.length sorted in
+      List.nth sorted (min (n - 1) (p * n / 100))
+
+let serve_bench () =
+  section "Serve: resident daemon (in-process pipes, generated query workload)";
+  let corpus = serve_corpus (Paper_data.names @ [ "livc" ]) in
+  let handler = serve_handler corpus in
+  let workload = serve_workload corpus in
+  (* repeat the workload so the wall is long enough to time honestly *)
+  let target = 40_000 in
+  let reps = max 1 ((target + List.length workload - 1) / List.length workload) in
+  let big = List.concat (List.init reps (fun _ -> workload)) in
+  let lines = List.map fst big and expected = List.map snd big in
+  (* direct dispatch first: the per-query cost floor the daemon's
+     protocol and batching overhead is measured against *)
+  let direct =
+    List.concat
+      (List.init reps (fun _ ->
+           List.concat_map
+             (fun (name, r) -> List.map (fun q -> (name, q)) (gen_queries r))
+             corpus))
+  in
+  let (), t_direct =
+    time (fun () ->
+        List.iter (fun (file, query) -> ignore (handler.Serve.h_answer ~file ~query)) direct)
+  in
+  let jobs = min 4 (Domain.recommended_domain_count ()) in
+  let cfg = { Serve.jobs; queue_max = 8192; request_deadline_ms = None } in
+  let replies, stats, t_ms = serve_round cfg handler lines in
+  List.iteri
+    (fun i (got, want) ->
+      if not (String.equal got want) then
+        Fmt.failwith "serve: reply %d differs from cold query@.  line: %s@.  got:  %s@.  want: %s"
+          i (List.nth lines i) got want)
+    (List.combine replies expected);
+  let n = List.length lines in
+  let qps = float_of_int n /. t_ms *. 1e3 in
+  Fmt.pr "corpus: %d files resident; workload: %d queries (%d distinct x %d)@."
+    (List.length corpus) n (List.length workload) reps;
+  Fmt.pr "direct dispatch (no daemon):   %d queries in %.1f ms = %.0f queries/s@."
+    (List.length direct) t_direct
+    (float_of_int (List.length direct) /. t_direct *. 1e3);
+  Fmt.pr "batched throughput (-j %d): %d queries in %.1f ms = %.0f queries/s@." cfg.Serve.jobs
+    n t_ms qps;
+  Fmt.pr "daemon counters: %d requests, %d ok, %d error, %d shed, %d batches@."
+    stats.Serve.s_requests stats.Serve.s_ok stats.Serve.s_errors stats.Serve.s_shed
+    stats.Serve.s_batches;
+  Fmt.pr "every reply bit-identical to a cold Alias.Query.run: yes@.";
+  Fmt.pr "target: >= 100000 queries/s batched -- %s@."
+    (if qps >= 1e5 then "met" else "MISSED");
+  let times = serve_round_trips handler (List.hd lines) 2000 in
+  Fmt.pr "synchronous round trip (1 in flight): p50 %.3f ms, p99 %.3f ms@."
+    (percentile times 50) (percentile times 99)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timings                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -875,10 +1047,29 @@ let smoke () =
         failwith "smoke: degraded livc tables lost points-to pairs";
       Fmt.pr "smoke: livc degraded soundly (%s)@."
         (Guard.reason_name d.Analysis.deg_trip.Guard.t_reason));
+  (* the daemon must answer the generated workload bit-identically to
+     cold queries, at daemon speed (lenient floor for loaded CI hosts) *)
+  let corpus = serve_corpus [ "stanford"; "livc" ] in
+  let handler = serve_handler corpus in
+  let workload = serve_workload corpus in
+  let lines = List.map fst workload and expected = List.map snd workload in
+  let cfg = { Serve.jobs; queue_max = 8192; request_deadline_ms = None } in
+  let replies, _, t_ms = serve_round cfg handler lines in
+  List.iteri
+    (fun i (got, want) ->
+      if not (String.equal got want) then
+        Fmt.failwith "smoke: serve reply %d differs from cold query (%s)" i
+          (List.nth lines i))
+    (List.combine replies expected);
+  let qps = float_of_int (List.length lines) /. t_ms *. 1e3 in
+  Fmt.pr "smoke: serve answered %d queries bit-identically at %.0f queries/s@."
+    (List.length lines) qps;
+  if qps < 2e4 then Fmt.failwith "smoke: serve throughput %.0f below the 20000 q/s floor" qps;
   Fmt.pr "smoke: ok@."
 
 let () =
   if Array.exists (String.equal "--smoke") Sys.argv then smoke ()
+  else if Array.exists (String.equal "--serve") Sys.argv then serve_bench ()
   else begin
     Fmt.pr "Reproduction harness: Emami, Ghiya & Hendren, PLDI 1994@.";
     Fmt.pr "\"Context-Sensitive Interprocedural Points-to Analysis in the Presence of@.";
@@ -900,6 +1091,7 @@ let () =
     tracing ();
     degradation ();
     parallel_suite (match argv_jobs () with Some n -> [ n ] | None -> [ 2; 4; 8 ]);
+    serve_bench ();
     timings ();
     rep_ops ();
     Fmt.pr "@.Done. See EXPERIMENTS.md for the paper-vs-measured discussion.@."

@@ -11,6 +11,7 @@
     - [replace FILE]   show pointer-replacement opportunities
     - [query FILE Q]   answer one demand query against the (cached) result
     - [batch FILE [QS]] answer newline-delimited queries from a file or stdin
+    - [serve FILES]    resident daemon answering queries over stdio or a socket
 
     Analyzing subcommands consult a disk cache of persisted results
     (see {!Pointsto.Persist}); [--cache-dir] relocates it and
@@ -204,6 +205,18 @@ let describe_exn = function
   | Pointsto.Fault.Injected p -> Fmt.str "error: injected fault '%s'" p
   | e -> Printexc.to_string e
 
+(** Exit policy for multi-file commands, where some files may have
+    failed and others degraded. Failure wins (exit 1), then degradation
+    (exit 3), then success — but the signals are never silently merged:
+    when both occur, a summary on stderr records the degradation count
+    that the exit code cannot carry, and the per-file degradation
+    reports have already been printed. *)
+let finish_multi ~failed ~degraded =
+  if failed > 0 || degraded > 0 then
+    Fmt.epr "ptan: %d file(s) failed, %d degraded@." failed degraded;
+  if failed > 0 then exit 1;
+  if degraded > 0 then exit exit_degraded
+
 let cmd_tables files cache budget timeout_ms jobs show_stats trace_out =
   with_trace trace_out @@ fun () ->
   let task file () =
@@ -246,8 +259,7 @@ let cmd_tables files cache budget timeout_ms jobs show_stats trace_out =
     Fmt.pr "@.== aggregate (%s) ==@.%a@." header Pointsto.Metrics.pp
       (Pointsto.Metrics.sum (List.rev !metrics))
   end;
-  if !failed > 0 then exit 1;
-  if !degraded_n > 0 then exit exit_degraded
+  finish_multi ~failed:!failed ~degraded:!degraded_n
 
 (** [profile] always re-analyzes (a result served from the disk cache
     records no engine spans) with the trace sink enabled, prints the
@@ -292,8 +304,7 @@ let cmd_profile files budget timeout_ms jobs trace_out top =
       Trace.save_json path spans;
       Fmt.epr "trace: wrote %d spans to %s@." (List.length spans) path)
     trace_out;
-  if !failed > 0 then exit 1;
-  if !degraded_n > 0 then exit exit_degraded
+  finish_multi ~failed:!failed ~degraded:!degraded_n
 
 let cmd_alias file cache =
   with_errors (fun () ->
@@ -408,6 +419,86 @@ let cmd_batch file cache jobs queries =
               Fmt.pr "%s@." s)
         answers;
       if !failed > 0 then exit 2)
+
+(** The resident daemon: analyze (or load from cache) and prime every
+    corpus file once, then answer {!Alias.Query} requests over the
+    {!Pointsto.Serve} line protocol until end-of-input, [quit], or
+    SIGTERM/SIGINT. Everything human-readable (startup progress, the
+    ready line, shutdown stats) goes to stderr; stdout carries protocol
+    replies only. *)
+let cmd_serve files cache budget jobs socket request_deadline_ms queue_max show_stats =
+  with_errors (fun () ->
+      (* Corpus load: any file that fails to analyze is a startup
+         error — a daemon with a silently missing corpus entry would
+         answer [error unknown file] forever. Degraded entries are fine:
+         their answers are sound supersets, flagged per-reply. *)
+      let corpus =
+        List.map
+          (fun file ->
+            Fmt.epr "serve: loading %s...@." file;
+            let r = analyze_file ?budget ~cache file in
+            prime_result r;
+            Option.iter
+              (fun d -> Fmt.epr "serve: %s %a@." file pp_degraded d)
+              r.Pointsto.Analysis.degraded;
+            (file, r))
+          files
+      in
+      (* Name resolution: the path as given, plus its basename and
+         basename-without-extension when unique across the corpus. *)
+      let by_name = Hashtbl.create 16 in
+      let alias name r =
+        match Hashtbl.find_opt by_name name with
+        | None -> Hashtbl.replace by_name name (Some r)
+        | Some _ -> Hashtbl.replace by_name name None (* ambiguous *)
+      in
+      List.iter
+        (fun (file, r) ->
+          Hashtbl.replace by_name file (Some r);
+          let base = Filename.basename file in
+          if base <> file then alias base r;
+          let stem = Filename.remove_extension base in
+          if stem <> base then alias stem r)
+        corpus;
+      let handler =
+        {
+          Pointsto.Serve.h_files = List.map fst corpus;
+          h_answer =
+            (fun ~file ~query ->
+              match Hashtbl.find_opt by_name file with
+              | None | Some None ->
+                  Pointsto.Serve.Ans_error
+                    (Fmt.str "unknown file '%s' (try the 'files' request)" file)
+              | Some (Some r) -> (
+                  match Alias.Query.run r query with
+                  | Error e -> Pointsto.Serve.Ans_error e
+                  | Ok ans ->
+                      if r.Pointsto.Analysis.degraded <> None then
+                        Pointsto.Serve.Ans_degraded ans
+                      else Pointsto.Serve.Ans ans));
+        }
+      in
+      let stop = Atomic.make false in
+      let on_signal _ = Atomic.set stop true in
+      List.iter
+        (fun s -> try Sys.set_signal s (Sys.Signal_handle on_signal) with Invalid_argument _ -> ())
+        [ Sys.sigterm; Sys.sigint ];
+      let transport =
+        match socket with
+        | Some path -> Pointsto.Serve.Socket path
+        | None -> Pointsto.Serve.Stdio
+      in
+      let config = { Pointsto.Serve.jobs; queue_max; request_deadline_ms } in
+      (match socket with
+      | Some path -> Fmt.epr "serve: ready, %d file(s) resident, socket %s@." (List.length corpus) path
+      | None -> Fmt.epr "serve: ready, %d file(s) resident, stdio@." (List.length corpus));
+      let stats = Pointsto.Serve.run ~stop config handler transport in
+      Fmt.epr
+        "serve: shutdown after %d request(s): %d ok, %d degraded, %d error, %d shed, %d \
+         batch(es)@."
+        stats.Pointsto.Serve.s_requests stats.s_ok stats.s_degraded stats.s_errors
+        stats.s_shed stats.s_batches;
+      if show_stats then Fmt.epr "%a@." Pointsto.Metrics.pp (Pointsto.Metrics.snapshot ()))
 
 open Cmdliner
 
@@ -611,6 +702,45 @@ let queries_file =
     & info [] ~docv:"QUERIES"
         ~doc:"File of newline-delimited queries; '-' or absent reads standard input.")
 
+let socket_path =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Listen on a Unix-domain socket at $(docv) instead of stdin/stdout; a stale \
+           socket file is replaced at startup and the path unlinked on shutdown.")
+
+let request_deadline_ms =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "request-deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-request wall-clock deadline (monotonic), milliseconds: a request that \
+           trips it gets an error reply, the daemon and its other requests are \
+           undisturbed.")
+
+let queue_max =
+  Arg.(
+    value & opt int 1024
+    & info [ "queue-max" ] ~docv:"N"
+        ~doc:
+          "Admission bound: at most $(docv) requests dispatched per batch cycle; the \
+           excess is answered 'busy' immediately instead of queueing without bound.")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Analyze (or load) FILES once, keep the primed results resident, and answer \
+          alias/pts/calls queries over a line protocol on stdin/stdout or --socket; \
+          queries fan out over -j domains, each under --request-deadline-ms. See \
+          docs/SERVE.md")
+    Term.(
+      const cmd_serve $ files_arg $ cache $ budget $ jobs $ socket_path
+      $ request_deadline_ms $ queue_max $ show_stats)
+
 let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
@@ -637,4 +767,5 @@ let () =
             constants_cmd;
             query_cmd;
             batch_cmd;
+            serve_cmd;
           ]))

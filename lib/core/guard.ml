@@ -3,8 +3,12 @@
     A guard is a small mutable record consulted from the engine's
     fixed-point boundaries. The checks are deliberately cheap: an
     unlimited guard costs a few loads per call; a deadline costs one
-    [Unix.gettimeofday] per fixpoint iteration (the same clock the
-    tracing layer reads at those boundaries when enabled).
+    monotonic-clock read ({!Mono.now_s}) per fixpoint iteration.
+    Deadlines deliberately do {e not} use [Unix.gettimeofday]: the
+    system clock can step (NTP, manual changes) mid-analysis, which
+    would trip a deadline spuriously or extend it indefinitely —
+    fatal for a long-running {!Serve} daemon creating one guard per
+    request.
 
     Cooperative cancellation rides on the same polling sites: the pool
     installs the running task's cancel flag in domain-local storage
@@ -43,13 +47,13 @@ exception Cancelled
 
 type t = {
   g_budget : budget;
-  g_deadline : float option;  (** absolute [Unix.gettimeofday] bound *)
-  g_t0 : float;
+  g_deadline : float option;  (** absolute {!Mono.now_s} bound *)
+  g_t0 : float;  (** {!Mono.now_s} at creation *)
   mutable g_where : string option;
 }
 
 let make_at ?(expired = false) budget =
-  let now = Unix.gettimeofday () in
+  let now = Mono.now_s () in
   let deadline =
     match budget.b_deadline_ms with
     | None -> None
@@ -78,7 +82,7 @@ let limited g = not (is_no_budget g.g_budget)
 
 let at g where = g.g_where <- Some where
 
-let elapsed_ms g = (Unix.gettimeofday () -. g.g_t0) *. 1e3
+let elapsed_ms g = (Mono.now_s () -. g.g_t0) *. 1e3
 
 let trip g reason =
   raise (Exhausted { t_reason = reason; t_where = g.g_where; t_after_ms = elapsed_ms g })
@@ -108,7 +112,7 @@ let cancel_requested () =
 let check g =
   if cancel_requested () then raise Cancelled;
   match g.g_deadline with
-  | Some d when Unix.gettimeofday () >= d -> trip g Deadline
+  | Some d when Mono.now_s () >= d -> trip g Deadline
   | _ -> ()
 
 let check_fuel g spent =

@@ -20,7 +20,9 @@
 (** What an analysis is allowed to spend. [None] fields are unlimited. *)
 type budget = {
   b_deadline_ms : float option;
-      (** wall-clock allowance for the whole analysis, milliseconds *)
+      (** wall-clock allowance for the whole analysis, milliseconds,
+          measured on the monotonic clock ({!Mono}) so a system clock
+          step can neither trip nor extend the deadline *)
   b_fuel : int option;
       (** max iterations of any single fixpoint loop: one statement
           loop's iterate count, or one IG node's body passes *)

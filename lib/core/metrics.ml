@@ -56,6 +56,12 @@ type t = {
   mutable budget_trips : int;
       (** budget exhaustions that degraded an analysis to the widened
           (context-insensitive, possible-only) rerun *)
+  (* analysis daemon ({!Serve}); daemon-level counters, always 0 in a
+     single analysis' snapshot and deliberately not persisted *)
+  mutable serve_requests : int;  (** protocol requests received *)
+  mutable serve_errors : int;  (** requests answered with an [error] reply *)
+  mutable serve_shed : int;
+      (** requests shed by admission control (a [busy] reply) *)
   (* per-phase wall-clock time, seconds *)
   mutable t_map : float;  (** in {!Map_unmap.map_call} *)
   mutable t_unmap : float;  (** in {!Map_unmap.unmap_call} *)
@@ -87,6 +93,9 @@ let create () =
     cache_misses = 0;
     cache_quarantined = 0;
     budget_trips = 0;
+    serve_requests = 0;
+    serve_errors = 0;
+    serve_shed = 0;
     t_map = 0.;
     t_unmap = 0.;
     t_analysis = 0.;
@@ -124,6 +133,9 @@ let reset () =
   cur.cache_misses <- 0;
   cur.cache_quarantined <- 0;
   cur.budget_trips <- 0;
+  cur.serve_requests <- 0;
+  cur.serve_errors <- 0;
+  cur.serve_shed <- 0;
   cur.t_map <- 0.;
   cur.t_unmap <- 0.;
   cur.t_analysis <- 0.;
@@ -160,6 +172,9 @@ let add_into ~(into : t) (m : t) =
   into.cache_misses <- into.cache_misses + m.cache_misses;
   into.cache_quarantined <- into.cache_quarantined + m.cache_quarantined;
   into.budget_trips <- into.budget_trips + m.budget_trips;
+  into.serve_requests <- into.serve_requests + m.serve_requests;
+  into.serve_errors <- into.serve_errors + m.serve_errors;
+  into.serve_shed <- into.serve_shed + m.serve_shed;
   into.t_map <- into.t_map +. m.t_map;
   into.t_unmap <- into.t_unmap +. m.t_unmap;
   into.t_analysis <- into.t_analysis +. m.t_analysis;
@@ -171,7 +186,10 @@ let sum (ms : t list) : t =
   List.iter (fun m -> add_into ~into:acc m) ms;
   acc
 
-let now () = Unix.gettimeofday ()
+(* Phase timers are always differences of two readings, so they come
+   from the monotonic clock: a system clock step must not corrupt a
+   recorded duration. *)
+let now () = Mono.now_s ()
 
 let ratio num den = if den = 0 then 0. else 100. *. float_of_int num /. float_of_int den
 
@@ -210,6 +228,9 @@ let rows (m : t) : (string * string) list =
     ( "robustness",
       Printf.sprintf "%d budget trips, %d cache entries quarantined" m.budget_trips
         m.cache_quarantined );
+    ( "serve traffic",
+      Printf.sprintf "%d requests (%d errors, %d shed)" m.serve_requests m.serve_errors
+        m.serve_shed );
   ]
 (* END stats-labels *)
 

@@ -35,6 +35,12 @@ type t = {
   mutable budget_trips : int;
       (** {!Guard} budget exhaustions that degraded an analysis to the
           widened rerun *)
+  mutable serve_requests : int;
+      (** {!Serve} protocol requests received (daemon-level; always 0
+          in a single analysis' snapshot, not persisted) *)
+  mutable serve_errors : int;  (** {!Serve} requests answered with [error] *)
+  mutable serve_shed : int;
+      (** {!Serve} requests shed by admission control ([busy] replies) *)
   mutable t_map : float;  (** seconds in {!Map_unmap.map_call} *)
   mutable t_unmap : float;
   mutable t_analysis : float;  (** whole-analysis wall-clock seconds *)
@@ -63,7 +69,9 @@ val add_into : into:t -> t -> unit
 (** A fresh record holding the element-wise sum of the snapshots. *)
 val sum : t list -> t
 
-(** Monotonic-enough wall clock used for the phase timers. *)
+(** The clock used for the phase timers: monotonic ({!Mono.now_s}), so
+    durations survive system clock steps. Readings are only meaningful
+    as differences. *)
 val now : unit -> float
 
 (** [ratio num den] as a percentage; 0 when [den] is 0. *)

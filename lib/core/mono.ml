@@ -1,0 +1,7 @@
+(** Monotonic clock (see mono.mli). *)
+
+external mono_ns : unit -> int64 = "ptan_mono_ns"
+
+let now_s () = Int64.to_float (mono_ns ()) *. 1e-9
+
+let now_ms () = Int64.to_float (mono_ns ()) *. 1e-6

@@ -1,0 +1,19 @@
+/* Monotonic clock binding for Mono (mono.mli).
+ *
+ * OCaml 5.1's Unix library exposes only gettimeofday, which jumps on
+ * NTP steps and manual clock changes; deadlines and elapsed-time
+ * measurements must come from CLOCK_MONOTONIC instead. One stub,
+ * returning nanoseconds as int64 so the OCaml side owns the unit
+ * conversions. */
+
+#include <time.h>
+#include <stdint.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+CAMLprim value ptan_mono_ns(value unit)
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

@@ -679,9 +679,21 @@ let cache_file ~cache_dir ~source ~opts ~entry =
 (* Move a corrupt entry out of the lookup path (best effort — on rename
    failure the entry stays, and the next lookup will try again). The
    [.bad] file is kept rather than deleted so operators can post-mortem
-   what corrupted it. *)
+   what corrupted it — which is why a pre-existing [.bad] (an earlier,
+   still-uninspected corruption) must not be clobbered: later victims
+   go to [.bad.1], [.bad.2], ... instead. *)
 let quarantine file =
-  try Sys.rename file (file ^ ".bad") with Sys_error _ -> ()
+  let base = file ^ ".bad" in
+  let dest =
+    if not (Sys.file_exists base) then base
+    else
+      let rec fresh i =
+        let c = Printf.sprintf "%s.%d" base i in
+        if Sys.file_exists c then fresh (i + 1) else c
+      in
+      fresh 1
+  in
+  try Sys.rename file dest with Sys_error _ -> ()
 
 let analyze_cached ?cache_dir ?(opts = Options.default) ?(entry = "main") ?budget source :
     Analysis.result * bool =

@@ -100,7 +100,9 @@ val cache_file : cache_dir:string -> source:string -> opts:Options.t -> entry:st
     [cache_quarantined]) alongside the counters of the run that
     originally produced the result. Cache I/O failures degrade to a
     fresh analysis, never to an error; a {!Corrupt} entry is renamed to
-    [<file>.bad] (kept for post-mortem) and re-analyzed cold.
+    [<file>.bad] (kept for post-mortem; a pre-existing [.bad] is never
+    clobbered — subsequent victims get [.bad.1], [.bad.2], ...) and
+    re-analyzed cold.
 
     [budget] is forwarded to {!Analysis.analyze} on a miss. A degraded
     result is returned but {e never} saved to the cache — its key

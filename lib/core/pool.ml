@@ -4,7 +4,29 @@
     completion counter. Workers block on [nonempty]; the caller of
     [run_list] both feeds the queue and drains it, then blocks on a
     per-call condition until the last task (wherever it ran) reports
-    completion. *)
+    completion.
+
+    Timeouts are enforced by one watchdog domain {e per pool}, spawned
+    lazily on the first [run_list ~timeout_ms] and joined at
+    [shutdown]. Earlier revisions spawned a watchdog per [run_list]
+    call; in a server answering requests through the pool that is a
+    domain spawn/join per request, and any exit path that skipped the
+    join leaked a domain outright (OCaml caps live domains at ~128, so
+    a leak here eventually kills the process). The per-pool dog plus a
+    registry of active watches makes the lifecycle structural: a call
+    only ever {e registers} a watch (under [Fun.protect], so it is
+    removed again on every exit, including when a task or the caller's
+    drain raises), and the only spawn/join pair lives in
+    [wd_ensure]/[shutdown]. The idle dog blocks on a condition
+    variable, costing nothing between timed calls. *)
+
+type watch = {
+  w_mutex : Mutex.t;
+  w_limit : float;  (** seconds a task may run before cancellation *)
+  w_starts : float array;  (** {!Mono.now_s} stamps; [nan] until the task starts *)
+  w_finished : bool array;
+  w_cancels : bool Atomic.t array;
+}
 
 type t = {
   jobs : int;
@@ -13,6 +35,13 @@ type t = {
   queue : (unit -> unit) Queue.t;
   mutable shutting_down : bool;
   mutable workers : unit Domain.t list;
+  (* watchdog state, under its own mutex — the dog must never contend
+     with queue traffic *)
+  wd_mutex : Mutex.t;
+  wd_wake : Condition.t;
+  mutable wd_watches : watch list;  (** watches of in-flight timed calls *)
+  mutable wd_dog : unit Domain.t option;
+  mutable wd_stop : bool;
 }
 
 let jobs t = t.jobs
@@ -53,6 +82,11 @@ let create ~jobs =
       queue = Queue.create ();
       shutting_down = false;
       workers = [];
+      wd_mutex = Mutex.create ();
+      wd_wake = Condition.create ();
+      wd_watches = [];
+      wd_dog = None;
+      wd_stop = false;
     }
   in
   (* the caller participates in run_list, so [jobs] concurrency needs
@@ -68,65 +102,105 @@ let traced f () =
   let finally () = if Trace.on () then Trace.emit Trace.Task ~name:"pool-task" ~t0:tr0 () in
   Fun.protect ~finally f
 
-(* Per-run cancellation bookkeeping. Start/finish stamps are kept under
-   their own mutex (not the pool's — the watchdog must never contend
-   with queue traffic): workers stamp a task when they pick it up, the
-   watchdog domain scans for tasks that have been running past the
-   timeout and flips their cancel flag. Cancellation is cooperative —
-   the running analysis observes the flag at its next {!Guard.check}
-   and unwinds with [Guard.Cancelled]; a task that never polls simply
-   runs to completion. *)
-type watch = {
-  w_mutex : Mutex.t;
-  w_starts : float array;  (** [nan] until the task starts *)
-  w_finished : bool array;
-  w_cancels : bool Atomic.t array;
-  w_stop : bool Atomic.t;
-}
+(* ------------------------------------------------------------------ *)
+(* Watchdog                                                           *)
+(* ------------------------------------------------------------------ *)
 
-let make_watch n =
+let make_watch ~limit n =
   {
     w_mutex = Mutex.create ();
+    w_limit = limit;
     w_starts = Array.make n Float.nan;
     w_finished = Array.make n false;
     w_cancels = Array.init n (fun _ -> Atomic.make false);
-    w_stop = Atomic.make false;
   }
 
-let watchdog w ~timeout_ms () =
-  let limit = timeout_ms /. 1e3 in
-  let tick = Float.max 0.001 (Float.min 0.005 (limit /. 4.)) in
-  while not (Atomic.get w.w_stop) do
-    Unix.sleepf tick;
-    let now = Unix.gettimeofday () in
-    Mutex.lock w.w_mutex;
-    Array.iteri
-      (fun i t0 ->
-        if (not (Float.is_nan t0)) && (not w.w_finished.(i)) && now -. t0 >= limit then
-          Atomic.set w.w_cancels.(i) true)
-      w.w_starts;
-    Mutex.unlock w.w_mutex
-  done
+(* Poll granularity for one watch: responsive for tight timeouts
+   without busy-spinning on long ones. *)
+let tick_of limit = Float.max 0.001 (Float.min 0.005 (limit /. 4.))
 
-(* Run one task under its cancel flag: stamp start/finish for the
-   watchdog, install the flag where {!Guard.check} polls it, and fold
-   any exception — injected, cancellation, or the task's own — into
-   [Error]. *)
-let exec w i f =
+(* Scan every task of [w] and flip the cancel flag of the overdue ones.
+   Task ages come from the monotonic clock: a system clock step must
+   not cancel a healthy task (or keep a hung one alive). Cancellation
+   is cooperative — the running analysis observes the flag at its next
+   {!Guard.check} and unwinds with [Guard.Cancelled]; a task that never
+   polls simply runs to completion. *)
+let scan_watch now w =
   Mutex.lock w.w_mutex;
-  w.w_starts.(i) <- Unix.gettimeofday ();
-  Mutex.unlock w.w_mutex;
-  Guard.set_task_cancel (Some w.w_cancels.(i));
+  Array.iteri
+    (fun i t0 ->
+      if (not (Float.is_nan t0)) && (not w.w_finished.(i)) && now -. t0 >= w.w_limit then
+        Atomic.set w.w_cancels.(i) true)
+    w.w_starts;
+  Mutex.unlock w.w_mutex
+
+let watchdog t () =
+  let rec loop () =
+    Mutex.lock t.wd_mutex;
+    if t.wd_stop then Mutex.unlock t.wd_mutex
+    else
+      match t.wd_watches with
+      | [] ->
+          (* idle: no timed call in flight, block until one registers
+             (or shutdown), costing nothing meanwhile *)
+          Condition.wait t.wd_wake t.wd_mutex;
+          Mutex.unlock t.wd_mutex;
+          loop ()
+      | watches ->
+          Mutex.unlock t.wd_mutex;
+          let now = Mono.now_s () in
+          List.iter (scan_watch now) watches;
+          let tick =
+            List.fold_left (fun acc w -> Float.min acc (tick_of w.w_limit)) 0.005 watches
+          in
+          Unix.sleepf tick;
+          loop ()
+  in
+  loop ()
+
+(* Register a call's watch, spawning the dog on first use. The spawn
+   happens at most once per pool; [shutdown] joins it. *)
+let wd_register t w =
+  Mutex.lock t.wd_mutex;
+  t.wd_watches <- w :: t.wd_watches;
+  if t.wd_dog = None then t.wd_dog <- Some (Domain.spawn (watchdog t));
+  Condition.broadcast t.wd_wake;
+  Mutex.unlock t.wd_mutex
+
+let wd_unregister t w =
+  Mutex.lock t.wd_mutex;
+  t.wd_watches <- List.filter (fun w' -> w' != w) t.wd_watches;
+  Mutex.unlock t.wd_mutex
+
+(* ------------------------------------------------------------------ *)
+(* Running tasks                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Run one task, optionally under a watch's cancel flag: stamp
+   start/finish for the watchdog, install the flag where {!Guard.check}
+   polls it, and fold any exception — injected, cancellation, or the
+   task's own — into [Error]. *)
+let exec ?watch i f =
+  (match watch with
+  | None -> ()
+  | Some w ->
+      Mutex.lock w.w_mutex;
+      w.w_starts.(i) <- Mono.now_s ();
+      Mutex.unlock w.w_mutex;
+      Guard.set_task_cancel (Some w.w_cancels.(i)));
   let r =
     try
       Fault.maybe_task_exn ();
       Ok (traced f ())
     with e -> Error e
   in
-  Guard.set_task_cancel None;
-  Mutex.lock w.w_mutex;
-  w.w_finished.(i) <- true;
-  Mutex.unlock w.w_mutex;
+  (match watch with
+  | None -> ()
+  | Some w ->
+      Guard.set_task_cancel None;
+      Mutex.lock w.w_mutex;
+      w.w_finished.(i) <- true;
+      Mutex.unlock w.w_mutex);
   r
 
 let run_list ?timeout_ms t tasks =
@@ -134,22 +208,19 @@ let run_list ?timeout_ms t tasks =
   | [] -> []
   | _ ->
       let n = List.length tasks in
-      let w = make_watch n in
-      let dog =
-        Option.map (fun ms -> Domain.spawn (watchdog w ~timeout_ms:ms)) timeout_ms
-      in
-      let finally () =
-        Atomic.set w.w_stop true;
-        Option.iter Domain.join dog
-      in
+      let watch = Option.map (fun ms -> make_watch ~limit:(ms /. 1e3) n) timeout_ms in
+      Option.iter (wd_register t) watch;
+      (* the watch must leave the registry on *every* exit — a stale
+         entry would keep the dog scanning dead arrays forever *)
+      let finally () = Option.iter (wd_unregister t) watch in
       Fun.protect ~finally @@ fun () ->
-      if t.jobs = 1 then List.mapi (fun i f -> exec w i f) tasks
+      if t.jobs = 1 then List.mapi (fun i f -> exec ?watch i f) tasks
       else begin
         let results = Array.make n None in
         let remaining = ref n in
         let all_done = Condition.create () in
         let wrap i f () =
-          let r = exec w i f in
+          let r = exec ?watch i f in
           Mutex.lock t.mutex;
           results.(i) <- Some r;
           decr remaining;
@@ -190,7 +261,17 @@ let shutdown t =
   Condition.broadcast t.nonempty;
   Mutex.unlock t.mutex;
   List.iter Domain.join t.workers;
-  t.workers <- []
+  t.workers <- [];
+  (* stop and join the watchdog last: signalled under its mutex so a
+     dog blocked in [Condition.wait] wakes, joined unconditionally so
+     shutdown never leaks the domain *)
+  Mutex.lock t.wd_mutex;
+  t.wd_stop <- true;
+  Condition.broadcast t.wd_wake;
+  let dog = t.wd_dog in
+  t.wd_dog <- None;
+  Mutex.unlock t.wd_mutex;
+  Option.iter Domain.join dog
 
 let with_pool ~jobs f =
   let t = create ~jobs in

@@ -1,0 +1,376 @@
+(** Resident analysis daemon core (see serve.mli).
+
+    The calling domain owns the event loop and every mutable piece of
+    daemon state (connections, counters); only the pure per-query
+    closure crosses onto {!Pool} domains. Replies are classified and
+    counted back on the event-loop domain, so {!Metrics} mirroring
+    never races. *)
+
+type answer =
+  | Ans of string
+  | Ans_degraded of string
+  | Ans_error of string
+
+type handler = {
+  h_files : string list;
+  h_answer : file:string -> query:string -> answer;
+}
+
+type transport =
+  | Stdio
+  | Fds of Unix.file_descr * Unix.file_descr
+  | Socket of string
+
+type config = {
+  jobs : int;
+  queue_max : int;
+  request_deadline_ms : float option;
+}
+
+let default_config = { jobs = 1; queue_max = 1024; request_deadline_ms = None }
+
+type stats = {
+  mutable s_requests : int;
+  mutable s_ok : int;
+  mutable s_degraded : int;
+  mutable s_errors : int;
+  mutable s_shed : int;
+  mutable s_batches : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Requests and replies                                               *)
+(* ------------------------------------------------------------------ *)
+
+type request =
+  | Query of { file : string; query : string }
+  | Ping
+  | Files
+  | Stats
+  | Quit
+
+let parse_request line : (request, string) result =
+  match
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  with
+  | [] -> Error "empty request"
+  | "q" :: file :: (_ :: _ as query) -> Ok (Query { file; query = String.concat " " query })
+  | [ "q" ] | [ "q"; _ ] -> Error "q expects: q <file> <query...>"
+  | [ "ping" ] -> Ok Ping
+  | [ "files" ] -> Ok Files
+  | [ "stats" ] -> Ok Stats
+  | [ "quit" ] -> Ok Quit
+  | kw :: _ -> Error (Printf.sprintf "unknown request '%s' (expected q, ping, files, stats or quit)" kw)
+
+(* Replies are one line each; a payload must not be able to break the
+   framing, so embedded newlines become spaces. *)
+let sanitize s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let reply_error e = "error " ^ sanitize e
+
+let stats_reply st =
+  Printf.sprintf "ok requests=%d ok=%d degraded=%d error=%d shed=%d batches=%d"
+    st.s_requests st.s_ok st.s_degraded st.s_errors st.s_shed st.s_batches
+
+let files_reply h =
+  Printf.sprintf "ok %d %s" (List.length h.h_files) (String.concat " " h.h_files)
+
+(* One query request, executed on whichever pool domain picked it up:
+   a fresh deadline-only guard (so the {!Fault.Expired_deadline}
+   injection and genuinely slow handlers trip per-request, not
+   per-daemon), every failure folded into an [error] reply — a request
+   can never take the daemon down. *)
+let do_query cfg handler (file, query) =
+  let t0 = Trace.start () in
+  let g =
+    Guard.make { Guard.no_budget with Guard.b_deadline_ms = cfg.request_deadline_ms }
+  in
+  let reply =
+    match
+      Guard.check g;
+      handler.h_answer ~file ~query
+    with
+    | Ans a -> "ok " ^ sanitize a
+    | Ans_degraded a -> "degraded " ^ sanitize a
+    | Ans_error e -> reply_error e
+    | exception Guard.Exhausted trip -> reply_error (Fmt.str "%a" Guard.pp_trip trip)
+    | exception Guard.Cancelled -> reply_error "cancelled"
+    | exception e -> reply_error ("request failed: " ^ Printexc.to_string e)
+  in
+  if Trace.on () then Trace.emit Trace.Request ~name:file ~t0 ();
+  reply
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type conn = {
+  c_in : Unix.file_descr;
+  c_out : Unix.file_descr;
+  c_buf : Buffer.t;  (** bytes read but not yet framed into lines *)
+  c_owned : bool;  (** close the descriptors on teardown (accepted sockets) *)
+  mutable c_eof : bool;
+  mutable c_dead : bool;  (** write side failed; drop without replying *)
+}
+
+let mk_conn ~owned c_in c_out =
+  { c_in; c_out; c_buf = Buffer.create 4096; c_owned = owned; c_eof = false; c_dead = false }
+
+let read_chunk c =
+  let bytes = Bytes.create 65536 in
+  match Unix.read c.c_in bytes 0 (Bytes.length bytes) with
+  | 0 -> c.c_eof <- true
+  | n -> Buffer.add_subbytes c.c_buf bytes 0 n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF | Unix.EPIPE), _, _) ->
+      c.c_eof <- true
+
+(* Complete lines buffered on [c], leaving a partial trailing line in
+   place — except at EOF, where the unterminated remainder is the final
+   line. *)
+let take_lines c =
+  let s = Buffer.contents c.c_buf in
+  let n = String.length s in
+  let lines = ref [] in
+  let start = ref 0 in
+  (try
+     while true do
+       let i = String.index_from s !start '\n' in
+       lines := String.sub s !start (i - !start) :: !lines;
+       start := i + 1
+     done
+   with Not_found -> ());
+  Buffer.clear c.c_buf;
+  if !start < n then
+    if c.c_eof then lines := String.sub s !start (n - !start) :: !lines
+    else Buffer.add_substring c.c_buf s !start (n - !start);
+  List.rev_map (fun l ->
+      let len = String.length l in
+      if len > 0 && l.[len - 1] = '\r' then String.sub l 0 (len - 1) else l)
+    !lines
+
+let write_all c s =
+  let n = String.length s in
+  let rec go off =
+    if off < n && not c.c_dead then
+      match Unix.write_substring c.c_out s off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+          c.c_dead <- true
+  in
+  go 0
+
+let close_conn c =
+  if c.c_owned then begin
+    (try Unix.close c.c_in with Unix.Unix_error _ -> ());
+    if c.c_out != c.c_in then try Unix.close c.c_out with Unix.Unix_error _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Batch processing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A batch is every complete request line that arrived this cycle, in
+   arrival order. Admission: the first [queue_max] are served, the rest
+   get an immediate [busy] — the queue is bounded by construction.
+   Control requests are answered inline on the event-loop domain;
+   queries fan out over the pool and come back in submission order, so
+   per-connection reply order always matches request order. *)
+let process pool cfg handler stats quit pending =
+  stats.s_batches <- stats.s_batches + 1;
+  let m = Metrics.cur () in
+  let rec split_at n = function
+    | [] -> ([], [])
+    | l when n = 0 -> ([], l)
+    | x :: tl ->
+        let a, b = split_at (n - 1) tl in
+        (x :: a, b)
+  in
+  let admitted, shed = split_at cfg.queue_max pending in
+  let n_pending = List.length pending in
+  let items =
+    List.map
+      (fun (c, line) ->
+        stats.s_requests <- stats.s_requests + 1;
+        m.Metrics.serve_requests <- m.Metrics.serve_requests + 1;
+        match parse_request line with
+        | Error e -> (c, Either.Left (reply_error e))
+        | Ok Ping -> (c, Either.Left "ok pong")
+        | Ok Files -> (c, Either.Left (files_reply handler))
+        | Ok Stats -> (c, Either.Left (stats_reply stats))
+        | Ok Quit ->
+            quit := true;
+            (c, Either.Left "ok bye")
+        | Ok (Query { file; query }) -> (c, Either.Right (file, query)))
+      admitted
+  in
+  let queries = List.filter_map (fun (_, i) -> Either.find_right i) items in
+  let answers =
+    match queries with
+    | [] -> []
+    | [ one ] -> [ do_query cfg handler one ]  (* skip the pool: round-trip latency *)
+    | many ->
+        (* chunk the batch so per-task pool overhead (queueing, domain
+           wake-up) is amortized over many queries instead of paid per
+           query; order is preserved chunk-by-chunk *)
+        let n = List.length many in
+        let per_chunk = max 1 ((n + (4 * cfg.jobs) - 1) / (4 * cfg.jobs)) in
+        let rec chunk = function
+          | [] -> []
+          | l ->
+              let rec take k acc = function
+                | rest when k = 0 -> (List.rev acc, rest)
+                | [] -> (List.rev acc, [])
+                | x :: tl -> take (k - 1) (x :: acc) tl
+              in
+              let c, rest = take per_chunk [] l in
+              c :: chunk rest
+        in
+        let chunks = chunk many in
+        Pool.map_result pool (List.map (do_query cfg handler)) chunks
+        |> List.map2
+             (fun c res ->
+               match res with
+               | Ok rs -> rs
+               | Error e ->
+                   (* a whole chunk failed before per-query isolation
+                      could catch it (only injected pool faults do
+                      this): every query of the chunk gets the error *)
+                   List.map
+                     (fun _ -> reply_error ("request failed: " ^ Printexc.to_string e))
+                     c)
+             chunks
+        |> List.concat
+  in
+  (* reassemble in request order, then account and route the replies *)
+  let replies =
+    let rec zip items answers =
+      match (items, answers) with
+      | [], _ -> []
+      | (c, Either.Left r) :: tl, answers -> (c, r) :: zip tl answers
+      | (c, Either.Right _) :: tl, a :: answers -> (c, a) :: zip tl answers
+      | (_, Either.Right _) :: _, [] -> assert false
+    in
+    zip items answers
+    @ List.map
+        (fun (c, _) ->
+          stats.s_requests <- stats.s_requests + 1;
+          m.Metrics.serve_requests <- m.Metrics.serve_requests + 1;
+          stats.s_shed <- stats.s_shed + 1;
+          m.Metrics.serve_shed <- m.Metrics.serve_shed + 1;
+          ( c,
+            Printf.sprintf "busy queue full (%d pending, max %d per batch)" n_pending
+              cfg.queue_max ))
+        shed
+  in
+  List.iter
+    (fun (_, r) ->
+      if String.length r >= 2 && String.sub r 0 2 = "ok" then stats.s_ok <- stats.s_ok + 1
+      else if String.length r >= 8 && String.sub r 0 8 = "degraded" then
+        stats.s_degraded <- stats.s_degraded + 1
+      else if String.length r >= 5 && String.sub r 0 5 = "error" then begin
+        stats.s_errors <- stats.s_errors + 1;
+        m.Metrics.serve_errors <- m.Metrics.serve_errors + 1
+      end)
+    replies;
+  (* one write per connection per batch *)
+  let outs : (conn * Buffer.t) list ref = ref [] in
+  List.iter
+    (fun (c, r) ->
+      let buf =
+        match List.find_opt (fun (c', _) -> c' == c) !outs with
+        | Some (_, b) -> b
+        | None ->
+            let b = Buffer.create 1024 in
+            outs := !outs @ [ (c, b) ];
+            b
+      in
+      Buffer.add_string buf r;
+      Buffer.add_char buf '\n')
+    replies;
+  List.iter (fun (c, b) -> if not c.c_dead then write_all c (Buffer.contents b)) !outs
+
+(* ------------------------------------------------------------------ *)
+(* Event loop                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(stop = Atomic.make false) cfg handler transport =
+  (* a client closing mid-write must be a dropped connection, not a
+     fatal SIGPIPE *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let stats =
+    { s_requests = 0; s_ok = 0; s_degraded = 0; s_errors = 0; s_shed = 0; s_batches = 0 }
+  in
+  let listen_fd, conns =
+    match transport with
+    | Stdio -> (None, ref [ mk_conn ~owned:false Unix.stdin Unix.stdout ])
+    | Fds (i, o) -> (None, ref [ mk_conn ~owned:false i o ])
+    | Socket path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 64;
+        (Some fd, ref [])
+  in
+  let cleanup () =
+    List.iter close_conn !conns;
+    match (listen_fd, transport) with
+    | Some fd, Socket path ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        (try Unix.unlink path with Unix.Unix_error _ -> ())
+    | _ -> ()
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
+  let quit = ref false in
+  while not (!quit || Atomic.get stop) do
+    let live = List.filter (fun c -> not (c.c_eof || c.c_dead)) !conns in
+    let rfds =
+      (match listen_fd with Some l -> [ l ] | None -> [])
+      @ List.map (fun c -> c.c_in) live
+    in
+    if rfds = [] then quit := true
+    else begin
+      (* the timeout bounds how stale a [stop] (SIGTERM) can go
+         unnoticed; EINTR from the signal itself just re-polls *)
+      let ready =
+        try
+          let r, _, _ = Unix.select rfds [] [] 0.25 in
+          r
+        with Unix.Unix_error (Unix.EINTR, _, _) -> []
+      in
+      (match listen_fd with
+      | Some l when List.memq l ready -> (
+          match Unix.accept l with
+          | fd, _ -> conns := !conns @ [ mk_conn ~owned:true fd fd ]
+          | exception Unix.Unix_error _ -> ())
+      | _ -> ());
+      List.iter (fun c -> if List.memq c.c_in ready then read_chunk c) live;
+      let pending =
+        List.concat_map
+          (fun c ->
+            if c.c_dead then []
+            else
+              take_lines c
+              |> List.filter_map (fun line ->
+                     if String.trim line = "" then None else Some (c, line)))
+          !conns
+      in
+      if pending <> [] then process pool cfg handler stats quit pending;
+      conns :=
+        List.filter
+          (fun c ->
+            if c.c_dead || (c.c_eof && Buffer.length c.c_buf = 0) then begin
+              close_conn c;
+              false
+            end
+            else true)
+          !conns;
+      (* on stdio/fds, end-of-input ends the daemon *)
+      if listen_fd = None && !conns = [] then quit := true
+    end
+  done;
+  stats

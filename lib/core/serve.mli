@@ -1,0 +1,116 @@
+(** The resident analysis daemon: analyze (or load) once, serve many
+    queries — the serving half of the analyze-once / query-many story.
+
+    [ptan serve] keeps primed results for a whole corpus in memory and
+    answers alias/pts/calls queries over a line-oriented protocol, on
+    standard input/output or a Unix-domain socket. This module is the
+    daemon core — protocol parsing, batching, admission control,
+    per-request budgets, dispatch over a {!Pool} of domains — and is
+    deliberately ignorant of how queries are {e answered}: the driver
+    supplies a {!handler} (built on the [alias] library's query
+    language, which lives above this library), so the core stays
+    unit-testable and free of dependency cycles.
+
+    {2 Protocol}
+
+    Requests are single LF-terminated lines (a trailing CR is
+    stripped); empty lines are ignored; every other line gets exactly
+    one reply line, in request order per connection:
+
+    {v
+    q <file> <query...>   answer <query...> against corpus entry <file>
+    ping                  liveness probe
+    files                 the corpus: ok <n> <name...>
+    stats                 traffic counters since startup
+    quit                  stop the daemon (reply: ok bye)
+    v}
+
+    Replies are [ok <answer>], [degraded <answer>] (the corpus entry
+    was analyzed under an exhausted budget: the answer is a sound
+    superset, see docs/ROBUSTNESS.md), [error <reason>] (malformed
+    request, unknown corpus file, query error, or a tripped per-request
+    deadline — the daemon itself never dies on a request), or
+    [busy <reason>] (shed by admission control). See docs/SERVE.md.
+
+    {2 Execution model}
+
+    The calling domain runs the event loop: it accepts connections,
+    reads whatever complete request lines are available, and processes
+    them as one batch. Control requests ([ping]/[files]/[stats]/[quit])
+    are answered inline; query requests are fanned out over the
+    {!Pool} ([jobs] domains) and their replies reassembled in request
+    order. Each query runs under a fresh deadline-only {!Guard}
+    ([request_deadline_ms]); a trip — including the
+    {!Fault.Expired_deadline} injection — becomes an [error] reply.
+    Admission control is a per-batch bound: at most [queue_max]
+    requests are dispatched per cycle and the excess is answered
+    [busy] immediately, so a flooding client degrades service
+    gracefully instead of growing an unbounded queue. *)
+
+(** How the driver answers one query against one corpus entry. *)
+type answer =
+  | Ans of string  (** full-precision answer *)
+  | Ans_degraded of string
+      (** answer from a degraded (widened) corpus entry — sound
+          superset of the precise answer *)
+  | Ans_error of string  (** unknown file, query parse/semantic error *)
+
+type handler = {
+  h_files : string list;  (** corpus names, for the [files] request *)
+  h_answer : file:string -> query:string -> answer;
+      (** must be safe to call from several {!Pool} domains at once
+          (query dispatch over primed, read-only results is) *)
+}
+
+(** Where the daemon talks. *)
+type transport =
+  | Stdio  (** requests on stdin, replies on stdout *)
+  | Fds of Unix.file_descr * Unix.file_descr
+      (** explicit descriptor pair — the bench and tests drive the
+          daemon in-process over pipes *)
+  | Socket of string
+      (** Unix-domain socket at this path (created at startup, a stale
+          file is replaced, unlinked on shutdown); multiple concurrent
+          clients, per-connection reply order *)
+
+type config = {
+  jobs : int;  (** {!Pool} width for query dispatch *)
+  queue_max : int;  (** admission bound: max requests dispatched per batch *)
+  request_deadline_ms : float option;  (** per-request {!Guard} deadline *)
+}
+
+val default_config : config
+(** [jobs = 1], [queue_max = 1024], no per-request deadline. *)
+
+(** Traffic counters, returned by {!run} and rendered by the [stats]
+    request ([ok requests=... ok=... degraded=... error=... shed=...
+    batches=...]; the [stats] request counts itself). Mirrored into
+    {!Metrics} ([serve_requests] / [serve_errors] / [serve_shed]). *)
+type stats = {
+  mutable s_requests : int;  (** non-empty request lines received *)
+  mutable s_ok : int;
+  mutable s_degraded : int;
+  mutable s_errors : int;
+  mutable s_shed : int;  (** [busy] replies *)
+  mutable s_batches : int;  (** dispatch cycles that served at least one request *)
+}
+
+(** {2 Parsing} — exposed for tests. *)
+
+type request =
+  | Query of { file : string; query : string }
+  | Ping
+  | Files
+  | Stats
+  | Quit
+
+val parse_request : string -> (request, string) result
+
+(** {2 Running} *)
+
+val run : ?stop:bool Atomic.t -> config -> handler -> transport -> stats
+(** Serve until [quit], end-of-input (stdio/fds), or [stop] is set
+    (checked at least every 250 ms — the driver's signal handlers set
+    it for clean SIGTERM shutdown). Returns the final counters. The
+    daemon never raises on a malformed or failing request; transport
+    errors on one connection only close that connection. *)

@@ -26,6 +26,7 @@ type kind =
   | Cache_store
   | Task
   | Widen
+  | Request
 
 let kind_name = function
   | Analysis -> "analysis"
@@ -38,8 +39,9 @@ let kind_name = function
   | Cache_store -> "cache-store"
   | Task -> "task"
   | Widen -> "widen"
+  | Request -> "request"
 
-let n_kinds = 10
+let n_kinds = 11
 
 let kind_idx = function
   | Analysis -> 0
@@ -52,6 +54,7 @@ let kind_idx = function
   | Cache_store -> 7
   | Task -> 8
   | Widen -> 9
+  | Request -> 10
 
 type span = {
   sp_kind : kind;
@@ -143,11 +146,14 @@ let push r sp =
     r.r_len <- r.r_len + 1
   end
 
-let start () = if Atomic.get enabled then Unix.gettimeofday () else 0.
+(* Span clocks are monotonic ({!Mono}): spans are consumed as
+   durations and offsets from the earliest span, and a system clock
+   step must not produce negative or inflated spans. *)
+let start () = if Atomic.get enabled then Mono.now_s () else 0.
 
 let emit k ~name ?(ctx = 0) ?(stmts = 0) ?(pts_in = -1) ?(pts_out = -1) ~t0 () =
   if Atomic.get enabled && t0 > 0. then begin
-    let t1 = Unix.gettimeofday () in
+    let t1 = Mono.now_s () in
     let r = Domain.DLS.get ring_key in
     push r
       {

@@ -39,6 +39,7 @@ type kind =
   | Widen
       (** the graceful-degradation rerun of an analysis whose budget was
           exhausted ({!Guard}) — wraps the whole widened pass *)
+  | Request  (** one {!Serve} protocol request, parse to reply *)
 
 val kind_name : kind -> string
 (** Lower-case stable name ([node], [map], [cache-load], ...); used as
@@ -51,8 +52,8 @@ type span = {
       (** context digest — {!Pts.hash} of the mapped input for [Node]
           spans, 0 when not applicable *)
   sp_dom : int;  (** id of the domain that recorded the span *)
-  sp_t0 : float;  (** start, epoch seconds ({!Metrics.now}) *)
-  sp_t1 : float;  (** end, epoch seconds *)
+  sp_t0 : float;  (** start, monotonic seconds ({!Mono.now_s}) *)
+  sp_t1 : float;  (** end, monotonic seconds *)
   sp_stmts : int;  (** statements in the processed body, 0 if n/a *)
   sp_in : int;  (** cardinality of the input points-to set, -1 if n/a *)
   sp_out : int;  (** cardinality of the output points-to set, -1 if n/a *)

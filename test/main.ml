@@ -21,4 +21,5 @@ let () =
       Test_parallel.suite;
       Test_trace.suite;
       Test_robust.suite;
+      Test_serve.suite;
     ]

@@ -52,6 +52,42 @@ let pool_tests =
         Pool.with_pool ~jobs:4 (fun pool ->
             Alcotest.(check (list int)) "first" [ 2; 4 ] (Pool.map pool (fun x -> 2 * x) [ 1; 2 ]);
             Alcotest.(check (list int)) "second" [ 9 ] (Pool.map pool (fun x -> x * x) [ 3 ])));
+    case "looped timeouts do not leak watchdog domains" (fun () ->
+        (* domain ids are allocated monotonically, so the id of a fresh
+           probe domain bounds how many domains were ever spawned; the
+           old per-call watchdog leaked ~1 domain per run_list call *)
+        let probe () = Domain.join (Domain.spawn (fun () -> (Domain.self () :> int))) in
+        let before = probe () in
+        Pool.with_pool ~jobs:2 (fun pool ->
+            for i = 1 to 100 do
+              match Pool.run_list ~timeout_ms:5_000. pool [ (fun () -> i); (fun () -> - i) ] with
+              | [ Ok a; Ok b ] when a = i && b = -i -> ()
+              | _ -> Alcotest.fail "wrong results under timeout loop"
+            done);
+        let after = probe () in
+        (* 2 probes + 2 workers + 1 lazily-spawned watchdog, with slack *)
+        Alcotest.(check bool)
+          (Printf.sprintf "domain growth bounded (%d before, %d after)" before after)
+          true
+          (after - before <= 10));
+    case "a pool with looped timeouts still cancels overdue tasks" (fun () ->
+        (* the shared watchdog must stay effective on its 50th
+           registration, not just its first *)
+        Pool.with_pool ~jobs:2 (fun pool ->
+            for _ = 1 to 50 do
+              match Pool.run_list ~timeout_ms:5_000. pool [ (fun () -> ()) ] with
+              | [ Ok () ] -> ()
+              | _ -> Alcotest.fail "in-budget task failed"
+            done;
+            let g = Pointsto.Guard.unlimited () in
+            let spin () =
+              while true do
+                Pointsto.Guard.check g
+              done
+            in
+            match Pool.run_list ~timeout_ms:60. pool [ spin ] with
+            | [ Error Pointsto.Guard.Cancelled ] -> ()
+            | _ -> Alcotest.fail "expected Cancelled from the 51st watch"));
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -384,6 +384,33 @@ let flip_byte file pos =
 
 let quarantine_tests =
   [
+    case "quarantine never clobbers an earlier .bad file" (fun () ->
+        in_temp (fun dir ->
+            let source = bench "hash" in
+            let _ = Persist.analyze_cached ~cache_dir:dir source in
+            let file =
+              Persist.cache_file ~cache_dir:dir ~source ~opts:Options.default ~entry:"main"
+            in
+            (* a pre-existing post-mortem from an earlier incident *)
+            let sentinel = "earlier evidence, do not destroy" in
+            Out_channel.with_open_bin (file ^ ".bad") (fun oc ->
+                Out_channel.output_string oc sentinel);
+            let size = (Unix.stat file).Unix.st_size in
+            flip_byte file (size / 2);
+            let _, hit = Persist.analyze_cached ~cache_dir:dir source in
+            Alcotest.(check bool) "corrupt entry not served" false hit;
+            Alcotest.(check string) "first .bad untouched" sentinel
+              (In_channel.with_open_bin (file ^ ".bad") In_channel.input_all);
+            Alcotest.(check bool) "fresh evidence at .bad.1" true
+              (Sys.file_exists (file ^ ".bad.1"));
+            (* a second incident picks the next free suffix *)
+            flip_byte file (size / 3);
+            let _, hit2 = Persist.analyze_cached ~cache_dir:dir source in
+            Alcotest.(check bool) "still not served" false hit2;
+            Alcotest.(check bool) "and .bad.2 appears" true
+              (Sys.file_exists (file ^ ".bad.2"));
+            Alcotest.(check string) "first .bad still untouched" sentinel
+              (In_channel.with_open_bin (file ^ ".bad") In_channel.input_all)));
     case "a corrupt cache entry is quarantined and re-analyzed cold" (fun () ->
         in_temp (fun dir ->
             let source = bench "stanford" in
@@ -486,7 +513,103 @@ let fuzz_tests =
               (!fallbacks + !roundtrips)));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Guard clock: monotonic measurement                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Regressions for the wall-clock -> monotonic switch: deadlines and
+    [elapsed_ms] are measured on {!Pointsto.Mono}, which a stepping
+    system clock (NTP, manual [date]) cannot disturb. The step itself
+    cannot be simulated in a test, so these pin the observable
+    contract: elapsed time is non-negative, advances with real time,
+    and agrees with an independent monotonic reading. *)
+let mono_tests =
+  [
+    case "elapsed_ms starts at zero and advances with real time" (fun () ->
+        let g = Guard.unlimited () in
+        let e0 = Guard.elapsed_ms g in
+        Alcotest.(check bool) "non-negative at birth" true (e0 >= 0.);
+        Alcotest.(check bool) "tiny at birth" true (e0 < 100.);
+        Unix.sleepf 0.02;
+        let e1 = Guard.elapsed_ms g in
+        Alcotest.(check bool) "advanced by the sleep" true (e1 >= e0 +. 15.));
+    case "elapsed_ms agrees with an independent monotonic reading" (fun () ->
+        let t0 = Pointsto.Mono.now_ms () in
+        let g = Guard.unlimited () in
+        Unix.sleepf 0.01;
+        let e = Guard.elapsed_ms g in
+        let dt = Pointsto.Mono.now_ms () -. t0 in
+        Alcotest.(check bool) "within the bracketing interval" true (e > 0. && e <= dt +. 1.));
+    case "mono clock readings never go backwards" (fun () ->
+        let prev = ref (Pointsto.Mono.now_s ()) in
+        for _ = 1 to 10_000 do
+          let t = Pointsto.Mono.now_s () in
+          if t < !prev then Alcotest.fail "monotonic clock went backwards";
+          prev := t
+        done);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Driver exit precedence (spawns the real binary)                    *)
+(* ------------------------------------------------------------------ *)
+
+(** End-to-end checks of the tables/profile exit policy: failure (1)
+    beats degradation (3), and the degradation report still prints when
+    both occur. Runs the installed ptan binary; the test cwd is
+    [_build/default/test]. *)
+let ptan = "../bin/ptan.exe"
+
+let run_ptan args =
+  in_temp (fun dir ->
+      let out = Filename.concat dir "out" and err = Filename.concat dir "err" in
+      let code = Sys.command (Printf.sprintf "%s %s > %s 2> %s" ptan args out err) in
+      ( code,
+        In_channel.with_open_bin out In_channel.input_all,
+        In_channel.with_open_bin err In_channel.input_all ))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1)) in
+  go 0
+
+let with_garbage_c f =
+  let file = Filename.temp_file "ptan-bad" ".c" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc "int main( { this is not C\n");
+      f file)
+
+let exit_code_tests =
+  [
+    case "tables: degradation alone exits 3 with the report" (fun () ->
+        let code, out, err = run_ptan (Fmt.str "tables --no-cache --fuel 1 %s" (bench "livc")) in
+        Alcotest.(check int) "exit 3" 3 code;
+        Alcotest.(check bool) "report printed" true (contains out "degraded:");
+        Alcotest.(check bool) "summary on stderr" true (contains err "1 degraded"));
+    case "tables: failure beats degradation, which still reports" (fun () ->
+        with_garbage_c (fun bad ->
+            let code, out, err =
+              run_ptan (Fmt.str "tables --no-cache --fuel 1 %s %s" (bench "livc") bad)
+            in
+            Alcotest.(check int) "exit 1, not 3" 1 code;
+            Alcotest.(check bool) "degradation still reported" true (contains out "degraded:");
+            Alcotest.(check bool) "summary counts both" true
+              (contains err "1 file(s) failed, 1 degraded")));
+    case "profile: failure beats degradation, which still reports" (fun () ->
+        with_garbage_c (fun bad ->
+            let code, out, _ =
+              run_ptan (Fmt.str "profile --fuel 1 %s %s" (bench "livc") bad)
+            in
+            Alcotest.(check int) "exit 1, not 3" 1 code;
+            Alcotest.(check bool) "degradation still reported" true (contains out "degraded:")));
+    case "tables: all clean exits 0" (fun () ->
+        let code, _, _ = run_ptan (Fmt.str "tables --no-cache %s" (bench "hash")) in
+        Alcotest.(check int) "exit 0" 0 code);
+  ]
+
 let suite =
   ( "robust",
-    guard_tests @ degradation_tests @ timeout_tests @ fault_tests @ quarantine_tests
-    @ fuzz_tests )
+    guard_tests @ mono_tests @ degradation_tests @ timeout_tests @ fault_tests
+    @ quarantine_tests @ fuzz_tests @ exit_code_tests )

@@ -727,6 +727,159 @@ let argv_jobs () =
   go 1
 
 (* ------------------------------------------------------------------ *)
+(* Incremental re-analysis: edit, diff hashes, replay the clean part  *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "ptan-incr" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun n -> rm (Filename.concat p n)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> rm dir) (fun () -> f dir)
+
+let read_file p = In_channel.with_open_bin p In_channel.input_all
+
+let write_file p s = Out_channel.with_open_bin p (fun oc -> Out_channel.output_string oc s)
+
+let replace_once ~sub ~by s =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then Fmt.failwith "edit anchor %S not found" sub
+    else if String.equal (String.sub s i m) sub then
+      String.sub s 0 i ^ by ^ String.sub s (i + m) (n - i - m)
+    else go (i + 1)
+  in
+  go 0
+
+type incr_row = {
+  ir_name : string;
+  ir_edit : string;  (** "comment" or "kernel" *)
+  ir_funcs : int;
+  ir_dirty : int;
+  ir_reused : int;
+  ir_t_cold : float;
+      (** the pre-existing cache trajectory on the edited source — a
+          full miss through [analyze_cached] without [incremental], so
+          fixpoint plus save, ms. This is what the [--incremental] flag
+          replaces. *)
+  ir_t_nocache : float;  (** bare fixpoint ([Analysis.of_file]), ms *)
+  ir_t_incr : float;  (** incremental re-analysis of the same edit, ms *)
+  ir_ident : bool;  (** result_digest equality against the bare fixpoint *)
+}
+
+(** Populate the incremental cache for a private copy of [name], apply
+    [edit] to the copy, then race the non-incremental cache trajectory
+    against the incremental re-analysis of the same edit. All sides are
+    timed as the min over [incr_repeats] runs — the pre-edit cache entry
+    is restored (and the non-incremental cache cleared) before every run
+    so each one replays the same edit, and the min squeezes out
+    allocator and scheduler jitter that would otherwise dwarf these
+    millisecond-scale rows. *)
+let incr_repeats = 3
+
+let incr_measure ~dir ~name ~label ~edit =
+  let source = Filename.concat dir (label ^ ".c") in
+  write_file source (read_file (path name));
+  let _ = Persist.analyze_cached ~cache_dir:dir ~incremental:true source in
+  let entry_file =
+    Persist.cache_file_incr ~cache_dir:dir ~source ~opts:Pointsto.Options.default
+      ~entry:"main"
+  in
+  let entry_bytes = read_file entry_file in
+  write_file source (edit (read_file source));
+  let min_time ?(prepare = ignore) f =
+    let best = ref infinity and last = ref None in
+    for _ = 1 to incr_repeats do
+      prepare ();
+      let v, t = time f in
+      last := Some v;
+      if t < !best then best := t
+    done;
+    (Option.get !last, !best)
+  in
+  let cold, t_nocache = min_time (fun () -> Analysis.of_file source) in
+  let cold_dir = Filename.concat dir (label ^ ".cold") in
+  let clear_cold () =
+    if Sys.file_exists cold_dir then
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat cold_dir f))
+        (Sys.readdir cold_dir)
+  in
+  let _, t_cold =
+    min_time ~prepare:clear_cold (fun () ->
+        Persist.analyze_cached ~cache_dir:cold_dir source)
+  in
+  let (incr, _), t_incr =
+    min_time
+      ~prepare:(fun () -> write_file entry_file entry_bytes)
+      (fun () -> Persist.analyze_cached ~cache_dir:dir ~incremental:true source)
+  in
+  let m = incr.Analysis.metrics in
+  {
+    ir_name = name;
+    ir_edit = (if String.equal name label then "comment" else "kernel");
+    ir_funcs = List.length incr.Analysis.prog.Ir.funcs;
+    ir_dirty = m.Pointsto.Metrics.incr_funcs_dirty;
+    ir_reused = m.Pointsto.Metrics.incr_funcs_reused;
+    ir_t_cold = t_cold;
+    ir_t_nocache = t_nocache;
+    ir_t_incr = t_incr;
+    ir_ident = String.equal (result_digest cold) (result_digest incr);
+  }
+
+let comment_edit src = src ^ "\n/* bench trailing edit */\n"
+
+let kernel_edit src =
+  replace_once ~sub:"double kern_a_5(void) { int i;"
+    ~by:"double kern_a_5(void) { int i; int bench_probe; bench_probe = 0;" src
+
+(** One row per suite program (trailing-comment edit: every function
+    hash survives, only the fp-touching slice re-runs), plus a real
+    one-kernel edit of livc. *)
+let incr_rows () =
+  with_temp_dir (fun dir ->
+      let rows =
+        List.map
+          (fun name -> incr_measure ~dir ~name ~label:name ~edit:comment_edit)
+          (Paper_data.names @ [ "livc" ])
+      in
+      rows @ [ incr_measure ~dir ~name:"livc" ~label:"livc-kernel" ~edit:kernel_edit ])
+
+let incremental () =
+  section "Incremental Re-analysis: hash the functions, replay the clean subtrees";
+  Fmt.pr "%-12s %8s %6s %6s %7s %9s %9s %9s %9s %6s@." "benchmark" "edit" "funcs" "dirty"
+    "reused" "cold ms" "fixp ms" "incr ms" "speedup" "ident";
+  Fmt.pr "%s@." hr;
+  let rows = incr_rows () in
+  List.iter
+    (fun r ->
+      Fmt.pr "%-12s %8s %6d %6d %7d %9.2f %9.2f %9.2f %8.1fx %6s@." r.ir_name r.ir_edit
+        r.ir_funcs r.ir_dirty r.ir_reused r.ir_t_cold r.ir_t_nocache r.ir_t_incr
+        (r.ir_t_cold /. r.ir_t_incr)
+        (if r.ir_ident then "yes" else "NO"))
+    rows;
+  let t_cold = List.fold_left (fun a r -> a +. r.ir_t_cold) 0. rows in
+  let t_nocache = List.fold_left (fun a r -> a +. r.ir_t_nocache) 0. rows in
+  let t_incr = List.fold_left (fun a r -> a +. r.ir_t_incr) 0. rows in
+  if List.exists (fun r -> not r.ir_ident) rows then
+    failwith "incremental: a replayed run diverged from the cold fixpoint";
+  Fmt.pr
+    "@.suite totals: cold %.1f ms, incremental %.1f ms (%.1fx); bare fixpoint %.1f ms;@.\
+     every row bit-identical@."
+    t_cold t_incr (t_cold /. t_incr) t_nocache;
+  Fmt.pr
+    "(cold = the same edit through the non-incremental cache, i.e. full miss +@.\
+     fixpoint + save — what --incremental replaces; fixp = bare Analysis.of_file@.\
+     with no caching at all; incr = hash diff + rekey or dirty-slice re-run +@.\
+     summary replay, including cache load and save; see docs/INCREMENTAL.md)@."
+
+(* ------------------------------------------------------------------ *)
 (* Serve: resident daemon throughput and latency                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -765,6 +918,8 @@ let serve_handler corpus =
             | Ok a ->
                 if r.Analysis.degraded <> None then Serve.Ans_degraded a else Serve.Ans a
             | Error e -> Serve.Ans_error e));
+    Serve.h_reload = None;
+    Serve.h_paths = [];
   }
 
 (** The daemon workload: every generated query of every corpus entry as
@@ -899,6 +1054,81 @@ let serve_bench () =
     (percentile times 50) (percentile times 99)
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable trajectory: bench --json FILE                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Daemon throughput over the stanford+livc workload, for the JSON
+    report: (queries answered, queries per second). Replies are checked
+    against cold dispatch exactly as in {!serve_bench}. *)
+let serve_qps () =
+  let corpus = serve_corpus [ "stanford"; "livc" ] in
+  let handler = serve_handler corpus in
+  let workload = serve_workload corpus in
+  let lines = List.map fst workload and expected = List.map snd workload in
+  let jobs = min 4 (Domain.recommended_domain_count ()) in
+  let cfg = { Serve.jobs; queue_max = 8192; request_deadline_ms = None } in
+  let replies, _, t_ms = serve_round cfg handler lines in
+  List.iteri
+    (fun i (got, want) ->
+      if not (String.equal got want) then
+        Fmt.failwith "serve_qps: reply %d differs from cold query (%s)" i (List.nth lines i))
+    (List.combine replies expected);
+  let n = List.length lines in
+  (n, float_of_int n /. t_ms *. 1e3)
+
+(** The BENCH_incremental.json report (schema in docs/OBSERVABILITY.md):
+    per-program cold vs incremental wall-clock with dirty/reused
+    counters and the bit-identity verdict, suite totals, and daemon
+    throughput. Written with a trailing newline, keys in a fixed order,
+    so CI diffs stay readable. *)
+let incremental_json out =
+  let rows = incr_rows () in
+  let queries, qps = serve_qps () in
+  let t_cold = List.fold_left (fun a r -> a +. r.ir_t_cold) 0. rows in
+  let t_nocache = List.fold_left (fun a r -> a +. r.ir_t_nocache) 0. rows in
+  let t_incr = List.fold_left (fun a r -> a +. r.ir_t_incr) 0. rows in
+  let all_ident = List.for_all (fun r -> r.ir_ident) rows in
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "{\n";
+  pr "  \"schema\": \"ptan-bench-incremental/2\",\n";
+  pr "  \"programs\": [\n";
+  List.iteri
+    (fun i r ->
+      pr
+        "    {\"name\": %S, \"edit\": %S, \"funcs\": %d, \"dirty\": %d, \"reused\": %d, \
+         \"t_cold_ms\": %.3f, \"t_fixpoint_ms\": %.3f, \"t_incr_ms\": %.3f, \
+         \"identical\": %b}%s\n"
+        r.ir_name r.ir_edit r.ir_funcs r.ir_dirty r.ir_reused r.ir_t_cold r.ir_t_nocache
+        r.ir_t_incr r.ir_ident
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  pr "  ],\n";
+  pr "  \"totals\": {\"t_cold_ms\": %.3f, \"t_fixpoint_ms\": %.3f, \"t_incr_ms\": %.3f, \
+      \"speedup\": %.2f, \"identical\": %b},\n"
+    t_cold t_nocache t_incr (t_cold /. t_incr) all_ident;
+  pr "  \"serve\": {\"queries\": %d, \"qps\": %.0f}\n" queries qps;
+  pr "}\n";
+  Out_channel.with_open_bin out (fun oc -> Out_channel.output_string oc (Buffer.contents buf));
+  Fmt.pr "incremental: %d program rows, suite %.1f ms cold vs %.1f ms incremental (%.1fx), \
+          serve %.0f queries/s -> %s@."
+    (List.length rows) t_cold t_incr (t_cold /. t_incr) qps out;
+  if not all_ident then failwith "incremental_json: a replayed run diverged from cold";
+  if t_incr >= t_cold then
+    failwith
+      "incremental_json: incremental re-analysis did not beat the non-incremental cache"
+
+(** [--json FILE] on the command line selects the machine-readable
+    incremental report instead of the full text harness. *)
+let argv_json () =
+  let rec go i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if String.equal Sys.argv.(i) "--json" then Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timings                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1023,6 +1253,18 @@ let smoke () =
       if not (String.equal (table345_rows cold) (table345_rows warm)) then
         failwith "persist: loaded result is not bit-identical";
       Fmt.pr "smoke: persisted stanford round trip ok@.");
+  (* an edited source must replay bit-identically, not just cheaply *)
+  with_temp_dir (fun dir ->
+      List.iter
+        (fun (label, edit) ->
+          let row = incr_measure ~dir ~name:"livc" ~label ~edit in
+          if not row.ir_ident then
+            Fmt.failwith "smoke: incremental livc (%s edit) diverged from cold" row.ir_edit;
+          if row.ir_reused = 0 then
+            Fmt.failwith "smoke: incremental livc (%s edit) replayed nothing" row.ir_edit;
+          Fmt.pr "smoke: incremental livc %s edit: %d dirty, %d replayed, bit-identical@."
+            row.ir_edit row.ir_dirty row.ir_reused)
+        [ ("livc", comment_edit); ("livc-kernel", kernel_edit) ]);
   (* drive the domain pool over the full suite and insist the parallel
      run reproduces the sequential one bit-for-bit *)
   let jobs = Option.value ~default:4 (argv_jobs ()) in
@@ -1068,6 +1310,9 @@ let smoke () =
   Fmt.pr "smoke: ok@."
 
 let () =
+  match argv_json () with
+  | Some out -> incremental_json out
+  | None ->
   if Array.exists (String.equal "--smoke") Sys.argv then smoke ()
   else if Array.exists (String.equal "--serve") Sys.argv then serve_bench ()
   else begin
@@ -1087,6 +1332,7 @@ let () =
     ablations ();
     extensions ();
     persistence ();
+    incremental ();
     counters ();
     tracing ();
     degradation ();

@@ -74,13 +74,17 @@ let cmd_simple file =
       Simple_ir.Pp.pp_program Fmt.stdout p)
 
 (** [cache] is [None] when [--no-cache] was given, [Some dir] with
-    [dir = None] meaning the default cache directory. *)
-let analyze_file ?(opts = Pointsto.Options.default) ?budget ?(cache = None) file =
+    [dir = None] meaning the default cache directory. [incremental]
+    selects the stable summary-carrying cache entry
+    ({!Persist.analyze_cached} with [~incremental:true]); it needs the
+    cache and is ignored under [--no-cache]. *)
+let analyze_file ?(opts = Pointsto.Options.default) ?budget ?(cache = None)
+    ?(incremental = false) file =
   match cache with
   | None ->
       let p = load file in
       Pointsto.Analysis.analyze ~opts ?budget p
-  | Some cache_dir -> fst (Persist.analyze_cached ?cache_dir ~opts ?budget file)
+  | Some cache_dir -> fst (Persist.analyze_cached ?cache_dir ~opts ?budget ~incremental file)
 
 (** One-line degradation report, printed after a degraded result's
     normal output; paired with exit code 3. *)
@@ -94,12 +98,12 @@ let pp_degraded ppf (d : Pointsto.Analysis.degradation) =
 (** Exit code for runs that completed but under degradation. *)
 let exit_degraded = 3
 
-let cmd_analyze file cache budget no_context no_definite sym_depth no_share heap_by_site
-    show_null show_stats trace_out =
+let cmd_analyze file cache incremental budget no_context no_definite sym_depth no_share
+    heap_by_site show_null show_stats trace_out =
   with_errors (fun () ->
     with_trace trace_out @@ fun () ->
       let opts = opts_of ~no_context ~no_definite ~sym_depth ~no_share ~heap_by_site in
-      let r = analyze_file ~opts ?budget ~cache file in
+      let r = analyze_file ~opts ?budget ~cache ~incremental file in
       List.iter (fun w -> Fmt.pr "warning: %s@." w) r.Pointsto.Analysis.warnings;
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) r.Pointsto.Analysis.stmt_pts []
       |> List.sort compare
@@ -180,10 +184,10 @@ let pp_stats_report ppf r =
     s.call_sites s.n_funcs s.n_recursive s.n_approximate s.avg_per_call_site s.avg_per_func;
   Fmt.pf ppf "%a@." Pointsto.Stats.pp_engine_metrics r
 
-let cmd_stats file cache budget trace_out =
+let cmd_stats file cache incremental budget trace_out =
   with_errors (fun () ->
     with_trace trace_out @@ fun () ->
-      let r = analyze_file ?budget ~cache file in
+      let r = analyze_file ?budget ~cache ~incremental file in
       Fmt.pr "%a" pp_stats_report r;
       match r.Pointsto.Analysis.degraded with
       | Some d ->
@@ -217,10 +221,10 @@ let finish_multi ~failed ~degraded =
   if failed > 0 then exit 1;
   if degraded > 0 then exit exit_degraded
 
-let cmd_tables files cache budget timeout_ms jobs show_stats trace_out =
+let cmd_tables files cache incremental budget timeout_ms jobs show_stats trace_out =
   with_trace trace_out @@ fun () ->
   let task file () =
-    let r = analyze_file ?budget ~cache file in
+    let r = analyze_file ?budget ~cache ~incremental file in
     (Fmt.str "%a" pp_stats_report r, r.Pointsto.Analysis.metrics,
      r.Pointsto.Analysis.degraded)
   in
@@ -336,9 +340,9 @@ let cmd_replace file cache =
       Fmt.pr "%d replacement opportunities@." (List.length reps);
       List.iter (fun rp -> Fmt.pr "  %a@." Transforms.Pointer_replace.pp_replacement rp) reps)
 
-let cmd_query file cache words =
+let cmd_query file cache incremental words =
   with_errors (fun () ->
-      let r = analyze_file ~cache file in
+      let r = analyze_file ~cache ~incremental file in
       match Alias.Query.run r (String.concat " " words) with
       | Ok ans -> Fmt.pr "%s@." ans
       | Error e ->
@@ -358,9 +362,9 @@ let prime_result r =
       Option.iter Pointsto.Pts.prime n.Pointsto.Invocation_graph.stored_output)
     () r.Pointsto.Analysis.graph
 
-let cmd_batch file cache jobs queries =
+let cmd_batch file cache incremental jobs queries =
   with_errors (fun () ->
-      let r = analyze_file ~cache file in
+      let r = analyze_file ~cache ~incremental file in
       let ic, close_ic =
         match queries with
         | None | Some "-" -> (stdin, false)
@@ -426,56 +430,82 @@ let cmd_batch file cache jobs queries =
     SIGTERM/SIGINT. Everything human-readable (startup progress, the
     ready line, shutdown stats) goes to stderr; stdout carries protocol
     replies only. *)
-let cmd_serve files cache budget jobs socket request_deadline_ms queue_max show_stats =
+let cmd_serve files cache incremental budget jobs socket request_deadline_ms queue_max
+    show_stats =
   with_errors (fun () ->
       (* Corpus load: any file that fails to analyze is a startup
          error — a daemon with a silently missing corpus entry would
          answer [error unknown file] forever. Degraded entries are fine:
-         their answers are sound supersets, flagged per-reply. *)
-      let corpus =
-        List.map
-          (fun file ->
-            Fmt.epr "serve: loading %s...@." file;
-            let r = analyze_file ?budget ~cache file in
-            prime_result r;
-            Option.iter
-              (fun d -> Fmt.epr "serve: %s %a@." file pp_degraded d)
-              r.Pointsto.Analysis.degraded;
-            (file, r))
-          files
+         their answers are sound supersets, flagged per-reply. The
+         results table is mutable so [reload]/[watch] can swap an entry
+         in place (always on the event-loop domain, between batches). *)
+      let results : (string, Pointsto.Analysis.result) Hashtbl.t = Hashtbl.create 16 in
+      let load_entry file =
+        let r = analyze_file ?budget ~cache ~incremental file in
+        prime_result r;
+        Hashtbl.replace results file r;
+        r
       in
+      List.iter
+        (fun file ->
+          Fmt.epr "serve: loading %s...@." file;
+          let r = load_entry file in
+          Option.iter
+            (fun d -> Fmt.epr "serve: %s %a@." file pp_degraded d)
+            r.Pointsto.Analysis.degraded)
+        files;
       (* Name resolution: the path as given, plus its basename and
-         basename-without-extension when unique across the corpus. *)
-      let by_name = Hashtbl.create 16 in
-      let alias name r =
+         basename-without-extension when unique across the corpus.
+         Aliases map to the canonical path so a reload through any
+         alias swaps the one shared entry. *)
+      let by_name : (string, string option) Hashtbl.t = Hashtbl.create 16 in
+      let alias name file =
         match Hashtbl.find_opt by_name name with
-        | None -> Hashtbl.replace by_name name (Some r)
+        | None -> Hashtbl.replace by_name name (Some file)
         | Some _ -> Hashtbl.replace by_name name None (* ambiguous *)
       in
       List.iter
-        (fun (file, r) ->
-          Hashtbl.replace by_name file (Some r);
+        (fun file ->
+          Hashtbl.replace by_name file (Some file);
           let base = Filename.basename file in
-          if base <> file then alias base r;
+          if base <> file then alias base file;
           let stem = Filename.remove_extension base in
-          if stem <> base then alias stem r)
-        corpus;
+          if stem <> base then alias stem file)
+        files;
+      let resolve name =
+        match Hashtbl.find_opt by_name name with Some (Some f) -> Some f | _ -> None
+      in
       let handler =
         {
-          Pointsto.Serve.h_files = List.map fst corpus;
+          Pointsto.Serve.h_files = files;
           h_answer =
             (fun ~file ~query ->
-              match Hashtbl.find_opt by_name file with
-              | None | Some None ->
+              match resolve file with
+              | None ->
                   Pointsto.Serve.Ans_error
                     (Fmt.str "unknown file '%s' (try the 'files' request)" file)
-              | Some (Some r) -> (
+              | Some f -> (
+                  let r = Hashtbl.find results f in
                   match Alias.Query.run r query with
                   | Error e -> Pointsto.Serve.Ans_error e
                   | Ok ans ->
                       if r.Pointsto.Analysis.degraded <> None then
                         Pointsto.Serve.Ans_degraded ans
                       else Pointsto.Serve.Ans ans));
+          h_reload =
+            Some
+              (fun ~file ->
+                match resolve file with
+                | None -> Error (Fmt.str "unknown file '%s'" file)
+                | Some f -> (
+                    match load_entry f with
+                    | r ->
+                        let m = r.Pointsto.Analysis.metrics in
+                        Ok
+                          (Fmt.str "reloaded %s (%d dirty, %d replayed)" f
+                             m.Pointsto.Metrics.incr_funcs_dirty m.incr_funcs_reused)
+                    | exception e -> Error (describe_exn e)));
+          h_paths = List.map (fun f -> (f, f)) files;
         }
       in
       let stop = Atomic.make false in
@@ -490,14 +520,14 @@ let cmd_serve files cache budget jobs socket request_deadline_ms queue_max show_
       in
       let config = { Pointsto.Serve.jobs; queue_max; request_deadline_ms } in
       (match socket with
-      | Some path -> Fmt.epr "serve: ready, %d file(s) resident, socket %s@." (List.length corpus) path
-      | None -> Fmt.epr "serve: ready, %d file(s) resident, stdio@." (List.length corpus));
+      | Some path -> Fmt.epr "serve: ready, %d file(s) resident, socket %s@." (List.length files) path
+      | None -> Fmt.epr "serve: ready, %d file(s) resident, stdio@." (List.length files));
       let stats = Pointsto.Serve.run ~stop config handler transport in
       Fmt.epr
         "serve: shutdown after %d request(s): %d ok, %d degraded, %d error, %d shed, %d \
-         batch(es)@."
+         batch(es), %d reload(s)@."
         stats.Pointsto.Serve.s_requests stats.s_ok stats.s_degraded stats.s_errors
-        stats.s_shed stats.s_batches;
+        stats.s_shed stats.s_batches stats.s_reloads;
       if show_stats then Fmt.epr "%a@." Pointsto.Metrics.pp (Pointsto.Metrics.snapshot ()))
 
 open Cmdliner
@@ -549,6 +579,27 @@ let no_cache =
   Arg.(
     value & flag
     & info [ "no-cache" ] ~doc:"Always re-run the analysis; neither read nor write the cache.")
+
+let incremental_flag =
+  Arg.(
+    value & flag
+    & info [ "incremental" ]
+        ~doc:
+          "Incremental re-analysis: keep a stable cache entry carrying per-function \
+           content hashes and replayable summaries; after an edit, only the dirty \
+           functions (edited ones plus everything that can reach them) re-analyze and \
+           the rest replays — with bit-identical tables. Requires the cache (ignored \
+           under --no-cache). See docs/INCREMENTAL.md.")
+
+let no_incremental =
+  Arg.(
+    value & flag
+    & info [ "no-incremental" ]
+        ~doc:"Force full cache behavior, overriding a preceding --incremental.")
+
+(** Combined incremental selector. *)
+let incremental =
+  Term.(const (fun on off -> on && not off) $ incremental_flag $ no_incremental)
 
 let deadline_ms =
   Arg.(
@@ -623,8 +674,9 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run points-to analysis")
     Term.(
-      const cmd_analyze $ file_arg $ cache $ budget $ no_context $ no_definite $ sym_depth
-      $ no_share $ heap_by_site $ show_null $ show_stats $ trace_out)
+      const cmd_analyze $ file_arg $ cache $ incremental $ budget $ no_context
+      $ no_definite $ sym_depth $ no_share $ heap_by_site $ show_null $ show_stats
+      $ trace_out)
 
 let heap_cmd =
   Cmd.v
@@ -643,7 +695,7 @@ let ig_cmd =
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"Print Tables 2-6 statistics")
-    Term.(const cmd_stats $ file_arg $ cache $ budget $ trace_out)
+    Term.(const cmd_stats $ file_arg $ cache $ incremental $ budget $ trace_out)
 
 let files_arg =
   Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"C source files to analyze.")
@@ -655,8 +707,8 @@ let tables_cmd =
          "Print Tables 2-6 statistics for many files, analyzed on -j domains in parallel; \
           with --stats, also an aggregated operation/timing table")
     Term.(
-      const cmd_tables $ files_arg $ cache $ budget $ task_timeout_ms $ jobs $ show_stats
-      $ trace_out)
+      const cmd_tables $ files_arg $ cache $ incremental $ budget $ task_timeout_ms $ jobs
+      $ show_stats $ trace_out)
 
 let profile_cmd =
   Cmd.v
@@ -693,7 +745,7 @@ let query_words =
 let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Answer one demand query against the analysis result")
-    Term.(const cmd_query $ file_arg $ cache $ query_words)
+    Term.(const cmd_query $ file_arg $ cache $ incremental $ query_words)
 
 let queries_file =
   Arg.(
@@ -738,7 +790,7 @@ let serve_cmd =
           queries fan out over -j domains, each under --request-deadline-ms. See \
           docs/SERVE.md")
     Term.(
-      const cmd_serve $ files_arg $ cache $ budget $ jobs $ socket_path
+      const cmd_serve $ files_arg $ cache $ incremental $ budget $ jobs $ socket_path
       $ request_deadline_ms $ queue_max $ show_stats)
 
 let batch_cmd =
@@ -746,7 +798,7 @@ let batch_cmd =
     (Cmd.info "batch"
        ~doc:
          "Answer newline-delimited queries from a file or stdin against one loaded result")
-    Term.(const cmd_batch $ file_arg $ cache $ jobs $ queries_file)
+    Term.(const cmd_batch $ file_arg $ cache $ incremental $ jobs $ queries_file)
 
 let () =
   let info = Cmd.info "ptan" ~doc:"Context-sensitive interprocedural points-to analysis" in

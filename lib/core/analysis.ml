@@ -34,6 +34,11 @@ type result = {
   degraded : degradation option;
       (** [Some _] when the budget blew and these tables come from the
           widened (context-insensitive, possible-only) rerun *)
+  summaries : Engine.summaries;
+      (** per-(function, input) summaries recorded during the run when
+          [record_summaries] was set (empty otherwise); what {!Persist}
+          writes into the v3 summary section for incremental
+          re-analysis *)
 }
 
 (** Initial points-to set for the entry function: global and local
@@ -64,7 +69,8 @@ exception No_entry of string
     blows — [analyze] below handles the degradation. Does not touch the
     Metrics accumulator's lifecycle (the caller resets once, so the
     degraded rerun accumulates on top of the aborted precise run). *)
-let run ~opts ~entry ~guard ~degraded (prog : Ir.program) : result =
+let run ~opts ~entry ~guard ~degraded ?(record_summaries = false) ?seeded
+    (prog : Ir.program) : result =
   let tenv = Tenv.make ~opts prog in
   let entry_fn =
     match Tenv.find_func tenv entry with
@@ -72,7 +78,7 @@ let run ~opts ~entry ~guard ~degraded (prog : Ir.program) : result =
     | None -> raise (No_entry entry)
   in
   let graph = Ig.build tenv ~entry in
-  let ctx = Engine.make_ctx ~guard tenv in
+  let ctx = Engine.make_ctx ~guard ~record_summaries ?seeded tenv in
   let input0 = initial_input tenv entry_fn in
   let t0 = Metrics.now () in
   let ttr = Trace.start () in
@@ -111,13 +117,14 @@ let run ~opts ~entry ~guard ~degraded (prog : Ir.program) : result =
     bodies_analyzed = ctx.Engine.bodies_analyzed;
     metrics = Metrics.snapshot ();
     degraded;
+    summaries = ctx.Engine.summaries;
   }
 
-let analyze ?(opts = Options.default) ?(entry = "main") ?budget (prog : Ir.program) :
-    result =
+let analyze ?(opts = Options.default) ?(entry = "main") ?budget
+    ?(record_summaries = false) ?seeded (prog : Ir.program) : result =
   Metrics.reset ();
   let guard = Guard.of_budget budget in
-  try run ~opts ~entry ~guard ~degraded:None prog
+  try run ~opts ~entry ~guard ~degraded:None ~record_summaries ?seeded prog
   with Guard.Exhausted trip ->
     (* Graceful degradation: rerun under the widened semantics — the
        context-insensitive merged summary with possible-only

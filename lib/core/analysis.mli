@@ -45,6 +45,11 @@ type result = {
           come from the widened (context-insensitive, possible-only)
           rerun — still sound: every degraded table is a superset of
           what the precise run would have computed (docs/ROBUSTNESS.md) *)
+  summaries : Engine.summaries;
+      (** per-(function, input) summaries recorded when [analyze] was
+          called with [~record_summaries:true] (empty otherwise); the
+          payload of {!Persist}'s v3 summary section, replayed by later
+          incremental runs (docs/INCREMENTAL.md) *)
 }
 
 (** Initial set for the entry function: global and local pointers
@@ -65,10 +70,22 @@ exception No_entry of string
 
     @raise No_entry if the entry function is not defined.
     @raise Guard.Exhausted if even the widened rerun blows the deadline.
+    [record_summaries] makes the engine record a replayable summary per
+    evaluated (function, input) pair into [result.summaries]; [seeded]
+    supplies summaries from a previous run to replay instead of
+    re-evaluating (both default off — see docs/INCREMENTAL.md). The
+    widened rerun of a degraded analysis never records or replays.
+
     @raise Guard.Cancelled if the driver cancelled this task
     ({!Pool} timeout) — never degraded, the caller gave up. *)
 val analyze :
-  ?opts:Options.t -> ?entry:string -> ?budget:Guard.budget -> Ir.program -> result
+  ?opts:Options.t ->
+  ?entry:string ->
+  ?budget:Guard.budget ->
+  ?record_summaries:bool ->
+  ?seeded:Engine.summaries ->
+  Ir.program ->
+  result
 
 (** Parse, simplify and analyze C source text. *)
 val of_string :

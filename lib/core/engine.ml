@@ -19,6 +19,24 @@ module Ir = Simple_ir.Ir
 module Ig = Invocation_graph
 open Cfront
 
+(** One memoized (input, output) pair of a function, together with the
+    per-statement points-to contributions its (transitively nested)
+    evaluation made — everything a later run needs to {e replay} the
+    invocation without re-processing the body. Frames are keyed by
+    statement id and hold the merged contribution of the evaluation to
+    that statement's row. *)
+type summary_entry = {
+  se_in : Pts.t;
+  se_out : Pts.t;
+  se_frame : (int, Pts.t) Hashtbl.t;
+}
+
+(** Per-function summaries, indexed like {!ctx.share_memo}: function
+    name, then {!Pts.hash} of the input. *)
+type summaries = (string, (int, summary_entry list) Hashtbl.t) Hashtbl.t
+
+let summaries_create () : summaries = Hashtbl.create 16
+
 type ctx = {
   tenv : Tenv.t;
   opts : Options.t;
@@ -43,9 +61,21 @@ type ctx = {
   mutable share_hits : int;
   mutable bodies_analyzed : int;
       (** number of times any function body was (re)processed *)
+  (* incremental re-analysis (docs/INCREMENTAL.md) *)
+  record_summaries : bool;
+      (** record a {!summary_entry} per evaluated (function, input) pair
+          so {!Persist} can write the v3 summary section *)
+  summaries : summaries;  (** entries recorded (or replayed) this run *)
+  seeded : summaries;
+      (** entries loaded from a previous run's persisted summaries for
+          functions whose code (and whole direct-call closure) is
+          unchanged; consulted on a share-memo miss *)
+  mutable frame_stack : (int, Pts.t) Hashtbl.t list;
+      (** open frames of the in-flight evaluations, innermost first;
+          every statement contribution is merged into each of them *)
 }
 
-let make_ctx ?guard (tenv : Tenv.t) : ctx =
+let make_ctx ?guard ?(record_summaries = false) ?seeded (tenv : Tenv.t) : ctx =
   {
     tenv;
     opts = tenv.Tenv.opts;
@@ -59,6 +89,10 @@ let make_ctx ?guard (tenv : Tenv.t) : ctx =
     share_memo = Hashtbl.create 16;
     share_hits = 0;
     bodies_analyzed = 0;
+    record_summaries;
+    summaries = summaries_create ();
+    seeded = (match seeded with Some s -> s | None -> summaries_create ());
+    frame_stack = [];
   }
 
 let warn ctx fmt =
@@ -89,14 +123,60 @@ let merge_flow a b =
     ret = Pts.merge_state a.ret b.ret;
   }
 
+let merge_into_tbl (tbl : (int, Pts.t) Hashtbl.t) sid (s : Pts.t) =
+  match Hashtbl.find_opt tbl sid with
+  | None -> Hashtbl.replace tbl sid s
+  | Some old -> Hashtbl.replace tbl sid (Pts.merge old s)
+
 let record_stmt ctx (s : Ir.stmt) (input : Pts.t) =
+  if ctx.opts.Options.record_stats then begin
+    merge_into_tbl ctx.stmt_pts s.Ir.s_id input;
+    if ctx.record_summaries then
+      List.iter (fun fr -> merge_into_tbl fr s.Ir.s_id input) ctx.frame_stack
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Summary recording and replay                                       *)
+(* ------------------------------------------------------------------ *)
+
+let summaries_find (tbl : summaries) fname (input : Pts.t) : summary_entry option =
+  match Hashtbl.find_opt tbl fname with
+  | None -> None
+  | Some by_hash -> (
+      match Hashtbl.find_opt by_hash (Pts.hash input) with
+      | None -> None
+      | Some entries ->
+          List.find_opt (fun e -> Pts.equal e.se_in input) entries)
+
+let summaries_add (tbl : summaries) fname (e : summary_entry) =
+  let by_hash =
+    match Hashtbl.find_opt tbl fname with
+    | Some t -> t
+    | None ->
+        let t = Hashtbl.create 16 in
+        Hashtbl.replace tbl fname t;
+        t
+  in
+  let h = Pts.hash e.se_in in
+  let entries = Option.value ~default:[] (Hashtbl.find_opt by_hash h) in
+  if not (List.exists (fun e' -> Pts.equal e'.se_in e.se_in) entries) then
+    Hashtbl.replace by_hash h (e :: entries)
+
+(** Fold a completed frame into every still-open frame, so a caller's
+    record carries the transitive effects of its callees — including
+    callees answered by the memo or by a replayed summary. *)
+let propagate_frame ctx (frame : (int, Pts.t) Hashtbl.t) =
+  if ctx.record_summaries && ctx.frame_stack <> [] then
+    Hashtbl.iter
+      (fun sid s -> List.iter (fun fr -> merge_into_tbl fr sid s) ctx.frame_stack)
+      frame
+
+(** Replay: merge a persisted frame's per-statement contributions into
+    the live tables, exactly as the skipped evaluation would have. *)
+let apply_frame ctx (frame : (int, Pts.t) Hashtbl.t) =
   if ctx.opts.Options.record_stats then
-    let merged =
-      match Hashtbl.find_opt ctx.stmt_pts s.Ir.s_id with
-      | None -> input
-      | Some old -> Pts.merge old input
-    in
-    Hashtbl.replace ctx.stmt_pts s.Ir.s_id merged
+    Hashtbl.iter (fun sid s -> merge_into_tbl ctx.stmt_pts sid s) frame;
+  propagate_frame ctx frame
 
 (* ------------------------------------------------------------------ *)
 (* Basic statement rule (Figure 1, process_basic_stmt)                *)
@@ -532,13 +612,31 @@ and eval_node ctx (node : Ig.node) (callee_fn : Ir.func) (func_input : Pts.t) : 
               Metrics.((cur ()).memo_hits <- (cur ()).memo_hits + 1);
               node.Ig.stored_input <- Some func_input;
               node.Ig.stored_output <- Some out;
+              (* the first occurrence already merged its contributions
+                 into [stmt_pts] this run, but open frames still need the
+                 transitive effects of this invocation *)
+              (if ctx.record_summaries then
+                 match summaries_find ctx.summaries callee_fn.Ir.fn_name func_input with
+                 | Some e -> propagate_frame ctx e.se_frame
+                 | None -> ());
               Some out
+          | None -> (
+          match seeded_replay ctx node callee_fn func_input with
+          | Some _ as out -> out
           | None ->
               let tr0 = Trace.start () in
               node.Ig.stored_input <- Some func_input;
               node.Ig.stored_output <- Pts.bot;
               node.Ig.pending <- [];
               node.Ig.in_flight <- true;
+              let frame =
+                if ctx.record_summaries then begin
+                  let fr = Hashtbl.create 16 in
+                  ctx.frame_stack <- fr :: ctx.frame_stack;
+                  Some fr
+                end
+                else None
+              in
               Guard.at ctx.guard callee_fn.Ir.fn_name;
               let rec fixpoint ~first ~n =
                 Guard.check ctx.guard;
@@ -588,6 +686,16 @@ and eval_node ctx (node : Ig.node) (callee_fn : Ir.func) (func_input : Pts.t) : 
               (match node.Ig.stored_output with
               | Some out -> shared_record ctx callee_fn.Ir.fn_name func_input out
               | None -> ());
+              (match frame with
+              | Some fr ->
+                  ctx.frame_stack <- List.tl ctx.frame_stack;
+                  (match node.Ig.stored_output with
+                  | Some out ->
+                      summaries_add ctx.summaries callee_fn.Ir.fn_name
+                        { se_in = func_input; se_out = out; se_frame = fr }
+                  | None -> ());
+                  propagate_frame ctx fr
+              | None -> ());
               if Trace.on () then
                 Trace.emit Trace.Node ~name:callee_fn.Ir.fn_name
                   ~ctx:(Pts.hash func_input) ~stmts:(Ir.count_stmts callee_fn)
@@ -597,7 +705,33 @@ and eval_node ctx (node : Ig.node) (callee_fn : Ir.func) (func_input : Pts.t) : 
                     | Some o -> Pts.cardinal o
                     | None -> -1)
                   ~t0:tr0 ();
-              node.Ig.stored_output))
+              node.Ig.stored_output)))
+
+(** Serve one (function, input) evaluation from a persisted summary:
+    replay its recorded frame into the live tables, adopt its output,
+    and skip the body fixpoint entirely. Only functions whose whole
+    direct-call closure is unchanged — and free of indirect call sites —
+    are ever seeded (docs/INCREMENTAL.md), so the replay is
+    bit-identical to what the skipped evaluation would have computed and
+    creates no invocation-graph nodes, exactly like the skipped
+    evaluation would not have under sub-tree sharing. *)
+and seeded_replay ctx (node : Ig.node) (callee_fn : Ir.func) (func_input : Pts.t) :
+    Pts.state =
+  match summaries_find ctx.seeded callee_fn.Ir.fn_name func_input with
+  | None -> None
+  | Some e ->
+      let tr0 = Trace.start () in
+      apply_frame ctx e.se_frame;
+      (* carry the entry forward so the re-saved summary file keeps it *)
+      summaries_add ctx.summaries callee_fn.Ir.fn_name e;
+      shared_record ctx callee_fn.Ir.fn_name func_input e.se_out;
+      node.Ig.stored_input <- Some func_input;
+      node.Ig.stored_output <- Some e.se_out;
+      Metrics.((cur ()).incr_funcs_reused <- (cur ()).incr_funcs_reused + 1);
+      if Trace.on () then
+        Trace.emit Trace.Replay ~name:callee_fn.Ir.fn_name ~ctx:(Pts.hash func_input)
+          ~pts_in:(Pts.cardinal func_input) ~pts_out:(Pts.cardinal e.se_out) ~t0:tr0 ();
+      Some e.se_out
 
 and shared_lookup ctx fname (input : Pts.t) : Pts.t option =
   if not ctx.opts.Options.share_contexts then None

@@ -56,6 +56,14 @@ type t = {
   mutable budget_trips : int;
       (** budget exhaustions that degraded an analysis to the widened
           (context-insensitive, possible-only) rerun *)
+  (* incremental re-analysis ({!Persist.analyze_cached} with
+     [~incremental:true]) *)
+  mutable incr_funcs_dirty : int;
+      (** functions marked dirty by the content-hash diff (edited
+          functions plus everything that can reach one) *)
+  mutable incr_funcs_reused : int;
+      (** summary replays: memoized (input, output) pairs served from
+          the persisted v3 summaries instead of re-running the body *)
   (* analysis daemon ({!Serve}); daemon-level counters, always 0 in a
      single analysis' snapshot and deliberately not persisted *)
   mutable serve_requests : int;  (** protocol requests received *)
@@ -93,6 +101,8 @@ let create () =
     cache_misses = 0;
     cache_quarantined = 0;
     budget_trips = 0;
+    incr_funcs_dirty = 0;
+    incr_funcs_reused = 0;
     serve_requests = 0;
     serve_errors = 0;
     serve_shed = 0;
@@ -133,6 +143,8 @@ let reset () =
   cur.cache_misses <- 0;
   cur.cache_quarantined <- 0;
   cur.budget_trips <- 0;
+  cur.incr_funcs_dirty <- 0;
+  cur.incr_funcs_reused <- 0;
   cur.serve_requests <- 0;
   cur.serve_errors <- 0;
   cur.serve_shed <- 0;
@@ -172,6 +184,8 @@ let add_into ~(into : t) (m : t) =
   into.cache_misses <- into.cache_misses + m.cache_misses;
   into.cache_quarantined <- into.cache_quarantined + m.cache_quarantined;
   into.budget_trips <- into.budget_trips + m.budget_trips;
+  into.incr_funcs_dirty <- into.incr_funcs_dirty + m.incr_funcs_dirty;
+  into.incr_funcs_reused <- into.incr_funcs_reused + m.incr_funcs_reused;
   into.serve_requests <- into.serve_requests + m.serve_requests;
   into.serve_errors <- into.serve_errors + m.serve_errors;
   into.serve_shed <- into.serve_shed + m.serve_shed;
@@ -228,6 +242,9 @@ let rows (m : t) : (string * string) list =
     ( "robustness",
       Printf.sprintf "%d budget trips, %d cache entries quarantined" m.budget_trips
         m.cache_quarantined );
+    ( "incremental",
+      Printf.sprintf "%d functions dirty, %d summaries replayed" m.incr_funcs_dirty
+        m.incr_funcs_reused );
     ( "serve traffic",
       Printf.sprintf "%d requests (%d errors, %d shed)" m.serve_requests m.serve_errors
         m.serve_shed );

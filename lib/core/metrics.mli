@@ -35,6 +35,14 @@ type t = {
   mutable budget_trips : int;
       (** {!Guard} budget exhaustions that degraded an analysis to the
           widened rerun *)
+  mutable incr_funcs_dirty : int;
+      (** incremental re-analysis: functions marked dirty by the
+          content-hash diff (edited functions plus every function that
+          can reach one — see docs/INCREMENTAL.md) *)
+  mutable incr_funcs_reused : int;
+      (** incremental re-analysis: summary replays — memoized
+          (input, output) pairs served from persisted v3 summaries
+          instead of re-running the function body *)
   mutable serve_requests : int;
       (** {!Serve} protocol requests received (daemon-level; always 0
           in a single analysis' snapshot, not persisted) *)

@@ -25,7 +25,7 @@
 module Ir = Simple_ir.Ir
 module Ig = Invocation_graph
 
-let version = 2
+let version = 3
 
 let magic = "PTANC"
 
@@ -308,28 +308,103 @@ let r_set (rows : (Loc.t * Pts.cert Loc.Map.t) array) r : Pts.t =
     the same final set, so the table is far smaller than the statement
     count. *)
 type set_enc = {
-  s_tbl : (int, (Pts.t * int) list) Hashtbl.t;  (** cardinality -> entries *)
+  s_tbl : (int, (Pts.t * int) list) Hashtbl.t;  (** {!Pts.fingerprint} -> entries *)
   s_buf : Buffer.t;
   mutable s_next : int;
+  mutable s_last : (Pts.t * int) option;
+      (** most recently referenced set — the delta base candidate *)
 }
 
+(** A set-table entry is either absolute (tag 0: its rows) or a delta
+    from an earlier entry (tag 1: base index, sources to kill, rows to
+    add). Sets intern in statement order, and along a function body
+    consecutive fixpoint states differ by a row or two, so the delta
+    form dominates — and the decoder then extends the base set's spine
+    instead of rebuilding it, keeping warm loads cheaper than the
+    fixpoint that produced the tables. *)
+let w_set_entry e rw se b (s : Pts.t) =
+  let rows_of s =
+    let acc = ref [] in
+    Pts.iter_srcs (fun src m -> acc := (src, m) :: !acc) s;
+    List.rev !acc
+  in
+  let delta =
+    match se.s_last with
+    | None -> None
+    | Some (last, base) ->
+        (* merge-join both row lists in source order *)
+        let rec diff kills adds olds news =
+          match (olds, news) with
+          | [], [] -> (kills, adds)
+          | (src, _) :: olds', [] -> diff (src :: kills) adds olds' []
+          | [], row :: news' -> diff kills (row :: adds) [] news'
+          | (osrc, om) :: olds', ((nsrc, nm) as row) :: news' ->
+              let c = Loc.compare osrc nsrc in
+              if c < 0 then diff (osrc :: kills) adds olds' news
+              else if c > 0 then diff kills (row :: adds) olds news'
+              else if om == nm || Loc.Map.equal ( = ) om nm then
+                diff kills adds olds' news'
+              else diff (osrc :: kills) (row :: adds) olds' news'
+        in
+        let news = rows_of s in
+        let kills, adds = diff [] [] (rows_of last) news in
+        if List.length kills + List.length adds + 1 < List.length news then
+          Some (base, kills, adds)
+        else None
+  in
+  match delta with
+  | Some (base, kills, adds) ->
+      Buffer.add_char b '\001';
+      w_u b base;
+      w_u b (List.length kills);
+      List.iter (fun src -> w_u b (loc_idx e src)) kills;
+      w_u b (List.length adds);
+      List.iter (fun (src, m) -> w_u b (row_idx e rw src m)) adds
+  | None ->
+      Buffer.add_char b '\000';
+      w_set e rw b s
+
 let set_idx e rw se (s : Pts.t) : int =
-  let card = Pts.cardinal s in
+  let card = Pts.fingerprint s in
   let bucket = Option.value ~default:[] (Hashtbl.find_opt se.s_tbl card) in
   match List.find_opt (fun (s', _) -> Pts.equal s' s) bucket with
-  | Some (_, i) -> i
+  | Some (_, i) ->
+      se.s_last <- Some (s, i);
+      i
   | None ->
-      w_set e rw se.s_buf s;
+      w_set_entry e rw se se.s_buf s;
       let i = se.s_next in
       se.s_next <- i + 1;
       Hashtbl.replace se.s_tbl card ((s, i) :: bucket);
+      se.s_last <- Some (s, i);
       i
 
-let r_set_table rows r : Pts.t array =
+let r_set_table arr rows r : Pts.t array =
   let n = r_u r in
   let sets = Array.make n Pts.empty in
   for i = 0 to n - 1 do
-    sets.(i) <- r_set rows r
+    let s =
+      match r_byte r with
+      | 0 -> r_set rows r
+      | 1 ->
+          let b = r_u r in
+          if b < 0 || b >= i then raise Bad;
+          let s = ref sets.(b) in
+          let nk = r_u r in
+          for _ = 1 to nk do
+            s := Pts.kill_src (r_loc arr r) !s
+          done;
+          let na = r_u r in
+          for _ = 1 to na do
+            let j = r_u r in
+            if j < 0 || j >= Array.length rows then raise Bad;
+            let src, m = rows.(j) in
+            s := Pts.add_map src m !s
+          done;
+          !s
+      | _ -> raise Bad
+    in
+    sets.(i) <- s
   done;
   sets
 
@@ -378,7 +453,8 @@ let w_metrics b (m : Metrics.t) =
       m.Metrics.merges; m.merge_fast; m.equal_checks; m.equal_fast; m.covered_checks;
       m.covered_fast; m.assigns; m.kills; m.weakens; m.gens; m.loop_iters; m.rec_iters;
       m.bodies; m.memo_lookups; m.memo_hits; m.map_calls; m.unmap_calls; m.cache_hits;
-      m.cache_misses; m.cache_quarantined; m.budget_trips;
+      m.cache_misses; m.cache_quarantined; m.budget_trips; m.incr_funcs_dirty;
+      m.incr_funcs_reused;
     ];
   List.iter (w_float b) [ m.t_map; m.t_unmap; m.t_analysis; m.t_serialize; m.t_deserialize ]
 
@@ -405,6 +481,8 @@ let r_metrics r : Metrics.t =
   m.cache_misses <- r_u r;
   m.cache_quarantined <- r_u r;
   m.budget_trips <- r_u r;
+  m.incr_funcs_dirty <- r_u r;
+  m.incr_funcs_reused <- r_u r;
   m.t_map <- r_float r;
   m.t_unmap <- r_float r;
   m.t_analysis <- r_float r;
@@ -480,6 +558,137 @@ let rec r_node arr sets r ~parent ~(nodes : (int, Ig.node) Hashtbl.t) : Ig.node 
   node
 
 (* ------------------------------------------------------------------ *)
+(* Incremental re-analysis: function hashes and summaries (v3)        *)
+(* ------------------------------------------------------------------ *)
+
+(* Content hash of one function, invariant under edits elsewhere in the
+   translation unit: statement ids are assigned program-wide in textual
+   order, so adding a line to one function renumbers every later
+   function. The hash therefore marshals a copy with ids zeroed and
+   source locations blanked — two functions hash equal iff their
+   lowered IR is identical up to position. *)
+let rec norm_stmt (s : Ir.stmt) : Ir.stmt =
+  let d =
+    match s.Ir.s_desc with
+    | (Ir.Sassign _ | Ir.Scall _ | Ir.Sbreak | Ir.Scontinue | Ir.Sreturn _) as d -> d
+    | Ir.Sif (c, t, e) -> Ir.Sif (c, List.map norm_stmt t, List.map norm_stmt e)
+    | Ir.Sloop l ->
+        Ir.Sloop
+          {
+            l with
+            Ir.l_cond_stmts = List.map norm_stmt l.Ir.l_cond_stmts;
+            l_step = List.map norm_stmt l.Ir.l_step;
+            l_body = List.map norm_stmt l.Ir.l_body;
+          }
+    | Ir.Sswitch (op, gs) ->
+        Ir.Sswitch
+          ( op,
+            List.map (fun g -> { g with Ir.g_body = List.map norm_stmt g.Ir.g_body }) gs )
+  in
+  { Ir.s_id = 0; s_loc = Cfront.Srcloc.dummy; s_desc = d }
+
+let func_hash (f : Ir.func) : Digest.t =
+  Digest.string
+    (Marshal.to_string { f with Ir.fn_body = List.map norm_stmt f.Ir.fn_body } [])
+
+let fn_hashes (p : Ir.program) : (string * Digest.t) list =
+  List.map (fun f -> (f.Ir.fn_name, func_hash f)) p.Ir.funcs
+
+(* Everything outside the function bodies that the result depends on: a
+   change here invalidates every persisted summary at once. *)
+let env_hash ~opts ~entry (p : Ir.program) : Digest.t =
+  Digest.string
+    (Marshal.to_string
+       (p.Ir.globals, p.Ir.layouts, p.Ir.protos, opts_repr opts, entry)
+       [])
+
+(* Frames are persisted position-independently as (function, index of
+   the statement within that function's textual order): program-wide
+   statement ids shift under edits, but an unchanged function's local
+   order is stable. *)
+let stmt_index (p : Ir.program) :
+    (int, string * int) Hashtbl.t * (string * int, int) Hashtbl.t =
+  let by_id = Hashtbl.create 256 in
+  let by_local = Hashtbl.create 256 in
+  List.iter
+    (fun f ->
+      let i = ref 0 in
+      Ir.fold_func
+        (fun () s ->
+          Hashtbl.replace by_id s.Ir.s_id (f.Ir.fn_name, !i);
+          Hashtbl.replace by_local (f.Ir.fn_name, !i) s.Ir.s_id;
+          incr i)
+        () f)
+    p.Ir.funcs;
+  (by_id, by_local)
+
+(** The v3 incremental section of a file, decoded but not yet bound to
+    a program: frame statements are still (function index, local index)
+    pairs, resolved against whatever program the summaries get seeded
+    into. *)
+type raw_summaries = {
+  rs_env : string;  (** {!env_hash} of the saved run, 16 raw bytes *)
+  rs_hashes : (string * string) list;
+      (** per defined function, its {!func_hash} — the diff oracle *)
+  rs_data : string;  (** the verified entry bytes the blocks index into *)
+  rs_sets : Pts.t array;  (** the decoded set table the blocks reference *)
+  rs_blocks : (string * int * int) list;
+      (** per function, the (name, offset, length) of its still-encoded
+          (input, output, frame) records — decoded by {!bind_summaries}
+          only for the functions that will actually replay *)
+}
+
+(** Decode the records of the [keep]-satisfying functions and rebind
+    their frames to [p]'s statement ids, dropping any record whose
+    frame references a statement [p] does not have (defensive — the
+    eligibility rule never seeds such a record). The blocks were
+    digest-verified with the rest of the entry, so a decode failure
+    still only means [Bad]. *)
+let bind_summaries ?(keep = fun _ -> true) (p : Ir.program) (raw : raw_summaries) :
+    Engine.summaries =
+  let _, by_local = stmt_index p in
+  let names = Array.of_list (List.map fst raw.rs_hashes) in
+  let out = Engine.summaries_create () in
+  List.iter
+    (fun (fn, pos, len) ->
+      if keep fn then begin
+        let r = { data = raw.rs_data; pos } in
+        let entries =
+          r_list r (fun () ->
+              let i = r_set_ref raw.rs_sets r in
+              let o = r_set_ref raw.rs_sets r in
+              let items =
+                r_list r (fun () ->
+                    let fi = r_u r in
+                    let li = r_u r in
+                    (fi, li, r_set_ref raw.rs_sets r))
+              in
+              (i, o, items))
+        in
+        if r.pos <> pos + len then raise Bad;
+        List.iter
+          (fun (se_in, se_out, items) ->
+            let fr = Hashtbl.create 16 in
+            let ok =
+              List.for_all
+                (fun (fi, li, s) ->
+                  fi >= 0 && fi < Array.length names
+                  &&
+                  match Hashtbl.find_opt by_local (names.(fi), li) with
+                  | None -> false
+                  | Some sid ->
+                      Hashtbl.replace fr sid s;
+                      true)
+                items
+            in
+            if ok then
+              Engine.summaries_add out fn { Engine.se_in; se_out; se_frame = fr })
+          entries
+      end)
+    raw.rs_blocks;
+  out
+
+(* ------------------------------------------------------------------ *)
 (* Save                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -513,7 +722,9 @@ let save ~source ?(entry = "main") (res : Analysis.result) file =
   let opts = res.Analysis.tenv.Tenv.opts in
   let e = { tbl = Hashtbl.create 1024; buf = Buffer.create 8192; next = 0 } in
   let rw = { rw_tbl = Hashtbl.create 512; rw_buf = Buffer.create 8192; rw_next = 0 } in
-  let se = { s_tbl = Hashtbl.create 256; s_buf = Buffer.create 8192; s_next = 0 } in
+  let se =
+    { s_tbl = Hashtbl.create 256; s_buf = Buffer.create 8192; s_next = 0; s_last = None }
+  in
   let pay = Buffer.create 65536 in
   let stmts =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) res.Analysis.stmt_pts []
@@ -533,6 +744,61 @@ let save ~source ?(entry = "main") (res : Analysis.result) file =
   w_metrics pay res.Analysis.metrics;
   w_u pay res.Analysis.graph.Ig.n_nodes;
   w_node e rw se pay res.Analysis.graph.Ig.root;
+  (* v3 incremental section: env hash, per-function content hashes and
+     the recorded summaries (docs/INCREMENTAL.md). Sets intern into the
+     same table as everything above. *)
+  Buffer.add_string pay (env_hash ~opts ~entry res.Analysis.prog);
+  let hashes = fn_hashes res.Analysis.prog in
+  w_u pay (List.length hashes);
+  List.iter
+    (fun (n, d) ->
+      w_str pay n;
+      Buffer.add_string pay d)
+    hashes;
+  let fn_idx = Hashtbl.create 64 in
+  List.iteri (fun i (n, _) -> Hashtbl.replace fn_idx n i) hashes;
+  let by_id, _ = stmt_index res.Analysis.prog in
+  let sum_fns =
+    Hashtbl.fold
+      (fun fn by_hash acc ->
+        let entries = Hashtbl.fold (fun _ es acc -> es @ acc) by_hash [] in
+        (fn, entries) :: acc)
+      res.Analysis.summaries []
+    |> List.sort compare
+  in
+  w_u pay (List.length sum_fns);
+  (* each function's records go behind a byte-length prefix so the
+     loader can skip the functions it will not replay *)
+  let scratch = Buffer.create 4096 in
+  List.iter
+    (fun (fn, entries) ->
+      w_str pay fn;
+      Buffer.clear scratch;
+      w_u scratch (List.length entries);
+      List.iter
+        (fun { Engine.se_in; se_out; se_frame } ->
+          w_u scratch (set_idx e rw se se_in);
+          w_u scratch (set_idx e rw se se_out);
+          let items =
+            Hashtbl.fold
+              (fun sid s acc ->
+                (* statements of undefined functions cannot occur in a
+                   frame; [find] is total here *)
+                let owner, li = Hashtbl.find by_id sid in
+                (Hashtbl.find fn_idx owner, li, s) :: acc)
+              se_frame []
+            |> List.sort (fun (a, b, _) (c, d, _) -> compare (a, b) (c, d))
+          in
+          w_u scratch (List.length items);
+          List.iter
+            (fun (fi, li, s) ->
+              w_u scratch fi;
+              w_u scratch li;
+              w_u scratch (set_idx e rw se s))
+            items)
+        entries;
+      w_str pay (Buffer.contents scratch))
+    sum_fns;
   let body = Buffer.create (Buffer.length e.buf + Buffer.length pay + 65536) in
   w_str body (Marshal.to_string res.Analysis.prog []);
   w_u body e.next;
@@ -588,6 +854,75 @@ let load_error_name = function
 (* internal: distinguishes the key-mismatch exit from [Bad] *)
 exception Stale_key
 
+(* Verify magic, version and the body digest; raises [Stale_key] on a
+   key mismatch unless [check_key] is false (the incremental partial-hit
+   path, which expects the source to have changed). The digest check
+   runs before anything decodes: [Marshal.from_string] must only ever
+   see bytes this process's [save] wrote. *)
+let decode_header ~check_key ~source ~opts ~entry r =
+  if r_raw r (String.length magic) <> magic then raise Bad;
+  if r_u r <> version then raise Bad;
+  let stored_key = r_raw r 16 in
+  if check_key && stored_key <> Digest.from_hex (key ~source ~opts ~entry) then
+    raise_notrace Stale_key;
+  let body_digest = r_raw r 16 in
+  if body_digest <> Digest.substring r.data r.pos (String.length r.data - r.pos) then
+    raise Bad
+
+let decode_body ~opts r : Analysis.result * raw_summaries =
+  let prog : Ir.program = Marshal.from_string (r_str r) 0 in
+  let arr = r_loc_table r in
+  let rows = r_row_table arr r in
+  let sets = r_set_table arr rows r in
+  let n_stmts = r_u r in
+  let stmt_pts = Hashtbl.create (max 16 n_stmts) in
+  for _ = 1 to n_stmts do
+    let id = r_u r in
+    Hashtbl.replace stmt_pts id (r_set_ref sets r)
+  done;
+  let entry_output = r_state sets r in
+  let warnings = r_list r (fun () -> r_str r) in
+  let share_hits = r_u r in
+  let bodies_analyzed = r_u r in
+  let metrics = r_metrics r in
+  let n_nodes = r_u r in
+  let root = r_node arr sets r ~parent:None ~nodes:(Hashtbl.create 64) in
+  let rs_env = r_raw r 16 in
+  let rs_hashes = r_list r (fun () ->
+      let n = r_str r in
+      (n, r_raw r 16))
+  in
+  let rs_blocks =
+    r_list r (fun () ->
+        let fn = r_str r in
+        let len = r_u r in
+        if len < 0 || r.pos + len > String.length r.data then raise Bad;
+        let pos = r.pos in
+        r.pos <- r.pos + len;
+        (fn, pos, len))
+  in
+  if r.pos <> String.length r.data then raise Bad;
+  let raw = { rs_env; rs_hashes; rs_data = r.data; rs_sets = sets; rs_blocks } in
+  let tenv = Tenv.make ~opts prog in
+  ( {
+      Analysis.prog;
+      tenv;
+      graph = { Ig.root; n_nodes };
+      stmt_pts;
+      entry_output;
+      warnings;
+      share_hits;
+      bodies_analyzed;
+      metrics;
+      (* degraded results are never saved (see [analyze_cached]), so
+         anything loaded back is a full-precision run *)
+      degraded = None;
+      (* loaded results are never re-saved, so the recorded summaries
+         stay encoded in [raw] until a replay actually needs them *)
+      summaries = Engine.summaries_create ();
+    },
+    raw )
+
 let load_checked ~source ?(opts = Options.default) ?(entry = "main") file :
     (Analysis.result, load_error) result =
   let t0 = Metrics.now () in
@@ -596,53 +931,9 @@ let load_checked ~source ?(opts = Options.default) ?(entry = "main") file :
     if not (Sys.file_exists file) then Error Missing
     else
     try
-      let data = read_file file in
-      let r = { data; pos = 0 } in
-      if r_raw r (String.length magic) <> magic then raise Bad;
-      if r_u r <> version then raise Bad;
-      let stored_key = r_raw r 16 in
-      if stored_key <> Digest.from_hex (key ~source ~opts ~entry) then
-        raise_notrace Stale_key;
-      let body_digest = r_raw r 16 in
-      (* authenticate the remaining bytes before decoding anything from
-         them: [Marshal.from_string] below must only ever see bytes this
-         process's [save] wrote *)
-      if body_digest <> Digest.substring data r.pos (String.length data - r.pos) then
-        raise Bad;
-      let prog : Ir.program = Marshal.from_string (r_str r) 0 in
-      let arr = r_loc_table r in
-      let rows = r_row_table arr r in
-      let sets = r_set_table rows r in
-      let n_stmts = r_u r in
-      let stmt_pts = Hashtbl.create (max 16 n_stmts) in
-      for _ = 1 to n_stmts do
-        let id = r_u r in
-        Hashtbl.replace stmt_pts id (r_set_ref sets r)
-      done;
-      let entry_output = r_state sets r in
-      let warnings = r_list r (fun () -> r_str r) in
-      let share_hits = r_u r in
-      let bodies_analyzed = r_u r in
-      let metrics = r_metrics r in
-      let n_nodes = r_u r in
-      let root = r_node arr sets r ~parent:None ~nodes:(Hashtbl.create 64) in
-      if r.pos <> String.length data then raise Bad;
-      let tenv = Tenv.make ~opts prog in
-      Ok
-        {
-          Analysis.prog;
-          tenv;
-          graph = { Ig.root; n_nodes };
-          stmt_pts;
-          entry_output;
-          warnings;
-          share_hits;
-          bodies_analyzed;
-          metrics;
-          (* degraded results are never saved (see [analyze_cached]), so
-             anything loaded back is a full-precision run *)
-          degraded = None;
-        }
+      let r = { data = read_file file; pos = 0 } in
+      decode_header ~check_key:true ~source ~opts ~entry r;
+      Ok (fst (decode_body ~opts r))
     with
     | Stale_key -> Error Stale
     | Bad | Failure _ | Invalid_argument _ | Sys_error _ | End_of_file -> Error Corrupt
@@ -660,6 +951,54 @@ let load_checked ~source ?(opts = Options.default) ?(entry = "main") file :
 let load ~source ?opts ?entry file : Analysis.result option =
   Result.to_option (load_checked ~source ?opts ?entry file)
 
+(** Outcome of the incremental lookup, classified in one pass: one file
+    read, one digest verification, one decode. A partial hit (the entry
+    is well-formed but keys a different source text) carries the decoded
+    result, the raw incremental section, and the key this lookup was
+    after — everything the rekey and replay paths need without touching
+    the file again. *)
+type incr_load =
+  | L_hit of Analysis.result
+  | L_partial of Analysis.result * raw_summaries * string
+  | L_missing
+  | L_corrupt
+
+let load_incr ~source ~opts ~entry file : incr_load =
+  if not (Sys.file_exists file) then L_missing
+  else begin
+    let t0 = Metrics.now () in
+    let tr0 = Trace.start () in
+    let res =
+      try
+        let r = { data = read_file file; pos = 0 } in
+        if r_raw r (String.length magic) <> magic then raise Bad;
+        if r_u r <> version then raise Bad;
+        let stored_key = r_raw r 16 in
+        let body_digest = r_raw r 16 in
+        if
+          body_digest
+          <> Digest.substring r.data r.pos (String.length r.data - r.pos)
+        then raise Bad;
+        let res, raw = decode_body ~opts r in
+        let mykey = Digest.from_hex (key ~source ~opts ~entry) in
+        if String.equal stored_key mykey then L_hit res
+        else L_partial (res, raw, mykey)
+      with
+      | Bad | Failure _ | Invalid_argument _ | Sys_error _ | End_of_file -> L_corrupt
+    in
+    let m = Metrics.cur () in
+    m.Metrics.t_deserialize <- m.Metrics.t_deserialize +. (Metrics.now () -. t0);
+    if Trace.on () then
+      Trace.emit Trace.Cache_load
+        ~name:(Filename.basename source)
+        ~pts_out:
+          (match res with
+          | L_hit r | L_partial (r, _, _) -> Hashtbl.length r.Analysis.stmt_pts
+          | L_missing | L_corrupt -> -1)
+        ~t0:tr0 ();
+    res
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Cache                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -675,6 +1014,84 @@ let default_cache_dir () =
 let cache_file ~cache_dir ~source ~opts ~entry =
   let base = Filename.remove_extension (Filename.basename source) in
   Filename.concat cache_dir (Printf.sprintf "%s-%s.ptc" base (key ~source ~opts ~entry))
+
+(* The incremental entry must survive edits to the source, so its name
+   cannot involve the content (unlike [cache_file], whose key makes an
+   edited file's previous entry unreachable). One entry per
+   (source path, options, entry function); the content key inside the
+   header still distinguishes a full hit from a partial one. *)
+let cache_file_incr ~cache_dir ~source ~opts ~entry =
+  let base = Filename.remove_extension (Filename.basename source) in
+  Filename.concat cache_dir
+    (Printf.sprintf "%s-%s.pti" base
+       (Digest.to_hex
+          (Digest.string (Printf.sprintf "%s\x00%s\x00%s" source (opts_repr opts) entry))))
+
+(* ------------------------------------------------------------------ *)
+(* Replay eligibility and the dirty set                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A function's persisted summaries may be replayed only when every
+   function in its direct-call closure (over the NEW program) is
+   unchanged and free of indirect call sites: such an evaluation is a
+   pure function of its input that creates no invocation-graph nodes,
+   so serving it from the summary is bit-identical to re-running it
+   (docs/INCREMENTAL.md). The dirty set is the complement — edited
+   functions, their (transitive) callers, and anything touching a
+   function pointer. Computed as a decreasing fixed point: start from
+   the locally-clean functions and strike out any whose callee chain
+   fails. *)
+let eligible_funcs (p : Ir.program) ~(old_hashes : (string, string) Hashtbl.t) :
+    (string, unit) Hashtbl.t =
+  let defined = Hashtbl.create 64 in
+  List.iter (fun f -> Hashtbl.replace defined f.Ir.fn_name ()) p.Ir.funcs;
+  let callees = Hashtbl.create 64 in
+  let elig = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let has_indirect = ref false in
+      let cs = ref [] in
+      Ir.fold_func
+        (fun () s ->
+          match s.Ir.s_desc with
+          | Ir.Scall (_, Ir.Cdirect g, _) -> cs := g :: !cs
+          | Ir.Scall (_, Ir.Cindirect _, _) -> has_indirect := true
+          | _ -> ())
+        () f;
+      Hashtbl.replace callees f.Ir.fn_name !cs;
+      let unchanged =
+        match Hashtbl.find_opt old_hashes f.Ir.fn_name with
+        | Some d -> String.equal d (func_hash f)
+        | None -> false
+      in
+      if unchanged && not !has_indirect then Hashtbl.replace elig f.Ir.fn_name ())
+    p.Ir.funcs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let drop =
+      Hashtbl.fold
+        (fun name () acc ->
+          let bad =
+            List.exists
+              (fun g ->
+                if Hashtbl.mem defined g then not (Hashtbl.mem elig g)
+                else
+                  (* undefined now: only fine if it was also external in
+                     the saved run (same deterministic model) — a callee
+                     deleted since then changes the caller's meaning *)
+                  Hashtbl.mem old_hashes g)
+              (Hashtbl.find callees name)
+          in
+          if bad then name :: acc else acc)
+        elig []
+    in
+    if drop <> [] then begin
+      changed := true;
+      List.iter (Hashtbl.remove elig) drop
+    end
+  done;
+  elig
 
 (* Move a corrupt entry out of the lookup path (best effort — on rename
    failure the entry stays, and the next lookup will try again). The
@@ -695,9 +1112,169 @@ let quarantine file =
   in
   try Sys.rename file dest with Sys_error _ -> ()
 
-let analyze_cached ?cache_dir ?(opts = Options.default) ?(entry = "main") ?budget source :
-    Analysis.result * bool =
+(* Shared post-analysis bookkeeping of a cache miss: the analysis reset
+   this domain's accumulator, so the pre-lookup counters are re-applied
+   to both the accumulator and the result's snapshot. *)
+let miss_bookkeeping ~quarantined (res : Analysis.result) =
+  (Metrics.cur ()).Metrics.cache_quarantined <-
+    (Metrics.cur ()).Metrics.cache_quarantined + quarantined;
+  res.Analysis.metrics.Metrics.cache_quarantined <-
+    res.Analysis.metrics.Metrics.cache_quarantined + quarantined;
+  (Metrics.cur ()).Metrics.cache_misses <- (Metrics.cur ()).Metrics.cache_misses + 1;
+  res.Analysis.metrics.Metrics.cache_misses <-
+    res.Analysis.metrics.Metrics.cache_misses + 1;
+  res.Analysis.metrics.Metrics.t_serialize <- (Metrics.cur ()).Metrics.t_serialize
+
+(* Rewrite just the header key of an entry whose body is still byte-valid
+   for the (edited) source: magic and version are unchanged, the stored
+   16-byte key is replaced with [newkey], and the digest + body bytes of
+   [data] (the bytes the lookup already read) are reused untouched.
+   Atomic like [save]; best effort — on failure the stale key simply
+   stays and the next lookup takes the partial path again. *)
+let rekey_file ~data ~newkey file =
+  try
+    let r = { data; pos = 0 } in
+    ignore (r_raw r (String.length magic));
+    ignore (r_u r);
+    let key_pos = r.pos in
+    let out = Buffer.create (String.length data) in
+    Buffer.add_substring out data 0 key_pos;
+    Buffer.add_string out newkey;
+    Buffer.add_substring out data (key_pos + 16) (String.length data - key_pos - 16);
+    let tmp = tmp_name (Filename.dirname file) in
+    Fun.protect
+      ~finally:(fun () ->
+        if Sys.file_exists tmp then try Sys.remove tmp with Sys_error _ -> ())
+      (fun () ->
+        Out_channel.with_open_bin tmp (fun oc ->
+            Out_channel.output_string oc (Buffer.contents out));
+        Sys.rename tmp file)
+  with Bad | Sys_error _ | Failure _ | End_of_file -> ()
+
+let analyze_cached_incr ~dir ~opts ~entry ?budget source : Analysis.result * bool =
+  let file = cache_file_incr ~cache_dir:dir ~source ~opts ~entry in
+  (* summaries replay only under the context-sensitive engine, and
+     [heap_by_site] names heap objects by (position-dependent) statement
+     id — both fall back to recording-only runs *)
+  let seedable =
+    opts.Options.context_sensitive && not opts.Options.heap_by_site
+  in
+  let quarantined = ref 0 in
+  let t0 = Metrics.now () in
+  match load_incr ~source ~opts ~entry file with
+  | L_hit res ->
+      let dt = Metrics.now () -. t0 in
+      (Metrics.cur ()).Metrics.cache_hits <- (Metrics.cur ()).Metrics.cache_hits + 1;
+      res.Analysis.metrics.Metrics.cache_hits <-
+        res.Analysis.metrics.Metrics.cache_hits + 1;
+      res.Analysis.metrics.Metrics.t_deserialize <-
+        res.Analysis.metrics.Metrics.t_deserialize +. dt;
+      (res, true)
+  | (L_partial _ | L_missing | L_corrupt) as outcome -> (
+      let partial =
+        match outcome with
+        | L_partial (res, raw, mykey) -> Some (res, raw, mykey)
+        | L_corrupt ->
+            (* truncated, damaged or version-skewed entry: quarantine it
+               and fall back to a cold (but still recording) analysis *)
+            quarantine file;
+            incr quarantined;
+            None
+        | L_missing | L_hit _ -> None
+      in
+      let prog = Simple_ir.Simplify.of_file source in
+      let n_defined = List.length prog.Ir.funcs in
+      (* Rekey fast path: when the lowered program is byte-identical
+         (comment / whitespace edits after the last statement), or every
+         function hash matches and the run warned about nothing (so no
+         persisted string can embed a shifted source position), the old
+         body is still exactly the answer — only the header key is
+         stale. Serve it as a hit without touching the engine. The
+         hash-based gate additionally needs the seedable engine modes:
+         [heap_by_site] names heap objects by statement id, which the
+         hashes deliberately blank. *)
+      let rekey =
+        match partial with
+        | Some (old_res, raw, mykey) ->
+            let prog_identical () =
+              String.equal
+                (Digest.string (Marshal.to_string prog []))
+                (Digest.string (Marshal.to_string old_res.Analysis.prog []))
+            in
+            let hashes_identical () =
+              String.equal raw.rs_env (env_hash ~opts ~entry prog)
+              && List.compare_lengths raw.rs_hashes prog.Ir.funcs = 0
+              && List.for_all2
+                   (fun (n, d) f ->
+                     String.equal n f.Ir.fn_name && String.equal d (func_hash f))
+                   raw.rs_hashes prog.Ir.funcs
+            in
+            if
+              (seedable
+              && old_res.Analysis.warnings = []
+              && hashes_identical ())
+              || prog_identical ()
+            then Some (old_res, raw, mykey)
+            else None
+        | None -> None
+      in
+      match rekey with
+      | Some (old_res, raw, mykey) ->
+          (* fresh lowering in, so source positions track the edit; the
+             statement ids it assigned are identical by construction *)
+          let res =
+            { old_res with Analysis.prog; tenv = Tenv.make ~opts prog }
+          in
+          rekey_file ~data:raw.rs_data ~newkey:mykey file;
+          let m = Metrics.cur () in
+          m.Metrics.cache_hits <- m.Metrics.cache_hits + 1;
+          m.Metrics.incr_funcs_dirty <- 0;
+          m.Metrics.incr_funcs_reused <- n_defined;
+          res.Analysis.metrics.Metrics.cache_hits <-
+            res.Analysis.metrics.Metrics.cache_hits + 1;
+          res.Analysis.metrics.Metrics.incr_funcs_dirty <- 0;
+          res.Analysis.metrics.Metrics.incr_funcs_reused <- n_defined;
+          res.Analysis.metrics.Metrics.t_deserialize <-
+            res.Analysis.metrics.Metrics.t_deserialize +. (Metrics.now () -. t0);
+          (res, true)
+      | None ->
+          let raw = Option.map (fun (_, raw, _) -> raw) partial in
+          let dirty, seeded =
+            match raw with
+            | Some raw
+              when seedable && String.equal raw.rs_env (env_hash ~opts ~entry prog) ->
+                let td0 = Trace.start () in
+                let old_hashes = Hashtbl.create 64 in
+                List.iter (fun (n, d) -> Hashtbl.replace old_hashes n d) raw.rs_hashes;
+                let elig = eligible_funcs prog ~old_hashes in
+                let dirty = n_defined - Hashtbl.length elig in
+                (match bind_summaries ~keep:(Hashtbl.mem elig) prog raw with
+                | exception Bad -> (n_defined, None)
+                | seeded ->
+                    if Trace.on () then
+                      Trace.emit Trace.Dirty ~name:(Filename.basename source)
+                        ~stmts:dirty ~t0:td0 ();
+                    (dirty, Some seeded))
+            | Some _ | None ->
+                (* nothing usable (or the globals / layouts / externals /
+                   options changed): everything is dirty *)
+                (n_defined, None)
+          in
+          let res =
+            Analysis.analyze ~opts ~entry ?budget ~record_summaries:seedable ?seeded prog
+          in
+          (Metrics.cur ()).Metrics.incr_funcs_dirty <- dirty;
+          res.Analysis.metrics.Metrics.incr_funcs_dirty <- dirty;
+          (if res.Analysis.degraded = None then
+             try save ~source ~entry res file with Sys_error _ | Failure _ -> ());
+          miss_bookkeeping ~quarantined:!quarantined res;
+          (res, false))
+
+let analyze_cached ?cache_dir ?(opts = Options.default) ?(entry = "main") ?budget
+    ?(incremental = false) source : Analysis.result * bool =
   let dir = match cache_dir with Some d -> d | None -> default_cache_dir () in
+  if incremental then analyze_cached_incr ~dir ~opts ~entry ?budget source
+  else
   let file = try Some (cache_file ~cache_dir:dir ~source ~opts ~entry) with Sys_error _ -> None in
   let quarantined = ref 0 in
   let load_attempt =

@@ -31,7 +31,20 @@
     (default [$XDG_CACHE_HOME/ptan] or [~/.cache/ptan]) and is the
     backend of every [ptan] subcommand; cache traffic is surfaced via
     {!Metrics} ([cache_hits], [cache_misses], [t_serialize],
-    [t_deserialize]). *)
+    [t_deserialize]).
+
+    {2 Incremental re-analysis}
+
+    With [~incremental:true], {!analyze_cached} keeps one
+    {e stable-named} entry per (source path, options, entry) that also
+    carries the v3 incremental section: a content hash per function
+    (position-normalized, so edits elsewhere in the file do not disturb
+    it) and a replayable summary per evaluated (function, input) pair.
+    On re-analysis after an edit, the hashes are diffed, the dirty slice
+    (edited functions, their transitive callers, and anything touching a
+    function pointer) is re-run live, and everything else replays from
+    the summaries — bit-identically to a cold run. See
+    docs/INCREMENTAL.md for the dirty rule and the soundness argument. *)
 
 (** Format version; bumped on any change to the encoding. A version
     mismatch invalidates a cache file (the reader returns [None]). *)
@@ -91,6 +104,28 @@ val default_cache_dir : unit -> string
     cache directory: [dir/<basename>-<key>.ptc]. *)
 val cache_file : cache_dir:string -> source:string -> opts:Options.t -> entry:string -> string
 
+(** The {e stable-named} incremental entry for a (source path, options,
+    entry) triple: [dir/<basename>-<digest>.pti]. Unlike {!cache_file},
+    the name does not involve the source content, so the entry written
+    before an edit remains reachable after it — the header's content key
+    then distinguishes a full hit from a partial (summary-replay) one. *)
+val cache_file_incr :
+  cache_dir:string -> source:string -> opts:Options.t -> entry:string -> string
+
+(** Position-normalized content hash of one function's lowered IR
+    (statement ids and source locations blanked): equal iff the
+    function's code is unchanged, no matter what was edited elsewhere in
+    the translation unit. The diff oracle of the incremental path. *)
+val func_hash : Simple_ir.Ir.func -> Digest.t
+
+(** The functions of the program whose persisted summaries may be
+    replayed after an edit, given the saved run's {!func_hash} table:
+    those whose whole direct-call closure is unchanged and free of
+    indirect call sites (docs/INCREMENTAL.md). The complement is the
+    dirty set. *)
+val eligible_funcs :
+  Simple_ir.Ir.program -> old_hashes:(string, string) Hashtbl.t -> (string, unit) Hashtbl.t
+
 (** [analyze_cached ?cache_dir ?opts ?entry source] serves the analysis
     result for [source] from the disk cache when a valid entry exists,
     and otherwise runs {!Analysis.of_file} and populates the cache. The
@@ -106,11 +141,19 @@ val cache_file : cache_dir:string -> source:string -> opts:Options.t -> entry:st
 
     [budget] is forwarded to {!Analysis.analyze} on a miss. A degraded
     result is returned but {e never} saved to the cache — its key
-    promises the full-precision answer. *)
+    promises the full-precision answer.
+
+    [incremental] switches to the stable-named entry
+    ({!cache_file_incr}) with summary recording and replay: an unchanged
+    source is a full hit as before; after an edit, only the dirty slice
+    re-runs and the rest replays from the persisted summaries
+    (bit-identical tables, [incr_funcs_dirty] / [incr_funcs_reused]
+    metrics). Defaults to [false]. *)
 val analyze_cached :
   ?cache_dir:string ->
   ?opts:Options.t ->
   ?entry:string ->
   ?budget:Guard.budget ->
+  ?incremental:bool ->
   string ->
   Analysis.result * bool

@@ -14,6 +14,8 @@ type answer =
 type handler = {
   h_files : string list;
   h_answer : file:string -> query:string -> answer;
+  h_reload : (file:string -> (string, string) result) option;
+  h_paths : (string * string) list;
 }
 
 type transport =
@@ -36,6 +38,7 @@ type stats = {
   mutable s_errors : int;
   mutable s_shed : int;
   mutable s_batches : int;
+  mutable s_reloads : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -48,6 +51,8 @@ type request =
   | Files
   | Stats
   | Quit
+  | Watch
+  | Reload of string
 
 let parse_request line : (request, string) result =
   match
@@ -62,7 +67,14 @@ let parse_request line : (request, string) result =
   | [ "files" ] -> Ok Files
   | [ "stats" ] -> Ok Stats
   | [ "quit" ] -> Ok Quit
-  | kw :: _ -> Error (Printf.sprintf "unknown request '%s' (expected q, ping, files, stats or quit)" kw)
+  | [ "watch" ] -> Ok Watch
+  | [ "reload"; file ] -> Ok (Reload file)
+  | [ "reload" ] -> Error "reload expects: reload <file>"
+  | kw :: _ ->
+      Error
+        (Printf.sprintf
+           "unknown request '%s' (expected q, ping, files, stats, watch, reload or quit)"
+           kw)
 
 (* Replies are one line each; a payload must not be able to break the
    framing, so embedded newlines become spaces. *)
@@ -71,11 +83,25 @@ let sanitize s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
 let reply_error e = "error " ^ sanitize e
 
 let stats_reply st =
-  Printf.sprintf "ok requests=%d ok=%d degraded=%d error=%d shed=%d batches=%d"
-    st.s_requests st.s_ok st.s_degraded st.s_errors st.s_shed st.s_batches
+  Printf.sprintf "ok requests=%d ok=%d degraded=%d error=%d shed=%d batches=%d reloads=%d"
+    st.s_requests st.s_ok st.s_degraded st.s_errors st.s_shed st.s_batches st.s_reloads
 
 let files_reply h =
   Printf.sprintf "ok %d %s" (List.length h.h_files) (String.concat " " h.h_files)
+
+(* Re-analyze one corpus entry in place, on the event-loop domain: no
+   query is in flight between batches, so the driver's mutable corpus
+   table can be swapped without a race. *)
+let do_reload handler stats ~file =
+  match handler.h_reload with
+  | None -> reply_error "reload not supported by this driver"
+  | Some f -> (
+      match f ~file with
+      | Ok summary ->
+          stats.s_reloads <- stats.s_reloads + 1;
+          "ok " ^ sanitize summary
+      | Error e -> reply_error e
+      | exception e -> reply_error ("reload failed: " ^ Printexc.to_string e))
 
 (* One query request, executed on whichever pool domain picked it up:
    a fresh deadline-only guard (so the {!Fault.Expired_deadline}
@@ -179,7 +205,7 @@ let close_conn c =
    Control requests are answered inline on the event-loop domain;
    queries fan out over the pool and come back in submission order, so
    per-connection reply order always matches request order. *)
-let process pool cfg handler stats quit pending =
+let process pool cfg handler stats quit watching pending =
   stats.s_batches <- stats.s_batches + 1;
   let m = Metrics.cur () in
   let rec split_at n = function
@@ -204,6 +230,17 @@ let process pool cfg handler stats quit pending =
         | Ok Quit ->
             quit := true;
             (c, Either.Left "ok bye")
+        | Ok Watch ->
+            if handler.h_reload = None || handler.h_paths = [] then
+              (c, Either.Left (reply_error "watch not supported by this driver"))
+            else begin
+              watching := true;
+              ( c,
+                Either.Left
+                  (Printf.sprintf "ok watching %d files" (List.length handler.h_paths))
+              )
+            end
+        | Ok (Reload file) -> (c, Either.Left (do_reload handler stats ~file))
         | Ok (Query { file; query }) -> (c, Either.Right (file, query)))
       admitted
   in
@@ -297,12 +334,38 @@ let process pool cfg handler stats quit pending =
 (* Event loop                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* [watch] support: poll the corpus sources' mtimes (cheap stats, at
+   most every 250 ms) and reload an entry in place when its file
+   changed. The first sighting of a file only records the baseline. *)
+let poll_watch handler stats mtimes =
+  List.iter
+    (fun (name, path) ->
+      match Unix.stat path with
+      | exception Unix.Unix_error _ -> ()
+      | st -> (
+          let mt = st.Unix.st_mtime in
+          match Hashtbl.find_opt mtimes path with
+          | None -> Hashtbl.replace mtimes path mt
+          | Some old when old <> mt ->
+              Hashtbl.replace mtimes path mt;
+              ignore (do_reload handler stats ~file:name)
+          | Some _ -> ()))
+    handler.h_paths
+
 let run ?(stop = Atomic.make false) cfg handler transport =
   (* a client closing mid-write must be a dropped connection, not a
      fatal SIGPIPE *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let stats =
-    { s_requests = 0; s_ok = 0; s_degraded = 0; s_errors = 0; s_shed = 0; s_batches = 0 }
+    {
+      s_requests = 0;
+      s_ok = 0;
+      s_degraded = 0;
+      s_errors = 0;
+      s_shed = 0;
+      s_batches = 0;
+      s_reloads = 0;
+    }
   in
   let listen_fd, conns =
     match transport with
@@ -326,7 +389,16 @@ let run ?(stop = Atomic.make false) cfg handler transport =
   Fun.protect ~finally:cleanup @@ fun () ->
   Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   let quit = ref false in
+  let watching = ref false in
+  let mtimes = Hashtbl.create 16 in
+  let last_poll = ref 0. in
   while not (!quit || Atomic.get stop) do
+    (if !watching then
+       let now = Mono.now_s () in
+       if now -. !last_poll >= 0.25 then begin
+         last_poll := now;
+         poll_watch handler stats mtimes
+       end);
     let live = List.filter (fun c -> not (c.c_eof || c.c_dead)) !conns in
     let rfds =
       (match listen_fd with Some l -> [ l ] | None -> [])
@@ -359,7 +431,7 @@ let run ?(stop = Atomic.make false) cfg handler transport =
                      if String.trim line = "" then None else Some (c, line)))
           !conns
       in
-      if pending <> [] then process pool cfg handler stats quit pending;
+      if pending <> [] then process pool cfg handler stats quit watching pending;
       conns :=
         List.filter
           (fun c ->

@@ -22,6 +22,8 @@
     ping                  liveness probe
     files                 the corpus: ok <n> <name...>
     stats                 traffic counters since startup
+    reload <file>         re-analyze one corpus entry in place
+    watch                 start mtime polling; changed files auto-reload
     quit                  stop the daemon (reply: ok bye)
     v}
 
@@ -45,7 +47,20 @@
     Admission control is a per-batch bound: at most [queue_max]
     requests are dispatched per cycle and the excess is answered
     [busy] immediately, so a flooding client degrades service
-    gracefully instead of growing an unbounded queue. *)
+    gracefully instead of growing an unbounded queue.
+
+    {2 Reload and watch}
+
+    [reload <file>] calls the driver's [h_reload] — typically
+    {!Persist.analyze_cached}[ ~incremental:true], so only the edited
+    functions re-analyze (docs/INCREMENTAL.md) — and swaps the corpus
+    entry in place. It runs inline on the event-loop domain: no query is
+    in flight between batches, so the driver may mutate its corpus table
+    without locking. [watch] turns on mtime polling of the corpus
+    sources ([h_paths], checked at most every 250 ms on the event-loop
+    tick); a changed file is reloaded exactly as if [reload] had been
+    requested, while queries keep flowing. Both answer
+    [error ... not supported] when the driver supplies no [h_reload]. *)
 
 (** How the driver answers one query against one corpus entry. *)
 type answer =
@@ -60,6 +75,14 @@ type handler = {
   h_answer : file:string -> query:string -> answer;
       (** must be safe to call from several {!Pool} domains at once
           (query dispatch over primed, read-only results is) *)
+  h_reload : (file:string -> (string, string) result) option;
+      (** re-analyze one corpus entry in place; called only on the
+          event-loop domain, between batches, so it may mutate the
+          driver's corpus table. [Ok summary] becomes the [ok] reply.
+          [None] disables [reload] and [watch]. *)
+  h_paths : (string * string) list;
+      (** (corpus name, filesystem path) pairs the [watch] request
+          polls; empty disables [watch] *)
 }
 
 (** Where the daemon talks. *)
@@ -84,8 +107,9 @@ val default_config : config
 
 (** Traffic counters, returned by {!run} and rendered by the [stats]
     request ([ok requests=... ok=... degraded=... error=... shed=...
-    batches=...]; the [stats] request counts itself). Mirrored into
-    {!Metrics} ([serve_requests] / [serve_errors] / [serve_shed]). *)
+    batches=... reloads=...]; the [stats] request counts itself).
+    Mirrored into {!Metrics} ([serve_requests] / [serve_errors] /
+    [serve_shed]). *)
 type stats = {
   mutable s_requests : int;  (** non-empty request lines received *)
   mutable s_ok : int;
@@ -93,6 +117,9 @@ type stats = {
   mutable s_errors : int;
   mutable s_shed : int;  (** [busy] replies *)
   mutable s_batches : int;  (** dispatch cycles that served at least one request *)
+  mutable s_reloads : int;
+      (** successful corpus reloads ([reload] requests and [watch]
+          triggers) *)
 }
 
 (** {2 Parsing} — exposed for tests. *)
@@ -103,6 +130,8 @@ type request =
   | Files
   | Stats
   | Quit
+  | Watch
+  | Reload of string
 
 val parse_request : string -> (request, string) result
 

@@ -27,6 +27,8 @@ type kind =
   | Task
   | Widen
   | Request
+  | Dirty
+  | Replay
 
 let kind_name = function
   | Analysis -> "analysis"
@@ -40,8 +42,10 @@ let kind_name = function
   | Task -> "task"
   | Widen -> "widen"
   | Request -> "request"
+  | Dirty -> "dirty"
+  | Replay -> "replay"
 
-let n_kinds = 11
+let n_kinds = 13
 
 let kind_idx = function
   | Analysis -> 0
@@ -55,6 +59,8 @@ let kind_idx = function
   | Task -> 8
   | Widen -> 9
   | Request -> 10
+  | Dirty -> 11
+  | Replay -> 12
 
 type span = {
   sp_kind : kind;

@@ -40,6 +40,12 @@ type kind =
       (** the graceful-degradation rerun of an analysis whose budget was
           exhausted ({!Guard}) — wraps the whole widened pass *)
   | Request  (** one {!Serve} protocol request, parse to reply *)
+  | Dirty
+      (** incremental re-analysis: the content-hash diff and dirty-set
+          computation over the persisted v3 summaries ({!Persist}) *)
+  | Replay
+      (** incremental re-analysis: one memoized (input, output) pair
+          served from a persisted summary instead of a body fixpoint *)
 
 val kind_name : kind -> string
 (** Lower-case stable name ([node], [map], [cache-load], ...); used as

@@ -17,6 +17,7 @@ let () =
       Test_extensions.suite;
       Test_benchmarks.suite;
       Test_persist.suite;
+      Test_incremental.suite;
       Test_queries.suite;
       Test_parallel.suite;
       Test_trace.suite;

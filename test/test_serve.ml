@@ -21,6 +21,8 @@ let echo_handler =
   {
     Serve.h_files = [ "f" ];
     Serve.h_answer = (fun ~file:_ ~query -> Serve.Ans ("echo " ^ query));
+    Serve.h_reload = None;
+    Serve.h_paths = [];
   }
 
 let write_all fd s =
@@ -62,6 +64,8 @@ let parse_tests =
         ok (Serve.parse_request "files" = Ok Serve.Files);
         ok (Serve.parse_request "stats" = Ok Serve.Stats);
         ok (Serve.parse_request "quit" = Ok Serve.Quit);
+        ok (Serve.parse_request "watch" = Ok Serve.Watch);
+        ok (Serve.parse_request "reload hash" = Ok (Serve.Reload "hash"));
         ok
           (Serve.parse_request "q hash pts main s1 p"
           = Ok (Serve.Query { file = "hash"; query = "pts main s1 p" })));
@@ -74,6 +78,7 @@ let parse_tests =
         err (Result.is_error (Serve.parse_request "   "));
         err (Result.is_error (Serve.parse_request "q"));
         err (Result.is_error (Serve.parse_request "q onlyfile"));
+        err (Result.is_error (Serve.parse_request "reload"));
         err (Result.is_error (Serve.parse_request "frobnicate x y")));
   ]
 
@@ -123,6 +128,8 @@ let protocol_tests =
               (fun ~file:_ ~query ->
                 if String.equal query "boom" then failwith "handler exploded"
                 else Serve.Ans "fine");
+            Serve.h_reload = None;
+            Serve.h_paths = [];
           }
         in
         let replies, _ =
@@ -161,6 +168,8 @@ let protocol_tests =
           {
             Serve.h_files = [ "f" ];
             Serve.h_answer = (fun ~file:_ ~query:_ -> Serve.Ans_degraded "wide answer");
+            Serve.h_reload = None;
+            Serve.h_paths = [];
           }
         in
         let reply, stats =
@@ -173,6 +182,8 @@ let protocol_tests =
           {
             Serve.h_files = [ "f" ];
             Serve.h_answer = (fun ~file:_ ~query:_ -> Serve.Ans "two\nlines");
+            Serve.h_reload = None;
+            Serve.h_paths = [];
           }
         in
         let replies, _ =
@@ -180,6 +191,101 @@ let protocol_tests =
               [ round_trip req_w ic "q f x"; round_trip req_w ic "ping" ])
         in
         Alcotest.(check (list string)) "sanitized" [ "ok two lines"; "ok pong" ] replies);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Reload and watch                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let reload_tests =
+  [
+    case "reload swaps the corpus entry in place" (fun () ->
+        (* the handler answers from mutable state only reload changes:
+           the reply sequence proves the swap happened between batches *)
+        let version = Atomic.make "v1" in
+        let h =
+          {
+            Serve.h_files = [ "f" ];
+            Serve.h_answer = (fun ~file:_ ~query:_ -> Serve.Ans (Atomic.get version));
+            Serve.h_reload =
+              Some
+                (fun ~file ->
+                  if String.equal file "f" then begin
+                    Atomic.set version "v2";
+                    Ok "swapped f"
+                  end
+                  else Error ("unknown file '" ^ file ^ "'"));
+            Serve.h_paths = [];
+          }
+        in
+        let replies, stats =
+          with_daemon ~handler:h (fun req_w ic ->
+              let before = round_trip req_w ic "q f x" in
+              let rel = round_trip req_w ic "reload f" in
+              let after = round_trip req_w ic "q f x" in
+              let unknown = round_trip req_w ic "reload g" in
+              [ before; rel; after; unknown ])
+        in
+        (match replies with
+        | [ before; rel; after; unknown ] ->
+            Alcotest.(check string) "before" "ok v1" before;
+            Alcotest.(check string) "reload reply" "ok swapped f" rel;
+            Alcotest.(check string) "after" "ok v2" after;
+            Alcotest.(check bool) "unknown file" true (starts_with "error " unknown)
+        | _ -> Alcotest.fail "wrong arity");
+        Alcotest.(check int) "one successful reload" 1 stats.Serve.s_reloads);
+    case "reload and watch without h_reload are errors, not crashes" (fun () ->
+        let replies, stats =
+          with_daemon (fun req_w ic ->
+              [
+                round_trip req_w ic "reload f";
+                round_trip req_w ic "watch";
+                round_trip req_w ic "ping";
+              ])
+        in
+        (match replies with
+        | [ r; w; p ] ->
+            Alcotest.(check bool) "reload refused" true (starts_with "error " r);
+            Alcotest.(check bool) "watch refused" true (starts_with "error " w);
+            Alcotest.(check string) "still serving" "ok pong" p
+        | _ -> Alcotest.fail "wrong arity");
+        Alcotest.(check int) "no reload counted" 0 stats.Serve.s_reloads);
+    case "watch auto-reloads when a corpus source's mtime changes" (fun () ->
+        let tmp = Filename.temp_file "ptan-watch" ".c" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+          (fun () ->
+            let reloaded = Atomic.make 0 in
+            let h =
+              {
+                Serve.h_files = [ "f" ];
+                Serve.h_answer = (fun ~file:_ ~query:_ -> Serve.Ans "x");
+                Serve.h_reload =
+                  Some
+                    (fun ~file ->
+                      Atomic.incr reloaded;
+                      Ok ("reloaded " ^ file));
+                Serve.h_paths = [ ("f", tmp) ];
+              }
+            in
+            let (), stats =
+              with_daemon ~handler:h (fun req_w ic ->
+                  let r = round_trip req_w ic "watch" in
+                  Alcotest.(check string) "watching" "ok watching 1 files" r;
+                  (* let the baseline poll record the current mtime,
+                     then move it and wait for the next poll to notice *)
+                  Unix.sleepf 0.4;
+                  let future = Unix.gettimeofday () +. 60. in
+                  Unix.utimes tmp future future;
+                  let rec wait n =
+                    if Atomic.get reloaded = 0 && n > 0 then begin
+                      Unix.sleepf 0.1;
+                      wait (n - 1)
+                    end
+                  in
+                  wait 30)
+            in
+            Alcotest.(check int) "one auto-reload" 1 stats.Serve.s_reloads));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -289,6 +395,8 @@ let socket_tests =
                   match Alias.Query.run r query with
                   | Ok a -> Serve.Ans a
                   | Error e -> Serve.Ans_error e);
+            Serve.h_reload = None;
+            Serve.h_paths = [];
           }
         in
         let path = Filename.temp_file "ptan-serve" ".sock" in
@@ -346,4 +454,5 @@ let socket_tests =
         Alcotest.(check bool) "socket unlinked on shutdown" false (Sys.file_exists path));
   ]
 
-let suite = ("serve", parse_tests @ protocol_tests @ robustness_tests @ socket_tests)
+let suite =
+  ("serve", parse_tests @ protocol_tests @ reload_tests @ robustness_tests @ socket_tests)

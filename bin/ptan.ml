@@ -340,19 +340,12 @@ let cmd_replace file cache =
       Fmt.pr "%d replacement opportunities@." (List.length reps);
       List.iter (fun rp -> Fmt.pr "  %a@." Transforms.Pointer_replace.pp_replacement rp) reps)
 
-let cmd_query file cache incremental words =
-  with_errors (fun () ->
-      let r = analyze_file ~cache ~incremental file in
-      match Alias.Query.run r (String.concat " " words) with
-      | Ok ans -> Fmt.pr "%s@." ans
-      | Error e ->
-          Fmt.epr "error: %s@." e;
-          exit 2)
-
 (** Force the lazy components of a result that concurrent readers would
     otherwise race to build (forcing the same lazy from two domains is a
     runtime error in OCaml 5): the reverse indexes of every reachable
-    points-to set. After this the result is read-only for queries. *)
+    points-to set. After this the result is read-only for queries —
+    [query] and [batch] prime like [serve] does, so answering is pure
+    reads whatever the job count. *)
 let prime_result r =
   Hashtbl.iter (fun _ s -> Pointsto.Pts.prime s) r.Pointsto.Analysis.stmt_pts;
   Option.iter Pointsto.Pts.prime r.Pointsto.Analysis.entry_output;
@@ -362,9 +355,68 @@ let prime_result r =
       Option.iter Pointsto.Pts.prime n.Pointsto.Invocation_graph.stored_output)
     () r.Pointsto.Analysis.graph
 
-let cmd_batch file cache incremental jobs queries =
+(** Summaries for demand skip-replay, from the incremental cache entry
+    when both the cache and [--incremental] are on. Read-only: a demand
+    result is never written back (its tables cover one slice, not the
+    key's promise of the full answer). *)
+let demand_seeded ~cache ~incremental prog file =
+  match cache with
+  | Some dir when incremental ->
+      let cache_dir =
+        match dir with Some d -> d | None -> Persist.default_cache_dir ()
+      in
+      Persist.load_summaries ~cache_dir ~source:file ~opts:Pointsto.Options.default
+        prog
+  | Some _ | None -> None
+
+(** Demand-mode dispatch: one {!Alias.Demand_driver.prepare} (Andersen
+    pre-pass) per file, then one sliced analysis per distinct seed
+    function, memoized — queries about the same function share a primed
+    result. A query whose statement id exists nowhere has no seed; it
+    falls back to one (also memoized) exhaustive run so its answer —
+    including the error text — matches non-demand mode exactly. *)
+let demand_dispatch ?seeded prog =
+  let driver = Alias.Demand_driver.prepare prog in
+  let memo : (string option, Pointsto.Analysis.result) Hashtbl.t = Hashtbl.create 8 in
+  fun (q : Alias.Query.t) ->
+    let seed = Alias.Demand_driver.seed_of driver q in
+    match Hashtbl.find_opt memo seed with
+    | Some r -> r
+    | None ->
+        let r =
+          match seed with
+          | Some s -> Alias.Demand_driver.analyze ?seeded driver ~seed:s
+          | None -> Pointsto.Analysis.analyze prog
+        in
+        prime_result r;
+        Hashtbl.replace memo seed r;
+        r
+
+let cmd_query file cache incremental demand words =
   with_errors (fun () ->
-      let r = analyze_file ~cache ~incremental file in
+      let line = String.concat " " words in
+      let answer =
+        if demand then begin
+          let prog = load file in
+          let seeded = demand_seeded ~cache ~incremental prog file in
+          match Alias.Query.parse line with
+          | Error _ as e -> e
+          | Ok q -> Alias.Query.answer (demand_dispatch ?seeded prog q) q
+        end
+        else begin
+          let r = analyze_file ~cache ~incremental file in
+          prime_result r;
+          Alias.Query.run r line
+        end
+      in
+      match answer with
+      | Ok ans -> Fmt.pr "%s@." ans
+      | Error e ->
+          Fmt.epr "error: %s@." e;
+          exit 2)
+
+let cmd_batch file cache incremental demand jobs queries =
+  with_errors (fun () ->
       let ic, close_ic =
         match queries with
         | None | Some "-" -> (stdin, false)
@@ -390,27 +442,48 @@ let cmd_batch file cache incremental jobs queries =
             if trimmed = "" || trimmed.[0] = '#' then None else Some (n, trimmed))
           lines
       in
-      (* Each query is independent, so answering is a pure map over the
-         one shared (primed) result; printing in input order afterwards
-         keeps the output deterministic whatever the schedule. *)
-      let answer (n, q) =
-        match Alias.Query.run r q with
-        | Ok ans -> Ok (Fmt.str "%s => %s" q ans)
-        | Error e -> Error (Fmt.str "line %d: error: %s" n e)
-      in
       let answers =
-        if jobs <= 1 then List.map answer todo
+        if demand then begin
+          (* Demand mode: one sliced analysis per distinct seed function
+             (memoized by [demand_dispatch]), answered sequentially —
+             queries about the same function share a slice, and slicing
+             itself is the speedup, not fan-out. *)
+          let prog = load file in
+          let seeded = demand_seeded ~cache ~incremental prog file in
+          let dispatch = demand_dispatch ?seeded prog in
+          let answer (n, qline) =
+            match Alias.Query.parse qline with
+            | Error e -> Error (Fmt.str "line %d: error: %s" n e)
+            | Ok q -> (
+                match Alias.Query.answer (dispatch q) q with
+                | Ok ans -> Ok (Fmt.str "%s => %s" qline ans)
+                | Error e -> Error (Fmt.str "line %d: error: %s" n e))
+          in
+          List.map answer todo
+        end
         else begin
+          (* Each query is independent, so answering is a pure map over
+             the one shared (primed) result; printing in input order
+             afterwards keeps the output deterministic whatever the
+             schedule. *)
+          let r = analyze_file ~cache ~incremental file in
           prime_result r;
-          Pointsto.Pool.with_pool ~jobs (fun pool ->
-              Pointsto.Pool.map_result pool answer todo)
-          |> List.map2
-               (fun (n, _) res ->
-                 match res with
-                 | Ok a -> a
-                 | Error e ->
-                     Error (Fmt.str "line %d: error: %s" n (Printexc.to_string e)))
-               todo
+          let answer (n, q) =
+            match Alias.Query.run r q with
+            | Ok ans -> Ok (Fmt.str "%s => %s" q ans)
+            | Error e -> Error (Fmt.str "line %d: error: %s" n e)
+          in
+          if jobs <= 1 then List.map answer todo
+          else
+            Pointsto.Pool.with_pool ~jobs (fun pool ->
+                Pointsto.Pool.map_result pool answer todo)
+            |> List.map2
+                 (fun (n, _) res ->
+                   match res with
+                   | Ok a -> a
+                   | Error e ->
+                       Error (Fmt.str "line %d: error: %s" n (Printexc.to_string e)))
+                 todo
         end
       in
       let failed = ref 0 in
@@ -424,14 +497,33 @@ let cmd_batch file cache incremental jobs queries =
         answers;
       if !failed > 0 then exit 2)
 
+(** One demand-mode corpus entry of the daemon: the parsed program, the
+    Andersen planning driver, optional cache summaries for skip-replay,
+    and a mutex-guarded memo of primed per-seed results — filled on
+    first use by whichever worker domain gets there, dropped wholesale
+    on reload. [None] keys the exhaustive fallback for seedless
+    queries. *)
+type demand_entry = {
+  de_prog : Ir.program;
+  de_driver : Alias.Demand_driver.t;
+  de_seeded : Pointsto.Engine.summaries option;
+  de_memo : (string option, Pointsto.Analysis.result) Hashtbl.t;
+  de_mu : Mutex.t;
+}
+
 (** The resident daemon: analyze (or load from cache) and prime every
     corpus file once, then answer {!Alias.Query} requests over the
     {!Pointsto.Serve} line protocol until end-of-input, [quit], or
     SIGTERM/SIGINT. Everything human-readable (startup progress, the
     ready line, shutdown stats) goes to stderr; stdout carries protocol
-    replies only. *)
-let cmd_serve files cache incremental budget jobs socket request_deadline_ms queue_max
-    show_stats =
+    replies only.
+
+    Under [--demand], startup only parses each file and runs the cheap
+    Andersen pre-pass; the expensive context-sensitive work happens per
+    request, sliced to the query's seed function and memoized per
+    (file, seed). *)
+let cmd_serve files cache incremental demand budget jobs socket request_deadline_ms
+    queue_max show_stats =
   with_errors (fun () ->
       (* Corpus load: any file that fails to analyze is a startup
          error — a daemon with a silently missing corpus entry would
@@ -440,19 +532,57 @@ let cmd_serve files cache incremental budget jobs socket request_deadline_ms que
          results table is mutable so [reload]/[watch] can swap an entry
          in place (always on the event-loop domain, between batches). *)
       let results : (string, Pointsto.Analysis.result) Hashtbl.t = Hashtbl.create 16 in
+      let dentries : (string, demand_entry) Hashtbl.t = Hashtbl.create 16 in
       let load_entry file =
-        let r = analyze_file ?budget ~cache ~incremental file in
-        prime_result r;
-        Hashtbl.replace results file r;
-        r
+        if demand then begin
+          let prog = load file in
+          Hashtbl.replace dentries file
+            {
+              de_prog = prog;
+              de_driver = Alias.Demand_driver.prepare prog;
+              de_seeded = demand_seeded ~cache ~incremental prog file;
+              de_memo = Hashtbl.create 8;
+              de_mu = Mutex.create ();
+            };
+          None
+        end
+        else begin
+          let r = analyze_file ?budget ~cache ~incremental file in
+          prime_result r;
+          Hashtbl.replace results file r;
+          Some r
+        end
+      in
+      (* A worker answering a demand request: memo hit, else compute
+         outside the lock (a racing request may duplicate the work; the
+         published primed value stays unique) and publish. *)
+      let demand_result (de : demand_entry) seed =
+        match Mutex.protect de.de_mu (fun () -> Hashtbl.find_opt de.de_memo seed) with
+        | Some r -> r
+        | None ->
+            let r =
+              match seed with
+              | Some s ->
+                  Alias.Demand_driver.analyze ?seeded:de.de_seeded de.de_driver ~seed:s
+              | None -> Pointsto.Analysis.analyze de.de_prog
+            in
+            prime_result r;
+            Mutex.protect de.de_mu (fun () ->
+                match Hashtbl.find_opt de.de_memo seed with
+                | Some winner -> winner
+                | None ->
+                    Hashtbl.replace de.de_memo seed r;
+                    r)
       in
       List.iter
         (fun file ->
           Fmt.epr "serve: loading %s...@." file;
-          let r = load_entry file in
-          Option.iter
-            (fun d -> Fmt.epr "serve: %s %a@." file pp_degraded d)
-            r.Pointsto.Analysis.degraded)
+          match load_entry file with
+          | Some r ->
+              Option.iter
+                (fun d -> Fmt.epr "serve: %s %a@." file pp_degraded d)
+                r.Pointsto.Analysis.degraded
+          | None -> ())
         files;
       (* Name resolution: the path as given, plus its basename and
          basename-without-extension when unique across the corpus.
@@ -484,6 +614,16 @@ let cmd_serve files cache incremental budget jobs socket request_deadline_ms que
               | None ->
                   Pointsto.Serve.Ans_error
                     (Fmt.str "unknown file '%s' (try the 'files' request)" file)
+              | Some f when demand -> (
+                  let de = Hashtbl.find dentries f in
+                  match Alias.Query.parse query with
+                  | Error e -> Pointsto.Serve.Ans_error e
+                  | Ok q -> (
+                      let seed = Alias.Demand_driver.seed_of de.de_driver q in
+                      match Alias.Query.answer (demand_result de seed) q with
+                      | Error e -> Pointsto.Serve.Ans_error e
+                      (* demand runs take no budget, so never degraded *)
+                      | Ok ans -> Pointsto.Serve.Ans ans))
               | Some f -> (
                   let r = Hashtbl.find results f in
                   match Alias.Query.run r query with
@@ -499,11 +639,12 @@ let cmd_serve files cache incremental budget jobs socket request_deadline_ms que
                 | None -> Error (Fmt.str "unknown file '%s'" file)
                 | Some f -> (
                     match load_entry f with
-                    | r ->
+                    | Some r ->
                         let m = r.Pointsto.Analysis.metrics in
                         Ok
                           (Fmt.str "reloaded %s (%d dirty, %d replayed)" f
                              m.Pointsto.Metrics.incr_funcs_dirty m.incr_funcs_reused)
+                    | None -> Ok (Fmt.str "reloaded %s (demand: slices reset)" f)
                     | exception e -> Error (describe_exn e)));
           h_paths = List.map (fun f -> (f, f)) files;
         }
@@ -600,6 +741,31 @@ let no_incremental =
 (** Combined incremental selector. *)
 let incremental =
   Term.(const (fun on off -> on && not off) $ incremental_flag $ no_incremental)
+
+let demand_flag =
+  Arg.(
+    value & flag
+    & info [ "demand" ]
+        ~doc:
+          "Demand-driven mode: analyze only the invocation-graph slice the query \
+           needs. The query's enclosing function seeds a slice plan — its transitive \
+           callers, its own callee cone, and every call whose effect can flow into a \
+           call leading to it; indirect sites expand conservatively via a \
+           flow-insensitive Andersen pre-pass. Calls outside the slice replay \
+           persisted summaries when available (with --incremental and the cache) and \
+           apply a widened sound transfer otherwise; answers stay bit-identical to \
+           the exhaustive analysis. Demand results are never written to the cache, \
+           and resource budgets do not apply (no degradation path). See \
+           docs/DEMAND.md.")
+
+let no_demand =
+  Arg.(
+    value & flag
+    & info [ "no-demand" ]
+        ~doc:"Force exhaustive analysis, overriding a preceding --demand.")
+
+(** Combined demand selector. *)
+let demand = Term.(const (fun on off -> on && not off) $ demand_flag $ no_demand)
 
 let deadline_ms =
   Arg.(
@@ -745,7 +911,7 @@ let query_words =
 let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Answer one demand query against the analysis result")
-    Term.(const cmd_query $ file_arg $ cache $ incremental $ query_words)
+    Term.(const cmd_query $ file_arg $ cache $ incremental $ demand $ query_words)
 
 let queries_file =
   Arg.(
@@ -790,15 +956,15 @@ let serve_cmd =
           queries fan out over -j domains, each under --request-deadline-ms. See \
           docs/SERVE.md")
     Term.(
-      const cmd_serve $ files_arg $ cache $ incremental $ budget $ jobs $ socket_path
-      $ request_deadline_ms $ queue_max $ show_stats)
+      const cmd_serve $ files_arg $ cache $ incremental $ demand $ budget $ jobs
+      $ socket_path $ request_deadline_ms $ queue_max $ show_stats)
 
 let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
        ~doc:
          "Answer newline-delimited queries from a file or stdin against one loaded result")
-    Term.(const cmd_batch $ file_arg $ cache $ incremental $ jobs $ queries_file)
+    Term.(const cmd_batch $ file_arg $ cache $ incremental $ demand $ jobs $ queries_file)
 
 let () =
   let info = Cmd.info "ptan" ~doc:"Context-sensitive interprocedural points-to analysis" in

@@ -1,0 +1,91 @@
+(** Demand-driven query dispatch (see demand_driver.mli). *)
+
+module Ir = Simple_ir.Ir
+module Analysis = Pointsto.Analysis
+module Demand = Pointsto.Demand
+
+type t = {
+  prog : Ir.program;
+  entry : string;
+  opts : Pointsto.Options.t;
+  site_targets : (string * int, string list) Hashtbl.t;
+      (** Andersen targets per indirect site (fn, sid), defined functions
+          only, sorted *)
+  fallback : string list;
+      (** defined address-taken functions — the oracle's answer for a
+          site Andersen found no targets for *)
+}
+
+let prepare ?(opts = Pointsto.Options.default) ?(entry = "main") (prog : Ir.program) : t =
+  let indirect_sites =
+    List.concat_map
+      (fun fn ->
+        Ir.fold_func
+          (fun acc s ->
+            match s.Ir.s_desc with
+            | Ir.Scall (_, Ir.Cindirect fref, _) -> (fn, s.Ir.s_id, fref) :: acc
+            | _ -> acc)
+          [] fn)
+      prog.Ir.funcs
+  in
+  let site_targets = Hashtbl.create 32 in
+  (* the oracle is only ever consulted at indirect sites: a program
+     without any needs no Andersen pre-pass at all *)
+  if indirect_sites <> [] then begin
+    let r = Andersen.run prog in
+    let info = r.Andersen.solver.Andersen.info in
+    let defined f = Hashtbl.mem info.Cells.defined f in
+    let funs_of nodes =
+      List.filter_map (function Cells.Nfun f when defined f -> Some f | _ -> None) nodes
+      |> List.sort_uniq String.compare
+    in
+    List.iter
+      (fun (fn, sid, fref) ->
+        let nodes =
+          match Cells.access_of_vref info fn fref with
+          | Cells.Abase n -> Andersen.targets r n
+          | Cells.Aderef n -> List.concat_map (Andersen.targets r) (Andersen.targets r n)
+        in
+        Hashtbl.replace site_targets (fn.Ir.fn_name, sid) (funs_of nodes))
+      indirect_sites
+  end;
+  let names = Hashtbl.create 64 in
+  List.iter (fun (f : Ir.func) -> Hashtbl.replace names f.Ir.fn_name ()) prog.Ir.funcs;
+  let fallback = List.filter (Hashtbl.mem names) (Ir.address_taken_funcs prog) in
+  { prog; entry; opts; site_targets; fallback }
+
+(* A site whose Andersen target set came out empty gets the
+   address-taken fallback: the engine may still resolve targets there
+   (e.g. along paths Andersen's external-call model loses), and an
+   oracle that under-predicts only costs an exhaustive fallback at run
+   time — but an empty answer would carve the callee out of the slice
+   for nothing. Unknown sites (never seen at extraction) answer the
+   fallback too, keeping the oracle total. *)
+let oracle (t : t) : Demand.oracle =
+ fun ~fn ~sid ->
+  match Hashtbl.find_opt t.site_targets (fn, sid) with
+  | Some [] | None -> t.fallback
+  | Some ts -> ts
+
+let seed_of (t : t) (q : Query.t) : string option =
+  let sid =
+    match q with
+    | Query.Alias_q { stmt; _ } | Query.Pts_q { stmt; _ } -> stmt
+    | Query.Calls_q { stmt } -> stmt
+  in
+  List.find_map
+    (fun fn ->
+      Ir.fold_func
+        (fun acc s -> if s.Ir.s_id = sid then Some fn.Ir.fn_name else acc)
+        None fn)
+    t.prog.Ir.funcs
+
+let plan_for (t : t) ~(seed : string) : Demand.plan =
+  Demand.plan t.prog ~entry:t.entry ~seed (oracle t)
+
+let analyze ?seeded (t : t) ~(seed : string) : Analysis.result =
+  (* One metrics epoch for plan + run: [analyze_demand] deliberately
+     does not reset (see its doc). *)
+  Pointsto.Metrics.reset ();
+  let plan = plan_for t ~seed in
+  Analysis.analyze_demand ~opts:t.opts ~entry:t.entry ?seeded ~plan t.prog

@@ -144,6 +144,78 @@ let analyze ?(opts = Options.default) ?(entry = "main") ?budget
     if Trace.on () then Trace.emit Trace.Widen ~name:entry ~t0:tw0 ();
     r
 
+let analyze_demand ?(opts = Options.default) ?(entry = "main") ?seeded ~plan
+    (prog : Ir.program) : result =
+  if not opts.Options.context_sensitive then
+    (* The slice rule is argued against the context-sensitive engine;
+       the ablation is cheap enough to just run exhaustively. *)
+    analyze ~opts ~entry ?seeded prog
+  else begin
+    (* No [Metrics.reset] here: the caller resets once before building
+       the plan, so the Slice and Demand counters land in one epoch
+       ({!Alias.Demand_driver.analyze} does). *)
+    let demand_run () =
+      let tenv = Tenv.make ~opts prog in
+      let entry_fn =
+        match Tenv.find_func tenv entry with
+        | Some f -> f
+        | None -> raise (No_entry entry)
+      in
+      let graph = Ig.build ~within:(Demand.in_slice plan) tenv ~entry in
+      let guard = Guard.of_budget None in
+      let ctx = Engine.make_ctx ~guard ?seeded ~demand:plan tenv in
+      let input0 = initial_input tenv entry_fn in
+      let t0 = Metrics.now () in
+      let ttr = Trace.start () in
+      let entry_output = Engine.eval_node ctx graph.Ig.root entry_fn input0 in
+      (Metrics.cur ()).Metrics.t_analysis <- Metrics.now () -. t0;
+      if Trace.on () then
+        Trace.emit Trace.Demand ~name:plan.Demand.p_seed
+          ~stmts:(Demand.slice_size plan) ~pts_in:(Pts.cardinal input0)
+          ~pts_out:(match entry_output with Some s -> Pts.cardinal s | None -> -1)
+          ~t0:ttr ();
+      {
+        prog;
+        tenv;
+        graph;
+        stmt_pts = ctx.Engine.stmt_pts;
+        entry_output;
+        warnings = ctx.Engine.warnings;
+        share_hits = ctx.Engine.share_hits;
+        bodies_analyzed = ctx.Engine.bodies_analyzed;
+        metrics = Metrics.snapshot ();
+        degraded = None;
+        summaries = Engine.summaries_create ();
+      }
+    in
+    try demand_run ()
+    with Demand.Oracle_miss _ ->
+      (* An evaluated indirect site resolved to a defined target the
+         planning oracle missed: the slice is untrustworthy. Rerun
+         exhaustively — [analyze] resets the metrics, so carry the
+         demand counters of the aborted attempt (and the fallback
+         itself) over into both the fresh accumulator and the snapshot
+         the caller reports from. *)
+      let a = Metrics.cur () in
+      let plans = a.Metrics.demand_plans
+      and slice = a.Metrics.demand_slice_funcs
+      and total = a.Metrics.demand_funcs_total
+      and skipped = a.Metrics.demand_skipped
+      and replays = a.Metrics.demand_replays in
+      let r = analyze ~opts ~entry ?seeded prog in
+      let carry (m : Metrics.t) =
+        m.Metrics.demand_plans <- m.Metrics.demand_plans + plans;
+        m.Metrics.demand_slice_funcs <- m.Metrics.demand_slice_funcs + slice;
+        m.Metrics.demand_funcs_total <- m.Metrics.demand_funcs_total + total;
+        m.Metrics.demand_skipped <- m.Metrics.demand_skipped + skipped;
+        m.Metrics.demand_replays <- m.Metrics.demand_replays + replays;
+        m.Metrics.demand_fallbacks <- m.Metrics.demand_fallbacks + 1
+      in
+      carry (Metrics.cur ());
+      carry r.metrics;
+      r
+  end
+
 (** Convenience: parse, simplify and analyze C source text. *)
 let of_string ?opts ?entry ?budget ?file src =
   analyze ?opts ?entry ?budget (Simple_ir.Simplify.of_string ?file src)

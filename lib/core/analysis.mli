@@ -87,6 +87,36 @@ val analyze :
   Ir.program ->
   result
 
+(** Demand-driven run over a {!Demand.plan}'s slice: the invocation
+    graph is built only within the slice, defined callees outside it are
+    answered by summary replay (from [seeded], when a matching entry
+    exists) or by the widened skip transfer, and only the seed
+    function's statement rows are recorded. For every statement of the
+    plan's seed the recorded row is bit-identical to [analyze]'s — the
+    argument is in docs/DEMAND.md; rows of other statements are absent.
+
+    Falls back to the exhaustive [analyze] (counting a
+    [demand_fallbacks] metric) when an evaluated indirect call resolves
+    to a defined target the planning oracle missed, and runs
+    exhaustively outright when [opts] disables context sensitivity.
+    Unlike [analyze], this does not reset the {!Metrics} accumulator:
+    the caller resets once {e before} building the plan, so the plan's
+    slice counters and the run land in one epoch
+    ([Alias.Demand_driver.analyze] does). Demand runs take no budget
+    (no degradation path) and never record summaries — a body evaluated over a slice may skip nested calls, so
+    its (input, output) pair must not seed later incremental runs; for
+    the same reason [result.summaries] is empty and demand results must
+    never enter the {!Persist} cache.
+
+    @raise No_entry if the entry function is not defined. *)
+val analyze_demand :
+  ?opts:Options.t ->
+  ?entry:string ->
+  ?seeded:Engine.summaries ->
+  plan:Demand.plan ->
+  Ir.program ->
+  result
+
 (** Parse, simplify and analyze C source text. *)
 val of_string :
   ?opts:Options.t ->

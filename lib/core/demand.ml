@@ -1,0 +1,348 @@
+(** Demand-driven slice planning: which functions must be analyzed
+    {e exactly} for the rows of one {e seed} function to come out
+    bit-identical to an exhaustive run.
+
+    The planner works over an {e oracle} call graph: direct call sites
+    contribute their callee, indirect sites contribute a conservative
+    target list supplied by the caller (in practice the flow-insensitive
+    Andersen pre-pass of [lib/alias], as in Lazy Pointer Analysis).
+    Given a seed function [F] (the function enclosing the query
+    statement), the plan is built in three steps:
+
+    {ol
+    {- [R] — [F] plus its transitive callers: every function whose body
+       contains an invocation on some path to [F]. These must be
+       analyzed (their call sites reaching [F] carry [F]'s inputs), but
+       not necessarily exactly everywhere.}
+    {- {e Critical sites} of a member of [R]: call sites whose oracle
+       targets intersect [R] — the edges along which an invocation can
+       reach [F]. The state {e entering} a critical site must be exact.}
+    {- The {e full} set: functions whose whole evaluation must be exact.
+       Seeded with [F] itself (every statement row of [F] is recorded)
+       and with every member of [R] on an oracle-graph cycle (a
+       recursive fixed point feeds late effects back into early
+       statements). Then closed under two rules: every defined callee of
+       a full function is full, and every defined target of an
+       {e exact-effect} site of a non-full [R]-member is full — where a
+       site [A] has exact effects when some critical site [B] may
+       execute after it ([flows' A B]).}}
+
+    [flows' A B] is a sound over-approximation of "[A]'s effect may
+    reach [B]'s input in some execution" for the structured IR: [A]
+    textually precedes [B], or the two share an enclosing loop. There is
+    no [goto]; [break]/[continue] only ever skip forward or re-enter a
+    shared loop.
+
+    The slice is [R ∪ full]. At evaluation time the engine skips any
+    call whose (defined) callee is outside the slice, replacing it with
+    a summary replay or a widened transfer ({!Engine}); by construction
+    no skipped effect flows into an input reaching [F], so [F]'s
+    recorded rows — the only rows the plan promises, and the only ones
+    {!records} lets the engine keep — equal the exhaustive ones. The
+    oracle's conservatism over the engine's own indirect-call resolution
+    is re-checked at run time: an evaluated indirect site discovering a
+    defined target the oracle did not predict raises {!Oracle_miss} and
+    the driver falls back to the exhaustive analysis. *)
+
+module Ir = Simple_ir.Ir
+
+(** [oracle ~fn ~sid] is a conservative list of the {e defined}
+    functions an indirect call at statement [sid] of function [fn] can
+    invoke. Consulted only for indirect sites. *)
+type oracle = fn:string -> sid:int -> string list
+
+(** An evaluated indirect call site resolved to a defined target the
+    planning oracle did not predict: the slice cannot be trusted.
+    Carries a human-readable description of the site. *)
+exception Oracle_miss of string
+
+(** What a skipped call to a function may modify, relative to the
+    engine's own semantics (external callees never mutate the state —
+    they only produce return-value targets — so they contribute
+    nothing). *)
+type mods =
+  | Mod_all
+      (** the function (or a transitive callee) writes through a pointer
+          dereference: any visible cell may change *)
+  | Mod_globals of (string, unit) Hashtbl.t
+      (** every write in the whole callee cone is direct: only these
+          global variables (plus the return cell) can change *)
+
+type plan = {
+  p_seed : string;  (** the function whose rows the plan preserves *)
+  p_entry : string;
+  p_slice : (string, unit) Hashtbl.t;
+      (** functions analyzed exactly; a defined callee outside it is
+          skipped *)
+  p_record : (int, unit) Hashtbl.t;
+      (** statement ids whose rows are recorded (the seed's body) *)
+  p_sites : (string * int, string list) Hashtbl.t;
+      (** oracle targets per indirect site [(fn, sid)], for the run-time
+          conservatism check *)
+  p_mods : (string, mods) Hashtbl.t;
+      (** per defined function, what a skipped call to it may modify *)
+  p_funcs_total : int;  (** defined functions in the program *)
+}
+
+let in_slice p f = Hashtbl.mem p.p_slice f
+let records p sid = Hashtbl.mem p.p_record sid
+let slice_size p = Hashtbl.length p.p_slice
+
+let slice_funcs p =
+  List.sort String.compare (Hashtbl.fold (fun f () acc -> f :: acc) p.p_slice [])
+
+(** Does the plan's oracle admit [target] at indirect site [(fn, sid)]?
+    Unknown sites admit nothing (the planner records every indirect site
+    of every defined function, so an unknown site is itself a miss). *)
+let site_allows p ~fn ~sid target =
+  match Hashtbl.find_opt p.p_sites (fn, sid) with
+  | Some ts -> List.mem target ts
+  | None -> false
+
+(** What a skipped call to [f] may modify; unknown functions get
+    {!Mod_all}. *)
+let func_mods p f = Option.value ~default:Mod_all (Hashtbl.find_opt p.p_mods f)
+
+(* ------------------------------------------------------------------ *)
+(* Call sites with program order                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* One call site, with enough position information for [flows']: a
+   textual index over the function body and the stack of enclosing loop
+   statement ids. *)
+type site = {
+  st_sid : int;
+  st_idx : int;
+  st_loops : int list;
+  st_tgts : string list;  (* defined targets only *)
+  st_indirect : bool;
+}
+
+let sites_of ~(defined : string -> bool) ~(oracle : oracle) (f : Ir.func) : site list =
+  let idx = ref 0 in
+  let acc = ref [] in
+  let rec stmts loops l = List.iter (stmt loops) l
+  and stmt loops (s : Ir.stmt) =
+    incr idx;
+    (match s.Ir.s_desc with
+    | Ir.Scall (_, Ir.Cdirect g, _) ->
+        if defined g then
+          acc :=
+            {
+              st_sid = s.Ir.s_id;
+              st_idx = !idx;
+              st_loops = loops;
+              st_tgts = [ g ];
+              st_indirect = false;
+            }
+            :: !acc
+    | Ir.Scall (_, Ir.Cindirect _, _) ->
+        acc :=
+          {
+            st_sid = s.Ir.s_id;
+            st_idx = !idx;
+            st_loops = loops;
+            st_tgts = List.filter defined (oracle ~fn:f.Ir.fn_name ~sid:s.Ir.s_id);
+            st_indirect = true;
+          }
+          :: !acc
+    | _ -> ());
+    match s.Ir.s_desc with
+    | Ir.Sif (_, a, b) ->
+        stmts loops a;
+        stmts loops b
+    | Ir.Sloop l ->
+        let loops' = s.Ir.s_id :: loops in
+        stmts loops' l.Ir.l_cond_stmts;
+        stmts loops' l.Ir.l_body;
+        stmts loops' l.Ir.l_step
+    | Ir.Sswitch (_, gs) -> List.iter (fun g -> stmts loops g.Ir.g_body) gs
+    | _ -> ()
+  in
+  stmts [] f.Ir.fn_body;
+  List.rev !acc
+
+(* May [a]'s effect reach [b]'s input in some execution? Sound for the
+   structured IR: textual order, or any shared enclosing loop (whose
+   back edge carries late effects to early statements). *)
+let flows' a b =
+  a.st_idx < b.st_idx || List.exists (fun l -> List.mem l b.st_loops) a.st_loops
+
+(* ------------------------------------------------------------------ *)
+(* Planning                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let plan (p : Ir.program) ~(entry : string) ~(seed : string) (oracle : oracle) : plan =
+  let t0 = Trace.start () in
+  let funcs = Hashtbl.create 64 in
+  List.iter (fun f -> Hashtbl.replace funcs f.Ir.fn_name f) p.Ir.funcs;
+  if not (Hashtbl.mem funcs seed) then
+    invalid_arg (Printf.sprintf "Demand.plan: %s is not a defined function" seed);
+  let defined f = Hashtbl.mem funcs f in
+  let sites = Hashtbl.create 64 in
+  Hashtbl.iter (fun name f -> Hashtbl.replace sites name (sites_of ~defined ~oracle f)) funcs;
+  let site_list name = try Hashtbl.find sites name with Not_found -> [] in
+  (* forward and reverse oracle call graphs *)
+  let callees name =
+    List.concat_map (fun st -> st.st_tgts) (site_list name)
+  in
+  let callers = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun name _ ->
+      List.iter
+        (fun g ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt callers g) in
+          if not (List.mem name cur) then Hashtbl.replace callers g (name :: cur))
+        (callees name))
+    funcs;
+  let reach_of roots ~edges =
+    let seen = Hashtbl.create 16 in
+    let rec go n =
+      if not (Hashtbl.mem seen n) then begin
+        Hashtbl.replace seen n ();
+        List.iter go (edges n)
+      end
+    in
+    List.iter go roots;
+    seen
+  in
+  (* R: the seed and its transitive callers *)
+  let r =
+    reach_of [ seed ] ~edges:(fun n ->
+        Option.value ~default:[] (Hashtbl.find_opt callers n))
+  in
+  (* [R]-members on an oracle-graph cycle: the recursive fixed point can
+     carry any of their effects back into any of their statements, so
+     they are fully exact *)
+  let cyclic name = Hashtbl.mem (reach_of (callees name) ~edges:callees) name in
+  let full = Hashtbl.create 16 in
+  Hashtbl.replace full seed ();
+  Hashtbl.iter (fun name () -> if cyclic name then Hashtbl.replace full name ()) r;
+  (* close: full members contribute every callee; non-full [R]-members
+     contribute the targets of their exact-effect sites *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let add g =
+      if defined g && not (Hashtbl.mem full g) then begin
+        Hashtbl.replace full g ();
+        changed := true
+      end
+    in
+    Hashtbl.iter (fun name () -> if defined name then List.iter add (callees name))
+      (Hashtbl.copy full);
+    Hashtbl.iter
+      (fun name () ->
+        if defined name && not (Hashtbl.mem full name) then begin
+          let ss = site_list name in
+          let criticals =
+            List.filter (fun st -> List.exists (Hashtbl.mem r) st.st_tgts) ss
+          in
+          List.iter
+            (fun st ->
+              if List.exists (fun b -> flows' st b) criticals then
+                List.iter add st.st_tgts)
+            ss
+        end)
+      r
+  done;
+  let slice = Hashtbl.create 16 in
+  Hashtbl.iter (fun name () -> if defined name then Hashtbl.replace slice name ()) r;
+  Hashtbl.iter (fun name () -> Hashtbl.replace slice name ()) full;
+  (* per-function modification summaries for the widened transfer: a
+     direct write to a global is tracked by name; any write through a
+     dereference makes the function (and every transitive caller through
+     the oracle graph) Mod_all. External calls contribute nothing — the
+     engine's external transfer never mutates the state. *)
+  let base_mods = Hashtbl.create 64 in
+  let deref_writers = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun name (f : Ir.func) ->
+      let locals = Hashtbl.create 16 in
+      List.iter (fun (n, _) -> Hashtbl.replace locals n ()) f.Ir.fn_params;
+      List.iter (fun (n, _) -> Hashtbl.replace locals n ()) f.Ir.fn_locals;
+      let gs = Hashtbl.create 4 in
+      let deref = ref false in
+      let write (lv : Ir.vref) =
+        if lv.Ir.r_deref then deref := true
+        else if not (Hashtbl.mem locals lv.Ir.r_base) then
+          Hashtbl.replace gs lv.Ir.r_base ()
+      in
+      let rec stmts l = List.iter stmt l
+      and stmt (s : Ir.stmt) =
+        match s.Ir.s_desc with
+        | Ir.Sassign (lv, _) -> write lv
+        | Ir.Scall (lhs, _, _) -> Option.iter write lhs
+        | Ir.Sif (_, a, b) ->
+            stmts a;
+            stmts b
+        | Ir.Sloop lp ->
+            stmts lp.Ir.l_cond_stmts;
+            stmts lp.Ir.l_body;
+            stmts lp.Ir.l_step
+        | Ir.Sswitch (_, grps) -> List.iter (fun g -> stmts g.Ir.g_body) grps
+        | Ir.Sbreak | Ir.Scontinue | Ir.Sreturn _ -> ()
+      in
+      stmts f.Ir.fn_body;
+      if !deref then Hashtbl.replace deref_writers name ();
+      Hashtbl.replace base_mods name gs)
+    funcs;
+  let mod_all = Hashtbl.copy deref_writers in
+  let grew = ref true in
+  while !grew do
+    grew := false;
+    Hashtbl.iter
+      (fun name _ ->
+        if
+          (not (Hashtbl.mem mod_all name))
+          && List.exists (Hashtbl.mem mod_all) (callees name)
+        then begin
+          Hashtbl.replace mod_all name ();
+          grew := true
+        end)
+      funcs
+  done;
+  let p_mods = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun name _ ->
+      if Hashtbl.mem mod_all name then Hashtbl.replace p_mods name Mod_all
+      else begin
+        let gs = Hashtbl.create 8 in
+        Hashtbl.iter
+          (fun n () ->
+            match Hashtbl.find_opt base_mods n with
+            | Some b -> Hashtbl.iter (fun g () -> Hashtbl.replace gs g ()) b
+            | None -> ())
+          (reach_of [ name ] ~edges:callees);
+        Hashtbl.replace p_mods name (Mod_globals gs)
+      end)
+    funcs;
+  let record = Hashtbl.create 64 in
+  (match Hashtbl.find_opt funcs seed with
+  | Some f -> Ir.fold_func (fun () s -> Hashtbl.replace record s.Ir.s_id ()) () f
+  | None -> ());
+  let p_sites = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun name _ ->
+      List.iter
+        (fun st ->
+          if st.st_indirect then Hashtbl.replace p_sites (name, st.st_sid) st.st_tgts)
+        (site_list name))
+    funcs;
+  let pl =
+    {
+      p_seed = seed;
+      p_entry = entry;
+      p_slice = slice;
+      p_record = record;
+      p_sites;
+      p_mods;
+      p_funcs_total = Hashtbl.length funcs;
+    }
+  in
+  let m = Metrics.cur () in
+  m.Metrics.demand_plans <- m.Metrics.demand_plans + 1;
+  m.Metrics.demand_slice_funcs <- m.Metrics.demand_slice_funcs + slice_size pl;
+  m.Metrics.demand_funcs_total <- m.Metrics.demand_funcs_total + pl.p_funcs_total;
+  if Trace.on () then Trace.emit Trace.Slice ~name:seed ~stmts:(slice_size pl) ~t0 ();
+  pl

@@ -1,0 +1,82 @@
+(** Demand-driven slice planning: given a query's {e seed} function,
+    compute the set of functions the engine must analyze exactly for the
+    seed's statement rows to come out bit-identical to an exhaustive
+    run, treating every other (defined) callee as skippable.
+
+    The plan is built over an {e oracle} call graph — direct sites
+    contribute their callee, indirect sites a conservative target list
+    supplied by the caller (the flow-insensitive Andersen pre-pass of
+    [lib/alias] in practice). The slice is the seed's transitive callers
+    [R] plus the {e full} closure: the seed's own callee cone, every
+    [R]-member on an oracle-graph cycle with its cone, and the cone of
+    every call site whose effect may flow into a site leading to the
+    seed ([flows']: textual order or a shared enclosing loop — sound for
+    the structured, [goto]-free IR). See docs/DEMAND.md for the slice
+    rule and the bit-identity argument. *)
+
+(** [oracle ~fn ~sid] is a conservative list of the {e defined}
+    functions an indirect call at statement [sid] of function [fn] can
+    invoke. Consulted only for indirect sites; conservatism relative to
+    the engine's own resolution is re-checked at evaluation time. *)
+type oracle = fn:string -> sid:int -> string list
+
+(** Raised by the engine when an evaluated indirect site resolves to a
+    defined target the planning oracle did not predict — the slice can
+    no longer be trusted and the caller must fall back to the exhaustive
+    analysis ({!Analysis.analyze_demand} does). *)
+exception Oracle_miss of string
+
+(** What a skipped call to a function may modify, relative to the
+    engine's own semantics (the engine's external-call transfer never
+    mutates the state, so external callees contribute nothing). Drives
+    how much the widened transfer must smear. *)
+type mods =
+  | Mod_all
+      (** the function or a transitive callee writes through a pointer
+          dereference: any visible cell may change *)
+  | Mod_globals of (string, unit) Hashtbl.t
+      (** every write in the whole callee cone is direct: only these
+          global variables (plus the return cell) can change *)
+
+type plan = {
+  p_seed : string;  (** the function whose rows the plan preserves *)
+  p_entry : string;
+  p_slice : (string, unit) Hashtbl.t;
+      (** functions analyzed exactly; a defined callee outside it is
+          skipped (summary replay or widened transfer) *)
+  p_record : (int, unit) Hashtbl.t;
+      (** statement ids whose rows are recorded (the seed's body) *)
+  p_sites : (string * int, string list) Hashtbl.t;
+      (** oracle targets per indirect site [(fn, sid)], for the run-time
+          conservatism check *)
+  p_mods : (string, mods) Hashtbl.t;
+      (** per defined function, what a skipped call to it may modify *)
+  p_funcs_total : int;  (** defined functions in the program *)
+}
+
+(** [plan p ~entry ~seed oracle] builds the slice plan for queries about
+    statements of [seed]. Raises [Invalid_argument] when [seed] is not a
+    defined function of [p]. Bumps the [demand_plans] /
+    [demand_slice_funcs] / [demand_funcs_total] metrics and emits a
+    [Slice] trace span. *)
+val plan : Simple_ir.Ir.program -> entry:string -> seed:string -> oracle -> plan
+
+val in_slice : plan -> string -> bool
+
+(** Should the engine record this statement's row? True exactly for the
+    seed function's statement ids. *)
+val records : plan -> int -> bool
+
+val slice_size : plan -> int
+
+(** The slice as a sorted list (tests, [--stats] reporting). *)
+val slice_funcs : plan -> string list
+
+(** Does the plan's oracle admit [target] at indirect site [(fn, sid)]?
+    The engine's run-time conservatism check; unknown sites admit
+    nothing. *)
+val site_allows : plan -> fn:string -> sid:int -> string -> bool
+
+(** What a skipped call to the named function may modify. Unknown
+    functions get {!Mod_all}. *)
+val func_mods : plan -> string -> mods

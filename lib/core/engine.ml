@@ -73,9 +73,17 @@ type ctx = {
   mutable frame_stack : (int, Pts.t) Hashtbl.t list;
       (** open frames of the in-flight evaluations, innermost first;
           every statement contribution is merged into each of them *)
+  demand : Demand.plan option;
+      (** demand mode (docs/DEMAND.md): when set, calls to defined
+          functions outside the plan's slice are answered without
+          evaluation (seeded-summary replay when available, the widened
+          transfer otherwise), only the seed function's statement rows
+          are recorded, and every evaluated indirect site re-checks the
+          plan's oracle — a target it did not predict raises
+          {!Demand.Oracle_miss} *)
 }
 
-let make_ctx ?guard ?(record_summaries = false) ?seeded (tenv : Tenv.t) : ctx =
+let make_ctx ?guard ?(record_summaries = false) ?seeded ?demand (tenv : Tenv.t) : ctx =
   {
     tenv;
     opts = tenv.Tenv.opts;
@@ -93,6 +101,7 @@ let make_ctx ?guard ?(record_summaries = false) ?seeded (tenv : Tenv.t) : ctx =
     summaries = summaries_create ();
     seeded = (match seeded with Some s -> s | None -> summaries_create ());
     frame_stack = [];
+    demand;
   }
 
 let warn ctx fmt =
@@ -129,7 +138,10 @@ let merge_into_tbl (tbl : (int, Pts.t) Hashtbl.t) sid (s : Pts.t) =
   | Some old -> Hashtbl.replace tbl sid (Pts.merge old s)
 
 let record_stmt ctx (s : Ir.stmt) (input : Pts.t) =
-  if ctx.opts.Options.record_stats then begin
+  if
+    ctx.opts.Options.record_stats
+    && (match ctx.demand with Some p -> Demand.records p s.Ir.s_id | None -> true)
+  then begin
     merge_into_tbl ctx.stmt_pts s.Ir.s_id input;
     if ctx.record_summaries then
       List.iter (fun fr -> merge_into_tbl fr s.Ir.s_id input) ctx.frame_stack
@@ -239,6 +251,115 @@ let external_result_targets tenv fn (s : Pts.t) (args : Ir.operand list) : Lval.
         (fun l _ acc -> if Loc.is_null l then acc else Lval.add_loc l Pts.P acc)
         ts acc)
     base args
+
+(** Result targets of a call to [fname] outside the program: the
+    {!Libmodel} table when it covers the call (malloc family returns a
+    fresh object, [strcpy]/[strchr] return (into) their argument, the
+    safe no-op list returns nothing), the coarse model above otherwise.
+    Both populations are counted ([ext_modeled] / [ext_unmodeled]). *)
+let external_call_targets tenv fn (s : Pts.t) (fname : string) (args : Ir.operand list) :
+    (Loc.t * Pts.cert) list =
+  let m = Metrics.cur () in
+  let modeled v =
+    m.Metrics.ext_modeled <- m.Metrics.ext_modeled + 1;
+    v
+  in
+  match Libmodel.find fname with
+  | Some Libmodel.Pure -> modeled []
+  | Some Libmodel.New_object -> modeled [ (Loc.Heap, Pts.P) ]
+  | Some (Libmodel.Returns_arg k) when List.length args >= k ->
+      let ts = Lval.rvals_operand tenv fn s (List.nth args (k - 1)) in
+      modeled (Loc.Map.fold (fun l c acc -> (l, c) :: acc) ts [])
+  | Some (Libmodel.Returns_arg _) | None ->
+      m.Metrics.ext_unmodeled <- m.Metrics.ext_unmodeled + 1;
+      Lval.to_list (external_result_targets tenv fn s args)
+
+(** Is a call to [fname] (a {e defined} function) skipped under the
+    demand plan? *)
+let demand_skips ctx fname =
+  match ctx.demand with
+  | Some p -> not (Demand.in_slice p fname)
+  | None -> false
+
+(** The global variable a location is a cell of, when it is one: the
+    root of its [Fld]/[Head]/[Tail] chain if that root is a global.
+    [Sym] cells (caller invisibles) are reachable only through a
+    dereference, so a callee cone free of dereferencing writes cannot
+    touch them. *)
+let rec loc_global_root = function
+  | Loc.Var (n, Loc.Kglobal) -> Some n
+  | Loc.Fld (l, _) | Loc.Head l | Loc.Tail l -> loc_global_root l
+  | Loc.Var _ | Loc.Sym _ | Loc.Heap | Loc.Site _ | Loc.Null | Loc.Str | Loc.Fun _
+  | Loc.Ret _ ->
+      None
+
+(* The widened transfer for a call skipped in demand mode with no
+   seeded summary to replay: every cell the callee cone may modify (per
+   the plan's {!Demand.func_mods} summary — everything it can see when
+   the cone writes through a dereference, else just its
+   directly-assigned globals) may be rewritten to point at anything
+   visible, at the heap, or at string storage, and its definite
+   relationships are demoted to possible. No new function-pointer
+   targets are invented: inventing them could only send later indirect
+   sites to targets the plan's oracle never predicted (a spurious
+   {!Demand.Oracle_miss}), and by plan construction no skipped effect
+   flows into the recorded rows, so the omission is invisible where the
+   result is trusted (docs/DEMAND.md states the contract precisely). *)
+
+(** One widened row over [locs] (plus heap and string storage, minus
+    NULL and function targets — the widen never invents function-pointer
+    targets), physically shared by every rewritten source: n sources
+    with n-location rows cost O(n) memory and O(n log n) construction
+    instead of O(n^2) repeated inserts. *)
+let wide_row_of (locs : Loc.Set.t) : Pts.cert Loc.Map.t =
+  Loc.Set.fold
+    (fun l acc ->
+      if Loc.is_null l then acc
+      else match l with Loc.Fun _ -> acc | _ -> Loc.Map.add l Pts.P acc)
+    locs
+    (Loc.Map.add Loc.Heap Pts.P (Loc.Map.singleton Loc.Str Pts.P))
+
+(** Rebind [src] to the shared wide row, keeping existing targets the
+    row misses (NULL, functions) demoted to possible like everything
+    else. *)
+let widen_src wide_row src s =
+  let row =
+    Loc.Map.fold
+      (fun t _ acc -> if Loc.Map.mem t acc then acc else Loc.Map.add t Pts.P acc)
+      (Pts.tgt_map src s) wide_row
+  in
+  Pts.add_map src row (Pts.kill_src src s)
+
+let demand_mods ctx fname =
+  match ctx.demand with
+  | Some plan -> Demand.func_mods plan fname
+  | None -> Demand.Mod_all
+
+(** Widened transfer over a {e mapped} callee input, for a skipped call
+    that had to go through {!Map_unmap.map_call} anyway (a seeded
+    summary may match, or a pointer-carrying struct flows through the
+    call): every cell the callee cone may modify (per the plan's
+    {!Demand.func_mods} summary) may be rewritten to point at anything
+    visible, at the heap, or at string storage, and its definite
+    relationships are demoted to possible. *)
+let demand_widen ctx (callee_fn : Ir.func) (func_input : Pts.t) : Pts.t =
+  let wide_row = lazy (wide_row_of (Pts.all_locs func_input)) in
+  let out = ref func_input in
+  (match demand_mods ctx callee_fn.Ir.fn_name with
+  | Demand.Mod_all ->
+      Pts.iter_srcs (fun src _ -> out := widen_src (Lazy.force wide_row) src !out)
+        func_input
+  | Demand.Mod_globals gs ->
+      Pts.iter_srcs
+        (fun src _ ->
+          match loc_global_root src with
+          | Some g when Hashtbl.mem gs g -> out := widen_src (Lazy.force wide_row) src !out
+          | Some _ | None -> ())
+        func_input);
+  if Ctype.is_pointer (Ctype.decay callee_fn.Ir.fn_ret) then
+    out := Pts.add_weak (Loc.ret callee_fn.Ir.fn_name) Loc.Null Pts.P
+             (widen_src (Lazy.force wide_row) (Loc.ret callee_fn.Ir.fn_name) !out);
+  !out
 
 (* ------------------------------------------------------------------ *)
 (* Statement processing                                               *)
@@ -430,10 +551,123 @@ and actual_of_operand ctx fn (s : Pts.t) (pty : Ctype.t option) (op : Ir.operand
   | Ir.Onull | Ir.Oconst _ -> Map_unmap.Aother
   | Ir.Ostr -> Map_unmap.Aptr (Lval.of_list [ (Loc.Str, Pts.P) ])
 
+(** Answer a call to a defined function outside the demand slice
+    without evaluating it: map the input, replay a seeded summary when
+    one matches the mapped input (exact), otherwise apply the widened
+    transfer, and unmap — no invocation-graph child is created and no
+    body is processed. By plan construction the imprecision cannot flow
+    into the recorded (seed) rows. *)
+and demand_skip ctx caller_fn (s : Pts.t) (callee_fn : Ir.func) (args : Ir.operand list) :
+    Pts.state * (Loc.t * Pts.cert) list * ((Loc.t -> Loc.t) * (Loc.t * Pts.cert) list) list
+    =
+  let fname = callee_fn.Ir.fn_name in
+  let m = Metrics.cur () in
+  let su_ptr t =
+    Ctype.is_su t && Ctype.carries_pointers (Tenv.layouts ctx.tenv) t
+  in
+  let fast =
+    (not (Hashtbl.mem ctx.seeded fname))
+    && (not (su_ptr callee_fn.Ir.fn_ret))
+    && List.for_all (fun (_, t) -> not (su_ptr t)) callee_fn.Ir.fn_params
+    && List.length args <= List.length callee_fn.Ir.fn_params
+  in
+  if fast then begin
+    (* no seeded summary can match and no pointer-carrying struct flows
+       through the call: widen the caller's state in place over the
+       cells the callee can see — the same closure {!Map_unmap.map_call}
+       would compute (globals plus everything reachable from the
+       actuals) — and spare the map/unmap round trip that otherwise
+       dominates the cost of a skip *)
+    m.Metrics.demand_skipped <- m.Metrics.demand_skipped + 1;
+    let visible () =
+      let seen = ref Loc.Set.empty in
+      let q = Queue.create () in
+      let push l =
+        if not (Loc.Set.mem l !seen) then begin
+          seen := Loc.Set.add l !seen;
+          Queue.push l q
+        end
+      in
+      Pts.iter_srcs (fun src _ -> if loc_global_root src <> None then push src) s;
+      List.iter
+        (fun op ->
+          Loc.Map.iter (fun l _ -> push l) (Lval.rvals_operand ctx.tenv caller_fn s op))
+        args;
+      while not (Queue.is_empty q) do
+        Loc.Map.iter (fun t _ -> push t) (Pts.tgt_map (Queue.pop q) s)
+      done;
+      !seen
+    in
+    let row, out =
+      match demand_mods ctx fname with
+      | Demand.Mod_globals gs ->
+          let row = lazy (wide_row_of (Pts.all_locs s)) in
+          let out = ref s in
+          Pts.iter_srcs
+            (fun src _ ->
+              match loc_global_root src with
+              | Some g when Hashtbl.mem gs g -> out := widen_src (Lazy.force row) src !out
+              | Some _ | None -> ())
+            s;
+          (row, !out)
+      | Demand.Mod_all ->
+          let vis = visible () in
+          let row = lazy (wide_row_of vis) in
+          let out = ref s in
+          Pts.iter_srcs
+            (fun src _ ->
+              if Loc.Set.mem src vis then out := widen_src (Lazy.force row) src !out)
+            s;
+          (row, !out)
+    in
+    let ret_tgts =
+      if Ctype.is_pointer (Ctype.decay callee_fn.Ir.fn_ret) then
+        (Loc.Null, Pts.P)
+        :: Loc.Map.fold (fun l c acc -> (l, c) :: acc) (Lazy.force row) []
+      else []
+    in
+    (Some out, ret_tgts, [])
+  end
+  else begin
+    let param_tys = List.map (fun (_, t) -> Some t) callee_fn.Ir.fn_params in
+    let param_tys =
+      if List.length args <= List.length param_tys then param_tys
+      else param_tys @ List.init (List.length args - List.length param_tys) (fun _ -> None)
+    in
+    let actuals =
+      List.map2 (fun pty op -> actual_of_operand ctx caller_fn s pty op) param_tys args
+    in
+    let func_input, info =
+      Map_unmap.map_call ctx.tenv ~caller_fn ~callee:callee_fn ~input:s ~actuals
+    in
+    let out =
+      match summaries_find ctx.seeded fname func_input with
+      | Some e ->
+          m.Metrics.demand_replays <- m.Metrics.demand_replays + 1;
+          e.se_out
+      | None ->
+          m.Metrics.demand_skipped <- m.Metrics.demand_skipped + 1;
+          demand_widen ctx callee_fn func_input
+    in
+    let result =
+      Map_unmap.unmap_call ~callee:fname ctx.tenv ~input:s ~output:out ~info
+    in
+    let ret_tgts = Map_unmap.return_targets ~output:out ~info ~callee:fname in
+    let ret_cells =
+      if su_ptr callee_fn.Ir.fn_ret then
+        Map_unmap.return_cell_targets ~output:out ~info ~callee:fname
+      else []
+    in
+    (Some result, ret_tgts, ret_cells)
+  end
+
 and process_call_stmt ctx fn node (s : Pts.t) (stmt : Ir.stmt) lhs callee args : flow =
   match callee with
   | Ir.Cdirect fname -> (
       match Tenv.find_func ctx.tenv fname with
+      | Some callee_fn when demand_skips ctx fname ->
+          let out, ret_tgts, ret_cells = demand_skip ctx fn s callee_fn args in
+          finish_call ctx fn node out ret_tgts ret_cells lhs
       | Some callee_fn ->
           let child =
             match Ig.child_at_for node stmt.Ir.s_id fname with
@@ -449,9 +683,7 @@ and process_call_stmt ctx fn node (s : Pts.t) (stmt : Ir.stmt) lhs callee args :
           finish_call ctx fn node out ret_tgts ret_cells lhs
       | None ->
           (* external function *)
-          let ret_tgts =
-            external_result_targets ctx.tenv fn s args |> Lval.to_list
-          in
+          let ret_tgts = external_call_targets ctx.tenv fn s fname args in
           finish_call ctx fn node (Some s) ret_tgts [] lhs)
   | Ir.Cindirect fref ->
       (* Figure 5: the functions invocable here are exactly the functions
@@ -463,6 +695,23 @@ and process_call_stmt ctx fn node (s : Pts.t) (stmt : Ir.stmt) lhs callee args :
           fn_targets []
         |> List.rev
       in
+      (* Demand mode: the plan was built against an oracle's prediction of
+         this site's targets. A defined target the oracle missed voids the
+         slice — bail out so the caller falls back to exhaustive. *)
+      (match ctx.demand with
+      | Some plan ->
+          List.iter
+            (fun f ->
+              if
+                Tenv.is_defined_func ctx.tenv f
+                && not (Demand.site_allows plan ~fn:fn.Ir.fn_name ~sid:stmt.Ir.s_id f)
+              then
+                raise
+                  (Demand.Oracle_miss
+                     (Printf.sprintf "s%d of %s resolves to %s" stmt.Ir.s_id
+                        fn.Ir.fn_name f)))
+            fnames
+      | None -> ());
       if fnames = [] then begin
         warn ctx "indirect call at s%d has no function targets" stmt.Ir.s_id;
         finish_call ctx fn node (Some s) [] [] lhs
@@ -475,7 +724,9 @@ and process_call_stmt ctx fn node (s : Pts.t) (stmt : Ir.stmt) lhs callee args :
               match Tenv.find_func ctx.tenv fname with
               | None ->
                   (* external target *)
-                  (Some s, Lval.to_list (external_result_targets ctx.tenv fn s args), [])
+                  (Some s, external_call_targets ctx.tenv fn s fname args, [])
+              | Some callee_fn when demand_skips ctx fname ->
+                  demand_skip ctx fn s callee_fn args
               | Some callee_fn ->
                   let child = Ig.add_indirect_child ctx.tenv node stmt.Ir.s_id fname in
                   Guard.check_nodes ctx.guard (Ig.node_count ());

@@ -104,28 +104,29 @@ let direct_call_sites (fn : Ir.func) : (int * string) list =
     [parent] (or a root when [parent] is [None]): DFS over direct call
     sites, terminating each branch whose callee already appears on the
     ancestor chain with an approximate node paired to that ancestor. *)
-let rec grow (tenv : Tenv.t) ~(parent : node option) (fname : string) : node =
+let rec grow ?(within = fun _ -> true) (tenv : Tenv.t) ~(parent : node option)
+    (fname : string) : node =
   let node = fresh_node ~func:fname ~parent ~kind:Ordinary in
   (match Tenv.find_func tenv fname with
   | None -> ()
   | Some fn ->
       List.iter
         (fun (sid, callee) ->
-          if Tenv.is_defined_func tenv callee then begin
-            let child = grow_child tenv node callee in
+          if Tenv.is_defined_func tenv callee && within callee then begin
+            let child = grow_child ~within tenv node callee in
             node.children <- (sid, child) :: node.children
           end)
         (direct_call_sites fn));
   node
 
-and grow_child tenv node callee =
+and grow_child ?within tenv node callee =
   match ancestor_with node callee with
   | Some anc ->
       anc.kind <- Recursive;
       let child = fresh_node ~func:callee ~parent:(Some node) ~kind:Approximate in
       child.partner <- Some anc;
       child
-  | None -> grow tenv ~parent:(Some node) callee
+  | None -> grow ?within tenv ~parent:(Some node) callee
 
 (** Extend the graph at an indirect call site (Figure 5's
     updateInvocGraph): returns the (possibly pre-existing) child for
@@ -138,10 +139,10 @@ let add_indirect_child tenv node stmt_id fname : node =
       node.children <- (stmt_id, child) :: node.children;
       child
 
-let build (tenv : Tenv.t) ~(entry : string) : t =
+let build ?within (tenv : Tenv.t) ~(entry : string) : t =
   let node_counter = Domain.DLS.get node_counter in
   node_counter := 0;
-  let root = grow tenv ~parent:None entry in
+  let root = grow ?within tenv ~parent:None entry in
   { root; n_nodes = !node_counter }
 
 (* ------------------------------------------------------------------ *)

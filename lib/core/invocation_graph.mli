@@ -54,8 +54,12 @@ val direct_call_sites : Ir.func -> (int * string) list
 val add_indirect_child : Tenv.t -> node -> int -> string -> node
 
 (** Build the graph by depth-first traversal of direct calls from
-    [entry], cutting recursion with approximate nodes. *)
-val build : Tenv.t -> entry:string -> t
+    [entry], cutting recursion with approximate nodes. [within] gates
+    the descent: a direct callee for which it returns [false] gets no
+    child (demand mode builds the graph of a {!Demand.plan}'s slice this
+    way — the skipped call is answered without an invocation context).
+    Defaults to everything. The root is built regardless of [within]. *)
+val build : ?within:(string -> bool) -> Tenv.t -> entry:string -> t
 
 val fold : ('a -> node -> 'a) -> 'a -> t -> 'a
 val n_nodes : t -> int

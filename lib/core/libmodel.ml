@@ -1,0 +1,82 @@
+(** Behavioral models of C library functions (the Cetus-style table:
+    "Context-sensitive interprocedural points-to analysis" applied to
+    the C99 library).
+
+    A call to a function outside the translation unit previously got one
+    coarse model: state unchanged, pointer result may point to the heap,
+    to string storage, or into any argument's target. This table refines
+    the {e result} for the calls whose behavior C99 pins down; the state
+    itself still never changes (library functions in the modeled set do
+    not store pointer values into user memory). Everything outside the
+    table keeps the coarse model, and {!Metrics} counts both populations
+    ([ext_modeled] / [ext_unmodeled]) so the remaining modeling gap is
+    visible in [--stats]. *)
+
+type model =
+  | New_object
+      (** returns a pointer to a fresh abstract object — possibly NULL
+          on failure, hence a {e possible} relation (malloc family,
+          [fopen], [getenv], the static-buffer time functions) *)
+  | Returns_arg of int
+      (** returns its [n]th argument (1-based), or a pointer into that
+          argument's object — same abstract location ([strcpy],
+          [memcpy], [strchr]) *)
+  | Pure
+      (** neither stores pointer values nor returns one: the points-to
+          relation is untouched and a pointer-typed destination (there
+          should be none) would get no targets *)
+
+let table : (string, model) Hashtbl.t =
+  let t = Hashtbl.create 128 in
+  let put m names = List.iter (fun n -> Hashtbl.replace t n m) names in
+  (* C99 calls returning a pointer to a new abstract location (or to a
+     library-owned static buffer, indistinguishable at our granularity) *)
+  put New_object
+    [
+      "asctime"; "calloc"; "ctime"; "fdopen"; "fopen"; "freopen"; "getenv";
+      "gmtime"; "localtime"; "malloc"; "memalign"; "opendir"; "realloc";
+      "strdup"; "strndup"; "strerror"; "tmpfile"; "tmpnam"; "valloc";
+    ];
+  (* calls returning their first argument (or a pointer into its
+     object): the string/memory copy and search family *)
+  put (Returns_arg 1)
+    [
+      "fgets"; "gets"; "memchr"; "memcpy"; "memmove"; "memset"; "strcat";
+      "strchr"; "strcpy"; "strncat"; "strncpy"; "strpbrk"; "strrchr";
+      "strstr"; "strtok";
+    ];
+  (* calls returning their second argument *)
+  put (Returns_arg 2) [ "bcopy" ];
+  (* safe no-ops: no pointer stored anywhere, no pointer returned. Note
+     the exclusions: the [strtol] family writes an end pointer through
+     its second argument, and [qsort]/[bsearch] invoke a function
+     pointer — those keep the coarse model. *)
+  put Pure
+    [
+      (* stdio *)
+      "clearerr"; "fclose"; "feof"; "ferror"; "fflush"; "fgetc"; "fprintf";
+      "fputc"; "fputs"; "fread"; "fscanf"; "fseek"; "ftell"; "fwrite";
+      "getc"; "getchar"; "perror"; "printf"; "putc"; "putchar"; "puts";
+      "remove"; "rename"; "rewind"; "scanf"; "setbuf"; "setvbuf";
+      "snprintf"; "sprintf"; "sscanf"; "ungetc"; "vfprintf"; "vprintf";
+      "vsnprintf"; "vsprintf";
+      (* stdlib / unistd *)
+      "abort"; "abs"; "atexit"; "atof"; "atoi"; "atol"; "close"; "exit";
+      "free"; "labs"; "rand"; "sleep"; "srand"; "system"; "unlink";
+      (* string.h inspection *)
+      "memcmp"; "strcasecmp"; "strcmp"; "strcoll"; "strcspn"; "strlen";
+      "strncasecmp"; "strncmp"; "strspn";
+      (* ctype.h *)
+      "isalnum"; "isalpha"; "iscntrl"; "isdigit"; "isgraph"; "islower";
+      "isprint"; "ispunct"; "isspace"; "isupper"; "isxdigit"; "tolower";
+      "toupper";
+      (* math.h *)
+      "acos"; "asin"; "atan"; "atan2"; "ceil"; "cos"; "cosh"; "exp";
+      "fabs"; "floor"; "fmod"; "log"; "log10"; "pow"; "sin"; "sinh";
+      "sqrt"; "tan"; "tanh";
+      (* time.h *)
+      "clock"; "difftime"; "mktime"; "time";
+    ];
+  t
+
+let find (name : string) : model option = Hashtbl.find_opt table name

@@ -1,0 +1,17 @@
+(** Behavioral models of C library functions: a static table of C99
+    behaviors (malloc family returns a new object, [strcpy]/[memcpy]
+    return their first argument, [printf]/[strlen]/math.h touch no
+    pointers), replacing the coarse one-size no-op model for external
+    calls the table covers. See the Cetus [IPPointsToAnalysis] library
+    tables for the lineage. *)
+
+type model =
+  | New_object  (** returns a pointer to a fresh abstract object *)
+  | Returns_arg of int
+      (** returns its [n]th argument (1-based) or a pointer into that
+          argument's object *)
+  | Pure  (** no pointer effect, no pointer result *)
+
+(** The model of a library function, [None] when unmodeled (the caller
+    should fall back to the coarse external model). *)
+val find : string -> model option

@@ -64,6 +64,28 @@ type t = {
   mutable incr_funcs_reused : int;
       (** summary replays: memoized (input, output) pairs served from
           the persisted v3 summaries instead of re-running the body *)
+  (* demand-driven mode ({!Demand} / {!Analysis.analyze_demand}) *)
+  mutable demand_plans : int;  (** slice plans built *)
+  mutable demand_slice_funcs : int;
+      (** functions in the planned slices (summed over plans) *)
+  mutable demand_funcs_total : int;
+      (** defined functions in the planned programs (summed over plans) *)
+  mutable demand_skipped : int;
+      (** out-of-slice call evaluations answered by the widened
+          transfer *)
+  mutable demand_replays : int;
+      (** out-of-slice call evaluations answered exactly from a seeded
+          summary *)
+  mutable demand_fallbacks : int;
+      (** demand analyses aborted to the exhaustive engine (oracle
+          conservatism violated at an indirect site) *)
+  (* external-call model ({!Libmodel}) *)
+  mutable ext_modeled : int;
+      (** external call evaluations answered by the library-model
+          table *)
+  mutable ext_unmodeled : int;
+      (** external call evaluations that fell back to the coarse
+          model *)
   (* analysis daemon ({!Serve}); daemon-level counters, always 0 in a
      single analysis' snapshot and deliberately not persisted *)
   mutable serve_requests : int;  (** protocol requests received *)
@@ -103,6 +125,14 @@ let create () =
     budget_trips = 0;
     incr_funcs_dirty = 0;
     incr_funcs_reused = 0;
+    demand_plans = 0;
+    demand_slice_funcs = 0;
+    demand_funcs_total = 0;
+    demand_skipped = 0;
+    demand_replays = 0;
+    demand_fallbacks = 0;
+    ext_modeled = 0;
+    ext_unmodeled = 0;
     serve_requests = 0;
     serve_errors = 0;
     serve_shed = 0;
@@ -145,6 +175,14 @@ let reset () =
   cur.budget_trips <- 0;
   cur.incr_funcs_dirty <- 0;
   cur.incr_funcs_reused <- 0;
+  cur.demand_plans <- 0;
+  cur.demand_slice_funcs <- 0;
+  cur.demand_funcs_total <- 0;
+  cur.demand_skipped <- 0;
+  cur.demand_replays <- 0;
+  cur.demand_fallbacks <- 0;
+  cur.ext_modeled <- 0;
+  cur.ext_unmodeled <- 0;
   cur.serve_requests <- 0;
   cur.serve_errors <- 0;
   cur.serve_shed <- 0;
@@ -186,6 +224,14 @@ let add_into ~(into : t) (m : t) =
   into.budget_trips <- into.budget_trips + m.budget_trips;
   into.incr_funcs_dirty <- into.incr_funcs_dirty + m.incr_funcs_dirty;
   into.incr_funcs_reused <- into.incr_funcs_reused + m.incr_funcs_reused;
+  into.demand_plans <- into.demand_plans + m.demand_plans;
+  into.demand_slice_funcs <- into.demand_slice_funcs + m.demand_slice_funcs;
+  into.demand_funcs_total <- into.demand_funcs_total + m.demand_funcs_total;
+  into.demand_skipped <- into.demand_skipped + m.demand_skipped;
+  into.demand_replays <- into.demand_replays + m.demand_replays;
+  into.demand_fallbacks <- into.demand_fallbacks + m.demand_fallbacks;
+  into.ext_modeled <- into.ext_modeled + m.ext_modeled;
+  into.ext_unmodeled <- into.ext_unmodeled + m.ext_unmodeled;
   into.serve_requests <- into.serve_requests + m.serve_requests;
   into.serve_errors <- into.serve_errors + m.serve_errors;
   into.serve_shed <- into.serve_shed + m.serve_shed;
@@ -245,6 +291,12 @@ let rows (m : t) : (string * string) list =
     ( "incremental",
       Printf.sprintf "%d functions dirty, %d summaries replayed" m.incr_funcs_dirty
         m.incr_funcs_reused );
+    ( "demand",
+      Printf.sprintf "%d plans (slice %d/%d funcs), %d skipped, %d replayed, %d fallbacks"
+        m.demand_plans m.demand_slice_funcs m.demand_funcs_total m.demand_skipped
+        m.demand_replays m.demand_fallbacks );
+    ( "external calls",
+      Printf.sprintf "%d modeled, %d unmodeled" m.ext_modeled m.ext_unmodeled );
     ( "serve traffic",
       Printf.sprintf "%d requests (%d errors, %d shed)" m.serve_requests m.serve_errors
         m.serve_shed );

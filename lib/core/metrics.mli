@@ -43,6 +43,25 @@ type t = {
       (** incremental re-analysis: summary replays — memoized
           (input, output) pairs served from persisted v3 summaries
           instead of re-running the function body *)
+  mutable demand_plans : int;  (** {!Demand} slice plans built *)
+  mutable demand_slice_funcs : int;
+      (** functions in the planned slices (summed over plans) *)
+  mutable demand_funcs_total : int;
+      (** defined functions in the planned programs (summed over plans) *)
+  mutable demand_skipped : int;
+      (** demand mode: out-of-slice call evaluations answered by the
+          widened transfer *)
+  mutable demand_replays : int;
+      (** demand mode: out-of-slice call evaluations answered exactly
+          from a seeded summary *)
+  mutable demand_fallbacks : int;
+      (** demand analyses aborted to the exhaustive engine after an
+          {!Demand.Oracle_miss} *)
+  mutable ext_modeled : int;
+      (** external call evaluations answered by the {!Libmodel} table *)
+  mutable ext_unmodeled : int;
+      (** external call evaluations that fell back to the coarse
+          model *)
   mutable serve_requests : int;
       (** {!Serve} protocol requests received (daemon-level; always 0
           in a single analysis' snapshot, not persisted) *)

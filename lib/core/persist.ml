@@ -25,7 +25,7 @@
 module Ir = Simple_ir.Ir
 module Ig = Invocation_graph
 
-let version = 3
+let version = 4
 
 let magic = "PTANC"
 
@@ -958,7 +958,7 @@ let load ~source ?opts ?entry file : Analysis.result option =
     after — everything the rekey and replay paths need without touching
     the file again. *)
 type incr_load =
-  | L_hit of Analysis.result
+  | L_hit of Analysis.result * raw_summaries
   | L_partial of Analysis.result * raw_summaries * string
   | L_missing
   | L_corrupt
@@ -981,7 +981,7 @@ let load_incr ~source ~opts ~entry file : incr_load =
         then raise Bad;
         let res, raw = decode_body ~opts r in
         let mykey = Digest.from_hex (key ~source ~opts ~entry) in
-        if String.equal stored_key mykey then L_hit res
+        if String.equal stored_key mykey then L_hit (res, raw)
         else L_partial (res, raw, mykey)
       with
       | Bad | Failure _ | Invalid_argument _ | Sys_error _ | End_of_file -> L_corrupt
@@ -993,7 +993,7 @@ let load_incr ~source ~opts ~entry file : incr_load =
         ~name:(Filename.basename source)
         ~pts_out:
           (match res with
-          | L_hit r | L_partial (r, _, _) -> Hashtbl.length r.Analysis.stmt_pts
+          | L_hit (r, _) | L_partial (r, _, _) -> Hashtbl.length r.Analysis.stmt_pts
           | L_missing | L_corrupt -> -1)
         ~t0:tr0 ();
     res
@@ -1151,6 +1151,26 @@ let rekey_file ~data ~newkey file =
         Sys.rename tmp file)
   with Bad | Sys_error _ | Failure _ | End_of_file -> ()
 
+let load_summaries ~cache_dir ~source ~opts ?(entry = "main") (prog : Ir.program) :
+    Engine.summaries option =
+  (* same gate as [analyze_cached_incr]: summaries only replay under the
+     seedable engine modes *)
+  if not (opts.Options.context_sensitive && not opts.Options.heap_by_site) then None
+  else
+    let file = cache_file_incr ~cache_dir ~source ~opts ~entry in
+    match load_incr ~source ~opts ~entry file with
+    | L_missing | L_corrupt -> None
+    | L_hit (_, raw) | L_partial (_, raw, _) ->
+        if not (String.equal raw.rs_env (env_hash ~opts ~entry prog)) then None
+        else begin
+          let old_hashes = Hashtbl.create 64 in
+          List.iter (fun (n, d) -> Hashtbl.replace old_hashes n d) raw.rs_hashes;
+          let elig = eligible_funcs prog ~old_hashes in
+          match bind_summaries ~keep:(Hashtbl.mem elig) prog raw with
+          | exception Bad -> None
+          | seeded -> Some seeded
+        end
+
 let analyze_cached_incr ~dir ~opts ~entry ?budget source : Analysis.result * bool =
   let file = cache_file_incr ~cache_dir:dir ~source ~opts ~entry in
   (* summaries replay only under the context-sensitive engine, and
@@ -1162,7 +1182,7 @@ let analyze_cached_incr ~dir ~opts ~entry ?budget source : Analysis.result * boo
   let quarantined = ref 0 in
   let t0 = Metrics.now () in
   match load_incr ~source ~opts ~entry file with
-  | L_hit res ->
+  | L_hit (res, _) ->
       let dt = Metrics.now () -. t0 in
       (Metrics.cur ()).Metrics.cache_hits <- (Metrics.cur ()).Metrics.cache_hits + 1;
       res.Analysis.metrics.Metrics.cache_hits <-

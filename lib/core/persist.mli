@@ -126,6 +126,22 @@ val func_hash : Simple_ir.Ir.func -> Digest.t
 val eligible_funcs :
   Simple_ir.Ir.program -> old_hashes:(string, string) Hashtbl.t -> (string, unit) Hashtbl.t
 
+(** The replayable summaries of the incremental cache entry for
+    [source], restricted to {!eligible_funcs} against [prog] (the
+    current lowering of [source]) — what a demand-driven run replays at
+    calls it skips ({!Analysis.analyze_demand}; docs/DEMAND.md). [None]
+    when there is no usable entry: missing or corrupt file, changed
+    environment (globals, layouts, options), or a non-seedable engine
+    mode (context-insensitive, [heap_by_site]). Unlike [analyze_cached]
+    this never runs the analysis and never writes. *)
+val load_summaries :
+  cache_dir:string ->
+  source:string ->
+  opts:Options.t ->
+  ?entry:string ->
+  Simple_ir.Ir.program ->
+  Engine.summaries option
+
 (** [analyze_cached ?cache_dir ?opts ?entry source] serves the analysis
     result for [source] from the disk cache when a valid entry exists,
     and otherwise runs {!Analysis.of_file} and populates the cache. The

@@ -29,6 +29,8 @@ type kind =
   | Request
   | Dirty
   | Replay
+  | Slice
+  | Demand
 
 let kind_name = function
   | Analysis -> "analysis"
@@ -44,8 +46,10 @@ let kind_name = function
   | Request -> "request"
   | Dirty -> "dirty"
   | Replay -> "replay"
+  | Slice -> "slice"
+  | Demand -> "demand"
 
-let n_kinds = 13
+let n_kinds = 15
 
 let kind_idx = function
   | Analysis -> 0
@@ -61,6 +65,8 @@ let kind_idx = function
   | Request -> 10
   | Dirty -> 11
   | Replay -> 12
+  | Slice -> 13
+  | Demand -> 14
 
 type span = {
   sp_kind : kind;

@@ -46,6 +46,12 @@ type kind =
   | Replay
       (** incremental re-analysis: one memoized (input, output) pair
           served from a persisted summary instead of a body fixpoint *)
+  | Slice
+      (** demand mode: one {!Demand.plan} computation (the invocation-
+          graph slice for a query's seed function) *)
+  | Demand
+      (** demand mode: one whole {!Analysis.analyze_demand} run over a
+          planned slice *)
 
 val kind_name : kind -> string
 (** Lower-case stable name ([node], [map], [cache-load], ...); used as

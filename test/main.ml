@@ -19,6 +19,7 @@ let () =
       Test_persist.suite;
       Test_incremental.suite;
       Test_queries.suite;
+      Test_demand.suite;
       Test_parallel.suite;
       Test_trace.suite;
       Test_robust.suite;

@@ -129,10 +129,22 @@ let return_tests =
             int main() { int *p; p = xmalloc(4); return 0; }|}
           "p" [ "heap/P" ]);
     case "external call result is conservative" (fun () ->
+        (* an external with no library model keeps the coarse transfer *)
         check_exit "external"
+          {|char *mystery(char *name);
+            int main() { char *p; p = mystery("HOME"); return 0; }|}
+          "p" [ "heap/P"; "str/P" ]);
+    case "modeled external: getenv returns a new object" (fun () ->
+        check_exit "getenv"
           {|char *getenv(char *name);
             int main() { char *p; p = getenv("HOME"); return 0; }|}
-          "p" [ "heap/P"; "str/P" ]);
+          "p" [ "heap/P" ]);
+    case "modeled external: strcpy returns its first argument" (fun () ->
+        check_exit "strcpy"
+          {|char *strcpy(char *dst, char *src);
+            int main() { char a; char *d; char *p;
+                         d = &a; p = strcpy(d, "x"); return 0; }|}
+          "p" [ "a/D" ]);
   ]
 
 let context_tests =

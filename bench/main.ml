@@ -1235,9 +1235,262 @@ let demand_json out =
     Fmt.failwith "demand_json: demand beat exhaustive cold on only %d/%d programs (need %d)"
       wins (List.length rows) need
 
+(* ------------------------------------------------------------------ *)
+(* Scale corpus: generated big programs (Gen / ptan gen)              *)
+(* ------------------------------------------------------------------ *)
+
+(** The fixed bench corpus: 3 sizes x 2 shapes, reproduced from knobs
+    alone — [Gen.program] is byte-deterministic, so nothing is checked
+    in (docs/CORPUS.md). "web" is function-pointer heavy and shallow
+    (every fourth call site goes through a table); "deep" is a
+    direct-call DAG seven layers deep with heavier struct traffic. The
+    top size keeps the acceptance floor: at least one program of 10k+
+    lines. *)
+let corpus_spec =
+  let web size =
+    ("web", { Gen.default with Gen.seed = 11; size; depth = 4; fnptr_density = 30 })
+  in
+  let deep size =
+    ("deep", { Gen.default with Gen.seed = 23; size; depth = 7; fnptr_density = 0; structs = 50 })
+  in
+  List.concat_map (fun size -> [ web size; deep size ]) [ 1_000; 3_000; 10_000 ]
+
+let corpus_name (shape, (k : Gen.knobs)) = Fmt.str "%s-%d" shape k.Gen.size
+
+(** Statically indirect call sites of a program (calls through a
+    function-pointer reference). *)
+let indirect_sites p =
+  Ir.fold_program
+    (fun n s ->
+      match s.Ir.s_desc with Ir.Scall (_, Ir.Cindirect _, _) -> n + 1 | _ -> n)
+    0 p
+
+(** Degraded-run soundness for corpus members: pair containment modulo
+    the §4.1 symbolic names. The generated programs store addresses of
+    locals into globals across deep call webs, so their final tables
+    keep entry-relative symbolic locations (1_gp0, 1_p, ...) — and the
+    full-precision and widened runs legitimately resolve those names
+    differently (one may record [gp3 -> lv] where the other keeps
+    [gp3 -> 1_gp3], both denoting "gp3 still holds what it pointed to
+    at entry"). The strict syntactic check {!pairs_superset} cannot
+    hold there, on either side. The gate that is actually meaningful:
+    every full-run pair with concrete (non-symbolic) endpoints must be
+    present in the degraded run — either verbatim, or absorbed by a
+    degraded pair of the same statement and source whose target is a
+    symbolic name (the entry summary that covers it). Pairs with a
+    symbolic endpoint are entry-relative and carry no cross-mode
+    meaning, so they are not compared. The 18 paper benchmarks never
+    leave residual symbolic names in their tables, which is why the
+    strict gate suffices for them. *)
+let corpus_superset ~(full : Analysis.result) ~(degraded : Analysis.result) =
+  let deg = Hashtbl.create 4096 and deg_sym = Hashtbl.create 1024 in
+  let add_deg sid s =
+    Pts.iter
+      (fun src dst _ ->
+        Hashtbl.replace deg (sid, Loc.id src, Loc.id dst) ();
+        if Loc.sym_depth dst > 0 then Hashtbl.replace deg_sym (sid, Loc.id src) ())
+      s
+  in
+  Hashtbl.iter add_deg degraded.Analysis.stmt_pts;
+  (match degraded.Analysis.entry_output with Some o -> add_deg (-1) o | None -> ());
+  let ok = ref true in
+  let check sid s =
+    Pts.iter
+      (fun src dst _ ->
+        if
+          Loc.sym_depth src = 0
+          && Loc.sym_depth dst = 0
+          && (not (Hashtbl.mem deg (sid, Loc.id src, Loc.id dst)))
+          && not (Hashtbl.mem deg_sym (sid, Loc.id src))
+        then ok := false)
+      s
+  in
+  Hashtbl.iter check full.Analysis.stmt_pts;
+  (match full.Analysis.entry_output with Some o -> check (-1) o | None -> ());
+  !ok
+
+type corpus_row = {
+  cr_name : string;
+  cr_shape : string;
+  cr_knobs : Gen.knobs;
+  cr_lines : int;
+  cr_funcs : int;
+  cr_indirect : int;
+  cr_t_gen : float;  (** generation ms (second render, after the regen identity check) *)
+  cr_t_exh : float;  (** exhaustive context-sensitive analysis, ms *)
+  cr_t_demand : float;  (** demand run for the cheapest-slice seed, end to end, ms *)
+  cr_slice : int;
+  cr_seed_fn : string;
+  cr_demand_ident : bool;  (** demand seed-function rows equal the exhaustive run's *)
+  cr_t_budget : float;  (** fuel-1 budgeted run (degrades to the widened rerun), ms *)
+  cr_tripped : bool;
+  cr_superset : bool;  (** degraded pairs contain the exhaustive pairs *)
+  cr_exh : Analysis.result;
+  cr_prog : Ir.program;
+}
+
+(** Generate and measure one corpus program. Single-shot timings, not
+    min-of-N: the big members cost tens of seconds, and the trajectory
+    tracking cares about the shape of the curve, not microseconds.
+    Hard gates here: regeneration is byte-identical, the demand seed
+    rows match exhaustive, and the degraded run is a pair superset. *)
+let corpus_measure (shape, (k : Gen.knobs)) =
+  let name = corpus_name (shape, k) in
+  let text = Gen.program k in
+  let regen, t_gen = time (fun () -> Gen.program k) in
+  if not (String.equal text regen) then
+    Fmt.failwith "corpus: %s regeneration is not byte-identical" name;
+  let p = Simple_ir.Simplify.of_string ~file:(name ^ ".c") text in
+  let lines = String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 text in
+  if k.Gen.size >= 10_000 && lines < 10_000 then
+    Fmt.failwith "corpus: %s is under the 10k-line acceptance floor (%d)" name lines;
+  let exh, t_exh = time (fun () -> Analysis.analyze p) in
+  (* the demand side: cheapest-slice non-entry seed, like demand_measure,
+     but planned once on a shared driver — the corpus members are too
+     big for per-function re-preparation *)
+  let d0 = Alias.Demand_driver.prepare p in
+  let slice_of seed = Pointsto.Demand.slice_size (Alias.Demand_driver.plan_for d0 ~seed) in
+  let seed_fn, slice =
+    match
+      List.fold_left
+        (fun acc fn ->
+          let n = fn.Ir.fn_name in
+          if String.equal n "main" then acc
+          else
+            let size = slice_of n in
+            match acc with Some (_, best) when best <= size -> acc | _ -> Some (n, size))
+        None p.Ir.funcs
+    with
+    | Some (n, size) -> (n, size)
+    | None -> ("main", slice_of "main")
+  in
+  let dem, t_demand =
+    time (fun () ->
+        let d = Alias.Demand_driver.prepare p in
+        Alias.Demand_driver.analyze d ~seed:seed_fn)
+  in
+  let demand_ident = ref true in
+  Ir.fold_func
+    (fun () s ->
+      if not (Pts.equal (Analysis.pts_at exh s.Ir.s_id) (Analysis.pts_at dem s.Ir.s_id))
+      then demand_ident := false)
+    ()
+    (Option.get (Ir.find_func dem.Analysis.prog seed_fn));
+  if not !demand_ident then
+    Fmt.failwith "corpus: %s demand run diverged from exhaustive on seed %s" name seed_fn;
+  let deg, t_budget = time (fun () -> Analysis.analyze ~budget:degradation_budget p) in
+  let tripped = deg.Analysis.degraded <> None in
+  let superset = corpus_superset ~full:exh ~degraded:deg in
+  if not superset then
+    Fmt.failwith "corpus: %s degraded run lost points-to pairs (unsound widening)" name;
+  {
+    cr_name = name;
+    cr_shape = shape;
+    cr_knobs = k;
+    cr_lines = lines;
+    cr_funcs = List.length p.Ir.funcs;
+    cr_indirect = indirect_sites p;
+    cr_t_gen = t_gen;
+    cr_t_exh = t_exh;
+    cr_t_demand = t_demand;
+    cr_slice = slice;
+    cr_seed_fn = seed_fn;
+    cr_demand_ident = !demand_ident;
+    cr_t_budget = t_budget;
+    cr_tripped = tripped;
+    cr_superset = superset;
+    cr_exh = exh;
+    cr_prog = p;
+  }
+
+(** The exhaustive-vs-parallel leg over the whole corpus: one pool of
+    [jobs] domains re-analyzes every member; every digest must equal
+    the sequential run's. Returns (sequential ms, parallel ms). The
+    sequential wall is the sum of the already-measured per-program
+    exhaustive times — re-running it would double the most expensive
+    leg for no information. *)
+let corpus_parallel rows jobs =
+  let parsed = List.map (fun r -> (r.cr_name, r.cr_prog)) rows in
+  let par, t_par = suite_on_pool parsed jobs in
+  List.iter2
+    (fun r (_, rj) ->
+      if not (String.equal (result_digest r.cr_exh) (result_digest rj)) then
+        Fmt.failwith "corpus: %s differs between sequential and -j %d" r.cr_name jobs)
+    rows par;
+  let t_seq = List.fold_left (fun a r -> a +. r.cr_t_exh) 0. rows in
+  (t_seq, t_par)
+
+let corpus () =
+  section "Scale Corpus (generated programs: exhaustive vs parallel vs demand vs budgeted)";
+  let rows = List.map corpus_measure corpus_spec in
+  Fmt.pr "%-11s %7s %6s %9s %10s %10s %7s %10s %6s %9s@." "program" "lines" "funcs"
+    "indirect" "exh ms" "demand ms" "slice" "budget ms" "trip" "superset";
+  Fmt.pr "%s@." hr;
+  List.iter
+    (fun r ->
+      Fmt.pr "%-11s %7d %6d %9d %10.1f %10.1f %7d %10.1f %6s %9s@." r.cr_name r.cr_lines
+        r.cr_funcs r.cr_indirect r.cr_t_exh r.cr_t_demand r.cr_slice r.cr_t_budget
+        (if r.cr_tripped then "yes" else "-")
+        (if r.cr_superset then "yes" else "NO"))
+    rows;
+  let jobs = Option.value ~default:4 (argv_jobs ()) in
+  let t_seq, t_par = corpus_parallel rows jobs in
+  Fmt.pr "@.parallel corpus: %.1f ms sequential vs %.1f ms on -j %d (%.2fx), bit-identical@."
+    t_seq t_par jobs (t_seq /. t_par);
+  Fmt.pr
+    "(every member regenerates byte-identically from its seed; demand answers the@.\
+     cheapest-slice seed bit-identically; fuel-1 degradation stays a pair superset)@."
+
+(** The BENCH_corpus.json report (schema ptan-bench-corpus/1, documented
+    in docs/BENCHMARKS.md): per-member line/function/indirect-site
+    counts and the four walls (exhaustive, demand, budgeted, plus the
+    corpus-wide parallel leg), with the regeneration, bit-identity and
+    superset gates enforced while measuring. *)
+let corpus_json out =
+  let rows = List.map corpus_measure corpus_spec in
+  let jobs = Option.value ~default:4 (argv_jobs ()) in
+  let t_seq, t_par = corpus_parallel rows jobs in
+  let total_lines = List.fold_left (fun a r -> a + r.cr_lines) 0 rows in
+  let t_demand = List.fold_left (fun a r -> a +. r.cr_t_demand) 0. rows in
+  let t_budget = List.fold_left (fun a r -> a +. r.cr_t_budget) 0. rows in
+  let tripped = List.length (List.filter (fun r -> r.cr_tripped) rows) in
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "{\n";
+  pr "  \"schema\": \"ptan-bench-corpus/1\",\n";
+  pr "  \"programs\": [\n";
+  List.iteri
+    (fun i r ->
+      let k = r.cr_knobs in
+      pr
+        "    {\"name\": %S, \"shape\": %S, \"seed\": %d, \"size\": %d, \"depth\": %d, \
+         \"fnptr_density\": %d, \"lines\": %d, \"funcs\": %d, \"indirect_sites\": %d, \
+         \"t_gen_ms\": %.3f, \"t_exhaustive_ms\": %.3f, \"t_demand_ms\": %.3f, \
+         \"demand_seed\": %S, \"slice\": %d, \"t_budget_ms\": %.3f, \"tripped\": %b, \
+         \"superset\": %b, \"identical_seed_rows\": %b}%s\n"
+        r.cr_name r.cr_shape k.Gen.seed k.Gen.size k.Gen.depth k.Gen.fnptr_density
+        r.cr_lines r.cr_funcs r.cr_indirect r.cr_t_gen r.cr_t_exh r.cr_t_demand
+        r.cr_seed_fn r.cr_slice r.cr_t_budget r.cr_tripped r.cr_superset r.cr_demand_ident
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  pr "  ],\n";
+  pr "  \"parallel\": {\"jobs\": %d, \"t_seq_ms\": %.3f, \"t_par_ms\": %.3f, \
+      \"speedup\": %.2f, \"identical\": true},\n"
+    jobs t_seq t_par (t_seq /. t_par);
+  pr "  \"totals\": {\"programs\": %d, \"lines\": %d, \"t_exhaustive_ms\": %.3f, \
+      \"t_demand_ms\": %.3f, \"t_budget_ms\": %.3f, \"tripped\": %d}\n"
+    (List.length rows) total_lines t_seq t_demand t_budget tripped;
+  pr "}\n";
+  Out_channel.with_open_bin out (fun oc -> Out_channel.output_string oc (Buffer.contents buf));
+  Fmt.pr
+    "corpus: %d generated programs (%d lines), exhaustive %.1f ms sequential vs %.1f ms \
+     on -j %d, %d tripped under fuel 1 -> %s@."
+    (List.length rows) total_lines t_seq t_par jobs tripped out
+
 (** [--json FILE] on the command line selects a machine-readable report
-    instead of the full text harness: the demand report when the file
-    name mentions demand, the incremental report otherwise. *)
+    instead of the full text harness, routed by file name: the corpus
+    report when it mentions corpus, the demand report when it mentions
+    demand, the incremental report otherwise (docs/BENCHMARKS.md). *)
 let argv_json () =
   let rec go i =
     if i + 1 >= Array.length Sys.argv then None
@@ -1436,7 +1689,9 @@ let () =
         let rec go i = i + m <= n && (String.equal (String.sub base i m) sub || go (i + 1)) in
         go 0
       in
-      if mentions "demand" then demand_json out else incremental_json out
+      if mentions "corpus" then corpus_json out
+      else if mentions "demand" then demand_json out
+      else incremental_json out
   | None ->
   if Array.exists (String.equal "--smoke") Sys.argv then smoke ()
   else if Array.exists (String.equal "--serve") Sys.argv then serve_bench ()
@@ -1463,6 +1718,7 @@ let () =
     degradation ();
     parallel_suite (match argv_jobs () with Some n -> [ n ] | None -> [ 2; 4; 8 ]);
     serve_bench ();
+    corpus ();
     timings ();
     rep_ops ();
     Fmt.pr "@.Done. See EXPERIMENTS.md for the paper-vs-measured discussion.@."

@@ -671,6 +671,38 @@ let cmd_serve files cache incremental demand budget jobs socket request_deadline
         stats.s_shed stats.s_batches stats.s_reloads;
       if show_stats then Fmt.epr "%a@." Pointsto.Metrics.pp (Pointsto.Metrics.snapshot ()))
 
+(** Exit code for refused generation: bad knobs, or an --out path that
+    exists without --force. Shares code 2 with query failures — "the
+    request itself was rejected", as opposed to code 1's "the analysis
+    or input failed" (docs/CLI.md exit-code table). *)
+let exit_gen_refused = 2
+
+let cmd_gen seed size funcs depth fnptr_density recursion structs globals out force =
+  let k = { Gen.seed; size; funcs; depth; fnptr_density; recursion; structs; globals } in
+  match Gen.validate k with
+  | Error m ->
+      Fmt.epr "gen: error: %s@." m;
+      exit exit_gen_refused
+  | Ok () -> (
+      let text = Gen.program k in
+      match out with
+      | None -> print_string text
+      | Some path ->
+          if Sys.file_exists path && not force then begin
+            Fmt.epr "gen: refusing to overwrite existing '%s' (pass --force to replace it)@."
+              path;
+            exit exit_gen_refused
+          end;
+          (try
+             let oc = open_out_bin path in
+             Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+           with Sys_error m ->
+             Fmt.epr "gen: error: %s@." m;
+             exit exit_gen_refused);
+          Fmt.epr "gen: wrote %d lines to %s@."
+            (String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 text)
+            path)
+
 open Cmdliner
 
 let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
@@ -966,6 +998,96 @@ let batch_cmd =
          "Answer newline-delimited queries from a file or stdin against one loaded result")
     Term.(const cmd_batch $ file_arg $ cache $ incremental $ demand $ jobs $ queries_file)
 
+let gen_seed =
+  Arg.(
+    value & opt int Gen.default.Gen.seed
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "PRNG seed. Output is byte-identical for a fixed seed and knob set, on any \
+           machine — corpora are reproducible from a seed list. See docs/CORPUS.md.")
+
+let gen_size =
+  Arg.(
+    value & opt int Gen.default.Gen.size
+    & info [ "size" ] ~docv:"LINES"
+        ~doc:
+          "Target program size in lines (50..1000000): the function count grows until \
+           the output reaches at least $(docv) lines. Ignored when --funcs is non-zero.")
+
+let gen_funcs =
+  Arg.(
+    value & opt int Gen.default.Gen.funcs
+    & info [ "funcs" ] ~docv:"N"
+        ~doc:
+          "Exact function count; 0 (the default) derives it from --size. A non-zero \
+           count waives the size floor.")
+
+let gen_depth =
+  Arg.(
+    value & opt int Gen.default.Gen.depth
+    & info [ "depth" ] ~docv:"N"
+        ~doc:
+          "Call-DAG layers (1..32): the maximum direct-call depth below main. Function \
+           pointer tables connect adjacent layers only.")
+
+let gen_fnptr_density =
+  Arg.(
+    value & opt int Gen.default.Gen.fnptr_density
+    & info [ "fnptr-density" ] ~docv:"PCT"
+        ~doc:
+          "Percent of call sites (0..100) routed through a function-pointer table load, \
+           livc-style, instead of a direct call.")
+
+let gen_recursion =
+  Arg.(
+    value & opt int Gen.default.Gen.recursion
+    & info [ "recursion" ] ~docv:"PCT"
+        ~doc:
+          "Percent of functions (0..100) given a guarded self call; half that rate also \
+           forms mutual-recursion pairs within a layer.")
+
+let gen_structs =
+  Arg.(
+    value & opt int Gen.default.Gen.structs
+    & info [ "structs" ] ~docv:"PCT"
+        ~doc:
+          "Percent of function bodies (0..100) doing struct/heap/array work: malloc'd \
+           list nodes, field stores, array walks.")
+
+let gen_globals =
+  Arg.(
+    value & opt int Gen.default.Gen.globals
+    & info [ "globals" ] ~docv:"PCT"
+        ~doc:
+          "Percent of pointer traffic (0..100) aimed at globals rather than function \
+           locals.")
+
+let gen_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:
+          "Write the program to $(docv) instead of standard output. Refuses to overwrite \
+           an existing file unless --force is given (exit 2).")
+
+let gen_force =
+  Arg.(
+    value & flag
+    & info [ "force" ] ~doc:"Allow --out to replace an existing file.")
+
+let gen_cmd =
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Emit a deterministic synthetic C program for scale testing: a layered call \
+          DAG with function-pointer tables, optional recursion cycles and \
+          struct/heap/array traffic, sized by --size (10k-100k lines is the intended \
+          range). Byte-identical output per --seed; see docs/CORPUS.md")
+    Term.(
+      const cmd_gen $ gen_seed $ gen_size $ gen_funcs $ gen_depth $ gen_fnptr_density
+      $ gen_recursion $ gen_structs $ gen_globals $ gen_out $ gen_force)
+
 let () =
   let info = Cmd.info "ptan" ~doc:"Context-sensitive interprocedural points-to analysis" in
   exit
@@ -986,4 +1108,5 @@ let () =
             query_cmd;
             batch_cmd;
             serve_cmd;
+            gen_cmd;
           ]))

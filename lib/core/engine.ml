@@ -650,7 +650,8 @@ and demand_skip ctx caller_fn (s : Pts.t) (callee_fn : Ir.func) (args : Ir.opera
           demand_widen ctx callee_fn func_input
     in
     let result =
-      Map_unmap.unmap_call ~callee:fname ctx.tenv ~input:s ~output:out ~info
+      Map_unmap.unmap_call ~callee:fname ~merged:true ctx.tenv ~input:s ~output:out
+        ~info
     in
     let ret_tgts = Map_unmap.return_targets ~output:out ~info ~callee:fname in
     let ret_cells =
@@ -821,8 +822,9 @@ and invoke ctx caller_fn (child : Ig.node) (s : Pts.t) (callee_fn : Ir.func)
   | None -> (Pts.bot, [], [])
   | Some out ->
       let result =
-        Map_unmap.unmap_call ~callee:callee_fn.Ir.fn_name ctx.tenv ~input:s ~output:out
-          ~info
+        Map_unmap.unmap_call ~callee:callee_fn.Ir.fn_name
+          ~merged:(not ctx.opts.Options.context_sensitive) ctx.tenv ~input:s
+          ~output:out ~info
       in
       let ret_tgts = Map_unmap.return_targets ~output:out ~info ~callee:callee_fn.Ir.fn_name in
       let ret_cells =

@@ -354,9 +354,15 @@ let targets_meet (a : Pts.cert Loc.Map.t) (b : Pts.cert Loc.Map.t) =
       | Some ca, Some cb -> Some (Pts.cert_and ca cb))
     a b
 
-(** Output points-to set at the call site, from the callee's output. *)
-let unmap_call ?(callee = "?") (_tenv : Tenv.t) ~(input : Pts.t) ~(output : Pts.t)
-    ~(info : info) : Pts.t =
+(** Output points-to set at the call site, from the callee's output.
+    [merged] marks calls evaluated with merged per-function contexts
+    (the context-insensitive ablation and the widened degradation
+    path): there the callee's output mixes facts from every caller, so
+    an untranslatable target — a local name that may belong to another
+    frame, not just the callee's dead storage — still warrants
+    retaining the cell's pre-call targets. *)
+let unmap_call ?(callee = "?") ?(merged = false) (_tenv : Tenv.t) ~(input : Pts.t)
+    ~(output : Pts.t) ~(info : info) : Pts.t =
   let m = Metrics.cur () in
   m.Metrics.unmap_calls <- m.Metrics.unmap_calls + 1;
   let t0 = Metrics.now () in
@@ -376,6 +382,17 @@ let unmap_call ?(callee = "?") (_tenv : Tenv.t) ~(input : Pts.t) ~(output : Pts.
         let srcs = resolve_back info src in
         if srcs <> [] then begin
           let m0 = Pts.tgt_map src output in
+          (* a symbolic target with no representation at this site comes
+             from another call path whose facts were merged into the
+             callee's set (context-insensitive slots, approximate-node
+             reuse). It cannot be translated here, but it witnesses that
+             along some path the cell kept or received a caller-invisible
+             value — so the cell may still hold any of its pre-call
+             targets. Dropping the pair outright loses that (observed as
+             concrete pairs vanishing across widened-mode calls on the
+             generated corpus); instead the caller's old targets for the
+             cell are retained, demoted to possible. *)
+          let dropped_sym = ref false in
           let tmap =
             (* every target resolves back to itself: the callee's submap
                is already the translated target map — share it *)
@@ -388,6 +405,8 @@ let unmap_call ?(callee = "?") (_tenv : Tenv.t) ~(input : Pts.t) ~(output : Pts.
               Loc.Map.fold
                 (fun tgt d acc ->
                   let tgts = resolve_back info tgt in
+                  if tgts = [] && (merged || Loc.sym_depth tgt > 0) then
+                    dropped_sym := true;
                   let d = if List.length tgts > 1 then Pts.P else d in
                   List.fold_left
                     (fun acc t ->
@@ -400,7 +419,14 @@ let unmap_call ?(callee = "?") (_tenv : Tenv.t) ~(input : Pts.t) ~(output : Pts.
           List.iter
             (fun s ->
               let old = Option.value ~default:[] (Hashtbl.find_opt per_src s) in
-              Hashtbl.replace per_src s (tmap :: old))
+              let maps =
+                if !dropped_sym then
+                  let retained = Loc.Map.map (fun _ -> Pts.P) (Pts.tgt_map s input) in
+                  if Loc.Map.is_empty retained then tmap :: old
+                  else tmap :: retained :: old
+                else tmap :: old
+              in
+              Hashtbl.replace per_src s maps)
             srcs
         end
       end)

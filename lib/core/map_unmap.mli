@@ -51,9 +51,27 @@ val map_call :
 (** The caller's points-to set after the call: relationships of
     unreachable caller locations persist; the callee's output translates
     back (conflicting views of one caller cell reconcile with merge
-    semantics). [callee] only labels the {!Trace} span. *)
+    semantics). [callee] only labels the {!Trace} span.
+
+    A translated cell whose callee-side targets include an
+    untranslatable symbolic name — minted at another call site whose
+    facts got merged into the callee's output (context-insensitive
+    slots, approximate-node reuse) — additionally retains its pre-call
+    targets, demoted to possible: the foreign name witnesses that along
+    some merged path the cell kept or received a caller-invisible value,
+    and dropping it silently would lose real concrete pairs. [merged]
+    (set by the context-insensitive evaluation mode) extends that
+    retention to untranslatable {e local} names, which under merged
+    per-function contexts may belong to a frame other than the callee's
+    own dead storage. *)
 val unmap_call :
-  ?callee:string -> Tenv.t -> input:Pts.t -> output:Pts.t -> info:info -> Pts.t
+  ?callee:string ->
+  ?merged:bool ->
+  Tenv.t ->
+  input:Pts.t ->
+  output:Pts.t ->
+  info:info ->
+  Pts.t
 
 (** Caller-side targets of the callee's return value. *)
 val return_targets :

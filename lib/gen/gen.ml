@@ -1,0 +1,324 @@
+(** Deterministic big-program generator. See gen.mli and docs/CORPUS.md.
+
+    Everything here is a pure function of the knobs: the only state is a
+    local splitmix64 PRNG seeded from [knobs.seed], consumed in a fixed
+    textual order, so the emitted bytes cannot depend on the machine,
+    the OCaml version's [Random] implementation, or hashtable iteration
+    order. Keep it that way — the seed-reproducibility contract
+    (docs/CORPUS.md) is load-bearing for the corpus bench, whose corpora
+    exist only as seed lists. *)
+
+type knobs = {
+  seed : int;
+  size : int;
+  funcs : int;
+  depth : int;
+  fnptr_density : int;
+  recursion : int;
+  structs : int;
+  globals : int;
+}
+
+let default =
+  {
+    seed = 1;
+    size = 10_000;
+    funcs = 0;
+    depth = 5;
+    fnptr_density = 15;
+    recursion = 10;
+    structs = 30;
+    globals = 30;
+  }
+
+exception Invalid of string
+
+let validate k =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let pct name v =
+    if v < 0 || v > 100 then Some (Printf.sprintf "%s must be in 0..100 (got %d)" name v)
+    else None
+  in
+  if k.seed < 0 then err "seed must be non-negative (got %d)" k.seed
+  else if k.size < 50 || k.size > 1_000_000 then
+    err "size must be in 50..1000000 lines (got %d)" k.size
+  else if k.funcs < 0 || k.funcs > 100_000 then
+    err "funcs must be in 0..100000 (got %d)" k.funcs
+  else if k.funcs > 0 && k.funcs < k.depth then
+    err "funcs (%d) must be at least depth (%d) so every layer has a function" k.funcs
+      k.depth
+  else if k.depth < 1 || k.depth > 32 then err "depth must be in 1..32 (got %d)" k.depth
+  else
+    match
+      List.find_map
+        (fun (n, v) -> pct n v)
+        [
+          ("fnptr-density", k.fnptr_density);
+          ("recursion", k.recursion);
+          ("structs", k.structs);
+          ("globals", k.globals);
+        ]
+    with
+    | Some m -> Error m
+    | None -> Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* splitmix64 — self-contained so determinism never depends on the    *)
+(* stdlib Random algorithm (which changed in OCaml 5).                *)
+(* ------------------------------------------------------------------ *)
+
+type rng = { mutable st : int64 }
+
+let mk_rng seed = { st = Int64.logxor (Int64.of_int seed) 0x5DEECE66DL }
+
+let next r =
+  r.st <- Int64.add r.st 0x9E3779B97F4A7C15L;
+  let z = r.st in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform-enough draw in [0, n); 0 for non-positive n. *)
+let rand r n =
+  if n <= 0 then 0
+  else Int64.to_int (Int64.rem (Int64.shift_right_logical (next r) 1) (Int64.of_int n))
+
+let chance r pct = rand r 100 < pct
+
+(* ------------------------------------------------------------------ *)
+(* Shape plan: everything decided before a single line is rendered.   *)
+(* ------------------------------------------------------------------ *)
+
+(** Functions per layer for [n_funcs] total: layer 0 (the leaves) gets
+    the largest share, the top layer the smallest, every layer at least
+    one — weight [depth - l] for layer [l]. *)
+let layer_sizes ~depth n_funcs =
+  let weights = Array.init depth (fun l -> depth - l) in
+  let total_w = Array.fold_left ( + ) 0 weights in
+  let sizes = Array.map (fun w -> max 1 (n_funcs * w / total_w)) weights in
+  (* distribute any remainder to the leaves so totals stay close *)
+  let given = Array.fold_left ( + ) 0 sizes in
+  if given < n_funcs then sizes.(0) <- sizes.(0) + (n_funcs - given);
+  sizes
+
+let fname layer i = Printf.sprintf "f%d_%d" layer i
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** One full program for an explicit function count. Returns the text;
+    [program] wraps this in the size-floor loop. *)
+let render k n_funcs =
+  let rng = mk_rng k.seed in
+  let buf = Buffer.create (k.size * 40) in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  let sizes = layer_sizes ~depth:k.depth n_funcs in
+  let depth = k.depth in
+  (* global pools, scaled with the function count *)
+  let n_gv = max 4 (n_funcs / 8) in
+  let n_gp = max 4 (n_funcs / 8) in
+  let n_ga = max 2 (n_funcs / 16) in
+  let n_gn = max 2 (n_funcs / 16) in
+  let use_tables = k.fnptr_density > 0 && depth >= 2 in
+  let table_size l = if use_tables then min 6 sizes.(l - 1) else 0 in
+  (* mutual-recursion pairs per layer: (i, i+1) within the same layer *)
+  let mutual = Array.make depth [] in
+  for l = 0 to depth - 1 do
+    let pairs = ref [] in
+    let i = ref 0 in
+    while !i + 1 < sizes.(l) do
+      if chance rng (k.recursion / 2) then pairs := (!i, !i + 1) :: !pairs;
+      i := !i + 2
+    done;
+    mutual.(l) <- List.rev !pairs
+  done;
+  let in_mutual l i =
+    List.exists (fun (a, b) -> a = i || b = i) mutual.(l)
+  in
+  let partner l i =
+    List.find_map (fun (a, b) -> if a = i then Some b else if b = i then Some a else None)
+      mutual.(l)
+  in
+  (* header: the knobs are part of the output, so two distinct knob
+     vectors can never collide on identical bytes *)
+  line
+    "/* generated by ptan gen (format 1): seed=%d size=%d funcs=%d depth=%d \
+     fnptr-density=%d recursion=%d structs=%d globals=%d */"
+    k.seed k.size k.funcs k.depth k.fnptr_density k.recursion k.structs k.globals;
+  line "";
+  line "struct gnode {";
+  line "    int val;";
+  line "    int *ptr;";
+  line "    struct gnode *next;";
+  line "};";
+  line "";
+  if use_tables then begin
+    line "typedef int (*genfn)(int, int *);";
+    line ""
+  end;
+  for i = 0 to n_gv - 1 do line "int gv%d;" i done;
+  for i = 0 to n_gp - 1 do line "int *gp%d;" i done;
+  for i = 0 to n_ga - 1 do line "int ga%d[16];" i done;
+  for i = 0 to n_gn - 1 do line "struct gnode gn%d;" i done;
+  if use_tables then
+    for l = 1 to depth - 1 do line "genfn gt%d[%d];" l (table_size l) done;
+  line "";
+  (* prototypes: every function up front, so call order and mutual
+     recursion never constrain emission order *)
+  for l = 0 to depth - 1 do
+    for i = 0 to sizes.(l) - 1 do line "int %s(int n, int *p);" (fname l i) done
+  done;
+  line "";
+  (* expression helpers, all rng-driven *)
+  let int_target () = Printf.sprintf "gv%d" (rand rng n_gv) in
+  let ptr_expr ~lp =
+    (* something of type int*: a global pointer-to or a local *)
+    if chance rng k.globals then
+      if chance rng 50 then Printf.sprintf "&gv%d" (rand rng n_gv)
+      else Printf.sprintf "&ga%d[%d]" (rand rng n_ga) (rand rng 16)
+    else if chance rng 50 then lp
+    else "p"
+  in
+  (* round-robin coverage counters: the first call edge out of each
+     layer walks the layer below in order, so every function is
+     reachable from main whatever the random draws do *)
+  let next_callee = Array.make depth 0 in
+  let callee l =
+    let below = sizes.(l - 1) in
+    let i = next_callee.(l) in
+    next_callee.(l) <- (i + 1) mod below;
+    fname (l - 1) i
+  in
+  let emit_func l i =
+    let name = fname l i in
+    let with_struct = chance rng k.structs in
+    line "int %s(int n, int *p) {" name;
+    line "    int r;";
+    line "    int t;";
+    line "    int lv;";
+    line "    int *lp;";
+    if with_struct then begin
+      line "    struct gnode nd;";
+      line "    struct gnode *np;"
+    end;
+    if use_tables && l >= 1 then line "    genfn fp;";
+    line "    r = n;";
+    line "    lv = n + %d;" (rand rng 64);
+    line "    lp = %s;"
+      (if chance rng k.globals then Printf.sprintf "&gv%d" (rand rng n_gv) else "&lv");
+    (* a few units of pointer churn *)
+    let churn = 2 + rand rng 3 in
+    for _ = 1 to churn do
+      match rand rng 6 with
+      | 0 -> line "    gp%d = %s;" (rand rng n_gp) (ptr_expr ~lp:"lp")
+      | 1 -> line "    *lp = r + %d;" (rand rng 16)
+      | 2 -> line "    lp = %s;" (ptr_expr ~lp:"lp")
+      | 3 -> line "    t = *lp + *p;"
+      | 4 -> line "    *p = r - %d;" (rand rng 16)
+      | _ ->
+          line "    if (n > %d) {" (rand rng 8);
+          line "        %s = t + 1;" (int_target ());
+          line "    } else {";
+          line "        %s = t - 1;" (int_target ());
+          line "    }"
+    done;
+    if with_struct then begin
+      line "    np = %s;"
+        (if chance rng k.globals then Printf.sprintf "&gn%d" (rand rng n_gn) else "&nd");
+      line "    np->val = r;";
+      line "    np->ptr = %s;" (ptr_expr ~lp:"lp");
+      if chance rng 50 then begin
+        line "    np->next = (struct gnode *) malloc(sizeof(struct gnode));";
+        line "    np = np->next;";
+        line "    np->ptr = lp;"
+      end
+      else line "    np->next = &gn%d;" (rand rng n_gn);
+      line "    for (t = 0; t < 16; t++) {";
+      line "        ga%d[t] = r + t;" (rand rng n_ga);
+      line "    }";
+      line "    r = r + np->val + ga%d[%d];" (rand rng n_ga) (rand rng 16)
+    end;
+    (* the call fan-out into the layer below *)
+    if l >= 1 then begin
+      let ncalls = 2 + rand rng 2 in
+      for c = 1 to ncalls do
+        let indirect = use_tables && chance rng k.fnptr_density in
+        if indirect then begin
+          line "    fp = gt%d[n %% %d];" l (table_size l);
+          line "    r = r + fp(n - 1, %s);" (ptr_expr ~lp:"lp")
+        end
+        else begin
+          (* the first edge is the coverage edge; the rest are random *)
+          let target =
+            if c = 1 then callee l else fname (l - 1) (rand rng sizes.(l - 1))
+          in
+          line "    r = r + %s(n - 1, %s);" target (ptr_expr ~lp:"lp")
+        end
+      done
+    end;
+    (* recursion: guarded self call, and the planned mutual pairs *)
+    if chance rng k.recursion then line "    if (n > 0) { r = r + %s(n - 1, p); }" name;
+    if in_mutual l i then
+      (match partner l i with
+      | Some j -> line "    if (n > 1) { r = r + %s(n - 2, p); }" (fname l j)
+      | None -> ());
+    line "    return r;";
+    line "}";
+    line ""
+  in
+  for l = 0 to depth - 1 do
+    for i = 0 to sizes.(l) - 1 do emit_func l i done
+  done;
+  (* table initializers, livc-style: one function per table, filled with
+     deterministically drawn members of the layer below *)
+  if use_tables then
+    for l = 1 to depth - 1 do
+      line "void init_gt%d(void) {" l;
+      for j = 0 to table_size l - 1 do
+        line "    gt%d[%d] = %s;" l j (fname (l - 1) (rand rng sizes.(l - 1)))
+      done;
+      line "}";
+      line ""
+    done;
+  line "int main() {";
+  line "    int r;";
+  line "    int x;";
+  line "    int *q;";
+  line "    x = 0;";
+  line "    q = &x;";
+  line "    r = 0;";
+  if use_tables then
+    for l = 1 to depth - 1 do line "    init_gt%d();" l done;
+  for i = 0 to sizes.(depth - 1) - 1 do
+    line "    r = r + %s(%d, q);" (fname (depth - 1) i) (4 + rand rng 8)
+  done;
+  line "    return r;";
+  line "}";
+  Buffer.contents buf
+
+let count_lines s =
+  let n = ref 0 in
+  String.iter (fun c -> if c = '\n' then incr n) s;
+  !n
+
+(** An explicit [funcs] is used as given; otherwise grow the function
+    count (deterministically — each attempt restarts the PRNG from the
+    seed) until the rendered text reaches the [size] line floor. *)
+let program k =
+  (match validate k with Ok () -> () | Error m -> raise (Invalid m));
+  if k.funcs > 0 then render k k.funcs
+  else begin
+    let n = ref (max (3 * k.depth) (k.size / 30)) in
+    let out = ref (render k !n) in
+    let rounds = ref 0 in
+    while count_lines !out < k.size && !rounds < 10 do
+      incr rounds;
+      let lines = max 1 (count_lines !out) in
+      n := max (!n + k.depth) ((!n * k.size / lines) + k.depth);
+      out := render k !n
+    done;
+    !out
+  end
+
+let line_count k = count_lines (program k)

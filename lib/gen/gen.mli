@@ -1,0 +1,56 @@
+(** Deterministic big-program generator (the scale corpus).
+
+    [program knobs] renders a well-formed program in the analyzed C
+    subset — layered call DAG, function-pointer tables in the style of
+    the [livc] benchmark, optional recursion cycles, struct/array/heap
+    traffic — as a single string. The output is a pure function of the
+    knobs: same knobs (including [seed]) produce byte-identical text on
+    any machine, any run. Corpora are therefore reproducible from a
+    seed list instead of being checked in; see docs/CORPUS.md for the
+    grammar, the invariants and the reproducibility contract. *)
+
+type knobs = {
+  seed : int;  (** PRNG seed; the only source of variation between programs of equal shape *)
+  size : int;
+      (** target line count; the output has at least this many lines
+          (typically within ~15% above it) *)
+  funcs : int;
+      (** function count, [0] = derived from [size]; when non-zero the
+          size floor is waived and the count is used as given *)
+  depth : int;  (** call-DAG layers; the maximum direct-call depth below [main] *)
+  fnptr_density : int;
+      (** percent of call sites that go through a function pointer
+          (table load + call through a scalar local, as in livc) *)
+  recursion : int;
+      (** percent of functions given a guarded self call; half that rate
+          additionally forms mutual-recursion pairs within a layer *)
+  structs : int;
+      (** percent of function bodies doing struct/heap/array work
+          (malloc'd list nodes, field stores, array walks) *)
+  globals : int;
+      (** percent of pointer traffic aimed at globals rather than
+          function locals *)
+}
+
+(** The defaults every [ptan gen] flag starts from (documented knob by
+    knob in docs/CORPUS.md): seed 1, size 10_000, funcs 0 (derived),
+    depth 5, fnptr_density 15, recursion 10, structs 30, globals 30 —
+    tuned so the default 10k-line program's exhaustive analysis is
+    expensive (tens of seconds) but terminates. *)
+val default : knobs
+
+(** [validate k] is [Error reason] when a knob is out of range (size
+    below 50 or above 1_000_000, a percentage outside 0–100, depth
+    outside 1–32, negative seed or funcs). [program] refuses the same
+    knobs by raising {!Invalid}. *)
+val validate : knobs -> (unit, string) result
+
+exception Invalid of string
+
+(** The generated program text. Raises {!Invalid} on knobs that
+    [validate] rejects. Deterministic: byte-identical for equal knobs. *)
+val program : knobs -> string
+
+(** Number of lines [program] would emit ([program] is a pure function,
+    so this just counts). *)
+val line_count : knobs -> int

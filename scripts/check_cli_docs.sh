@@ -21,6 +21,17 @@ for cmd in $(grep -o 'Cmd\.info "[a-z-]*"' "$src" | cut -d'"' -f2 | sort -u); do
   fi
 done
 
+# Every real subcommand must also have its own reference section: a
+# '## `ptan <cmd>`' heading (the bare "ptan" group only has the intro,
+# which the subcommand loop above already accepts).
+for cmd in $(grep -o 'Cmd\.info "[a-z-]*"' "$src" | cut -d'"' -f2 | sort -u); do
+  [ "$cmd" = "ptan" ] && continue
+  if ! grep -q "^## \`ptan $cmd\`" "$doc"; then
+    echo "docs/CLI.md: missing section heading '## \`ptan $cmd\`'" >&2
+    missing=1
+  fi
+done
+
 # Flags: named arguments, info [ "name" ] or info [ "a"; "b" ]. Positional
 # args use info [] and are skipped by the pattern. Single-letter names are
 # documented as -x, longer ones as --name.

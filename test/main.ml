@@ -24,4 +24,5 @@ let () =
       Test_trace.suite;
       Test_robust.suite;
       Test_serve.suite;
+      Test_gen.suite;
     ]

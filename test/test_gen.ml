@@ -1,0 +1,245 @@
+(** Tests for the deterministic big-program generator (lib/gen) and its
+    [ptan gen] surface: byte-identity per seed, well-formedness of the
+    emitted subset (parses and analyzes cleanly), the fn-ptr density
+    knob, knob validation, and whole-corpus parallel bit-identity. *)
+
+open Test_util
+module Gen = Gen
+module Pool = Pointsto.Pool
+module Analysis = Pointsto.Analysis
+
+let program k = Gen.program k
+let lines s = List.length (String.split_on_char '\n' s) - 1
+
+(** Parse generated text through the same front end the CLI uses. *)
+let parse_gen text = Simple_ir.Simplify.of_string ~file:"<gen>" text
+
+let indirect_sites p =
+  Ir.fold_program
+    (fun acc s ->
+      match s.Ir.s_desc with Ir.Scall (_, Ir.Cindirect _, _) -> acc + 1 | _ -> acc)
+    0 p
+
+(* ------------------------------------------------------------------ *)
+(* Determinism                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Random in-range knobs, kept small so analysis stays instant. *)
+let knobs_gen : Gen.knobs QCheck2.Gen.t =
+  QCheck2.Gen.(
+    let pct = int_bound 100 in
+    map (fun ((seed, size, depth), (density, recursion, structs, globals)) ->
+        {
+          Gen.seed;
+          size;
+          funcs = 0;
+          depth;
+          fnptr_density = density;
+          recursion;
+          structs;
+          globals;
+        })
+      (pair
+         (triple (int_bound 10_000) (int_range 50 400) (int_range 1 6))
+         (quad pct pct pct pct)))
+
+let determinism_tests =
+  [
+    qcase ~count:25 "program is a pure function of its knobs" knobs_gen (fun k ->
+        String.equal (program k) (program k));
+    qcase ~count:25 "line_count agrees with the emitted text" knobs_gen (fun k ->
+        Gen.line_count k = lines (program k));
+    case "default knobs validate" (fun () ->
+        match Gen.validate Gen.default with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "default rejected: %s" e);
+    case "size floor: at least [size] lines when funcs is derived" (fun () ->
+        List.iter
+          (fun size ->
+            let k = { Gen.default with Gen.size } in
+            let n = Gen.line_count k in
+            Alcotest.(check bool)
+              (Printf.sprintf "size %d -> %d lines" size n)
+              true (n >= size))
+          [ 100; 1_000; 5_000 ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let small_shapes =
+  [
+    ("web", { Gen.default with Gen.seed = 11; size = 300; depth = 3; fnptr_density = 30 });
+    ( "deep",
+      { Gen.default with Gen.seed = 23; size = 300; depth = 6; fnptr_density = 0; structs = 50 }
+    );
+    ("plain", { Gen.default with Gen.seed = 7; size = 200; depth = 2 });
+  ]
+
+let wellformed_tests =
+  [
+    case "small programs of every shape parse and analyze cleanly" (fun () ->
+        List.iter
+          (fun (name, k) ->
+            let p = parse_gen (program k) in
+            let r = Analysis.analyze p in
+            match r.Analysis.entry_output with
+            | Some _ -> ()
+            | None -> Alcotest.failf "%s: main does not terminate normally" name)
+          small_shapes);
+    case "the invocation graph spans main down to the bottom layer" (fun () ->
+        (* the round-robin coverage edges keep the call DAG connected
+           from main through every layer; the bottom layer is f0_* *)
+        let k = { Gen.default with Gen.size = 300; Gen.depth = 3 } in
+        let p = parse_gen (program k) in
+        let r = Analysis.analyze p in
+        let reached = Hashtbl.create 64 in
+        let rec walk (n : Analysis.Ig.node) =
+          Hashtbl.replace reached n.Analysis.Ig.func ();
+          List.iter (fun (_, c) -> walk c) n.Analysis.Ig.children
+        in
+        walk r.Analysis.graph.Analysis.Ig.root;
+        Alcotest.(check bool) "main reached" true (Hashtbl.mem reached "main");
+        let bottom =
+          Hashtbl.fold
+            (fun f () acc -> acc || String.length f > 3 && String.sub f 0 3 = "f0_")
+            reached false
+        in
+        Alcotest.(check bool) "bottom layer reached" true bottom);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Knobs                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let density_tests =
+  [
+    case "density 0 yields no indirect call sites" (fun () ->
+        let k = { Gen.default with Gen.size = 500; Gen.fnptr_density = 0 } in
+        Alcotest.(check int) "no Cindirect" 0 (indirect_sites (parse_gen (program k))));
+    case "density is monotone at a fixed seed" (fun () ->
+        let at d =
+          indirect_sites
+            (parse_gen (program { Gen.default with Gen.size = 800; Gen.fnptr_density = d }))
+        in
+        let l = at 15 and h = at 60 in
+        Alcotest.(check bool) "some sites at 15" true (l > 0);
+        Alcotest.(check bool)
+          (Printf.sprintf "60%% (%d) >= 15%% (%d)" h l)
+          true (h >= l));
+    case "depth 1 disables tables (nothing below to point at)" (fun () ->
+        let k = { Gen.default with Gen.size = 200; Gen.depth = 1; Gen.fnptr_density = 80 } in
+        Alcotest.(check int) "no Cindirect" 0 (indirect_sites (parse_gen (program k))));
+  ]
+
+let validate_err k = match Gen.validate k with Ok () -> false | Error _ -> true
+
+let validate_tests =
+  [
+    case "out-of-range knobs are rejected" (fun () ->
+        List.iter
+          (fun (what, k) ->
+            Alcotest.(check bool) what true (validate_err k))
+          [
+            ("size below floor", { Gen.default with Gen.size = 10 });
+            ("size above cap", { Gen.default with Gen.size = 2_000_000 });
+            ("depth 0", { Gen.default with Gen.depth = 0 });
+            ("depth above cap", { Gen.default with Gen.depth = 40 });
+            ("density above 100", { Gen.default with Gen.fnptr_density = 150 });
+            ("negative recursion", { Gen.default with Gen.recursion = -1 });
+            ("negative seed", { Gen.default with Gen.seed = -3 });
+            ("funcs below depth", { Gen.default with Gen.funcs = 2; Gen.depth = 5 });
+          ]);
+    case "program raises Invalid on rejected knobs" (fun () ->
+        match program { Gen.default with Gen.size = 10 } with
+        | exception Gen.Invalid _ -> ()
+        | _ -> Alcotest.fail "expected Invalid");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Parallel bit-identity over a small corpus                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Digest of every per-statement points-to set, rendering included. *)
+let stmt_digest (r : Analysis.result) =
+  Hashtbl.fold (fun id s acc -> (id, s) :: acc) r.Analysis.stmt_pts []
+  |> List.sort compare
+  |> List.map (fun (id, s) -> Fmt.str "s%d:%a" id Pts.pp s)
+  |> String.concat "\n" |> Digest.string |> Digest.to_hex
+
+let parallel_tests =
+  [
+    case "-j 4 reproduces -j 1 bit-identically on a generated corpus" (fun () ->
+        let corpus =
+          List.map (fun (name, k) -> (name, parse_gen (program k))) small_shapes
+        in
+        let digests jobs =
+          Pool.with_pool ~jobs (fun pool ->
+              Pool.map pool (fun (name, p) -> (name, stmt_digest (Analysis.analyze p))) corpus)
+        in
+        List.iter2
+          (fun (n, d1) (_, d4) -> Alcotest.(check string) n d1 d4)
+          (digests 1) (digests 4));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* CLI surface (spawns the real binary)                               *)
+(* ------------------------------------------------------------------ *)
+
+let ptan = "../bin/ptan.exe"
+
+let in_temp f =
+  let dir = Filename.temp_file "ptan-gen" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let run args =
+  let out = Filename.temp_file "ptan-gen" ".out" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove out)
+    (fun () ->
+      let code = Sys.command (Printf.sprintf "%s %s > %s 2>/dev/null" ptan args out) in
+      (code, In_channel.with_open_bin out In_channel.input_all))
+
+let cli_tests =
+  [
+    case "gen to stdout is byte-identical across runs" (fun () ->
+        let c1, o1 = run "gen --seed 42 --size 120" in
+        let c2, o2 = run "gen --seed 42 --size 120" in
+        Alcotest.(check int) "exit 0" 0 c1;
+        Alcotest.(check int) "exit 0 again" 0 c2;
+        Alcotest.(check bool) "non-empty" true (String.length o1 > 0);
+        Alcotest.(check string) "same bytes" o1 o2);
+    case "gen refuses to overwrite without --force, exit 2" (fun () ->
+        in_temp (fun dir ->
+            let f = Filename.concat dir "prog.c" in
+            let c1, _ = run (Printf.sprintf "gen --seed 1 --size 100 --out %s" f) in
+            Alcotest.(check int) "first write ok" 0 c1;
+            let before = In_channel.with_open_bin f In_channel.input_all in
+            let c2, _ = run (Printf.sprintf "gen --seed 2 --size 100 --out %s" f) in
+            Alcotest.(check int) "refused" 2 c2;
+            let after = In_channel.with_open_bin f In_channel.input_all in
+            Alcotest.(check string) "file untouched" before after;
+            let c3, _ = run (Printf.sprintf "gen --seed 2 --size 100 --out %s --force" f) in
+            Alcotest.(check int) "forced" 0 c3;
+            let forced = In_channel.with_open_bin f In_channel.input_all in
+            Alcotest.(check bool) "replaced" false (String.equal before forced)));
+    case "invalid knobs exit 2" (fun () ->
+        let c, _ = run "gen --size 10" in
+        Alcotest.(check int) "size floor" 2 c;
+        let c, _ = run "gen --depth 0" in
+        Alcotest.(check int) "depth floor" 2 c;
+        let c, _ = run "gen --fnptr-density 150" in
+        Alcotest.(check int) "density cap" 2 c);
+  ]
+
+let suite =
+  ( "gen",
+    determinism_tests @ wellformed_tests @ density_tests @ validate_tests @ parallel_tests
+    @ cli_tests )

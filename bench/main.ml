@@ -1026,7 +1026,7 @@ let serve_bench () =
         List.iter (fun (file, query) -> ignore (handler.Serve.h_answer ~file ~query)) direct)
   in
   let jobs = min 4 (Domain.recommended_domain_count ()) in
-  let cfg = { Serve.jobs; queue_max = 8192; request_deadline_ms = None } in
+  let cfg = { Serve.default_config with Serve.jobs; queue_max = 8192 } in
   let replies, stats, t_ms = serve_round cfg handler lines in
   List.iteri
     (fun i (got, want) ->
@@ -1066,7 +1066,7 @@ let serve_qps () =
   let workload = serve_workload corpus in
   let lines = List.map fst workload and expected = List.map snd workload in
   let jobs = min 4 (Domain.recommended_domain_count ()) in
-  let cfg = { Serve.jobs; queue_max = 8192; request_deadline_ms = None } in
+  let cfg = { Serve.default_config with Serve.jobs; queue_max = 8192 } in
   let replies, _, t_ms = serve_round cfg handler lines in
   List.iteri
     (fun i (got, want) ->
@@ -1239,13 +1239,18 @@ let demand_json out =
 (* Scale corpus: generated big programs (Gen / ptan gen)              *)
 (* ------------------------------------------------------------------ *)
 
-(** The fixed bench corpus: 3 sizes x 2 shapes, reproduced from knobs
-    alone — [Gen.program] is byte-deterministic, so nothing is checked
-    in (docs/CORPUS.md). "web" is function-pointer heavy and shallow
-    (every fourth call site goes through a table); "deep" is a
-    direct-call DAG seven layers deep with heavier struct traffic. The
-    top size keeps the acceptance floor: at least one program of 10k+
-    lines. *)
+(** The fixed bench corpus: 3 sizes x 2 shapes plus a third 10k-line
+    member, reproduced from knobs alone — [Gen.program] is
+    byte-deterministic, so nothing is checked in (docs/CORPUS.md).
+    "web" is function-pointer heavy and shallow (every fourth call
+    site goes through a table); "deep" is a direct-call DAG seven
+    layers deep with heavier struct traffic; "knot" is shallow like
+    web but trades fn-ptr density for triple the recursion rate — a
+    distinct way to burn fixpoint fuel, added so the
+    degradation-at-scale gate sees three distinct 10k-line members
+    (deeper/denser knot variants blow past 160 s exhaustive on the CI
+    budget; depth 4 keeps the member in web's cost band). The top size
+    keeps the acceptance floor: at least one program of 10k+ lines. *)
 let corpus_spec =
   let web size =
     ("web", { Gen.default with Gen.seed = 11; size; depth = 4; fnptr_density = 30 })
@@ -1253,7 +1258,11 @@ let corpus_spec =
   let deep size =
     ("deep", { Gen.default with Gen.seed = 23; size; depth = 7; fnptr_density = 0; structs = 50 })
   in
-  List.concat_map (fun size -> [ web size; deep size ]) [ 1_000; 3_000; 10_000 ]
+  let knot size =
+    ("knot", { Gen.default with Gen.seed = 37; size; depth = 4; fnptr_density = 15; recursion = 30 })
+  in
+  List.concat_map (fun size -> [ web size; deep size ]) [ 1_000; 3_000 ]
+  @ [ web 10_000; deep 10_000; knot 10_000 ]
 
 let corpus_name (shape, (k : Gen.knobs)) = Fmt.str "%s-%d" shape k.Gen.size
 
@@ -1383,6 +1392,14 @@ let corpus_measure (shape, (k : Gen.knobs)) =
   let superset = corpus_superset ~full:exh ~degraded:deg in
   if not superset then
     Fmt.failwith "corpus: %s degraded run lost points-to pairs (unsound widening)" name;
+  (* degradation at scale: on the 10k-line members a fuel-tripped run
+     must not cost more than the precise one — the checkpointed widened
+     rerun (docs/ROBUSTNESS.md) seeds from the partial fixpoint, so
+     degrading is a way to finish early, never a second full analysis *)
+  if k.Gen.size >= 10_000 && tripped && t_budget > t_exh then
+    Fmt.failwith
+      "corpus: %s degraded run (%.1f ms) costs more than the precise one (%.1f ms)" name
+      t_budget t_exh;
   {
     cr_name = name;
     cr_shape = shape;
@@ -1441,11 +1458,12 @@ let corpus () =
     "(every member regenerates byte-identically from its seed; demand answers the@.\
      cheapest-slice seed bit-identically; fuel-1 degradation stays a pair superset)@."
 
-(** The BENCH_corpus.json report (schema ptan-bench-corpus/1, documented
+(** The BENCH_corpus.json report (schema ptan-bench-corpus/2, documented
     in docs/BENCHMARKS.md): per-member line/function/indirect-site
     counts and the four walls (exhaustive, demand, budgeted, plus the
-    corpus-wide parallel leg), with the regeneration, bit-identity and
-    superset gates enforced while measuring. *)
+    corpus-wide parallel leg), with the regeneration, bit-identity,
+    superset and degradation-at-scale ([degraded_le_precise] on every
+    tripped 10k-line member) gates enforced while measuring. *)
 let corpus_json out =
   let rows = List.map corpus_measure corpus_spec in
   let jobs = Option.value ~default:4 (argv_jobs ()) in
@@ -1457,7 +1475,7 @@ let corpus_json out =
   let buf = Buffer.create 4096 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pr "{\n";
-  pr "  \"schema\": \"ptan-bench-corpus/1\",\n";
+  pr "  \"schema\": \"ptan-bench-corpus/2\",\n";
   pr "  \"programs\": [\n";
   List.iteri
     (fun i r ->
@@ -1467,10 +1485,13 @@ let corpus_json out =
          \"fnptr_density\": %d, \"lines\": %d, \"funcs\": %d, \"indirect_sites\": %d, \
          \"t_gen_ms\": %.3f, \"t_exhaustive_ms\": %.3f, \"t_demand_ms\": %.3f, \
          \"demand_seed\": %S, \"slice\": %d, \"t_budget_ms\": %.3f, \"tripped\": %b, \
-         \"superset\": %b, \"identical_seed_rows\": %b}%s\n"
+         \"superset\": %b, \"identical_seed_rows\": %b, \"degraded_le_precise\": %b}%s\n"
         r.cr_name r.cr_shape k.Gen.seed k.Gen.size k.Gen.depth k.Gen.fnptr_density
         r.cr_lines r.cr_funcs r.cr_indirect r.cr_t_gen r.cr_t_exh r.cr_t_demand
         r.cr_seed_fn r.cr_slice r.cr_t_budget r.cr_tripped r.cr_superset r.cr_demand_ident
+        (* the degradation-at-scale gate (vacuously true below 10k lines
+           or when the budget never tripped, where the walls are noise) *)
+        (k.Gen.size < 10_000 || (not r.cr_tripped) || r.cr_t_budget <= r.cr_t_exh)
         (if i = List.length rows - 1 then "" else ","))
     rows;
   pr "  ],\n";
@@ -1666,7 +1687,7 @@ let smoke () =
   let handler = serve_handler corpus in
   let workload = serve_workload corpus in
   let lines = List.map fst workload and expected = List.map snd workload in
-  let cfg = { Serve.jobs; queue_max = 8192; request_deadline_ms = None } in
+  let cfg = { Serve.default_config with Serve.jobs; queue_max = 8192 } in
   let replies, _, t_ms = serve_round cfg handler lines in
   List.iteri
     (fun i (got, want) ->

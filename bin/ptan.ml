@@ -523,14 +523,20 @@ type demand_entry = {
     request, sliced to the query's seed function and memoized per
     (file, seed). *)
 let cmd_serve files cache incremental demand budget jobs socket request_deadline_ms
-    queue_max show_stats =
+    queue_max show_stats supervise max_restarts =
   with_errors (fun () ->
       (* Corpus load: any file that fails to analyze is a startup
          error — a daemon with a silently missing corpus entry would
          answer [error unknown file] forever. Degraded entries are fine:
          their answers are sound supersets, flagged per-reply. The
          results table is mutable so [reload]/[watch] can swap an entry
-         in place (always on the event-loop domain, between batches). *)
+         in place (always on the event-loop domain, between batches).
+         Everything from corpus load onward lives in [boot]: under
+         --supervise it must run in the forked worker, not the
+         supervisor, so each restarted worker loads afresh (the result
+         cache makes that cheap) and the supervisor never spawns a
+         domain before forking. *)
+      let boot () =
       let results : (string, Pointsto.Analysis.result) Hashtbl.t = Hashtbl.create 16 in
       let dentries : (string, demand_entry) Hashtbl.t = Hashtbl.create 16 in
       let load_entry file =
@@ -649,27 +655,57 @@ let cmd_serve files cache incremental demand budget jobs socket request_deadline
           h_paths = List.map (fun f -> (f, f)) files;
         }
       in
+      handler
+      in
       let stop = Atomic.make false in
       let on_signal _ = Atomic.set stop true in
       List.iter
         (fun s -> try Sys.set_signal s (Sys.Signal_handle on_signal) with Invalid_argument _ -> ())
         [ Sys.sigterm; Sys.sigint ];
-      let transport =
-        match socket with
-        | Some path -> Pointsto.Serve.Socket path
-        | None -> Pointsto.Serve.Stdio
+      let run_daemon ~restarts ~journal transport =
+        let handler = boot () in
+        let config =
+          { Pointsto.Serve.jobs; queue_max; request_deadline_ms; restarts; journal }
+        in
+        (match socket with
+        | Some path ->
+            Fmt.epr "serve: ready, %d file(s) resident, socket %s@." (List.length files)
+              path
+        | None -> Fmt.epr "serve: ready, %d file(s) resident, stdio@." (List.length files));
+        let stats = Pointsto.Serve.run ~stop config handler transport in
+        Fmt.epr
+          "serve: shutdown after %d request(s): %d ok, %d degraded, %d error, %d shed, \
+           %d batch(es), %d reload(s)@."
+          stats.Pointsto.Serve.s_requests stats.s_ok stats.s_degraded stats.s_errors
+          stats.s_shed stats.s_batches stats.s_reloads;
+        if show_stats then Fmt.epr "%a@." Pointsto.Metrics.pp (Pointsto.Metrics.snapshot ())
       in
-      let config = { Pointsto.Serve.jobs; queue_max; request_deadline_ms } in
-      (match socket with
-      | Some path -> Fmt.epr "serve: ready, %d file(s) resident, socket %s@." (List.length files) path
-      | None -> Fmt.epr "serve: ready, %d file(s) resident, stdio@." (List.length files));
-      let stats = Pointsto.Serve.run ~stop config handler transport in
-      Fmt.epr
-        "serve: shutdown after %d request(s): %d ok, %d degraded, %d error, %d shed, %d \
-         batch(es), %d reload(s)@."
-        stats.Pointsto.Serve.s_requests stats.s_ok stats.s_degraded stats.s_errors
-        stats.s_shed stats.s_batches stats.s_reloads;
-      if show_stats then Fmt.epr "%a@." Pointsto.Metrics.pp (Pointsto.Metrics.snapshot ()))
+      if supervise then begin
+        match socket with
+        | None ->
+            Fmt.epr "serve: error: --supervise requires --socket@.";
+            exit 1
+        | Some path ->
+            let sv =
+              { Pointsto.Serve.default_supervise with sv_max_restarts = max_restarts }
+            in
+            let journal = Some (path ^ ".journal") in
+            (try Sys.remove (path ^ ".journal") with Sys_error _ -> ());
+            let code =
+              Pointsto.Serve.supervise ~stop sv ~socket:path (fun ~restarts fd ->
+                  run_daemon ~restarts ~journal (Pointsto.Serve.Listening fd);
+                  0)
+            in
+            (try Sys.remove (path ^ ".journal") with Sys_error _ -> ());
+            if code <> 0 then exit code
+      end
+      else
+        let transport =
+          match socket with
+          | Some path -> Pointsto.Serve.Socket path
+          | None -> Pointsto.Serve.Stdio
+        in
+        run_daemon ~restarts:0 ~journal:None transport)
 
 (** Exit code for refused generation: bad knobs, or an --out path that
     exists without --force. Shares code 2 with query failures — "the
@@ -826,15 +862,31 @@ let max_locs =
           "Size ceiling before degrading: max points-to pairs in a function output and \
            max invocation-graph nodes.")
 
+let max_heap_mb =
+  Arg.(
+    value & opt (some int) None
+    & info [ "max-heap-mb" ] ~docv:"MB"
+        ~doc:
+          "Memory ceiling before degrading, megabytes of major-heap size: sampled at \
+           the engine's fixpoint boundaries with a GC-alarm backstop. A blown ceiling \
+           degrades to the widened rerun (exit 3) instead of an OOM kill. See \
+           docs/ROBUSTNESS.md.")
+
 (** Combined resource budget; [None] when no budget flag was given. *)
 let budget =
   Term.(
-    const (fun d f m ->
-        match (d, f, m) with
-        | None, None, None -> None
+    const (fun d f m h ->
+        match (d, f, m, h) with
+        | None, None, None, None -> None
         | _ ->
-            Some { Pointsto.Guard.b_deadline_ms = d; b_fuel = f; b_max_locs = m })
-    $ deadline_ms $ fuel $ max_locs)
+            Some
+              {
+                Pointsto.Guard.b_deadline_ms = d;
+                b_fuel = f;
+                b_max_locs = m;
+                b_max_heap_mb = h;
+              })
+    $ deadline_ms $ fuel $ max_locs $ max_heap_mb)
 
 let task_timeout_ms =
   Arg.(
@@ -979,6 +1031,26 @@ let queue_max =
           "Admission bound: at most $(docv) requests dispatched per batch cycle; the \
            excess is answered 'busy' immediately instead of queueing without bound.")
 
+let supervise_flag =
+  Arg.(
+    value & flag
+    & info [ "supervise" ]
+        ~doc:
+          "Self-healing mode (requires --socket): a supervisor process owns the \
+           listening socket and forks the actual daemon as a worker; a crashed or \
+           OOM-killed worker is restarted onto the same socket with capped exponential \
+           backoff, replaying its predecessor's reloads from a journal. More than \
+           --max-restarts worker deaths within 30s make the supervisor give up (exit \
+           1). See docs/ROBUSTNESS.md.")
+
+let max_restarts =
+  Arg.(
+    value & opt int 5
+    & info [ "max-restarts" ] ~docv:"N"
+        ~doc:
+          "Fail-fast bound for --supervise: tolerate at most $(docv) worker deaths \
+           within a 30s sliding window before giving up.")
+
 let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
@@ -989,7 +1061,8 @@ let serve_cmd =
           docs/SERVE.md")
     Term.(
       const cmd_serve $ files_arg $ cache $ incremental $ demand $ budget $ jobs
-      $ socket_path $ request_deadline_ms $ queue_max $ show_stats)
+      $ socket_path $ request_deadline_ms $ queue_max $ show_stats $ supervise_flag
+      $ max_restarts)
 
 let batch_cmd =
   Cmd.v

@@ -65,12 +65,51 @@ let initial_input (tenv : Tenv.t) (entry_fn : Ir.func) : Pts.t =
 
 exception No_entry of string
 
+(** A degradation checkpoint: the aborted precise run's partial
+    per-function IN/OUT state, demoted to possible-only relationships,
+    in the shape of the widened engine's per-function slots. Seeding the
+    widened rerun from it resumes the work the trip unwound instead of
+    discarding it: every checkpointed pair is a fact the precise run
+    established (completed §6-memo evaluations and the invocation
+    graph's stored partial IN/OUT pairs), and widening it can only move
+    it toward the context-insensitive superset the rerun converges to,
+    so the degraded-superset property is untouched
+    (docs/ROBUSTNESS.md). *)
+type ci_seed = (string * (Pts.t option * Pts.state)) list
+
+(* widen one set: every relationship becomes possible-only *)
+let demote (s : Pts.t) : Pts.t =
+  Pts.fold (fun src tgt _cert acc -> Pts.add src tgt Pts.P acc) s Pts.empty
+
+let checkpoint_of (ctx : Engine.ctx) (graph : Ig.t) : ci_seed =
+  let slots : (string, Pts.t option * Pts.state) Hashtbl.t = Hashtbl.create 64 in
+  let note name (i : Pts.state) (o : Pts.state) =
+    let di = Option.map demote i and dm = Option.map demote o in
+    let cur_i, cur_o =
+      Option.value ~default:(None, None) (Hashtbl.find_opt slots name)
+    in
+    Hashtbl.replace slots name (Pts.merge_state cur_i di, Pts.merge_state cur_o dm)
+  in
+  Hashtbl.iter
+    (fun name by_hash ->
+      Hashtbl.iter
+        (fun _h entries -> List.iter (fun (i, o) -> note name (Some i) (Some o)) entries)
+        by_hash)
+    ctx.Engine.share_memo;
+  Ig.fold
+    (fun () node -> note node.Ig.func node.Ig.stored_input node.Ig.stored_output)
+    () graph;
+  Hashtbl.fold (fun name slot acc -> (name, slot) :: acc) slots []
+
 (** One full run under [guard]: raises [Guard.Exhausted] when the budget
     blows — [analyze] below handles the degradation. Does not touch the
     Metrics accumulator's lifecycle (the caller resets once, so the
-    degraded rerun accumulates on top of the aborted precise run). *)
+    degraded rerun accumulates on top of the aborted precise run).
+    [checkpoint_out] receives the partial-state checkpoint when the
+    budget trips; [ci_seed] pre-loads the widened engine's per-function
+    slots from a previous trip's checkpoint. *)
 let run ~opts ~entry ~guard ~degraded ?(record_summaries = false) ?seeded
-    (prog : Ir.program) : result =
+    ?checkpoint_out ?(ci_seed = []) (prog : Ir.program) : result =
   let tenv = Tenv.make ~opts prog in
   let entry_fn =
     match Tenv.find_func tenv entry with
@@ -79,10 +118,13 @@ let run ~opts ~entry ~guard ~degraded ?(record_summaries = false) ?seeded
   in
   let graph = Ig.build tenv ~entry in
   let ctx = Engine.make_ctx ~guard ~record_summaries ?seeded tenv in
+  List.iter
+    (fun (name, slot) -> Hashtbl.replace ctx.Engine.ci_slots name slot)
+    ci_seed;
   let input0 = initial_input tenv entry_fn in
   let t0 = Metrics.now () in
   let ttr = Trace.start () in
-  let entry_output =
+  let eval () =
     if opts.Options.context_sensitive then
       Engine.eval_node ctx graph.Ig.root entry_fn input0
     else begin
@@ -93,11 +135,25 @@ let run ~opts ~entry ~guard ~degraded ?(record_summaries = false) ?seeded
       while !continue_ do
         ctx.Engine.ci_changed <- false;
         Hashtbl.reset ctx.Engine.stmt_pts;
+        Hashtbl.reset ctx.Engine.ci_done;
         out := Engine.eval_ci ctx graph.Ig.root entry_fn input0;
         if not ctx.Engine.ci_changed then continue_ := false
       done;
       !out
     end
+  in
+  let entry_output =
+    try eval ()
+    with Guard.Exhausted _ as e ->
+      (match checkpoint_out with
+      | None -> ()
+      | Some slot ->
+          let tc0 = Trace.start () in
+          let ck = checkpoint_of ctx graph in
+          slot := Some ck;
+          if Trace.on () then
+            Trace.emit Trace.Checkpoint ~name:entry ~stmts:(List.length ck) ~t0:tc0 ());
+      raise e
   in
   (Metrics.cur ()).Metrics.t_analysis <- Metrics.now () -. t0;
   if Trace.on () then
@@ -124,23 +180,45 @@ let analyze ?(opts = Options.default) ?(entry = "main") ?budget
     ?(record_summaries = false) ?seeded (prog : Ir.program) : result =
   Metrics.reset ();
   let guard = Guard.of_budget budget in
-  try run ~opts ~entry ~guard ~degraded:None ~record_summaries ?seeded prog
+  (* the guard may carry a heap-ceiling {!Gc.alarm}; never leak it *)
+  Fun.protect ~finally:(fun () -> Guard.dispose guard) @@ fun () ->
+  let ckpt : ci_seed option ref = ref None in
+  try
+    run ~opts ~entry ~guard ~degraded:None ~record_summaries ?seeded
+      ~checkpoint_out:ckpt prog
   with Guard.Exhausted trip ->
     (* Graceful degradation: rerun under the widened semantics — the
        context-insensitive merged summary with possible-only
        relationships, i.e. exactly the ablation the engine already
        implements. That mode is polynomial where the precise one can
        blow up, so it gets the same wall-clock allowance afresh and no
-       fuel or size ceiling ({!Guard.widened}); a second exhaustion is a
-       genuine failure and propagates. *)
+       fuel, size, or heap ceiling ({!Guard.widened}); a second
+       exhaustion is a genuine failure and propagates. The rerun does
+       not start cold: it is seeded from the checkpoint [run] took at
+       the trip — the aborted run's partial per-function state, widened
+       (sound: it only moves facts toward the superset the rerun
+       converges to). *)
     Metrics.((cur ()).budget_trips <- (cur ()).budget_trips + 1);
+    if trip.Guard.t_reason = Guard.Heap then begin
+      Metrics.((cur ()).heap_trips <- (cur ()).heap_trips + 1);
+      if Trace.on () then
+        Trace.emit Trace.Oom ~name:entry
+          ~pts_in:((Gc.quick_stat ()).Gc.heap_words / (1024 * 1024 / (Sys.word_size / 8)))
+          ~t0:(Trace.start ()) ();
+      (* the aborted run's state is garbage now; return it to the OS
+         before the rerun allocates its own *)
+      Guard.dispose guard;
+      Gc.compact ()
+    end;
     let wopts =
       { opts with Options.context_sensitive = false; Options.use_definite = false }
     in
     let wguard = Guard.widened guard in
     let degraded = Some { deg_trip = trip; deg_budget = Guard.budget guard } in
+    let ci_seed = Option.value ~default:[] !ckpt in
+    Metrics.((cur ()).ckpt_funcs <- (cur ()).ckpt_funcs + List.length ci_seed);
     let tw0 = Trace.start () in
-    let r = run ~opts:wopts ~entry ~guard:wguard ~degraded prog in
+    let r = run ~opts:wopts ~entry ~guard:wguard ~degraded ~ci_seed prog in
     if Trace.on () then Trace.emit Trace.Widen ~name:entry ~t0:tw0 ();
     r
 

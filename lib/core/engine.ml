@@ -51,6 +51,14 @@ type ctx = {
   (* context-insensitive ablation: one IN/OUT slot per function *)
   ci_slots : (string, Pts.t option * Pts.state) Hashtbl.t;
   ci_in_flight : (string, unit) Hashtbl.t;
+  ci_done : (string, unit) Hashtbl.t;
+      (** functions whose body has already been processed during the
+          current driver pass with their current slot input; the driver
+          resets this at each pass boundary. A repeat call whose merged
+          input did not grow reuses the slot output instead of
+          re-walking the body — the final (no-change) pass processes
+          each reachable function exactly once, so the fixpoint and the
+          recorded [stmt_pts] are identical to the unmemoized walk *)
   mutable ci_changed : bool;
   (* §6 sub-tree sharing: per-function memo of completed (input, output)
      pairs, shared across invocation-graph nodes. Two-level index:
@@ -93,6 +101,7 @@ let make_ctx ?guard ?(record_summaries = false) ?seeded ?demand (tenv : Tenv.t) 
     warn_seen = Hashtbl.create 16;
     ci_slots = Hashtbl.create 16;
     ci_in_flight = Hashtbl.create 16;
+    ci_done = Hashtbl.create 16;
     ci_changed = false;
     share_memo = Hashtbl.create 16;
     share_hits = 0;
@@ -1041,10 +1050,16 @@ and eval_ci ctx (node : Ig.node) (callee_fn : Ir.func) (func_input : Pts.t) : Pt
      iterates until no slot changes, so using the stored output here is
      safe *)
   if Hashtbl.mem ctx.ci_in_flight name then slot_out
+  else if Hashtbl.mem ctx.ci_done name && not input_grew then
+    (* already processed this pass with this (or a larger) input: the
+       slot output is what re-walking the body would return; any callee
+       growth since then sets [ci_changed] and the next pass re-walks *)
+    slot_out
   else begin
     Guard.check ctx.guard;
     Guard.at ctx.guard name;
     Hashtbl.replace ctx.ci_in_flight name ();
+    Hashtbl.replace ctx.ci_done name ();
     let tb0 = Trace.start () in
     let fl = process_stmts ctx callee_fn node (Some new_in) callee_fn.Ir.fn_body in
     Hashtbl.remove ctx.ci_in_flight name;

@@ -13,6 +13,8 @@ type point =
   | Corrupt_cache
   | Task_exn
   | Expired_deadline
+  | Alloc_spike
+  | Worker_kill
 
 exception Injected of string
 
@@ -21,8 +23,11 @@ let point_name = function
   | Corrupt_cache -> "corrupt-cache"
   | Task_exn -> "task-exn"
   | Expired_deadline -> "expired-deadline"
+  | Alloc_spike -> "alloc-spike"
+  | Worker_kill -> "worker-kill"
 
-let all_points = [ Slow_fixpoint; Corrupt_cache; Task_exn; Expired_deadline ]
+let all_points =
+  [ Slow_fixpoint; Corrupt_cache; Task_exn; Expired_deadline; Alloc_spike; Worker_kill ]
 
 let point_of_name n = List.find_opt (fun p -> String.equal (point_name p) n) all_points
 
@@ -31,6 +36,8 @@ let idx = function
   | Corrupt_cache -> 1
   | Task_exn -> 2
   | Expired_deadline -> 3
+  | Alloc_spike -> 4
+  | Worker_kill -> 5
 
 let flags = Array.init (List.length all_points) (fun _ -> Atomic.make false)
 
@@ -109,6 +116,41 @@ let maybe_slow_fixpoint ~fn =
     task. *)
 let maybe_task_exn () =
   if enabled Task_exn then raise (Injected "task-exn")
+
+(* [Worker_kill] arming: when [PTAN_FAULT_KILL_FILE] names a path, the
+   injection fires only while that file exists, and consumes it
+   (unlink) on firing — so a test controls exactly which request dies
+   across worker restarts, which would otherwise re-read the same
+   environment and die forever. Without an arm file the kill is
+   unconditional. *)
+let kill_file : string option Atomic.t = Atomic.make None
+
+let () =
+  (* reading one more variable in the lazy env block would change its
+     type; a separate eager read keeps it simple, and the variable is
+     only consulted when the injection is already on *)
+  match Sys.getenv_opt "PTAN_FAULT_KILL_FILE" with
+  | None | Some "" -> ()
+  | Some p -> Atomic.set kill_file (Some p)
+
+let set_kill_file p = Atomic.set kill_file p
+
+(** The worker-kill site, called by {!Serve} as a request batch starts:
+    SIGKILL the current process — an OOM-killed or crashed daemon
+    worker, as seen by its supervisor. *)
+let maybe_worker_kill () =
+  if enabled Worker_kill then
+    let armed =
+      match Atomic.get kill_file with
+      | None -> true
+      | Some p ->
+          if Sys.file_exists p then begin
+            (try Sys.remove p with Sys_error _ -> ());
+            true
+          end
+          else false
+    in
+    if armed then Unix.kill (Unix.getpid ()) Sys.sigkill
 
 (** The cache-corruption site: flip one byte in the middle of [file]
     when the injection is on. Called by {!Persist.save} after the

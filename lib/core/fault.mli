@@ -31,13 +31,23 @@ type point =
   | Corrupt_cache  (** flip a byte of every saved cache file *)
   | Task_exn  (** raise {!Injected} from every pool task *)
   | Expired_deadline  (** new guards start past their deadline *)
+  | Alloc_spike
+      (** {!Guard}'s heap sampling reads an impossibly large live size:
+          any [--max-heap-mb] ceiling trips on the next check — a
+          deterministic stand-in for a real allocation blowup *)
+  | Worker_kill
+      (** {!Serve} workers SIGKILL themselves as a request batch
+          starts — an OOM-killed daemon, as seen by its supervisor.
+          [PTAN_FAULT_KILL_FILE] arms it per-request: the kill fires
+          only while that file exists and unlinks it on firing *)
 
 (** Raised by the {!Task_exn} injection. *)
 exception Injected of string
 
 val point_name : point -> string
 (** ["slow-fixpoint"], ["corrupt-cache"], ["task-exn"],
-    ["expired-deadline"] — the names accepted by [PTAN_FAULTS]. *)
+    ["expired-deadline"], ["alloc-spike"], ["worker-kill"] — the names
+    accepted by [PTAN_FAULTS]. *)
 
 val point_of_name : string -> point option
 val all_points : point list
@@ -68,3 +78,9 @@ val maybe_task_exn : unit -> unit
 
 val maybe_corrupt_file : string -> unit
 (** The {!Corrupt_cache} site (persist, after the atomic rename). *)
+
+val set_kill_file : string option -> unit
+(** Override {!Worker_kill}'s arm file ([PTAN_FAULT_KILL_FILE]). *)
+
+val maybe_worker_kill : unit -> unit
+(** The {!Worker_kill} site (serve, as a request batch starts). *)

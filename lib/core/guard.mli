@@ -29,15 +29,22 @@ type budget = {
   b_max_locs : int option;
       (** size ceiling, applied to both a function output's points-to
           pair count and the total invocation-graph node count *)
+  b_max_heap_mb : int option;
+      (** memory ceiling, megabytes of major-heap size: sampled with
+          {!Gc.quick_stat} at the {!check} boundaries (every few dozen
+          calls), with a {!Gc.alarm} backstop flagging a blown ceiling
+          at the end of each major collection. Tripping degrades the
+          analysis exactly like the other budgets — exit code 3, not an
+          OOM kill (docs/ROBUSTNESS.md) *)
 }
 
 val no_budget : budget
 val is_no_budget : budget -> bool
 
-type reason = Deadline | Fuel | Size | Nodes
+type reason = Deadline | Fuel | Size | Nodes | Heap
 
 val reason_name : reason -> string
-(** ["deadline"], ["fuel"], ["set-size"], ["ig-nodes"]. *)
+(** ["deadline"], ["fuel"], ["set-size"], ["ig-nodes"], ["heap"]. *)
 
 (** Structured diagnostics carried by {!Exhausted} and surfaced on
     degraded {!Analysis.result}s. *)
@@ -98,6 +105,13 @@ val check_size : t -> int -> unit
 
 val check_nodes : t -> int -> unit
 (** Invocation-graph node count against [b_max_locs]. *)
+
+val dispose : t -> unit
+(** Remove the guard's {!Gc.alarm} backstop, if any. Call when a
+    heap-budgeted guard's analysis ends (normally or by unwinding); a
+    no-op for guards without [b_max_heap_mb]. {!Analysis.analyze} does
+    this — only callers constructing heap-budgeted guards directly need
+    to care. *)
 
 (** {1 Cooperative cancellation}
 

@@ -56,6 +56,12 @@ type t = {
   mutable budget_trips : int;
       (** budget exhaustions that degraded an analysis to the widened
           (context-insensitive, possible-only) rerun *)
+  mutable heap_trips : int;
+      (** budget trips whose reason was the [--max-heap-mb] memory
+          ceiling (a subset of [budget_trips]) *)
+  mutable ckpt_funcs : int;
+      (** per-function IN/OUT slots seeded into a widened rerun from
+          the aborted precise run's checkpoint (docs/ROBUSTNESS.md) *)
   (* incremental re-analysis ({!Persist.analyze_cached} with
      [~incremental:true]) *)
   mutable incr_funcs_dirty : int;
@@ -123,6 +129,8 @@ let create () =
     cache_misses = 0;
     cache_quarantined = 0;
     budget_trips = 0;
+    heap_trips = 0;
+    ckpt_funcs = 0;
     incr_funcs_dirty = 0;
     incr_funcs_reused = 0;
     demand_plans = 0;
@@ -173,6 +181,8 @@ let reset () =
   cur.cache_misses <- 0;
   cur.cache_quarantined <- 0;
   cur.budget_trips <- 0;
+  cur.heap_trips <- 0;
+  cur.ckpt_funcs <- 0;
   cur.incr_funcs_dirty <- 0;
   cur.incr_funcs_reused <- 0;
   cur.demand_plans <- 0;
@@ -222,6 +232,8 @@ let add_into ~(into : t) (m : t) =
   into.cache_misses <- into.cache_misses + m.cache_misses;
   into.cache_quarantined <- into.cache_quarantined + m.cache_quarantined;
   into.budget_trips <- into.budget_trips + m.budget_trips;
+  into.heap_trips <- into.heap_trips + m.heap_trips;
+  into.ckpt_funcs <- into.ckpt_funcs + m.ckpt_funcs;
   into.incr_funcs_dirty <- into.incr_funcs_dirty + m.incr_funcs_dirty;
   into.incr_funcs_reused <- into.incr_funcs_reused + m.incr_funcs_reused;
   into.demand_plans <- into.demand_plans + m.demand_plans;
@@ -286,7 +298,8 @@ let rows (m : t) : (string * string) list =
       Printf.sprintf "%d hits, %d misses (save %.3f ms, load %.3f ms)" m.cache_hits
         m.cache_misses (m.t_serialize *. 1e3) (m.t_deserialize *. 1e3) );
     ( "robustness",
-      Printf.sprintf "%d budget trips, %d cache entries quarantined" m.budget_trips
+      Printf.sprintf "%d budget trips (%d heap), %d checkpointed functions, %d cache \
+                      entries quarantined" m.budget_trips m.heap_trips m.ckpt_funcs
         m.cache_quarantined );
     ( "incremental",
       Printf.sprintf "%d functions dirty, %d summaries replayed" m.incr_funcs_dirty

@@ -22,14 +22,18 @@ type transport =
   | Stdio
   | Fds of Unix.file_descr * Unix.file_descr
   | Socket of string
+  | Listening of Unix.file_descr
 
 type config = {
   jobs : int;
   queue_max : int;
   request_deadline_ms : float option;
+  restarts : int;
+  journal : string option;
 }
 
-let default_config = { jobs = 1; queue_max = 1024; request_deadline_ms = None }
+let default_config =
+  { jobs = 1; queue_max = 1024; request_deadline_ms = None; restarts = 0; journal = None }
 
 type stats = {
   mutable s_requests : int;
@@ -50,6 +54,7 @@ type request =
   | Ping
   | Files
   | Stats
+  | Health
   | Quit
   | Watch
   | Reload of string
@@ -66,6 +71,7 @@ let parse_request line : (request, string) result =
   | [ "ping" ] -> Ok Ping
   | [ "files" ] -> Ok Files
   | [ "stats" ] -> Ok Stats
+  | [ "health" ] -> Ok Health
   | [ "quit" ] -> Ok Quit
   | [ "watch" ] -> Ok Watch
   | [ "reload"; file ] -> Ok (Reload file)
@@ -73,7 +79,8 @@ let parse_request line : (request, string) result =
   | kw :: _ ->
       Error
         (Printf.sprintf
-           "unknown request '%s' (expected q, ping, files, stats, watch, reload or quit)"
+           "unknown request '%s' (expected q, ping, files, stats, health, watch, reload \
+            or quit)"
            kw)
 
 (* Replies are one line each; a payload must not be able to break the
@@ -89,16 +96,73 @@ let stats_reply st =
 let files_reply h =
   Printf.sprintf "ok %d %s" (List.length h.h_files) (String.concat " " h.h_files)
 
+(* The health probe: daemon uptime, how many times the supervisor has
+   restarted this worker, a heap sample, and how many requests arrived
+   in the batch carrying the probe. All gathered inline on the
+   event-loop domain — a health check must answer even when the pool is
+   saturated with queries. *)
+let health_reply cfg ~t0 ~depth =
+  let heap_mb = (Gc.quick_stat ()).Gc.heap_words / (1024 * 1024 / (Sys.word_size / 8)) in
+  Printf.sprintf "ok uptime-ms=%.0f restarts=%d heap-mb=%d queue-depth=%d"
+    ((Mono.now_s () -. t0) *. 1e3)
+    cfg.restarts heap_mb depth
+
+(* ------------------------------------------------------------------ *)
+(* Reload journal                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Under a supervisor, reloads mutate only the worker's in-memory
+   corpus — state a crash would silently lose. Each successful reload
+   appends the corpus name to [cfg.journal]; a restarted worker replays
+   the journal (each name once, in first-reload order) before serving,
+   so its tables match the corpus the previous worker was answering
+   from. Append and replay are best-effort: a broken journal degrades
+   to a cold corpus, never a dead daemon. *)
+let journal_append cfg ~file =
+  match cfg.journal with
+  | None -> ()
+  | Some path -> (
+      try
+        let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+        output_string oc (file ^ "\n");
+        close_out oc
+      with Sys_error _ -> ())
+
+let journal_replay cfg handler stats =
+  match (cfg.journal, handler.h_reload) with
+  | Some path, Some f when Sys.file_exists path ->
+      let ic = open_in path in
+      let rec lines acc =
+        match input_line ic with
+        | l -> lines (if String.trim l = "" then acc else String.trim l :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      let files = lines [] in
+      close_in ic;
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun file ->
+          if not (Hashtbl.mem seen file) then begin
+            Hashtbl.add seen file ();
+            match f ~file with
+            | Ok _ -> stats.s_reloads <- stats.s_reloads + 1
+            | Error _ -> ()
+            | exception _ -> ()
+          end)
+        files
+  | _ -> ()
+
 (* Re-analyze one corpus entry in place, on the event-loop domain: no
    query is in flight between batches, so the driver's mutable corpus
    table can be swapped without a race. *)
-let do_reload handler stats ~file =
+let do_reload cfg handler stats ~file =
   match handler.h_reload with
   | None -> reply_error "reload not supported by this driver"
   | Some f -> (
       match f ~file with
       | Ok summary ->
           stats.s_reloads <- stats.s_reloads + 1;
+          journal_append cfg ~file;
           "ok " ^ sanitize summary
       | Error e -> reply_error e
       | exception e -> reply_error ("reload failed: " ^ Printexc.to_string e))
@@ -205,7 +269,12 @@ let close_conn c =
    Control requests are answered inline on the event-loop domain;
    queries fan out over the pool and come back in submission order, so
    per-connection reply order always matches request order. *)
-let process pool cfg handler stats quit watching pending =
+let process pool cfg handler stats quit watching ~t0 pending =
+  (* the {!Fault.Worker_kill} site: an OOM-killed worker dies right as
+     it picks up a batch — requests in flight, reply unsent — which is
+     the worst case its supervisor and clients must absorb *)
+  Fault.maybe_worker_kill ();
+  let t_batch0 = Mono.now_s () in
   stats.s_batches <- stats.s_batches + 1;
   let m = Metrics.cur () in
   let rec split_at n = function
@@ -227,6 +296,7 @@ let process pool cfg handler stats quit watching pending =
         | Ok Ping -> (c, Either.Left "ok pong")
         | Ok Files -> (c, Either.Left (files_reply handler))
         | Ok Stats -> (c, Either.Left (stats_reply stats))
+        | Ok Health -> (c, Either.Left (health_reply cfg ~t0 ~depth:n_pending))
         | Ok Quit ->
             quit := true;
             (c, Either.Left "ok bye")
@@ -240,7 +310,7 @@ let process pool cfg handler stats quit watching pending =
                   (Printf.sprintf "ok watching %d files" (List.length handler.h_paths))
               )
             end
-        | Ok (Reload file) -> (c, Either.Left (do_reload handler stats ~file))
+        | Ok (Reload file) -> (c, Either.Left (do_reload cfg handler stats ~file))
         | Ok (Query { file; query }) -> (c, Either.Right (file, query)))
       admitted
   in
@@ -291,6 +361,14 @@ let process pool cfg handler stats quit watching pending =
       | (c, Either.Right _) :: tl, a :: answers -> (c, a) :: zip tl answers
       | (_, Either.Right _) :: _, [] -> assert false
     in
+    (* the admitted queries have already run by this point, so the
+       batch's own latency is known — it is the best available estimate
+       of when the daemon will take requests again, and becomes the
+       shed replies' retry hint (floored at 1 ms so a client backing
+       off by the hint never busy-loops) *)
+    let retry_after_ms =
+      max 1 (int_of_float (ceil ((Mono.now_s () -. t_batch0) *. 1e3)))
+    in
     zip items answers
     @ List.map
         (fun (c, _) ->
@@ -299,8 +377,9 @@ let process pool cfg handler stats quit watching pending =
           stats.s_shed <- stats.s_shed + 1;
           m.Metrics.serve_shed <- m.Metrics.serve_shed + 1;
           ( c,
-            Printf.sprintf "busy queue full (%d pending, max %d per batch)" n_pending
-              cfg.queue_max ))
+            Printf.sprintf "busy retry-after-ms=%d queue full (%d pending, max %d per \
+                            batch)"
+              retry_after_ms n_pending cfg.queue_max ))
         shed
   in
   List.iter
@@ -337,7 +416,7 @@ let process pool cfg handler stats quit watching pending =
 (* [watch] support: poll the corpus sources' mtimes (cheap stats, at
    most every 250 ms) and reload an entry in place when its file
    changed. The first sighting of a file only records the baseline. *)
-let poll_watch handler stats mtimes =
+let poll_watch cfg handler stats mtimes =
   List.iter
     (fun (name, path) ->
       match Unix.stat path with
@@ -348,7 +427,7 @@ let poll_watch handler stats mtimes =
           | None -> Hashtbl.replace mtimes path mt
           | Some old when old <> mt ->
               Hashtbl.replace mtimes path mt;
-              ignore (do_reload handler stats ~file:name)
+              ignore (do_reload cfg handler stats ~file:name)
           | Some _ -> ()))
     handler.h_paths
 
@@ -377,6 +456,9 @@ let run ?(stop = Atomic.make false) cfg handler transport =
         Unix.bind fd (Unix.ADDR_UNIX path);
         Unix.listen fd 64;
         (Some fd, ref [])
+    | Listening fd ->
+        (* pre-bound by the supervisor, which owns its lifecycle *)
+        (Some fd, ref [])
   in
   let cleanup () =
     List.iter close_conn !conns;
@@ -388,6 +470,8 @@ let run ?(stop = Atomic.make false) cfg handler transport =
   in
   Fun.protect ~finally:cleanup @@ fun () ->
   Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
+  let t0 = Mono.now_s () in
+  journal_replay cfg handler stats;
   let quit = ref false in
   let watching = ref false in
   let mtimes = Hashtbl.create 16 in
@@ -397,7 +481,7 @@ let run ?(stop = Atomic.make false) cfg handler transport =
        let now = Mono.now_s () in
        if now -. !last_poll >= 0.25 then begin
          last_poll := now;
-         poll_watch handler stats mtimes
+         poll_watch cfg handler stats mtimes
        end);
     let live = List.filter (fun c -> not (c.c_eof || c.c_dead)) !conns in
     let rfds =
@@ -431,7 +515,7 @@ let run ?(stop = Atomic.make false) cfg handler transport =
                      if String.trim line = "" then None else Some (c, line)))
           !conns
       in
-      if pending <> [] then process pool cfg handler stats quit watching pending;
+      if pending <> [] then process pool cfg handler stats quit watching ~t0 pending;
       conns :=
         List.filter
           (fun c ->
@@ -446,3 +530,109 @@ let run ?(stop = Atomic.make false) cfg handler transport =
     end
   done;
   stats
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type supervise_config = {
+  sv_max_restarts : int;
+  sv_window_s : float;
+  sv_backoff_ms : float;
+  sv_backoff_max_ms : float;
+}
+
+let default_supervise =
+  { sv_max_restarts = 5; sv_window_s = 30.; sv_backoff_ms = 100.; sv_backoff_max_ms = 5_000. }
+
+(* OCaml signal numbers are negative for portability; name the ones a
+   dying worker actually produces. *)
+let signal_name s =
+  if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigint then "SIGINT"
+  else if s = Sys.sigbus then "SIGBUS"
+  else string_of_int s
+
+let describe_status = function
+  | Unix.WEXITED c -> Printf.sprintf "exited %d" c
+  | Unix.WSIGNALED s -> Printf.sprintf "killed by signal %s" (signal_name s)
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %s" (signal_name s)
+
+(* The self-healing wrapper around {!run}. The supervisor owns the
+   listening socket: it binds and listens exactly once, then forks a
+   worker that accepts on the inherited descriptor ({!Listening}).
+   Because the socket outlives any worker, a client connecting while
+   the worker is down does not get ECONNREFUSED — the connection sits
+   in the kernel backlog until the replacement worker accepts it.
+
+   The supervisor itself must stay fork-safe: it runs no analysis,
+   spawns no domains, and allocates almost nothing. All real work —
+   corpus load, pool creation, query dispatch — happens in the worker,
+   after the fork. *)
+let supervise ?(stop = Atomic.make false) sv ~socket worker =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  Unix.bind fd (Unix.ADDR_UNIX socket);
+  Unix.listen fd 64;
+  let cleanup () =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    try Unix.unlink socket with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let restarts = ref 0 in
+  let recent = ref [] in
+  (* deaths within the window *)
+  let backoff = ref sv.sv_backoff_ms in
+  let rec loop () =
+    if Atomic.get stop then 0
+    else
+      match Unix.fork () with
+      | 0 ->
+          (* the worker; exits instead of returning to the loop *)
+          let code =
+            try worker ~restarts:!restarts fd
+            with e ->
+              prerr_endline ("ptan serve worker: " ^ Printexc.to_string e);
+              1
+          in
+          Stdlib.exit code
+      | pid -> (
+          let rec wait () =
+            match Unix.waitpid [] pid with
+            | _, st -> st
+            | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                (* a signal landed (SIGTERM/SIGINT set [stop]): pass
+                   the shutdown on to the worker, keep waiting for it *)
+                if Atomic.get stop then
+                  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+                wait ()
+          in
+          match wait () with
+          | Unix.WEXITED c when Atomic.get stop -> c
+          | Unix.WEXITED 0 -> 0 (* clean [quit] — the daemon is done *)
+          | st ->
+              let now = Mono.now_s () in
+              recent := now :: List.filter (fun t -> now -. t <= sv.sv_window_s) !recent;
+              if List.length !recent > sv.sv_max_restarts then begin
+                Printf.eprintf
+                  "ptan serve: worker %s; %d deaths within %.0fs — giving up\n%!"
+                  (describe_status st) (List.length !recent) sv.sv_window_s;
+                1
+              end
+              else begin
+                (* a long healthy stretch (every earlier death aged out
+                   of the window) earns a fresh backoff *)
+                if List.length !recent = 1 then backoff := sv.sv_backoff_ms;
+                incr restarts;
+                Printf.eprintf "ptan serve: worker %s; restart #%d in %.0fms\n%!"
+                  (describe_status st) !restarts !backoff;
+                Unix.sleepf (!backoff /. 1e3);
+                backoff := Float.min sv.sv_backoff_max_ms (!backoff *. 2.);
+                loop ()
+              end)
+  in
+  loop ()

@@ -22,6 +22,7 @@
     ping                  liveness probe
     files                 the corpus: ok <n> <name...>
     stats                 traffic counters since startup
+    health                ok uptime-ms=_ restarts=_ heap-mb=_ queue-depth=_
     reload <file>         re-analyze one corpus entry in place
     watch                 start mtime polling; changed files auto-reload
     quit                  stop the daemon (reply: ok bye)
@@ -32,7 +33,10 @@
     superset, see docs/ROBUSTNESS.md), [error <reason>] (malformed
     request, unknown corpus file, query error, or a tripped per-request
     deadline — the daemon itself never dies on a request), or
-    [busy <reason>] (shed by admission control). See docs/SERVE.md.
+    [busy retry-after-ms=<n> <reason>] (shed by admission control;
+    [retry-after-ms] is the shedding batch's own measured latency — a
+    client that backs off by at least that long will usually find the
+    queue drained). See docs/SERVE.md for the client contract.
 
     {2 Execution model}
 
@@ -95,15 +99,28 @@ type transport =
       (** Unix-domain socket at this path (created at startup, a stale
           file is replaced, unlinked on shutdown); multiple concurrent
           clients, per-connection reply order *)
+  | Listening of Unix.file_descr
+      (** an already-bound, already-listening socket inherited from
+          {!supervise} — the daemon accepts on it but neither closes
+          nor unlinks it (the supervisor owns its lifecycle) *)
 
 type config = {
   jobs : int;  (** {!Pool} width for query dispatch *)
   queue_max : int;  (** admission bound: max requests dispatched per batch *)
   request_deadline_ms : float option;  (** per-request {!Guard} deadline *)
+  restarts : int;
+      (** how many times the supervisor has restarted this worker;
+          echoed by the [health] reply *)
+  journal : string option;
+      (** reload journal path: successful reloads append the corpus
+          name, and {!run} replays the journal through [h_reload]
+          before serving — how a {!supervise}d worker restored after a
+          crash catches up with the reloads its predecessor served *)
 }
 
 val default_config : config
-(** [jobs = 1], [queue_max = 1024], no per-request deadline. *)
+(** [jobs = 1], [queue_max = 1024], no per-request deadline,
+    [restarts = 0], no journal. *)
 
 (** Traffic counters, returned by {!run} and rendered by the [stats]
     request ([ok requests=... ok=... degraded=... error=... shed=...
@@ -129,6 +146,7 @@ type request =
   | Ping
   | Files
   | Stats
+  | Health
   | Quit
   | Watch
   | Reload of string
@@ -143,3 +161,44 @@ val run : ?stop:bool Atomic.t -> config -> handler -> transport -> stats
     it for clean SIGTERM shutdown). Returns the final counters. The
     daemon never raises on a malformed or failing request; transport
     errors on one connection only close that connection. *)
+
+(** {2 Supervision}
+
+    [ptan serve --supervise] splits the daemon in two processes: a
+    tiny supervisor that owns the listening socket, and a worker
+    (forked child) that does everything else. When the worker dies —
+    crash, uncaught signal, the kernel OOM killer — the supervisor
+    forks a replacement onto the {e same} socket, so clients observe a
+    reset connection and reconnect; they never see ECONNREFUSED or a
+    stale socket file. Restarts back off exponentially ([sv_backoff_ms]
+    doubling up to [sv_backoff_max_ms], reset after a healthy stretch)
+    and fail fast when more than [sv_max_restarts] deaths land within
+    [sv_window_s] seconds — a crash-looping corpus should page an
+    operator, not flap forever. See docs/ROBUSTNESS.md. *)
+
+type supervise_config = {
+  sv_max_restarts : int;  (** fail-fast: max worker deaths tolerated per window *)
+  sv_window_s : float;  (** the sliding window those deaths are counted in *)
+  sv_backoff_ms : float;  (** delay before the first restart *)
+  sv_backoff_max_ms : float;  (** backoff doubles up to this cap *)
+}
+
+val default_supervise : supervise_config
+(** 5 restarts per 30 s window, backoff 100 ms doubling to 5 s. *)
+
+val supervise :
+  ?stop:bool Atomic.t ->
+  supervise_config ->
+  socket:string ->
+  (restarts:int -> Unix.file_descr -> int) ->
+  int
+(** [supervise cfg ~socket worker] binds [socket], listens, and runs
+    [worker ~restarts fd] in a forked child, restarting it per [cfg]
+    until it exits 0 (clean [quit]), [stop] is set, or the fail-fast
+    bound trips (supervisor exit 1). The worker callback runs only in
+    the child: it should {!run} the daemon on [Listening fd] (passing
+    [restarts] through [config] for the [health] reply) and return the
+    process exit code. Returns the supervisor's exit code; the socket
+    is unlinked on the way out. Must be called before any domain is
+    spawned — the supervisor forks, and only the worker may create
+    pools. *)

@@ -31,6 +31,8 @@ type kind =
   | Replay
   | Slice
   | Demand
+  | Checkpoint
+  | Oom
 
 let kind_name = function
   | Analysis -> "analysis"
@@ -48,8 +50,10 @@ let kind_name = function
   | Replay -> "replay"
   | Slice -> "slice"
   | Demand -> "demand"
+  | Checkpoint -> "checkpoint"
+  | Oom -> "oom"
 
-let n_kinds = 15
+let n_kinds = 17
 
 let kind_idx = function
   | Analysis -> 0
@@ -67,6 +71,8 @@ let kind_idx = function
   | Replay -> 12
   | Slice -> 13
   | Demand -> 14
+  | Checkpoint -> 15
+  | Oom -> 16
 
 type span = {
   sp_kind : kind;

@@ -52,6 +52,15 @@ type kind =
   | Demand
       (** demand mode: one whole {!Analysis.analyze_demand} run over a
           planned slice *)
+  | Checkpoint
+      (** graceful degradation: the snapshot of the aborted precise
+          run's partial per-function IN/OUT state, taken when a
+          {!Guard} budget trips and seeded into the widened rerun
+          ([sp_stmts] carries the number of seeded function slots) *)
+  | Oom
+      (** a {!Guard} heap-ceiling trip ([--max-heap-mb]): the precise
+          run exceeded its memory budget and degraded instead of dying
+          ([sp_in] carries the sampled heap size in MB) *)
 
 val kind_name : kind -> string
 (** Lower-case stable name ([node], [map], [cache-load], ...); used as

@@ -77,12 +77,14 @@ echo "corpus_smoke: $lines-line generated program analyzed end-to-end"
 # reproducing every sequential digest. A non-zero exit fails the job;
 # the artifact is uploaded by CI.
 "$bench" --json BENCH_corpus.json
-grep -q '"schema": *"ptan-bench-corpus/1"' BENCH_corpus.json \
+grep -q '"schema": *"ptan-bench-corpus/2"' BENCH_corpus.json \
   || { echo "corpus_smoke: BENCH_corpus.json missing schema marker" >&2; exit 1; }
 grep -q '"identical": *false' BENCH_corpus.json \
   && { echo "corpus_smoke: the parallel leg lost bit-identity" >&2; exit 1; }
 grep -q '"superset": *false' BENCH_corpus.json \
   && { echo "corpus_smoke: a degraded run lost points-to pairs" >&2; exit 1; }
+grep -q '"degraded_le_precise": *false' BENCH_corpus.json \
+  && { echo "corpus_smoke: a degraded run cost more than the precise one" >&2; exit 1; }
 echo "corpus_smoke: BENCH_corpus.json written and validated"
 
 echo "corpus_smoke: OK"

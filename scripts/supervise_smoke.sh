@@ -1,0 +1,110 @@
+#!/bin/sh
+# Supervise smoke: boot `ptan serve --supervise` on a socket, kill the
+# worker three times mid-request via the worker-kill fault point, and
+# demand the self-healing contract end to end: clients see a reset
+# connection (never a hang), the supervisor restarts the worker onto
+# the same socket, post-restart answers are bit-identical to a cold
+# `ptan query`, the `health` restart counter climbs, and a clean `quit`
+# ends supervisor and worker with exit 0 and the socket unlinked. Run
+# from the repository root after `dune build`; CI runs this inside the
+# chaos job. See docs/ROBUSTNESS.md (the serve supervisor) and
+# docs/SERVE.md (supervised mode).
+set -eu
+
+ptan="${PTAN:-_build/default/bin/ptan.exe}"
+[ -x "$ptan" ] || { echo "supervise_smoke: $ptan not found (dune build first)" >&2; exit 1; }
+command -v python3 >/dev/null \
+  || { echo "supervise_smoke: python3 not found (needed as the socket client)" >&2; exit 1; }
+
+tmp=$(mktemp -d)
+sock="$tmp/ptan.sock"
+arm="$tmp/kill.arm"
+cleanup() {
+  [ -n "${sv_pid:-}" ] && kill "$sv_pid" 2>/dev/null
+  rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+# One protocol round trip over the Unix socket; prints the reply line,
+# or nothing when the connection dies (worker killed mid-request) or
+# cannot be made (worker still restarting). The 10 s timeout bounds
+# every exchange: a wedged daemon fails the script instead of hanging CI.
+rt() {
+  python3 - "$sock" "$1" <<'EOF'
+import socket, sys
+s = socket.socket(socket.AF_UNIX)
+s.settimeout(10)
+try:
+    s.connect(sys.argv[1])
+    s.sendall((sys.argv[2] + "\n").encode())
+    buf = b""
+    while not buf.endswith(b"\n"):
+        c = s.recv(4096)
+        if not c:
+            break
+        buf += c
+    sys.stdout.write(buf.decode())
+except OSError:
+    pass
+EOF
+}
+
+await_pong() {
+  i=0
+  while [ "$(rt ping)" != "ok pong" ]; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "supervise_smoke: timed out waiting for pong" >&2; exit 1; }
+    sleep 0.1
+  done
+}
+
+# ---- 1. the oracle and the supervised daemon --------------------------
+cold=$("$ptan" query benchmarks/hash.c --cache-dir "$tmp/cache" pts insert s50 e)
+PTAN_FAULTS=worker-kill PTAN_FAULT_KILL_FILE="$arm" \
+  "$ptan" serve benchmarks/hash.c --cache-dir "$tmp/cache" \
+  --socket "$sock" --supervise --max-restarts 10 2>"$tmp/sv.err" &
+sv_pid=$!
+await_pong
+got=$(rt "q hash pts insert s50 e")
+[ "$got" = "ok $cold" ] \
+  || { echo "supervise_smoke: daemon answer '$got' != cold 'ok $cold'" >&2; exit 1; }
+echo "supervise_smoke: supervised daemon up, answer matches cold ptan query"
+
+# ---- 2. the kill loop -------------------------------------------------
+# Arming the fault file makes the worker SIGKILL itself at the next
+# batch; the client sees a dead connection (empty reply, not a hang),
+# the supervisor restarts the worker, and service resumes unchanged.
+for kill_n in 1 2 3; do
+  : >"$arm"
+  victim=$(rt "q hash pts insert s50 e")
+  [ -z "$victim" ] \
+    || { echo "supervise_smoke: kill #$kill_n: expected a dead connection, got '$victim'" >&2; exit 1; }
+  await_pong
+  got=$(rt "q hash pts insert s50 e")
+  [ "$got" = "ok $cold" ] \
+    || { echo "supervise_smoke: kill #$kill_n: post-restart answer '$got' != 'ok $cold'" >&2; exit 1; }
+  health=$(rt health)
+  case $health in
+    "ok uptime-ms="*" restarts=$kill_n "*) ;;
+    *) echo "supervise_smoke: kill #$kill_n: health '$health' lacks restarts=$kill_n" >&2; exit 1 ;;
+  esac
+done
+grep -q 'restart #3' "$tmp/sv.err" \
+  || { echo "supervise_smoke: supervisor log missing 'restart #3'" >&2; cat "$tmp/sv.err" >&2; exit 1; }
+echo "supervise_smoke: 3 worker kills survived, answers bit-identical, restarts counted"
+
+# ---- 3. clean shutdown ------------------------------------------------
+bye=$(rt quit)
+[ "$bye" = "ok bye" ] \
+  || { echo "supervise_smoke: quit answered '$bye'" >&2; exit 1; }
+if wait "$sv_pid"; then st=0; else st=$?; fi
+sv_pid=
+[ "$st" -eq 0 ] \
+  || { echo "supervise_smoke: supervisor exit status $st" >&2; cat "$tmp/sv.err" >&2; exit 1; }
+[ ! -e "$sock" ] \
+  || { echo "supervise_smoke: socket file survived shutdown" >&2; exit 1; }
+[ ! -e "$sock.journal" ] \
+  || { echo "supervise_smoke: reload journal survived shutdown" >&2; exit 1; }
+echo "supervise_smoke: clean quit ends supervisor and worker (exit 0, socket unlinked)"
+
+echo "supervise_smoke: OK"

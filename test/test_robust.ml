@@ -94,13 +94,16 @@ let guard_tests =
               Guard.b_deadline_ms = Some 60_000.;
               Guard.b_fuel = Some 1;
               Guard.b_max_locs = Some 1;
+              Guard.b_max_heap_mb = Some 1;
             }
         in
         let w = Guard.widened g in
+        Guard.dispose g;
         let b = Guard.budget w in
         Alcotest.(check (option (float 0.1))) "deadline kept" (Some 60_000.) b.Guard.b_deadline_ms;
         Alcotest.(check bool) "no fuel" true (b.Guard.b_fuel = None);
         Alcotest.(check bool) "no size ceiling" true (b.Guard.b_max_locs = None);
+        Alcotest.(check bool) "no heap ceiling" true (b.Guard.b_max_heap_mb = None);
         Guard.check w;
         Guard.check_fuel w 1_000_000;
         Guard.check_size w 1_000_000);
@@ -122,7 +125,12 @@ let guard_tests =
         Alcotest.(check string) "unlimited" "unlimited" (Fmt.str "%a" Guard.pp_budget Guard.no_budget);
         Alcotest.(check string) "combined" "deadline 100ms, fuel 2"
           (Fmt.str "%a" Guard.pp_budget
-             { Guard.b_deadline_ms = Some 100.; Guard.b_fuel = Some 2; Guard.b_max_locs = None }));
+             {
+               Guard.b_deadline_ms = Some 100.;
+               Guard.b_fuel = Some 2;
+               Guard.b_max_locs = None;
+               Guard.b_max_heap_mb = None;
+             }));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -191,6 +199,7 @@ let degradation_tests =
             Guard.b_deadline_ms = Some 600_000.;
             Guard.b_fuel = Some 1_000_000;
             Guard.b_max_locs = Some 10_000_000;
+            Guard.b_max_heap_mb = None;
           }
         in
         let b = Analysis.analyze ~budget p in
@@ -235,6 +244,83 @@ let degradation_tests =
             Alcotest.(check bool) "still a miss without the budget" false hit2;
             Alcotest.(check bool) "full-precision this time" true
               (full.Analysis.degraded = None)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Heap budget and checkpointed degradation                           *)
+(* ------------------------------------------------------------------ *)
+
+let heap_tests =
+  [
+    case "a zero heap ceiling trips immediately with the heap reason" (fun () ->
+        let g = Guard.make { Guard.no_budget with Guard.b_max_heap_mb = Some 0 } in
+        Fun.protect
+          ~finally:(fun () -> Guard.dispose g)
+          (fun () ->
+            let t = expect_trip (fun () -> Guard.check g) in
+            Alcotest.(check string) "reason" "heap" (Guard.reason_name t.Guard.t_reason)));
+    case "alloc-spike makes any heap ceiling trip deterministically" (fun () ->
+        Fault.with_point Fault.Alloc_spike (fun () ->
+            let g =
+              Guard.make { Guard.no_budget with Guard.b_max_heap_mb = Some 1_000_000 }
+            in
+            Fun.protect
+              ~finally:(fun () -> Guard.dispose g)
+              (fun () ->
+                let t = expect_trip (fun () -> Guard.check g) in
+                Alcotest.(check string) "reason" "heap"
+                  (Guard.reason_name t.Guard.t_reason))));
+    case "an ample heap ceiling neither trips nor perturbs the result" (fun () ->
+        let p = Simple_ir.Simplify.of_file (bench "hash") in
+        let full = Analysis.analyze p in
+        let capped =
+          Analysis.analyze
+            ~budget:{ Guard.no_budget with Guard.b_max_heap_mb = Some 1_000_000 }
+            p
+        in
+        Alcotest.(check bool) "not degraded" true (capped.Analysis.degraded = None);
+        Alcotest.(check string) "bit-identical" (stmt_digest full) (stmt_digest capped);
+        Alcotest.(check int) "no heap trips" 0 capped.Analysis.metrics.M.heap_trips);
+    case "a blown heap budget degrades soundly instead of dying" (fun () ->
+        let p = Simple_ir.Simplify.of_file (bench "hash") in
+        let full = Analysis.analyze p in
+        let deg =
+          Fault.with_point Fault.Alloc_spike (fun () ->
+              Analysis.analyze
+                ~budget:{ Guard.no_budget with Guard.b_max_heap_mb = Some 4096 }
+                p)
+        in
+        (match deg.Analysis.degraded with
+        | None -> Alcotest.fail "alloc spike did not degrade"
+        | Some d ->
+            Alcotest.(check string) "reason" "heap"
+              (Guard.reason_name d.Analysis.deg_trip.Guard.t_reason));
+        Alcotest.(check int) "heap trip counted" 1 deg.Analysis.metrics.M.heap_trips;
+        Alcotest.(check int) "budget trip counted" 1 deg.Analysis.metrics.M.budget_trips;
+        Alcotest.(check bool) "still sound" true
+          (is_superset ~full:(result_pairs full) ~degraded:(result_pairs deg)));
+    case "a mid-run trip checkpoints completed functions; result stays sound" (fun () ->
+        (* stanford under fuel 2 finishes several leaf functions before
+           the fixpoint blows, so the trip must hand the widened rerun a
+           non-empty seed — and the seed, being demoted facts of the
+           precise run, must not break the superset property *)
+        let p = Simple_ir.Simplify.of_file (bench "stanford") in
+        let full = Analysis.analyze p in
+        let deg =
+          Analysis.analyze ~budget:{ Guard.no_budget with Guard.b_fuel = Some 2 } p
+        in
+        Alcotest.(check bool) "degraded" true (deg.Analysis.degraded <> None);
+        Alcotest.(check bool) "some functions checkpointed" true
+          (deg.Analysis.metrics.M.ckpt_funcs > 0);
+        Alcotest.(check bool) "superset despite seeding" true
+          (is_superset ~full:(result_pairs full) ~degraded:(result_pairs deg)));
+    case "an untripped budget checkpoints nothing" (fun () ->
+        let p = Simple_ir.Simplify.of_file (bench "hash") in
+        let r =
+          Analysis.analyze ~budget:{ Guard.no_budget with Guard.b_fuel = Some 1_000_000 } p
+        in
+        Alcotest.(check bool) "not degraded" true (r.Analysis.degraded = None);
+        Alcotest.(check int) "no checkpoint" 0 r.Analysis.metrics.M.ckpt_funcs);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -557,12 +643,17 @@ let mono_tests =
     beats degradation (3), and the degradation report still prints when
     both occur. Runs the installed ptan binary; the test cwd is
     [_build/default/test]. *)
-let ptan = "../bin/ptan.exe"
+(* cwd is _build/default/test under [dune runtest], the workspace root
+   under [dune exec test/main.exe] (how CI's chaos job runs this
+   suite) — resolve the binary for both. *)
+let ptan =
+  if Sys.file_exists "../bin/ptan.exe" then "../bin/ptan.exe"
+  else "_build/default/bin/ptan.exe"
 
-let run_ptan args =
+let run_ptan ?(env = "") args =
   in_temp (fun dir ->
       let out = Filename.concat dir "out" and err = Filename.concat dir "err" in
-      let code = Sys.command (Printf.sprintf "%s %s > %s 2> %s" ptan args out err) in
+      let code = Sys.command (Printf.sprintf "%s %s %s > %s 2> %s" env ptan args out err) in
       ( code,
         In_channel.with_open_bin out In_channel.input_all,
         In_channel.with_open_bin err In_channel.input_all ))
@@ -607,9 +698,135 @@ let exit_code_tests =
     case "tables: all clean exits 0" (fun () ->
         let code, _, _ = run_ptan (Fmt.str "tables --no-cache %s" (bench "hash")) in
         Alcotest.(check int) "exit 0" 0 code);
+    case "tables: a tripped heap ceiling exits 3, not an OOM kill" (fun () ->
+        let code, out, _ =
+          run_ptan ~env:"PTAN_FAULTS=alloc-spike"
+            (Fmt.str "tables --no-cache --max-heap-mb 4096 %s" (bench "hash"))
+        in
+        Alcotest.(check int) "exit 3" 3 code;
+        Alcotest.(check bool) "heap named in the report" true (contains out "heap"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor chaos (spawns the real binary)                          *)
+(* ------------------------------------------------------------------ *)
+
+(** A Unix-socket client with a receive timeout: a hang — the one thing
+    a supervised daemon must never inflict on a client — fails the test
+    instead of wedging the suite. *)
+let connect_sock path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+  fd
+
+(* One reply line; "" when the worker died under us (EOF or reset). *)
+let recv_line fd =
+  let buf = Buffer.create 256 in
+  let b = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd b 0 1 with
+    | 0 -> Buffer.contents buf
+    | _ ->
+        if Bytes.get b 0 = '\n' then Buffer.contents buf
+        else begin
+          Buffer.add_char buf (Bytes.get b 0);
+          go ()
+        end
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        Buffer.contents buf
+  in
+  go ()
+
+let sock_round_trip path line =
+  let fd = connect_sock path in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let msg = line ^ "\n" in
+      ignore (Unix.write_substring fd msg 0 (String.length msg));
+      recv_line fd)
+
+let rec await ?(tries = 100) msg f =
+  if tries = 0 then Alcotest.failf "timed out waiting for %s" msg
+  else if not (try f () with Unix.Unix_error _ -> false) then begin
+    Unix.sleepf 0.1;
+    await ~tries:(tries - 1) msg f
+  end
+
+let supervisor_tests =
+  [
+    case "supervise: five worker kills; clean reconnects, identical answers" (fun () ->
+        in_temp (fun dir ->
+            let sock = Filename.concat dir "s" in
+            let arm = Filename.concat dir "arm" in
+            let dev_null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+            let log_fd =
+              Unix.openfile (Filename.concat dir "log")
+                [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+                0o644
+            in
+            let env =
+              Array.append (Unix.environment ())
+                [| "PTAN_FAULTS=worker-kill"; "PTAN_FAULT_KILL_FILE=" ^ arm |]
+            in
+            let pid =
+              Unix.create_process_env ptan
+                [|
+                  ptan; "serve"; bench "hash"; "--no-cache"; "--socket"; sock;
+                  "--supervise"; "--max-restarts"; "10";
+                |]
+                env dev_null log_fd log_fd
+            in
+            Fun.protect
+              ~finally:(fun () ->
+                (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+                (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+                List.iter
+                  (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+                  [ dev_null; log_fd ])
+              (fun () ->
+                await "the supervised daemon" (fun () ->
+                    Sys.file_exists sock && sock_round_trip sock "ping" = "ok pong");
+                (* the reference answer: a cold one-shot query of the
+                   same corpus entry *)
+                let cold =
+                  let code, out, _ =
+                    run_ptan
+                      (Fmt.str "query --no-cache %s pts insert s50 e" (bench "hash"))
+                  in
+                  Alcotest.(check int) "cold query exits 0" 0 code;
+                  String.trim out
+                in
+                let q = "q hash pts insert s50 e" in
+                Alcotest.(check string) "daemon agrees with the cold query"
+                  ("ok " ^ cold) (sock_round_trip sock q);
+                for i = 1 to 5 do
+                  (* arm the injection: the worker SIGKILLs itself as it
+                     picks up the next batch — our query dies with it *)
+                  Out_channel.with_open_bin arm (fun _ -> ());
+                  let dying = sock_round_trip sock q in
+                  Alcotest.(check string)
+                    (Fmt.str "kill %d: dropped cleanly, no hang" i)
+                    "" dying;
+                  await "the restarted worker" (fun () ->
+                      sock_round_trip sock "ping" = "ok pong");
+                  Alcotest.(check string)
+                    (Fmt.str "bit-identical answer after restart %d" i)
+                    ("ok " ^ cold) (sock_round_trip sock q);
+                  let health = sock_round_trip sock "health" in
+                  Alcotest.(check bool)
+                    (Fmt.str "health reports restarts=%d" i)
+                    true
+                    (contains health (Fmt.str "restarts=%d " i))
+                done;
+                Alcotest.(check string) "clean quit" "ok bye"
+                  (sock_round_trip sock "quit");
+                let _, st = Unix.waitpid [] pid in
+                Alcotest.(check bool) "supervisor exits 0" true (st = Unix.WEXITED 0))));
   ]
 
 let suite =
   ( "robust",
-    guard_tests @ mono_tests @ degradation_tests @ timeout_tests @ fault_tests
-    @ quarantine_tests @ fuzz_tests @ exit_code_tests )
+    guard_tests @ mono_tests @ degradation_tests @ heap_tests @ timeout_tests
+    @ fault_tests @ quarantine_tests @ fuzz_tests @ exit_code_tests @ supervisor_tests )

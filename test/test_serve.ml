@@ -63,6 +63,7 @@ let parse_tests =
         ok (Serve.parse_request "ping" = Ok Serve.Ping);
         ok (Serve.parse_request "files" = Ok Serve.Files);
         ok (Serve.parse_request "stats" = Ok Serve.Stats);
+        ok (Serve.parse_request "health" = Ok Serve.Health);
         ok (Serve.parse_request "quit" = Ok Serve.Quit);
         ok (Serve.parse_request "watch" = Ok Serve.Watch);
         ok (Serve.parse_request "reload hash" = Ok (Serve.Reload "hash"));
@@ -89,6 +90,11 @@ let parse_tests =
 let starts_with prefix s =
   String.length s >= String.length prefix
   && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1)) in
+  go 0
 
 let protocol_tests =
   [
@@ -163,6 +169,16 @@ let protocol_tests =
         let reply, stats = with_daemon (fun req_w ic -> round_trip req_w ic "quit") in
         Alcotest.(check string) "bye" "ok bye" reply;
         Alcotest.(check int) "one request" 1 stats.Serve.s_requests);
+    case "health reports uptime, restarts, heap and queue depth" (fun () ->
+        let reply, _ = with_daemon (fun req_w ic -> round_trip req_w ic "health") in
+        Alcotest.(check bool) "shape" true (starts_with "ok uptime-ms=" reply);
+        Alcotest.(check bool) "restarts" true (contains reply " restarts=0 ");
+        Alcotest.(check bool) "heap sample" true (contains reply " heap-mb=");
+        Alcotest.(check bool) "queue depth" true (contains reply " queue-depth=1"));
+    case "health echoes the supervisor's restart count from the config" (fun () ->
+        let cfg = { Serve.default_config with Serve.restarts = 7 } in
+        let reply, _ = with_daemon ~cfg (fun req_w ic -> round_trip req_w ic "health") in
+        Alcotest.(check bool) "restarts=7" true (contains reply " restarts=7 "));
     case "a degraded corpus entry is flagged in the reply" (fun () ->
         let h =
           {
@@ -234,6 +250,50 @@ let reload_tests =
             Alcotest.(check bool) "unknown file" true (starts_with "error " unknown)
         | _ -> Alcotest.fail "wrong arity");
         Alcotest.(check int) "one successful reload" 1 stats.Serve.s_reloads);
+    case "successful reloads are journaled; a fresh daemon replays them" (fun () ->
+        (* model of a supervised worker crash: daemon 1 serves a reload
+           and dies (end-of-input); daemon 2 starts with the same
+           journal and must replay the reload before serving *)
+        let journal = Filename.temp_file "ptan-serve" ".journal" in
+        Sys.remove journal;
+        Fun.protect
+          ~finally:(fun () -> if Sys.file_exists journal then Sys.remove journal)
+          (fun () ->
+            let reloaded = ref [] in
+            let h =
+              {
+                Serve.h_files = [ "f"; "g" ];
+                Serve.h_answer = (fun ~file:_ ~query:_ -> Serve.Ans "x");
+                Serve.h_reload =
+                  Some
+                    (fun ~file ->
+                      reloaded := file :: !reloaded;
+                      Ok ("swapped " ^ file));
+                Serve.h_paths = [];
+              }
+            in
+            let cfg = { Serve.default_config with Serve.journal = Some journal } in
+            let replies, stats1 =
+              with_daemon ~cfg ~handler:h (fun req_w ic ->
+                  [
+                    round_trip req_w ic "reload f";
+                    round_trip req_w ic "reload g";
+                    round_trip req_w ic "reload f";
+                  ])
+            in
+            Alcotest.(check (list string))
+              "reload replies"
+              [ "ok swapped f"; "ok swapped g"; "ok swapped f" ]
+              replies;
+            Alcotest.(check int) "three reloads served" 3 stats1.Serve.s_reloads;
+            (* the replacement daemon: no requests at all, yet it must
+               have replayed each journaled file exactly once *)
+            reloaded := [];
+            let _, stats2 = with_daemon ~cfg ~handler:h (fun _ _ -> ()) in
+            Alcotest.(check int) "replayed on boot" 2 stats2.Serve.s_reloads;
+            Alcotest.(check (list string))
+              "each file once, first-reload order" [ "f"; "g" ]
+              (List.rev !reloaded)));
     case "reload and watch without h_reload are errors, not crashes" (fun () ->
         let replies, stats =
           with_daemon (fun req_w ic ->
@@ -307,7 +367,20 @@ let robustness_tests =
         | [ ok; b1; b2 ] ->
             Alcotest.(check string) "first admitted" "ok echo a" ok;
             Alcotest.(check bool) "second shed" true (starts_with "busy " b1);
-            Alcotest.(check bool) "third shed" true (starts_with "busy " b2)
+            Alcotest.(check bool) "third shed" true (starts_with "busy " b2);
+            (* the shed replies carry a retry hint derived from the
+               shedding batch's own latency, and it is at least 1 ms so
+               an obedient client never busy-loops *)
+            Alcotest.(check bool) "retry hint present" true
+              (starts_with "busy retry-after-ms=" b1);
+            let hint =
+              let rest =
+                String.sub b1 (String.length "busy retry-after-ms=")
+                  (String.length b1 - String.length "busy retry-after-ms=")
+              in
+              int_of_string (List.hd (String.split_on_char ' ' rest))
+            in
+            Alcotest.(check bool) "hint is positive" true (hint >= 1)
         | _ -> Alcotest.fail "wrong arity");
         Alcotest.(check int) "shed counted" 2 stats.Serve.s_shed;
         Alcotest.(check int) "all requests counted" 3 stats.Serve.s_requests);
@@ -402,7 +475,7 @@ let socket_tests =
         let path = Filename.temp_file "ptan-serve" ".sock" in
         Sys.remove path;
         let stop = Atomic.make false in
-        let cfg = { Serve.jobs = 2; queue_max = 4096; request_deadline_ms = None } in
+        let cfg = { Serve.default_config with Serve.jobs = 2; queue_max = 4096 } in
         let daemon =
           Domain.spawn (fun () -> Serve.run ~stop cfg handler (Serve.Socket path))
         in
